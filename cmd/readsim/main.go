@@ -1,0 +1,93 @@
+// Command readsim generates a synthetic reference genome and simulated
+// short reads with an Illumina-like error profile — the workload
+// substitute for the paper's NA12878 dataset (see DESIGN.md).
+//
+// Usage:
+//
+//	readsim -ref-len 1000000 -reads 50000 -out-ref genome.fa -out-reads reads.fq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"seedex/internal/fastx"
+	"seedex/internal/genome"
+	"seedex/internal/readsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "readsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("readsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	refLen := fs.Int("ref-len", 1_000_000, "reference length in bp")
+	nReads := fs.Int("reads", 10_000, "number of reads")
+	readLen := fs.Int("read-len", 101, "read length in bp")
+	snp := fs.Float64("snp", 0.001, "variant substitution rate")
+	indel := fs.Float64("indel", 0.0001, "variant indel rate")
+	errRate := fs.Float64("err", 0.002, "sequencing error rate")
+	garbage := fs.Float64("garbage-tails", 0, "fraction of reads with garbage 3' tails")
+	repeats := fs.Float64("repeats", 0.05, "genome repeat fraction")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	outRef := fs.String("out-ref", "genome.fa", "reference FASTA output")
+	outReads := fs.String("out-reads", "reads.fq", "reads FASTQ output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	ref := genome.Simulate(genome.SimConfig{Length: *refLen, RepeatFraction: *repeats}, rng)
+	cfg := readsim.Config{
+		N: *nReads, ReadLen: *readLen,
+		SNPRate: *snp, IndelRate: *indel, ErrRate: *errRate,
+		RevCompFraction: 0.5, GarbageTailFraction: *garbage,
+	}
+	reads := readsim.Simulate(ref, cfg, rng)
+	if reads == nil && *nReads > 0 {
+		return fmt.Errorf("read length %d exceeds reference length %d", *readLen, *refLen)
+	}
+
+	rf, err := os.Create(*outRef)
+	if err != nil {
+		return err
+	}
+	err = fastx.WriteFasta(rf, []fastx.FastaRecord{{
+		Name: "chrSim",
+		Desc: fmt.Sprintf("synthetic %d bp seed=%d", *refLen, *seed),
+		Seq:  []byte(genome.Decode(ref)),
+	}})
+	if cerr := rf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	fq := make([]fastx.FastqRecord, len(reads))
+	for i, r := range reads {
+		fq[i] = fastx.FastqRecord{Name: r.ID, Seq: []byte(genome.Decode(r.Seq)), Qual: r.Qual}
+	}
+	qf, err := os.Create(*outReads)
+	if err != nil {
+		return err
+	}
+	err = fastx.WriteFastq(qf, fq)
+	if cerr := qf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stderr, "wrote %s (%d bp) and %s (%d reads)\n", *outRef, *refLen, *outReads, len(reads))
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seedex/internal/fastx"
+)
+
+func TestReadsimRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "g.fa")
+	readsPath := filepath.Join(dir, "r.fq")
+	var stderr bytes.Buffer
+	err := run([]string{
+		"-ref-len", "20000", "-reads", "50", "-read-len", "80",
+		"-out-ref", refPath, "-out-reads", readsPath, "-seed", "3",
+	}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	refs, err := fastx.ReadFasta(rf)
+	if err != nil || len(refs) != 1 || len(refs[0].Seq) != 20000 {
+		t.Fatalf("bad reference: %v, %d records", err, len(refs))
+	}
+	qf, err := os.Open(readsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qf.Close()
+	reads, err := fastx.ReadFastq(qf)
+	if err != nil || len(reads) != 50 {
+		t.Fatalf("bad reads: %v, %d records", err, len(reads))
+	}
+	for _, r := range reads {
+		if len(r.Seq) != 80 {
+			t.Fatalf("read %s has length %d", r.Name, len(r.Seq))
+		}
+	}
+}
+
+func TestReadsimDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	var stderr bytes.Buffer
+	gen := func(name string) string {
+		p := filepath.Join(dir, name)
+		err := run([]string{"-ref-len", "5000", "-reads", "10", "-out-ref", p + ".fa", "-out-reads", p + ".fq", "-seed", "9"}, &stderr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(p + ".fq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if gen("a") != gen("b") {
+		t.Fatal("same seed produced different reads")
+	}
+}
+
+func TestReadsimBadConfig(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-ref-len", "50", "-read-len", "101", "-out-ref", filepath.Join(t.TempDir(), "x.fa"), "-out-reads", filepath.Join(t.TempDir(), "x.fq")}, &stderr); err == nil {
+		t.Fatal("read longer than reference must error")
+	}
+}

@@ -1,0 +1,21 @@
+// Command seedex-align is the end-to-end aligner CLI: it maps FASTQ reads
+// against a FASTA reference and writes SAM, with a selectable extension
+// engine (full-band reference, plain banded heuristic, or the SeedEx
+// speculative extender).
+//
+// Usage:
+//
+//	seedex-align -ref genome.fa -reads reads.fq -extender seedex -band 20 > out.sam
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "seedex-align:", err)
+		os.Exit(1)
+	}
+}

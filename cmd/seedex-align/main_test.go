@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seedex/internal/bwamem"
+	"seedex/internal/fastx"
+	"seedex/internal/genome"
+	"seedex/internal/readsim"
+)
+
+// writeWorld writes a FASTA reference and FASTQ reads into dir.
+func writeWorld(t *testing.T, dir string, nReads int) (refPath, readsPath string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ref := genome.Simulate(genome.SimConfig{Length: 40_000}, rng)
+	reads := readsim.Simulate(ref, readsim.DefaultConfig(nReads), rng)
+
+	refPath = filepath.Join(dir, "ref.fa")
+	rf, err := os.Create(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fastx.WriteFasta(rf, []fastx.FastaRecord{{Name: "chrT", Seq: []byte(genome.Decode(ref))}}); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+
+	readsPath = filepath.Join(dir, "reads.fq")
+	qf, err := os.Create(readsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := make([]fastx.FastqRecord, len(reads))
+	for i, r := range reads {
+		fq[i] = fastx.FastqRecord{Name: r.ID, Seq: []byte(genome.Decode(r.Seq)), Qual: r.Qual}
+	}
+	if err := fastx.WriteFastq(qf, fq); err != nil {
+		t.Fatal(err)
+	}
+	qf.Close()
+	return
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath := writeWorld(t, dir, 60)
+
+	var samSeedEx, samFull, stderr bytes.Buffer
+	if err := run([]string{"-ref", refPath, "-reads", readsPath, "-extender", "seedex", "-band", "20"}, &samSeedEx, &stderr); err != nil {
+		t.Fatalf("seedex run: %v (%s)", err, stderr.String())
+	}
+	if err := run([]string{"-ref", refPath, "-reads", readsPath, "-extender", "fullband"}, &samFull, &stderr); err != nil {
+		t.Fatalf("fullband run: %v", err)
+	}
+	if samSeedEx.String() != samFull.String() {
+		t.Fatal("CLI SAM output differs between seedex and fullband engines")
+	}
+	lines := strings.Split(strings.TrimSpace(samSeedEx.String()), "\n")
+	if !strings.HasPrefix(lines[0], "@HD") {
+		t.Fatalf("missing SAM header: %q", lines[0])
+	}
+	body := 0
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "@") {
+			body++
+			if len(strings.Split(l, "\t")) < 11 {
+				t.Fatalf("malformed SAM line: %q", l)
+			}
+		}
+	}
+	if body != 60 {
+		t.Fatalf("expected 60 alignment lines, got %d", body)
+	}
+	if !strings.Contains(stderr.String(), "aligned") {
+		t.Fatalf("stats not printed: %q", stderr.String())
+	}
+}
+
+func TestCLIERTSeeder(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath := writeWorld(t, dir, 20)
+	var out, stderr bytes.Buffer
+	if err := run([]string{"-ref", refPath, "-reads", readsPath, "-seeder", "ert", "-extender", "banded", "-band", "5"}, &out, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chrT") {
+		t.Fatal("no alignments produced with ERT seeding")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out, stderr bytes.Buffer
+	if err := run(nil, &out, &stderr); err == nil {
+		t.Fatal("missing required flags must error")
+	}
+	if err := run([]string{"-ref", "nope.fa", "-reads", "nope.fq"}, &out, &stderr); err == nil {
+		t.Fatal("missing files must error")
+	}
+	dir := t.TempDir()
+	refPath, readsPath := writeWorld(t, dir, 1)
+	if err := run([]string{"-ref", refPath, "-reads", readsPath, "-extender", "bogus"}, &out, &stderr); err == nil {
+		t.Fatal("unknown extender must error")
+	}
+	if err := run([]string{"-ref", refPath, "-reads", readsPath, "-seeder", "bogus"}, &out, &stderr); err == nil {
+		t.Fatal("unknown seeder must error")
+	}
+}
+
+func TestCLIIndexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath := writeWorld(t, dir, 30)
+	idxPath := filepath.Join(dir, "ref.sdx")
+
+	var first, second, stderr bytes.Buffer
+	// First run builds and saves the index.
+	if err := run([]string{"-ref", refPath, "-reads", readsPath, "-index", idxPath, "-extender", "fullband"}, &first, &stderr); err != nil {
+		t.Fatalf("%v (%s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "built and saved index") {
+		t.Fatalf("index not built: %s", stderr.String())
+	}
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatal(err)
+	}
+	// Second run loads it and must produce identical SAM.
+	stderr.Reset()
+	if err := run([]string{"-ref", refPath, "-reads", readsPath, "-index", idxPath, "-extender", "fullband"}, &second, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "loaded index") {
+		t.Fatalf("index not loaded: %s", stderr.String())
+	}
+	if first.String() != second.String() {
+		t.Fatal("SAM differs between built and loaded index runs")
+	}
+}
+
+func TestCLIPairedEnd(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(9))
+	ref := genome.Simulate(genome.SimConfig{Length: 50_000}, rng)
+	pairs, _ := bwamem.SimulatePairs(ref, 40, 101, 350, 40, 0.002, rng)
+
+	refPath := filepath.Join(dir, "ref.fa")
+	rf, _ := os.Create(refPath)
+	if err := fastx.WriteFasta(rf, []fastx.FastaRecord{{Name: "chrT", Seq: []byte(genome.Decode(ref))}}); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	write := func(name string, second bool) string {
+		p := filepath.Join(dir, name)
+		f, _ := os.Create(p)
+		var fq []fastx.FastqRecord
+		for _, pr := range pairs {
+			seq := pr.Seq1
+			if second {
+				seq = pr.Seq2
+			}
+			qual := make([]byte, len(seq))
+			for i := range qual {
+				qual[i] = 'I'
+			}
+			fq = append(fq, fastx.FastqRecord{Name: pr.Name, Seq: []byte(genome.Decode(seq)), Qual: qual})
+		}
+		if err := fastx.WriteFastq(f, fq); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return p
+	}
+	r1 := write("r1.fq", false)
+	r2 := write("r2.fq", true)
+
+	var out, stderr bytes.Buffer
+	if err := run([]string{"-ref", refPath, "-reads", r1, "-reads2", r2, "-extender", "seedex"}, &out, &stderr); err != nil {
+		t.Fatalf("%v (%s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "proper pairs") {
+		t.Fatalf("paired stats missing: %s", stderr.String())
+	}
+	body := 0
+	proper := 0
+	for _, l := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if strings.HasPrefix(l, "@") {
+			continue
+		}
+		body++
+		fields := strings.Split(l, "\t")
+		var flag int
+		fmt.Sscan(fields[1], &flag)
+		if flag&0x1 == 0 {
+			t.Fatalf("unpaired flag in paired mode: %s", l)
+		}
+		if flag&0x2 != 0 {
+			proper++
+		}
+	}
+	if body != 2*len(pairs) {
+		t.Fatalf("expected %d records, got %d", 2*len(pairs), body)
+	}
+	if proper < body*8/10 {
+		t.Fatalf("only %d/%d proper-pair records", proper, body)
+	}
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"seedex/internal/align"
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+	"seedex/internal/ert"
+	"seedex/internal/fastx"
+	"seedex/internal/fmindex"
+	"seedex/internal/genome"
+	"seedex/internal/sam"
+)
+
+// run is the testable CLI body; main wires it to os streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("seedex-align", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	refPath := fs.String("ref", "", "reference FASTA (required)")
+	readsPath := fs.String("reads", "", "reads FASTQ (required)")
+	reads2Path := fs.String("reads2", "", "mate FASTQ (enables paired-end mode)")
+	extName := fs.String("extender", "seedex", "extension engine: seedex | fullband | banded")
+	band := fs.Int("band", 20, "one-sided band (SeedEx and banded engines)")
+	seeder := fs.String("seeder", "fm", "seeding engine: fm (suffix-array SMEM) | fmd (bidirectional SMEM) | ert (radix tree)")
+	indexPath := fs.String("index", "", "index file: loaded if it exists, otherwise built from -ref and saved")
+	workers := fs.Int("workers", 0, "alignment workers (0 = GOMAXPROCS)")
+	statsOut := fs.Bool("stats", true, "print check statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *refPath == "" || *readsPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-ref and -reads are required")
+	}
+
+	rf, err := os.Open(*refPath)
+	if err != nil {
+		return err
+	}
+	refs, err := fastx.ReadFasta(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	if len(refs) == 0 {
+		return fmt.Errorf("no sequences in %s", *refPath)
+	}
+	contigs := make([]bwamem.Contig, len(refs))
+	names := make([]string, len(refs))
+	lengths := make([]int, len(refs))
+	for i, r := range refs {
+		contigs[i] = bwamem.Contig{Name: r.Name, Seq: genome.Encode(string(r.Seq))}
+		names[i], lengths[i] = r.Name, len(r.Seq)
+	}
+
+	qf, err := os.Open(*readsPath)
+	if err != nil {
+		return err
+	}
+	fq, err := fastx.ReadFastq(qf)
+	qf.Close()
+	if err != nil {
+		return err
+	}
+
+	sc := align.DefaultScoring()
+	var ext align.Extender
+	var se *core.SeedEx
+	switch *extName {
+	case "seedex":
+		se = core.New(*band)
+		ext = se
+	case "fullband":
+		ext = core.FullBand{Scoring: sc}
+	case "banded":
+		ext = core.Banded{Scoring: sc, Band: *band}
+	default:
+		return fmt.Errorf("unknown extender %q", *extName)
+	}
+
+	var a *bwamem.Aligner
+	if *indexPath != "" {
+		if f, ferr := os.Open(*indexPath); ferr == nil {
+			ref, ix, lerr := bwamem.LoadIndex(f)
+			f.Close()
+			if lerr != nil {
+				return fmt.Errorf("loading %s: %w", *indexPath, lerr)
+			}
+			fmt.Fprintf(stderr, "loaded index %s (%d contigs)\n", *indexPath, len(ref.Names))
+			a = bwamem.NewWithIndex(ref, ix, ext)
+		} else {
+			ref, ix, berr := bwamem.BuildIndex(contigs)
+			if berr != nil {
+				return berr
+			}
+			f, cerr := os.Create(*indexPath)
+			if cerr != nil {
+				return cerr
+			}
+			if serr := bwamem.SaveIndex(f, ref, ix); serr != nil {
+				f.Close()
+				return serr
+			}
+			if cerr := f.Close(); cerr != nil {
+				return cerr
+			}
+			fmt.Fprintf(stderr, "built and saved index %s\n", *indexPath)
+			a = bwamem.NewWithIndex(ref, ix, ext)
+		}
+	} else {
+		var err error
+		a, err = bwamem.NewMulti(contigs, ext)
+		if err != nil {
+			return err
+		}
+	}
+	if *extName == "banded" {
+		a.Opts.TraceBand = *band
+	}
+	switch *seeder {
+	case "fm":
+	case "fmd":
+		fmd, err := fmindex.NewFMD(append([]byte(nil), a.Ref...))
+		if err != nil {
+			return err
+		}
+		a.Seeder = bwamem.FMDSeeder{Index: fmd, Cfg: fmindex.DefaultSMEMConfig()}
+	case "ert":
+		a.Seeder = bwamem.ERTSeeder{Index: ert.Build(a.Ref, ert.K), Cfg: ert.DefaultConfig()}
+	default:
+		return fmt.Errorf("unknown seeder %q", *seeder)
+	}
+
+	w := bufio.NewWriter(stdout)
+	fmt.Fprint(w, sam.HeaderMulti(names, lengths, "seedex-align"))
+
+	if *reads2Path != "" {
+		qf2, err := os.Open(*reads2Path)
+		if err != nil {
+			return err
+		}
+		fq2, err := fastx.ReadFastq(qf2)
+		qf2.Close()
+		if err != nil {
+			return err
+		}
+		if len(fq2) != len(fq) {
+			return fmt.Errorf("paired inputs differ in length: %d vs %d reads", len(fq), len(fq2))
+		}
+		pairs := make([]bwamem.ReadPair, len(fq))
+		for i := range fq {
+			pairs[i] = bwamem.ReadPair{
+				Name: fq[i].Name,
+				Seq1: genome.Encode(string(fq[i].Seq)), Qual1: fq[i].Qual,
+				Seq2: genome.Encode(string(fq2[i].Seq)), Qual2: fq2[i].Qual,
+			}
+		}
+		recs, pst := a.RunPairs(pairs, *workers)
+		for _, rec := range recs {
+			fmt.Fprintln(w, rec.String())
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if *statsOut {
+			fmt.Fprintf(stderr, "paired %d fragments: %d proper pairs, insert %.0f±%.0f, %d extensions\n",
+				pst.Pairs, pst.ProperPairs, pst.Insert.Mean, pst.Insert.Std, pst.Extensions)
+			if se != nil {
+				fmt.Fprintln(stderr, se.Stats)
+			}
+		}
+		return nil
+	}
+
+	reads := make([]bwamem.Read, len(fq))
+	for i, r := range fq {
+		reads[i] = bwamem.Read{Name: r.Name, Seq: genome.Encode(string(r.Seq)), Qual: r.Qual}
+	}
+	recs, stats := a.Run(reads, *workers)
+	for _, rec := range recs {
+		fmt.Fprintln(w, rec.String())
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if *statsOut {
+		fmt.Fprintf(stderr, "aligned %d/%d reads, %d extensions; seeding %.1f ms, extension %.1f ms, rest %.1f ms\n",
+			stats.Mapped, stats.Reads, stats.Extensions,
+			float64(stats.SeedingNs)/1e6, float64(stats.ExtensionNs)/1e6, float64(stats.RestNs)/1e6)
+		if se != nil {
+			fmt.Fprintln(stderr, se.Stats)
+		}
+	}
+	return nil
+}

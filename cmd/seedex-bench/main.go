@@ -1,0 +1,133 @@
+// Command seedex-bench regenerates every table and figure of the paper's
+// evaluation section (see the experiment index in DESIGN.md).
+//
+// Usage:
+//
+//	seedex-bench -fig all
+//	seedex-bench -fig 14 -reads 2000 -ref 200000
+//	seedex-bench -fig 16 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seedex/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "seedex-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("seedex-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "figure/table to regenerate: 2,3,4,13,14,15,16,17,18,t2,t3 or 'all'")
+	refLen := fs.Int("ref", 200_000, "synthetic reference length (bp)")
+	nReads := fs.Int("reads", 1000, "simulated read count")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	workers := fs.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	needWorkload := all || want["2"] || want["3"] || want["14"] || want["16"] || want["17"] || want["ablations"]
+
+	var w *bench.Workload
+	if needWorkload {
+		fmt.Fprintf(stderr, "building workload: %d bp reference, %d reads (seed %d)...\n", *refLen, *nReads, *seed)
+		var err error
+		w, err = bench.BuildWorkload(*refLen, *nReads, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "harvested %d seed extensions (%.1f per read)\n\n",
+			len(w.Problems), float64(len(w.Problems))/float64(*nReads))
+	}
+
+	section := func(title string) { fmt.Fprintf(stdout, "== %s ==\n", title) }
+
+	if all || want["2"] {
+		section("Figure 2: band distribution (estimated vs used)")
+		t, _, _ := bench.Fig02(w)
+		fmt.Fprintln(stdout, t)
+	}
+	if all || want["3"] {
+		section("Figure 3: band vs software kernel execution time")
+		fmt.Fprintln(stdout, bench.Fig03(w, []int{5, 11, 21, 41, 61, 81, 101}, 2000))
+	}
+	if all || want["4"] {
+		section("Figure 4: band vs modeled hardware resources")
+		fmt.Fprintln(stdout, bench.Fig04([]int{5, 11, 21, 41, 61, 81, 101}))
+	}
+	if all || want["13"] {
+		section("Figure 13: output differences vs band (BSW heuristic vs SeedEx)")
+		fmt.Fprintln(stderr, "building indel-rich Figure 13 workload...")
+		w13, err := bench.Fig13Workload(*refLen, *nReads, *seed)
+		if err != nil {
+			return err
+		}
+		t, err := bench.Fig13(w13, []int{3, 5, 11, 21, 41, 81})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, t)
+	}
+	if all || want["14"] {
+		section("Figure 14: optimality-check passing rates vs band")
+		fmt.Fprintln(stdout, bench.Fig14(w, []int{5, 11, 21, 31, 41, 61, 81, 101}))
+	}
+	if all || want["15"] {
+		section("Figure 15: SeedEx FPGA LUT breakdown")
+		fmt.Fprintln(stdout, bench.Fig15())
+	}
+	if all || want["t2"] || want["table2"] {
+		section("Table II: seeding + SeedEx resource utilization")
+		fmt.Fprintln(stdout, bench.Table2())
+	}
+	if all || want["16"] {
+		section("Figure 16: area and iso-area throughput")
+		a, l, c := bench.Fig16(w)
+		fmt.Fprintln(stdout, a)
+		fmt.Fprintln(stdout, l)
+		fmt.Fprintln(stdout, c)
+	}
+	if all || want["17"] {
+		section("Figure 17: end-to-end time breakdown")
+		t, err := bench.Fig17(w, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, t)
+	}
+	if all || want["t3"] || want["table3"] {
+		section("Table III: ASIC SeedEx area and power")
+		fmt.Fprintln(stdout, bench.Table3())
+	}
+	if all || want["18"] {
+		section("Figure 18: ASIC comparator bars")
+		fmt.Fprintln(stdout, bench.Fig18())
+	}
+	if all || want["ablations"] {
+		section("Ablation: edit-machine seeding strategy")
+		fmt.Fprintln(stdout, bench.AblationEditSeeding(w, []int{11, 21, 41}))
+		section("Ablation: SeedEx clients per memory channel (paper: 4)")
+		fmt.Fprintln(stdout, bench.AblationClientsPerCluster(w))
+		section("Ablation: banding strategies (fixed / adaptive / SeedEx)")
+		fmt.Fprintln(stdout, bench.AblationBandingStrategies(w, []int{5, 21, 41}))
+		section("Ablation: BSW cores per edit machine (paper: 3)")
+		fmt.Fprintln(stdout, bench.AblationBSWEditRatio(w))
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchAllSmoke(t *testing.T) {
+	var out, stderr bytes.Buffer
+	if err := run([]string{"-fig", "all", "-reads", "80", "-ref", "30000"}, &out, &stderr); err != nil {
+		t.Fatalf("%v (%s)", err, stderr.String())
+	}
+	for _, section := range []string{
+		"Figure 2", "Figure 3", "Figure 4", "Figure 13", "Figure 14",
+		"Figure 15", "Table II", "Figure 16", "Figure 17", "Table III", "Figure 18",
+	} {
+		if !strings.Contains(out.String(), section) {
+			t.Fatalf("output missing %q section", section)
+		}
+	}
+}
+
+func TestBenchSingleFigure(t *testing.T) {
+	var out, stderr bytes.Buffer
+	if err := run([]string{"-fig", "t3"}, &out, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Rerun core") {
+		t.Fatalf("table III content missing: %q", out.String())
+	}
+	if strings.Contains(out.String(), "Figure 2") {
+		t.Fatal("unrequested sections printed")
+	}
+	// Static figures must not build a workload.
+	if strings.Contains(stderr.String(), "building workload") {
+		t.Fatal("workload built unnecessarily")
+	}
+}
+
+func TestBenchBadFlag(t *testing.T) {
+	var out, stderr bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &stderr); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}

@@ -1,0 +1,75 @@
+// Aligner example: the paper's headline validation in miniature. A
+// synthetic genome and reads are simulated; the same pipeline is run with
+// the full-band extender, the SeedEx extender, and a plain banded
+// heuristic; SeedEx SAM output is byte-identical to the full-band output
+// while the unchecked heuristic diverges (paper Figure 13).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seedex"
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/readsim"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	ref := genome.Simulate(genome.SimConfig{Length: 120_000, RepeatFraction: 0.05}, rng)
+	cfg := readsim.RealisticConfig(800)
+	cfg.IndelRate = 0.002 // enough indels that tiny bands must fail
+	simReads := readsim.Simulate(ref, cfg, rng)
+
+	reads := make([]seedex.Read, len(simReads))
+	for i, r := range simReads {
+		reads[i] = seedex.Read{Name: r.ID, Seq: r.Seq, Qual: r.Qual}
+	}
+	fmt.Printf("simulated %d bp genome, %d reads (101 bp, realistic error profile)\n\n", len(ref), len(reads))
+
+	run := func(name string, ext seedex.Extender, traceBand int) []string {
+		a, err := seedex.NewAligner("chrSim", ref, ext)
+		if err != nil {
+			panic(err)
+		}
+		if traceBand >= 0 {
+			a.Opts.TraceBand = traceBand
+		}
+		recs, stats := a.Run(reads, 0)
+		out := make([]string, len(recs))
+		for i, r := range recs {
+			out[i] = r.String()
+		}
+		fmt.Printf("%-22s mapped %d/%d, %d extensions, ext time %.1f ms\n",
+			name, stats.Mapped, stats.Reads, stats.Extensions, float64(stats.ExtensionNs)/1e6)
+		return out
+	}
+
+	full := run("full-band (reference)", core.FullBand{Scoring: seedex.DefaultScoring()}, -1)
+
+	se := seedex.NewExtender(20) // 41-PE narrow band, strict mode
+	seOut := run("SeedEx w=41PE", se, -1)
+	fmt.Printf("%24s %v\n", "", se.Stats)
+
+	banded := run("banded w=3 (no checks)", core.Banded{Scoring: seedex.DefaultScoring(), Band: 1}, 1)
+
+	diff := func(a, b []string) int {
+		n := 0
+		for i := range a {
+			if a[i] != b[i] {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("\nSAM differences vs full-band: SeedEx = %d, banded heuristic = %d (of %d reads)\n",
+		diff(full, seOut), diff(full, banded), len(reads))
+	if d := diff(full, seOut); d != 0 {
+		panic(fmt.Sprintf("SeedEx output diverged (%d records) — the optimality guarantee is broken", d))
+	}
+	fmt.Println("SeedEx output is byte-identical to the full-band pipeline. ✓")
+
+	_ = bwamem.DefaultOptions() // (the pipeline exposes all knobs; see internal/bwamem)
+}

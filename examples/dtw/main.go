@@ -1,0 +1,54 @@
+// DTW example: the paper's §VII-D observes that the SeedEx check approach
+// transfers to any DP with one-dimensional locality, naming Dynamic Time
+// Warping explicitly ("helpful to guarantee optimality even with small
+// time windows"). This example runs optimality-checked Sakoe-Chiba banded
+// DTW over synthetic sensor traces and reports how much of the matrix the
+// proof-carrying band avoids computing.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seedex/internal/dtw"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// A smooth "gesture" signal and a time-warped, noisy replay of it.
+	x := make([]float64, 300)
+	for i := range x {
+		ti := float64(i) / 30
+		x[i] = math.Sin(ti) + 0.4*math.Sin(3.1*ti)
+	}
+	var y []float64
+	for _, v := range x {
+		y = append(y, v+rng.NormFloat64()*0.02)
+		if rng.Float64() < 0.05 { // local slowdown: repeat a sample
+			y = append(y, v+rng.NormFloat64()*0.02)
+		}
+	}
+	fmt.Printf("series lengths: |x|=%d |y|=%d\n\n", len(x), len(y))
+
+	full := dtw.Full(x, y)
+	fmt.Printf("full DTW: cost %.4f over %d cells\n\n", full.Cost, full.Cells)
+
+	fmt.Printf("%-6s %-10s %-8s %-10s %-9s\n", "band", "cost", "pass", "cells", "saved")
+	for _, w := range []int{4, 8, 16, 24, 40} {
+		res, rep := dtw.Checked(x, y, w)
+		saved := 100 * (1 - float64(res.Cells)/float64(full.Cells))
+		status := "proved"
+		if rep.Rerun {
+			status = "rerun"
+			saved = 0
+		}
+		fmt.Printf("w=%-4d %-10.4f %-8s %-10d %5.1f%%\n", w, res.Cost, status, res.Cells, saved)
+		if math.Abs(res.Cost-full.Cost) > 1e-9 {
+			panic("checked DTW diverged from the full computation")
+		}
+	}
+	fmt.Println("\nevery row is bit-equal to full DTW; passing bands carry a proof,")
+	fmt.Println("failing bands were transparently rerun — the SeedEx workflow verbatim.")
+}

@@ -1,0 +1,77 @@
+// Long-read example (paper §VII-D): minimap2-class aligners use the
+// "seed-and-chain-then-fill" strategy, computing *global* alignments
+// between chained anchors with a small band — a kernel the paper measures
+// at 16-33% of minimap2's time and proposes SeedEx for. This example maps
+// noisy multi-kbp reads with every inter-anchor fill running through the
+// checked banded global aligner, and verifies the result is bit-equal to
+// full-width fills.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seedex/internal/genome"
+	"seedex/internal/longread"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	ref := genome.Simulate(genome.SimConfig{Length: 300_000, RepeatFraction: 0.02}, rng)
+
+	checked := longread.New(ref, longread.DefaultConfig())
+	full := longread.New(ref, longread.DefaultConfig())
+	full.FullFill = true
+
+	fmt.Printf("reference: %d bp; fills use banded global alignment, w=%d\n\n", len(ref), checked.Cfg.Band)
+	fmt.Printf("%-8s %-8s %-9s %-8s %-8s %-7s\n", "read", "length", "err-rate", "anchors", "fills", "equal")
+
+	const n = 25
+	correct := 0
+	for i := 0; i < n; i++ {
+		read, pos, rev := simLongRead(rng, ref)
+		got := checked.Align(read)
+		want := full.Align(read)
+		equal := got == want
+		if !equal {
+			panic(fmt.Sprintf("read %d: checked fill diverged: %+v vs %+v", i, got, want))
+		}
+		d := got.Pos - pos
+		if d < 0 {
+			d = -d
+		}
+		if got.Mapped && d < 50 && got.Rev == rev {
+			correct++
+		}
+		fmt.Printf("%-8d %-8d %-9s %-8d %-8d %-7v\n", i, len(read), "~7.5%", got.Anchors, got.Fills, equal)
+	}
+
+	st := &checked.Stats
+	fmt.Printf("\nmapped correctly: %d/%d\n", correct, n)
+	fmt.Printf("fills: %d total, %.1f%% proven optimal in-band, %d full-width reruns\n",
+		st.Fills.Load(), 100*st.PassRate(), st.FillReruns.Load())
+	fmt.Println("every read scored bit-identically to full-width gap filling. ✓")
+}
+
+// simLongRead draws a ~2 kbp ONT-flavoured read (2.5% del, 3% ins, 2% sub).
+func simLongRead(rng *rand.Rand, ref []byte) (read []byte, pos int, rev bool) {
+	l := 1500 + rng.Intn(1500)
+	pos = rng.Intn(len(ref) - l)
+	for _, c := range ref[pos : pos+l] {
+		r := rng.Float64()
+		switch {
+		case r < 0.025:
+		case r < 0.055:
+			read = append(read, byte(rng.Intn(4)), c)
+		case r < 0.075:
+			read = append(read, (c+byte(1+rng.Intn(3)))%4)
+		default:
+			read = append(read, c)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		read = genome.RevComp(read)
+		rev = true
+	}
+	return
+}

@@ -1,0 +1,100 @@
+// Variant-calling example: the tertiary analysis the paper motivates
+// ("even small errors in alignment can lead to expensive clinical
+// mistakes in critical disease diagnosis", §I). A donor genome with
+// planted SNVs is sequenced at ~30x, aligned with the SeedEx pipeline,
+// piled up, and called — and because SeedEx alignments are bit-identical
+// to full-band alignments, the variant calls are identical too.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"seedex"
+	"seedex/internal/align"
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/pileup"
+	"seedex/internal/readsim"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+	ref := genome.Simulate(genome.SimConfig{Length: 30_000}, rng)
+
+	// Plant heterozygous-style SNVs into the donor genome.
+	donor := append([]byte(nil), ref...)
+	truth := map[int]byte{}
+	for len(truth) < 15 {
+		pos := 500 + rng.Intn(len(ref)-1000)
+		if _, dup := truth[pos]; dup {
+			continue
+		}
+		alt := (donor[pos] + byte(1+rng.Intn(3))) % 4
+		truth[pos], donor[pos] = alt, alt
+	}
+	reads := readsim.Simulate(donor, readsim.Config{
+		N: 9000, ReadLen: 101, ErrRate: 0.003, RevCompFraction: 0.5,
+	}, rng)
+	fmt.Printf("reference %d bp, donor with %d planted SNVs, %d reads (~30x)\n\n", len(ref), len(truth), len(reads))
+
+	call := func(name string, ext seedex.Extender) []pileup.Variant {
+		a, err := bwamem.New("chr", ref, ext)
+		if err != nil {
+			panic(err)
+		}
+		var aligned []pileup.AlignedRead
+		for _, r := range reads {
+			al := a.AlignRead(r.Seq)
+			if !al.Mapped || al.MapQ < 20 {
+				continue
+			}
+			seq := r.Seq
+			if al.Rev {
+				seq = genome.RevComp(r.Seq)
+			}
+			aligned = append(aligned, pileup.AlignedRead{Pos: al.Pos, Seq: seq, Cigar: al.Cigar})
+		}
+		piles := pileup.Pileup(len(ref), aligned)
+		vs := pileup.CallSNVs(ref, piles, pileup.DefaultCallConfig())
+		fmt.Printf("%-22s %d reads piled, %d variants called\n", name, len(aligned), len(vs))
+		return vs
+	}
+
+	se := seedex.NewExtender(20)
+	got := call("SeedEx (w=41 PEs)", se)
+	want := call("full-band reference", core.FullBand{Scoring: align.DefaultScoring()})
+
+	if len(got) != len(want) {
+		panic("variant call sets differ between SeedEx and full-band pipelines")
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			panic("variant call differs: " + got[i].String() + " vs " + want[i].String())
+		}
+	}
+	fmt.Printf("%-22s %v\n\n", "", se.Stats)
+
+	var poss []int
+	for p := range truth {
+		poss = append(poss, p)
+	}
+	sort.Ints(poss)
+	tp := 0
+	for _, v := range got {
+		if alt, ok := truth[v.Pos]; ok && alt == v.Alt {
+			tp++
+		}
+	}
+	fmt.Printf("calls (identical under both extenders):\n")
+	for _, v := range got {
+		mark := "novel/false"
+		if alt, ok := truth[v.Pos]; ok && alt == v.Alt {
+			mark = "planted ✓"
+		}
+		fmt.Printf("  %-32s %s\n", v, mark)
+	}
+	fmt.Printf("\nrecovered %d/%d planted SNVs; SeedEx and full-band calls are identical. ✓\n", tp, len(truth))
+}

@@ -1,0 +1,3 @@
+module seedex
+
+go 1.22

@@ -1,0 +1,142 @@
+package align
+
+// Adaptive banding (the related-work alternative the paper contrasts in
+// §II: banding approaches that track the score maximum "have difficulty
+// in guaranteeing optimality"). The band has a fixed width but its
+// center follows the best-scoring cell of the previous row, as in
+// Suzuki-Kasahara-style adaptive banded DP. It is implemented here as a
+// *baseline*: the tests demonstrate that, unlike SeedEx, it can silently
+// return sub-optimal results — exactly the failure mode the paper's
+// speculate-and-test design eliminates.
+
+// ExtendAdaptive runs the extension kernel over an adaptive band of
+// half-width w whose center starts on the main diagonal and re-centers
+// each row on the previous row's best column.
+func ExtendAdaptive(query, target []byte, h0 int, sc Scoring, w int) ExtendResult {
+	n, m := len(query), len(target)
+	res := ExtendResult{}
+	if h0 <= 0 || n == 0 {
+		return res
+	}
+	h := make([]int, n+1)
+	e := make([]int, n+1)
+	h[0] = h0
+	for j := 1; j <= n && j <= w; j++ {
+		v := h0 - sc.GapOpen - j*sc.GapExtend
+		if v < 0 {
+			v = 0
+		}
+		h[j] = v
+	}
+	if n <= w && h[n] > 0 {
+		res.Global, res.GlobalT = h[n], 0
+	}
+	oe := sc.GapOpen + sc.GapExtend
+	center := 0 // previous row's best column
+	prevLo, prevHi := 0, min2(n, w)
+	for i := 1; i <= m; i++ {
+		lo, hi := center+1-w, center+1+w
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo > n {
+			break
+		}
+		// Only [prevLo, prevHi] holds valid previous-row state; anything
+		// else in this row's read range is stale and must be treated as
+		// dead (the hardware analogue: cells outside the marching window
+		// simply do not exist).
+		start := lo - 1
+		if start < 1 {
+			start = 1
+		}
+		for j := start; j <= hi; j++ {
+			if j < prevLo || j > prevHi {
+				h[j] = 0
+				e[j] = 0
+			}
+		}
+		var hPrev int
+		if lo == 1 {
+			// H(i-1, 0) is the first-column initialization, computable
+			// directly regardless of where the window wandered.
+			if i == 1 {
+				hPrev = h0 // H(0,0) is the seed itself
+			} else {
+				hPrev = h0 - sc.GapOpen - (i-1)*sc.GapExtend
+				if hPrev < 0 {
+					hPrev = 0
+				}
+			}
+			col0 := h0 - sc.GapOpen - i*sc.GapExtend
+			if col0 < 0 {
+				col0 = 0
+			}
+			h[0] = col0
+		} else {
+			hPrev = h[lo-1]
+		}
+		f := 0
+		rowBest, rowBestJ := 0, center+1
+		for j := lo; j <= hi; j++ {
+			hDiag := hPrev
+			hPrev = h[j]
+			var mv int
+			if hDiag > 0 {
+				mv = hDiag + sc.Sub(target[i-1], query[j-1])
+			}
+			hv := mv
+			if e[j] > hv {
+				hv = e[j]
+			}
+			if f > hv {
+				hv = f
+			}
+			if hv < 0 {
+				hv = 0
+			}
+			h[j] = hv
+			res.Cells++
+			if hv > res.Local {
+				res.Local, res.LocalT, res.LocalQ = hv, i, j
+			}
+			if hv > rowBest {
+				rowBest, rowBestJ = hv, j
+			}
+			t1 := hv - oe
+			ne := e[j] - sc.GapExtend
+			if t1 > ne {
+				ne = t1
+			}
+			if ne < 0 {
+				ne = 0
+			}
+			e[j] = ne
+			nf := f - sc.GapExtend
+			if t1 > nf {
+				nf = t1
+			}
+			if nf < 0 {
+				nf = 0
+			}
+			f = nf
+			if j == n && hv > res.Global {
+				res.Global, res.GlobalT = hv, i
+			}
+		}
+		res.Rows = i
+		center = rowBestJ
+		prevLo, prevHi = lo, hi
+	}
+	return res
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,184 @@
+package align
+
+// GlobalResult reports one global (Needleman-Wunsch-style, end-to-end)
+// alignment. SeedEx targets global alignment alongside semi-global
+// (paper footnote 1); it is the kernel minimap2-style long-read aligners
+// use to fill the gaps between chained anchors (paper §VII-D).
+type GlobalResult struct {
+	// Score is the end-to-end affine-gap score H(tlen, qlen), starting
+	// from h0 at the origin. Infeasible banded problems report Feasible
+	// = false (the endpoint lies outside the band).
+	Score    int
+	Feasible bool
+	// Cells counts DP cells evaluated.
+	Cells int64
+}
+
+// GlobalBoundary captures the scores leaking out of the band during a
+// banded global alignment: unlike the extension kernel, paths may leave
+// through the lower boundary (E channel) *and* the upper boundary (F
+// channel), and global alignment has no dead cells, so both are needed by
+// the optimality checks.
+type GlobalBoundary struct {
+	// EOut[j] is the E-score entering below-band cell (j+w+1, j); NegInf
+	// when the boundary does not exist there.
+	EOut []int
+	// FOut[i] is the F-score entering above-band cell (i, i+w+1); NegInf
+	// when absent.
+	FOut []int
+}
+
+// NegInf marks unreachable global-alignment cells.
+const NegInf = -1 << 40
+
+// Global computes the full-width global alignment score of query vs
+// target with initial score h0 (gaps at both ends penalized).
+func Global(query, target []byte, h0 int, sc Scoring) GlobalResult {
+	r, _ := globalCore(query, target, h0, sc, -1, false)
+	return r
+}
+
+// GlobalBanded computes the banded global alignment (|i−j| <= w) and
+// captures the band-leaving gap scores for the SeedEx global checks.
+func GlobalBanded(query, target []byte, h0 int, sc Scoring, w int) (GlobalResult, GlobalBoundary) {
+	return globalCore(query, target, h0, sc, w, true)
+}
+
+func globalCore(query, target []byte, h0 int, sc Scoring, w int, capture bool) (GlobalResult, GlobalBoundary) {
+	n, m := len(query), len(target)
+	res := GlobalResult{Score: NegInf}
+	var bd GlobalBoundary
+	if capture {
+		bd.EOut = make([]int, n+1)
+		bd.FOut = make([]int, m+1)
+		for j := range bd.EOut {
+			bd.EOut[j] = NegInf
+		}
+		for i := range bd.FOut {
+			bd.FOut[i] = NegInf
+		}
+	}
+	banded := w >= 0
+	if banded && abs(m-n) > w {
+		return res, bd // endpoint outside the band
+	}
+
+	// h[j] = H(i-1, j), e[j] = E(i, j).
+	h := make([]int, n+1)
+	e := make([]int, n+1)
+	h[0] = h0
+	for j := 1; j <= n; j++ {
+		if banded && j > w {
+			h[j] = NegInf
+			continue
+		}
+		h[j] = h0 - sc.GapOpen - j*sc.GapExtend
+	}
+	if m == 0 {
+		res.Score, res.Feasible = h[n], h[n] > NegInf/2
+		return res, bd
+	}
+	oe := sc.GapOpen + sc.GapExtend
+	// E(1,j) opens a deletion off the initialization row.
+	for j := range e {
+		e[j] = saturSub(h[j], oe)
+	}
+	for i := 1; i <= m; i++ {
+		jmin, jmax := 0, n
+		if banded {
+			if lo := i - w; lo > jmin {
+				jmin = lo
+			}
+			if hi := i + w; hi < jmax {
+				jmax = hi
+			}
+			if jmin > n {
+				break
+			}
+		}
+		var hPrev int // H(i-1, jmin-1)
+		if jmin == 0 {
+			hPrev = NegInf // no diagonal into column 0
+		} else {
+			hPrev = h[jmin-1]
+		}
+		if banded && jmax < n {
+			e[jmax] = NegInf // fresh rightmost column: E from out of band
+		}
+		f := NegInf
+		for j := jmin; j <= jmax; j++ {
+			var hv int
+			if j == 0 {
+				hv = h0 - sc.GapOpen - i*sc.GapExtend
+				if banded && i > w {
+					hv = NegInf
+				}
+				hPrev = h[0]
+				h[0] = hv
+				// F leaving rightward from column 0.
+				f = saturSub(hv, oe)
+				res.Cells++
+				continue
+			}
+			hDiag := hPrev
+			hPrev = h[j]
+			mv := NegInf
+			if hDiag > NegInf/2 {
+				mv = hDiag + sc.Sub(target[i-1], query[j-1])
+			}
+			ev := e[j]
+			hv = mv
+			if ev > hv {
+				hv = ev
+			}
+			if f > hv {
+				hv = f
+			}
+			h[j] = hv
+			res.Cells++
+
+			t1 := saturSub(hv, oe)
+			ne := saturSub(ev, sc.GapExtend)
+			if t1 > ne {
+				ne = t1
+			}
+			e[j] = ne
+			nf := saturSub(f, sc.GapExtend)
+			if t1 > nf {
+				nf = t1
+			}
+			f = nf
+
+			if banded && i-j == w {
+				if capture {
+					bd.EOut[j] = ne
+				}
+				e[j] = NegInf // the below-band cell is never computed
+			}
+			if banded && j-i == w && capture {
+				// F leaving through the upper boundary into (i, j+1).
+				bd.FOut[i] = nf
+			}
+		}
+	}
+	res.Score = h[n]
+	res.Feasible = res.Score > NegInf/2
+	if !res.Feasible {
+		res.Score = NegInf
+	}
+	return res, bd
+}
+
+func saturSub(v, d int) int {
+	if v <= NegInf/2 {
+		return NegInf
+	}
+	return v - d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,150 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGlobal is the full-matrix oracle with the same conventions as
+// globalCore (deletions may open off the init row, insertions off the
+// init column).
+func naiveGlobal(q, t []byte, h0 int, sc Scoring) int {
+	n, m := len(q), len(t)
+	H := make([][]int, m+1)
+	E := make([][]int, m+1)
+	F := make([][]int, m+1)
+	for i := range H {
+		H[i] = make([]int, n+1)
+		E[i] = make([]int, n+1)
+		F[i] = make([]int, n+1)
+		for j := range H[i] {
+			H[i][j], E[i][j], F[i][j] = NegInf, NegInf, NegInf
+		}
+	}
+	H[0][0] = h0
+	for j := 1; j <= n; j++ {
+		H[0][j] = h0 - sc.GapOpen - j*sc.GapExtend
+	}
+	for i := 1; i <= m; i++ {
+		H[i][0] = h0 - sc.GapOpen - i*sc.GapExtend
+		for j := 1; j <= n; j++ {
+			e := saturSub(E[i-1][j], sc.GapExtend)
+			if v := saturSub(H[i-1][j], sc.GapOpen+sc.GapExtend); v > e {
+				e = v
+			}
+			E[i][j] = e
+			f := saturSub(F[i][j-1], sc.GapExtend)
+			if v := saturSub(H[i][j-1], sc.GapOpen+sc.GapExtend); v > f {
+				f = v
+			}
+			F[i][j] = f
+			best := e
+			if f > best {
+				best = f
+			}
+			if d := H[i-1][j-1]; d > NegInf/2 {
+				if v := d + sc.Sub(t[i-1], q[j-1]); v > best {
+					best = v
+				}
+			}
+			H[i][j] = best
+		}
+	}
+	return H[m][n]
+}
+
+func TestGlobalMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sc := Scoring{Match: 1 + rng.Intn(3), Mismatch: 1 + rng.Intn(6), GapOpen: rng.Intn(8), GapExtend: 1 + rng.Intn(3)}
+		n := 1 + rng.Intn(50)
+		q := randSeq(rng, n)
+		tg := mutate(rng, q, 0.1, 0.05)
+		if len(tg) == 0 {
+			tg = randSeq(rng, 3)
+		}
+		h0 := rng.Intn(50)
+		got := Global(q, tg, h0, sc)
+		want := naiveGlobal(q, tg, h0, sc)
+		if !got.Feasible || got.Score != want {
+			t.Logf("seed %d: got %+v, want %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalBandedWideEqualsFull(t *testing.T) {
+	sc := DefaultScoring()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		q := randSeq(rng, 1+rng.Intn(60))
+		tg := mutate(rng, q, 0.05, 0.03)
+		if len(tg) == 0 {
+			continue
+		}
+		w := len(q) + len(tg)
+		b, _ := GlobalBanded(q, tg, 20, sc, w)
+		full := Global(q, tg, 20, sc)
+		if b.Score != full.Score || b.Feasible != full.Feasible {
+			t.Fatalf("trial %d: banded %+v != full %+v", trial, b, full)
+		}
+	}
+}
+
+func TestGlobalPerfectAndSimpleCases(t *testing.T) {
+	sc := DefaultScoring()
+	q := []byte{0, 1, 2, 3, 0, 1}
+	if got := Global(q, q, 10, sc); got.Score != 10+6 {
+		t.Fatalf("perfect global: %+v", got)
+	}
+	// One deletion: target one base longer.
+	tg := append([]byte{2}, q...)
+	want := 10 + 6*sc.Match - sc.GapOpen - sc.GapExtend
+	if got := Global(q, tg, 10, sc); got.Score != want {
+		t.Fatalf("deletion global: got %d want %d", got.Score, want)
+	}
+	// Empty query vs target: pure gap.
+	if got := Global(nil, q, 10, sc); got.Score != 10-sc.GapOpen-6*sc.GapExtend {
+		t.Fatalf("empty query: %+v", got)
+	}
+	if got := Global(nil, nil, 7, sc); got.Score != 7 {
+		t.Fatalf("empty/empty: %+v", got)
+	}
+}
+
+func TestGlobalBandedInfeasible(t *testing.T) {
+	sc := DefaultScoring()
+	q := randSeq(rand.New(rand.NewSource(3)), 10)
+	tg := randSeq(rand.New(rand.NewSource(4)), 30)
+	res, _ := GlobalBanded(q, tg, 10, sc, 5) // |m-n| = 20 > 5
+	if res.Feasible {
+		t.Fatalf("endpoint outside band must be infeasible: %+v", res)
+	}
+}
+
+func TestGlobalBoundaryCapture(t *testing.T) {
+	sc := DefaultScoring()
+	rng := rand.New(rand.NewSource(5))
+	q := randSeq(rng, 40)
+	tg := mutate(rng, q, 0.05, 0.05)
+	_, bd := GlobalBanded(q, tg, 20, sc, 4)
+	liveE, liveF := 0, 0
+	for _, v := range bd.EOut {
+		if v > NegInf/2 {
+			liveE++
+		}
+	}
+	for _, v := range bd.FOut {
+		if v > NegInf/2 {
+			liveF++
+		}
+	}
+	if liveE == 0 && liveF == 0 {
+		t.Fatal("expected some live boundary crossings at w=4")
+	}
+}

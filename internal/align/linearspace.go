@@ -1,0 +1,251 @@
+package align
+
+// Linear-space optimal global alignment (Myers & Miller 1988, the
+// paper's reference [21] "Optimal alignments in linear space"): a
+// divide-and-conquer traceback for the affine-gap global kernel that
+// keeps only two score rows per pass. The full-matrix tracebacks in this
+// package are fine for short-read extensions; long-read fills and
+// whole-contig alignments need the O(n) memory variant.
+
+// GlobalAlign computes an optimal global alignment of query against
+// target and returns its CIGAR plus the alignment score (h0-free; add
+// any seed score externally). The CIGAR consumes the full query and
+// target.
+func GlobalAlign(query, target []byte, sc Scoring) (Cigar, int) {
+	cig := mmAlign(query, target, sc, sc.GapOpen, sc.GapOpen)
+	return cig, cig.Score(query, target, 0, sc)
+}
+
+// mmAlign aligns q vs t globally. openTop / openBot are the gap-open
+// penalties for deletion gaps touching the top / bottom row boundary
+// (zero when the caller already opened the gap on the other side of a
+// divide-and-conquer split).
+func mmAlign(q, t []byte, sc Scoring, openTop, openBot int) Cigar {
+	n, m := len(q), len(t)
+	switch {
+	case m == 0 && n == 0:
+		return nil
+	case m == 0:
+		return Cigar{{Op: OpIns, Len: n}}
+	case n == 0:
+		return Cigar{{Op: OpDel, Len: m}}
+	}
+	if m <= 4 || n <= 4 || m*n <= 1024 {
+		cig, _ := nwSmall(q, t, sc, openTop, openBot)
+		return cig
+	}
+	imid := m / 2
+
+	// Forward half: H(imid, ·) and the E values entering row imid+1.
+	hf, ef := forwardScores(q, t[:imid], sc, openTop)
+	// Reverse half on reversed strings: the bottom boundary becomes the
+	// top, so openBot applies there.
+	hr, er := forwardScores(reverseBytes(q), reverseBytes(t[imid:]), sc, openBot)
+
+	// Join: either two abutting sub-alignments (H-join at column j) or
+	// one deletion gap crossing the split (E-join; each side charged an
+	// open for the same gap, refund one standard open).
+	bestScore, bestJ, bestGap := NegInf, 0, false
+	for j := 0; j <= n; j++ {
+		if hf[j] > NegInf/2 && hr[n-j] > NegInf/2 {
+			if s := hf[j] + hr[n-j]; s > bestScore {
+				bestScore, bestJ, bestGap = s, j, false
+			}
+		}
+		if ef[j] > NegInf/2 && er[n-j] > NegInf/2 {
+			if s := ef[j] + er[n-j] + sc.GapOpen; s > bestScore {
+				bestScore, bestJ, bestGap = s, j, true
+			}
+		}
+	}
+	j := bestJ
+	if !bestGap {
+		left := mmAlign(q[:j], t[:imid], sc, openTop, sc.GapOpen)
+		right := mmAlign(q[j:], t[imid:], sc, sc.GapOpen, openBot)
+		return left.Concat(right)
+	}
+	// The crossing gap covers row imid (forward side) and row imid+1
+	// (reverse side); the halves continue with a free re-open.
+	left := mmAlign(q[:j], t[:imid-1], sc, openTop, 0)
+	mid := Cigar{{Op: OpDel, Len: 2}}
+	right := mmAlign(q[j:], t[imid+1:], sc, 0, openBot)
+	return left.Concat(mid).Concat(right)
+}
+
+// forwardScores runs the affine global DP over all rows of t, returning
+// h[j] = H(m, j) and eAt[j] = E(m, j) (the deletion gap state at the last
+// row, covering at least that row), with openTop applied to gaps
+// starting at the top boundary.
+func forwardScores(q, t []byte, sc Scoring, openTop int) (h, eAt []int) {
+	n, m := len(q), len(t)
+	h = make([]int, n+1)
+	e := make([]int, n+1)
+	eAt = make([]int, n+1)
+	h[0] = 0
+	for j := 1; j <= n; j++ {
+		h[j] = -sc.GapOpen - j*sc.GapExtend
+	}
+	// E(1, j): a deletion opening at the top boundary.
+	for j := 0; j <= n; j++ {
+		e[j] = h[j] - openTop - sc.GapExtend
+	}
+	for i := 1; i <= m; i++ {
+		diag := h[0]
+		h[0] = -openTop - i*sc.GapExtend
+		f := saturSub(h[0], sc.GapOpen+sc.GapExtend)
+		if i == m {
+			// Column 0 is one gap from the origin: its in-progress gap
+			// state equals the first-column value itself.
+			eAt[0] = -openTop - m*sc.GapExtend
+		}
+		for j := 1; j <= n; j++ {
+			d := diag
+			diag = h[j]
+			ev := e[j]
+			if i == m {
+				eAt[j] = ev // E(m, j), before the next-row update
+			}
+			hv := NegInf
+			if d > NegInf/2 {
+				hv = d + sc.Sub(t[i-1], q[j-1])
+			}
+			if ev > hv {
+				hv = ev
+			}
+			if f > hv {
+				hv = f
+			}
+			h[j] = hv
+			ne := saturSub(ev, sc.GapExtend)
+			if v := saturSub(hv, sc.GapOpen+sc.GapExtend); v > ne {
+				ne = v
+			}
+			e[j] = ne
+			nf := saturSub(f, sc.GapExtend)
+			if v := saturSub(hv, sc.GapOpen+sc.GapExtend); v > nf {
+				nf = v
+			}
+			f = nf
+		}
+	}
+	return h, eAt
+}
+
+// nwSmall is the quadratic base case with explicit traceback and
+// boundary-sensitive deletion opens.
+func nwSmall(q, t []byte, sc Scoring, openTop, openBot int) (Cigar, int) {
+	n, m := len(q), len(t)
+	H := make([][]int, m+1)
+	E := make([][]int, m+1)
+	F := make([][]int, m+1)
+	for i := range H {
+		H[i] = make([]int, n+1)
+		E[i] = make([]int, n+1)
+		F[i] = make([]int, n+1)
+		for j := range H[i] {
+			H[i][j], E[i][j], F[i][j] = NegInf, NegInf, NegInf
+		}
+	}
+	H[0][0] = 0
+	for j := 1; j <= n; j++ {
+		H[0][j] = -sc.GapOpen - j*sc.GapExtend
+	}
+	for i := 1; i <= m; i++ {
+		H[i][0] = -openTop - i*sc.GapExtend
+		for j := 1; j <= n; j++ {
+			open := sc.GapOpen
+			if i == 1 {
+				open = openTop // gap starting at the top boundary
+			}
+			ev := saturSub(E[i-1][j], sc.GapExtend)
+			if v := saturSub(H[i-1][j], open+sc.GapExtend); v > ev {
+				ev = v
+			}
+			E[i][j] = ev
+			fv := saturSub(F[i][j-1], sc.GapExtend)
+			if v := saturSub(H[i][j-1], sc.GapOpen+sc.GapExtend); v > fv {
+				fv = v
+			}
+			F[i][j] = fv
+			hv := ev
+			if fv > hv {
+				hv = fv
+			}
+			if d := H[i-1][j-1]; d > NegInf/2 {
+				if v := d + sc.Sub(t[i-1], q[j-1]); v > hv {
+					hv = v
+				}
+			}
+			H[i][j] = hv
+		}
+	}
+	// Bottom-boundary deletion: a trailing gap of rows i+1..m charged
+	// openBot instead of GapOpen.
+	best, bestTail := H[m][n], 0
+	for i := 0; i < m; i++ {
+		if H[i][n] <= NegInf/2 {
+			continue
+		}
+		if v := H[i][n] - openBot - (m-i)*sc.GapExtend; v > best {
+			best, bestTail = v, m-i
+		}
+	}
+	var cig Cigar
+	i, j := m, n
+	if bestTail > 0 {
+		cig = cig.Push(OpDel, bestTail)
+		i = m - bestTail
+	}
+	const (
+		stH = iota
+		stE
+		stF
+	)
+	state := stH
+	for i > 0 || j > 0 {
+		switch state {
+		case stH:
+			switch {
+			case i == 0:
+				cig = cig.Push(OpIns, j)
+				j = 0
+			case j == 0:
+				cig = cig.Push(OpDel, i)
+				i = 0
+			case H[i][j] == E[i][j]:
+				state = stE
+			case H[i][j] == F[i][j]:
+				state = stF
+			default:
+				cig = cig.Push(OpMatch, 1)
+				i--
+				j--
+			}
+		case stE:
+			cig = cig.Push(OpDel, 1)
+			if i >= 2 && E[i][j] == saturSub(E[i-1][j], sc.GapExtend) {
+				i--
+			} else {
+				i--
+				state = stH
+			}
+		case stF:
+			cig = cig.Push(OpIns, 1)
+			if j >= 2 && F[i][j] == saturSub(F[i][j-1], sc.GapExtend) {
+				j--
+			} else {
+				j--
+				state = stH
+			}
+		}
+	}
+	return cig.Reverse(), best
+}
+
+func reverseBytes(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGlobalAlignOptimal: the linear-space alignment's CIGAR must rescore
+// to exactly the global DP optimum, for random inputs and scorings.
+func TestGlobalAlignOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sc := Scoring{
+			Match:     1 + rng.Intn(3),
+			Mismatch:  1 + rng.Intn(6),
+			GapOpen:   rng.Intn(8),
+			GapExtend: 1 + rng.Intn(3),
+		}
+		n := 1 + rng.Intn(120)
+		q := randSeq(rng, n)
+		var tg []byte
+		switch rng.Intn(3) {
+		case 0:
+			tg = randSeq(rng, 1+rng.Intn(150))
+		case 1:
+			tg = mutate(rng, q, 0.1, 0.08)
+			if len(tg) == 0 {
+				tg = randSeq(rng, 3)
+			}
+		default: // big gap in the middle: exercises the E-join
+			tg = append([]byte(nil), q[:n/2]...)
+			tg = append(tg, randSeq(rng, 10+rng.Intn(60))...)
+			tg = append(tg, q[n/2:]...)
+		}
+		cig, score := GlobalAlign(q, tg, sc)
+		if err := cig.Validate(len(q), len(tg)); err != nil {
+			t.Logf("seed %d: %v (cigar %s)", seed, err, cig)
+			return false
+		}
+		want := Global(q, tg, 0, sc)
+		if !want.Feasible || score != want.Score {
+			t.Logf("seed %d: linear-space score %d, DP %d (sc=%+v, n=%d m=%d)", seed, score, want.Score, sc, len(q), len(tg))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalAlignDegenerate(t *testing.T) {
+	sc := DefaultScoring()
+	if cig, _ := GlobalAlign(nil, nil, sc); len(cig) != 0 {
+		t.Fatalf("empty/empty: %s", cig)
+	}
+	cig, score := GlobalAlign([]byte{0, 1, 2}, nil, sc)
+	if cig.String() != "3I" || score != -(sc.GapOpen+3*sc.GapExtend) {
+		t.Fatalf("empty target: %s %d", cig, score)
+	}
+	cig, score = GlobalAlign(nil, []byte{0, 1}, sc)
+	if cig.String() != "2D" || score != -(sc.GapOpen+2*sc.GapExtend) {
+		t.Fatalf("empty query: %s %d", cig, score)
+	}
+	q := []byte{0, 1, 2, 3, 0, 1, 2, 3}
+	cig, score = GlobalAlign(q, q, sc)
+	if cig.String() != "8M" || score != 8 {
+		t.Fatalf("identity: %s %d", cig, score)
+	}
+}
+
+// TestGlobalAlignLarge: linear space means multi-kbp global alignments
+// are practical; validate score against the row-streaming kernel.
+func TestGlobalAlignLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := randSeq(rng, 3000)
+	tg := mutate(rng, q, 0.05, 0.03)
+	sc := DefaultScoring()
+	cig, score := GlobalAlign(q, tg, sc)
+	if err := cig.Validate(len(q), len(tg)); err != nil {
+		t.Fatal(err)
+	}
+	want := Global(q, tg, 0, sc)
+	if score != want.Score {
+		t.Fatalf("large alignment: linear-space %d != DP %d", score, want.Score)
+	}
+}

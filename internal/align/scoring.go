@@ -1,0 +1,81 @@
+// Package align implements the dynamic-programming alignment kernels that
+// SeedEx builds on: a BWA-MEM-style semi-global seed-extension kernel
+// (full-width and banded), a naive reference implementation used as ground
+// truth in tests, band estimation/measurement utilities, and an affine-gap
+// traceback producing CIGAR strings.
+//
+// # Kernel semantics
+//
+// The extension kernel follows BWA-MEM's ksw_extend. The DP matrix has
+// target (reference) rows i = 1..M and query columns j = 1..N, with
+// H(0,0) = h0 (the accumulated seed score). The first row and column decay
+// by GapOpen + k*GapExtend and are floored at zero. A cell with H = 0 is
+// *dead*: the match channel only extends from strictly positive cells
+// (M = H(i-1,j-1) > 0 ? H(i-1,j-1)+s : 0), so every scoring path emanates
+// from the seed cell and local restarts are impossible. The E (vertical,
+// deletion-from-query's-view) and F (horizontal) gap channels follow
+//
+//	E(i,j) = max(H(i-1,j) - GapOpen, E(i-1,j)) - GapExtend   (floored at 0)
+//	F(i,j) = max(H(i,j-1) - GapOpen, F(i,j-1)) - GapExtend   (floored at 0)
+//
+// with E(1,·) = 0 and F(·,1) = 0 (matching ksw_extend's initialization).
+// The kernel reports the best score anywhere (Local) and the best score on
+// the right edge j = N where the query is fully consumed (Global), each
+// with the first-in-scan-order position achieving it.
+package align
+
+import "fmt"
+
+// Scoring is an affine-gap scoring scheme. All penalties are stored as
+// positive magnitudes: a mismatch contributes -Mismatch, a gap of length L
+// contributes -(GapOpen + L*GapExtend).
+type Scoring struct {
+	Match     int // match reward (m)
+	Mismatch  int // mismatch penalty (x), stored positive
+	GapOpen   int // gap opening penalty (go), stored positive
+	GapExtend int // gap extension penalty (ge), stored positive
+}
+
+// DefaultScoring is BWA-MEM's default scheme saf = {m:1, x:4, go:6, ge:1}.
+func DefaultScoring() Scoring {
+	return Scoring{Match: 1, Mismatch: 4, GapOpen: 6, GapExtend: 1}
+}
+
+// Validate reports an error for scoring parameters that break kernel or
+// optimality-check assumptions.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("align: Match must be positive, got %d", s.Match)
+	}
+	if s.Mismatch <= 0 || s.GapOpen < 0 || s.GapExtend <= 0 {
+		return fmt.Errorf("align: penalties must be positive (x=%d go=%d ge=%d)", s.Mismatch, s.GapOpen, s.GapExtend)
+	}
+	return nil
+}
+
+// Sub returns the substitution score for base codes a and b. Ambiguous
+// bases (code >= 4) always score as mismatches.
+func (s Scoring) Sub(a, b byte) int {
+	if a == b && a < 4 {
+		return s.Match
+	}
+	return -s.Mismatch
+}
+
+// EstimateBand computes the conservative a-priori band ("full-band")
+// BWA-MEM uses before an extension: the longest gap that could still leave
+// the alignment with a positive score given the query length and the seed
+// score h0, capped at cap (pass cap <= 0 for no cap). This is the
+// "Estimated" series of the paper's Figure 2.
+func (s Scoring) EstimateBand(qlen, h0, cap int) int {
+	// A gap of length L costs GapOpen + L*GapExtend; the rest of the
+	// query can recover at most qlen*Match on top of the seed score.
+	w := (qlen*s.Match + h0 - s.GapOpen) / s.GapExtend
+	if w < 1 {
+		w = 1
+	}
+	if cap > 0 && w > cap {
+		w = cap
+	}
+	return w
+}

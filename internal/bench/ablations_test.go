@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func TestAblationEditSeeding(t *testing.T) {
+	w := smallWorkload(t)
+	tab := AblationEditSeeding(w, []int{11, 41})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Each stage must dominate the previous: no-edit <= corner <= exact.
+	for _, row := range tab.Rows {
+		if !(row[1] <= row[2] && row[2] <= row[3]) {
+			// string comparison works for equal-width %.2f only; parse.
+			var a, b, c float64
+			if _, err := sscan(row[1], &a); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sscan(row[2], &b); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sscan(row[3], &c); err != nil {
+				t.Fatal(err)
+			}
+			if a > b+1e-9 || b > c+1e-9 {
+				t.Fatalf("pass-rate ordering violated: %v", row)
+			}
+		}
+	}
+}
+
+func TestAblationClientsPerCluster(t *testing.T) {
+	w := smallWorkload(t)
+	tab := AblationClientsPerCluster(w)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Throughput must grow with client count.
+	var first, last float64
+	if _, err := sscan(tab.Rows[0][1], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tab.Rows[len(tab.Rows)-1][1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last <= first {
+		t.Fatalf("throughput did not grow with clients: %v -> %v", first, last)
+	}
+}
+
+func TestAblationBSWEditRatio(t *testing.T) {
+	w := smallWorkload(t)
+	tab := AblationBSWEditRatio(w)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Edit utilization must rise with the BSW:edit ratio.
+	var lo, hi float64
+	if _, err := sscan(tab.Rows[0][2], &lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tab.Rows[len(tab.Rows)-1][2], &hi); err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Fatalf("edit utilization did not rise with ratio: %v -> %v", lo, hi)
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmtSscan(s, v)
+}
+
+func TestAblationBandingStrategies(t *testing.T) {
+	w := smallWorkload(t)
+	tab := AblationBandingStrategies(w, []int{5, 21})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "0" {
+			t.Fatalf("seedex diffs nonzero: %v", row)
+		}
+	}
+	// At the tiniest band the heuristics must show some differences.
+	if tab.Rows[0][1] == "0" && tab.Rows[0][2] == "0" {
+		t.Fatalf("no heuristic differences at 5 PEs: %v", tab.Rows[0])
+	}
+}

@@ -1,0 +1,497 @@
+// Package bwamem is a from-scratch mini read aligner with the BWA-MEM
+// pipeline shape: SMEM seeding, chaining, left/right seed extension
+// through a pluggable align.Extender (software full-band, plain banded,
+// or the SeedEx speculative extender), host-side traceback for the single
+// best extension, and SAM output.
+//
+// Its purpose in this reproduction is the paper's §V-B integration story:
+// the same pipeline run with the SeedEx extender must produce
+// byte-identical SAM to the pipeline run with the full-band extender
+// (Figure 13 / the 787M-read validation), while the plain banded extender
+// exhibits the output differences SeedEx eliminates.
+package bwamem
+
+import (
+	"fmt"
+	"sort"
+
+	"seedex/internal/align"
+	"seedex/internal/chain"
+	"seedex/internal/ert"
+	"seedex/internal/fmindex"
+	"seedex/internal/genome"
+	"seedex/internal/sam"
+)
+
+// Seeder produces exact-match seeds for one query strand.
+type Seeder interface {
+	Seeds(q []byte) []chain.Seed
+}
+
+// FMSeeder seeds with SMEMs from the FM index (BWA-MEM's software path).
+type FMSeeder struct {
+	Index *fmindex.Index
+	Cfg   fmindex.SMEMConfig
+}
+
+// Seeds implements Seeder.
+func (s FMSeeder) Seeds(q []byte) []chain.Seed {
+	mems := s.Index.SMEMs(q, s.Cfg)
+	var out []chain.Seed
+	for _, m := range mems {
+		for _, p := range m.Positions {
+			out = append(out, chain.Seed{QBeg: m.QBeg, RBeg: p, Len: m.Len})
+		}
+	}
+	return out
+}
+
+// ERTSeeder seeds with the radix-tree accelerator model.
+type ERTSeeder struct {
+	Index *ert.Index
+	Cfg   ert.Config
+}
+
+// Seeds implements Seeder.
+func (s ERTSeeder) Seeds(q []byte) []chain.Seed { return s.Index.Seeds(q, s.Cfg) }
+
+// DualSeeder is an optional Seeder upgrade: one pass over the forward
+// read yields seeds for both strands (the FMD index works this way, like
+// BWA itself). Seeds carry Rev and use coordinates in the respective
+// strand's query space.
+type DualSeeder interface {
+	SeedsBoth(read []byte) []chain.Seed
+}
+
+// FMDSeeder seeds with Li's bidirectional SMEM algorithm over the FMD
+// index: a single search finds supermaximal matches against both genome
+// strands at once, BWA-MEM's actual seeding procedure.
+type FMDSeeder struct {
+	Index *fmindex.FMD
+	Cfg   fmindex.SMEMConfig
+}
+
+var _ DualSeeder = FMDSeeder{}
+
+// Seeds implements Seeder for the forward strand only (prefer SeedsBoth).
+func (s FMDSeeder) Seeds(q []byte) []chain.Seed {
+	var out []chain.Seed
+	for _, m := range s.Index.SMEMsBi(q, s.Cfg) {
+		for _, p := range m.Positions {
+			out = append(out, chain.Seed{QBeg: m.QBeg, RBeg: p, Len: m.Len})
+		}
+	}
+	return out
+}
+
+// SeedsBoth implements DualSeeder: forward hits become forward seeds;
+// reverse-strand hits are mirrored into the reverse-complement read's
+// coordinate space.
+func (s FMDSeeder) SeedsBoth(read []byte) []chain.Seed {
+	var out []chain.Seed
+	n := len(read)
+	for _, m := range s.Index.SMEMsBi(read, s.Cfg) {
+		for _, p := range m.Positions {
+			out = append(out, chain.Seed{QBeg: m.QBeg, RBeg: p, Len: m.Len})
+		}
+		for _, p := range m.RCPositions {
+			out = append(out, chain.Seed{QBeg: n - (m.QBeg + m.Len), RBeg: p, Len: m.Len, Rev: true})
+		}
+	}
+	return out
+}
+
+// Options tunes the aligner.
+type Options struct {
+	// ClipPenalty is BWA-MEM's end-clipping penalty (pen_clip = 5): the
+	// global (to-end) extension wins unless the local score beats it by
+	// more than this.
+	ClipPenalty int
+	// MaxChains caps the chains extended per read.
+	MaxChains int
+	// BandCap caps the conservative full-band estimate (BWA: w = 100).
+	BandCap int
+	// TraceBand, when >= 0, performs host traceback against the banded
+	// matrix of that width instead of the full matrix; set it to the
+	// extender's band for the plain banded pipeline so its (possibly
+	// suboptimal) scores remain traceable.
+	TraceBand int
+	// MaxSeedsPerChain caps the seeds extended per chain. Like BWA-MEM2
+	// and the SeedEx FPGA integration (§V-B: "the FPGA processes all
+	// seeds in a chain and filters out needless results"), every seed is
+	// extended and the best result kept.
+	MaxSeedsPerChain int
+}
+
+// DefaultOptions mirrors BWA-MEM-flavoured settings.
+func DefaultOptions() Options {
+	return Options{ClipPenalty: 5, MaxChains: 5, BandCap: 100, TraceBand: -1, MaxSeedsPerChain: 8}
+}
+
+// Aligner aligns reads against a (possibly multi-contig) reference.
+type Aligner struct {
+	RefName  string
+	Ref      []byte // sanitized, concatenated base codes
+	Contigs  *Reference
+	Seeder   Seeder
+	Extender align.Extender
+	Scoring  align.Scoring
+	Opts     Options
+	ChainCfg chain.Config
+}
+
+// New assembles an aligner over a single reference sequence with an
+// FM-index seeder and the given extender.
+func New(refName string, ref []byte, ext align.Extender) (*Aligner, error) {
+	return NewMulti([]Contig{{Name: refName, Seq: ref}}, ext)
+}
+
+// NewMulti assembles an aligner over several contigs (chromosomes),
+// concatenated into one indexed coordinate space with non-matching
+// padding between them.
+func NewMulti(contigs []Contig, ext align.Extender) (*Aligner, error) {
+	r, err := BuildReference(contigs)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := fmindex.New(r.Cat)
+	if err != nil {
+		return nil, fmt.Errorf("bwamem: %w", err)
+	}
+	return &Aligner{
+		RefName:  r.Names[0],
+		Ref:      r.Cat,
+		Contigs:  r,
+		Seeder:   FMSeeder{Index: ix, Cfg: fmindex.DefaultSMEMConfig()},
+		Extender: ext,
+		Scoring:  align.DefaultScoring(),
+		Opts:     DefaultOptions(),
+		ChainCfg: chain.DefaultConfig(),
+	}, nil
+}
+
+// Alignment is the aligner's internal result for one read.
+type Alignment struct {
+	Mapped bool
+	// RName is the contig the read maps to; Pos is 0-based within it.
+	RName    string
+	Pos      int
+	Rev      bool
+	Score    int
+	SubScore int
+	MapQ     int
+	Cigar    align.Cigar
+	// Extensions counts extender invocations for this read (~10 per read
+	// in the paper's workload characterization).
+	Extensions int
+}
+
+type candidate struct {
+	score        int
+	rev          bool
+	pos          int // 0-based reference start
+	anchor       chain.Seed
+	clipL, clipR int
+	// Left/right extension endpoints for host traceback.
+	lQ, lT, rQ, rT int
+	lq, lt, rq, rt []byte // extension subproblems (left ones reversed)
+	lh0, rh0       int
+	weight         int
+}
+
+// AlignRead aligns one read (base codes; ambiguous bases allowed).
+func (a *Aligner) AlignRead(read []byte) Alignment {
+	cands, ext := a.candidates(read)
+	if len(cands) == 0 {
+		return Alignment{Extensions: ext}
+	}
+	best := cands[0]
+	sub := competingScore(cands, best, len(read))
+	return a.finish(read, best, sub, ext)
+}
+
+// candidates seeds, chains and extends the read on both strands,
+// returning the surviving candidates sorted best-first plus the number
+// of extensions performed.
+func (a *Aligner) candidates(read []byte) ([]candidate, int) {
+	var cands []candidate
+	ext := 0
+	var dualSeeds []chain.Seed
+	ds, isDual := a.Seeder.(DualSeeder)
+	if isDual {
+		dualSeeds = ds.SeedsBoth(read)
+	}
+	for _, rev := range []bool{false, true} {
+		q := read
+		if rev {
+			q = genome.RevComp(read)
+		}
+		var seeds []chain.Seed
+		if isDual {
+			for _, s := range dualSeeds {
+				if s.Rev == rev {
+					seeds = append(seeds, s)
+				}
+			}
+		} else {
+			seeds = a.Seeder.Seeds(q)
+			for i := range seeds {
+				seeds[i].Rev = rev
+			}
+		}
+		chains := chain.Build(seeds, a.ChainCfg)
+		for ci, c := range chains {
+			if a.Opts.MaxChains > 0 && ci >= a.Opts.MaxChains {
+				break
+			}
+			cand, n := a.alignChain(q, c)
+			ext += n
+			cand.weight = c.Weight
+			cands = append(cands, cand)
+		}
+	}
+	// Drop candidates whose alignment span would leave its contig (it
+	// would overlap the inter-contig padding).
+	if a.Contigs != nil {
+		kept := cands[:0]
+		for _, c := range cands {
+			span := c.lT + c.anchor.Len + c.rT
+			if _, _, ok := a.Contigs.Contains(c.pos, span); ok {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].pos != cands[j].pos {
+			return cands[i].pos < cands[j].pos
+		}
+		return !cands[i].rev && cands[j].rev
+	})
+	return cands, ext
+}
+
+// competingScore finds the best score at a clearly different locus than
+// best (the XS value for mapping quality).
+func competingScore(cands []candidate, best candidate, readLen int) int {
+	for _, c := range cands {
+		if c.pos > best.pos+readLen || c.pos < best.pos-readLen || c.rev != best.rev {
+			return c.score
+		}
+	}
+	return 0
+}
+
+// finish tracebacks the chosen candidate and assembles the Alignment.
+func (a *Aligner) finish(read []byte, best candidate, sub, ext int) Alignment {
+	cig, err := a.buildCigar(read, best)
+	if err != nil {
+		// A traceback failure indicates an internal inconsistency; fail
+		// loudly in tests via an unmapped marker.
+		return Alignment{Extensions: ext}
+	}
+	rname, pos := a.RefName, best.pos
+	if a.Contigs != nil {
+		if ci, off, ok := a.Contigs.Resolve(best.pos); ok {
+			rname, pos = a.Contigs.Names[ci], off
+		}
+	}
+	return Alignment{
+		Mapped:     true,
+		RName:      rname,
+		Pos:        pos,
+		Rev:        best.rev,
+		Score:      best.score,
+		SubScore:   sub,
+		MapQ:       mapq(best.score, sub, best.weight, len(read)),
+		Cigar:      cig,
+		Extensions: ext,
+	}
+}
+
+// alignChain extends every seed of the chain (up to MaxSeedsPerChain,
+// longest first) and keeps the best-scoring result — the all-seeds
+// batching model BWA-MEM2 and the SeedEx FPGA integration use. Returns
+// the winning candidate and the number of extensions performed.
+func (a *Aligner) alignChain(q []byte, c chain.Chain) (candidate, int) {
+	seeds := append([]chain.Seed(nil), c.Seeds...)
+	sort.Slice(seeds, func(i, j int) bool {
+		if seeds[i].Len != seeds[j].Len {
+			return seeds[i].Len > seeds[j].Len
+		}
+		if seeds[i].RBeg != seeds[j].RBeg {
+			return seeds[i].RBeg < seeds[j].RBeg
+		}
+		return seeds[i].QBeg < seeds[j].QBeg
+	})
+	if a.Opts.MaxSeedsPerChain > 0 && len(seeds) > a.Opts.MaxSeedsPerChain {
+		seeds = seeds[:a.Opts.MaxSeedsPerChain]
+	}
+	var best candidate
+	total := 0
+	for i, s := range seeds {
+		cand, n := a.alignSeed(q, c, s)
+		total += n
+		if i == 0 || cand.score > best.score ||
+			(cand.score == best.score && cand.pos < best.pos) {
+			best = cand
+		}
+	}
+	return best, total
+}
+
+// alignSeed extends one seed left and right, resolving BWA-MEM's
+// clip-vs-global decision on each side.
+func (a *Aligner) alignSeed(q []byte, c chain.Chain, anchor chain.Seed) (candidate, int) {
+	sc := a.Scoring
+	cand := candidate{rev: c.Rev, anchor: anchor}
+	n := 0
+	band := sc.EstimateBand(len(q), 0, a.Opts.BandCap)
+
+	h0 := anchor.Len * sc.Match
+	qb, rb := anchor.QBeg, anchor.RBeg
+	scoreL := h0
+	if qb > 0 {
+		cand.lq = reversed(q[:qb])
+		lo := rb - qb - band
+		if lo < 0 {
+			lo = 0
+		}
+		cand.lt = reversed(a.Ref[lo:rb])
+		cand.lh0 = h0
+		res := a.Extender.Extend(cand.lq, cand.lt, h0)
+		n++
+		scoreL, cand.clipL, cand.lQ, cand.lT = resolveSide(res, qb, h0, a.Opts.ClipPenalty)
+	}
+
+	qe, re := anchor.QEnd(), anchor.REnd()
+	score := scoreL
+	if qe < len(q) {
+		cand.rq = append([]byte(nil), q[qe:]...)
+		hi := re + (len(q) - qe) + band
+		if hi > len(a.Ref) {
+			hi = len(a.Ref)
+		}
+		cand.rt = append([]byte(nil), a.Ref[re:hi]...)
+		cand.rh0 = scoreL
+		res := a.Extender.Extend(cand.rq, cand.rt, scoreL)
+		n++
+		score, cand.clipR, cand.rQ, cand.rT = resolveSide(res, len(q)-qe, scoreL, a.Opts.ClipPenalty)
+	}
+	cand.score = score
+	cand.pos = rb - cand.lT
+	return cand, n
+}
+
+// resolveSide applies BWA-MEM's end decision to one extension side:
+// prefer reaching the query end (global) unless clipping scores more than
+// ClipPenalty better. Returns (score, clippedBases, queryAdvance,
+// targetAdvance).
+func resolveSide(res align.ExtendResult, sideLen, h0, clipPen int) (int, int, int, int) {
+	if sideLen == 0 {
+		return h0, 0, 0, 0
+	}
+	if res.Global > 0 && res.Global >= res.Local-clipPen {
+		return res.Global, 0, sideLen, res.GlobalT
+	}
+	if res.Local <= 0 {
+		return h0, sideLen, 0, 0
+	}
+	return res.Local, sideLen - res.LocalQ, res.LocalQ, res.LocalT
+}
+
+// buildCigar performs host-side traceback for the winning candidate only
+// (the paper's once-per-read traceback division of labour).
+func (a *Aligner) buildCigar(read []byte, c candidate) (align.Cigar, error) {
+	var cig align.Cigar
+	cig = cig.Push(align.OpSoft, c.clipL)
+	if c.lQ > 0 {
+		mx := a.traceMatrices(c.lq, c.lt, c.lh0)
+		lc, err := align.Traceback(mx, a.Scoring, c.lT, c.lQ)
+		if err != nil {
+			return nil, err
+		}
+		cig = cig.Concat(lc.Reverse()) // left side was extended in reverse
+	}
+	cig = cig.Push(align.OpMatch, c.anchor.Len)
+	if c.rQ > 0 {
+		mx := a.traceMatrices(c.rq, c.rt, c.rh0)
+		rc, err := align.Traceback(mx, a.Scoring, c.rT, c.rQ)
+		if err != nil {
+			return nil, err
+		}
+		cig = cig.Concat(rc)
+	}
+	cig = cig.Push(align.OpSoft, c.clipR)
+	if err := cig.Validate(len(read), cig.TargetLen()); err != nil {
+		return nil, err
+	}
+	return cig, nil
+}
+
+func (a *Aligner) traceMatrices(q, t []byte, h0 int) *align.Matrices {
+	if a.Opts.TraceBand >= 0 {
+		_, mx := align.NaiveExtendBanded(q, t, h0, a.Scoring, a.Opts.TraceBand)
+		return mx
+	}
+	_, mx := align.NaiveExtend(q, t, h0, a.Scoring)
+	return mx
+}
+
+// mapq is a BWA-flavoured mapping quality: scaled score margin over the
+// best competing alignment, damped for thin seed coverage.
+func mapq(best, sub, weight, readLen int) int {
+	if best <= 0 {
+		return 0
+	}
+	q := 60 * (best - sub) / best
+	if weight*2 < readLen {
+		q = q * weight * 2 / readLen
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 60 {
+		q = 60
+	}
+	return q
+}
+
+func reversed(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}
+
+// ToSAM renders an alignment as a SAM record. The alignment's own RName
+// (contig) wins over the fallback refName.
+func ToSAM(name string, read []byte, qual []byte, refName string, al Alignment) sam.Record {
+	if al.RName != "" {
+		refName = al.RName
+	}
+	rec := sam.Record{QName: name, RName: refName}
+	seq := read
+	q := qual
+	if al.Mapped && al.Rev {
+		seq = genome.RevComp(read)
+		q = reversed(qual)
+		rec.Flag |= sam.FlagReverse
+	}
+	rec.Seq = genome.Decode(seq)
+	rec.Qual = string(q)
+	if !al.Mapped {
+		rec.Flag |= sam.FlagUnmapped
+		return rec
+	}
+	rec.Pos = al.Pos + 1
+	rec.MapQ = al.MapQ
+	rec.Cigar = al.Cigar
+	rec.Score = al.Score
+	rec.SubScore = al.SubScore
+	return rec
+}

@@ -1,0 +1,70 @@
+package bwamem
+
+import (
+	"testing"
+
+	"seedex/internal/align"
+	"seedex/internal/core"
+	"seedex/internal/fmindex"
+)
+
+// TestFMDSeederPipelineEquality: the bidirectional FMD seeder (one
+// two-strand pass per read, BWA's actual procedure) must produce exactly
+// the SAM output of the per-strand suffix-array SMEM seeder — the seed
+// sets are provably identical, so the pipelines must agree byte for
+// byte.
+func TestFMDSeederPipelineEquality(t *testing.T) {
+	ref, reads := simWorld(t, 40_000, 200, 21)
+	base, err := New("chrSim", ref, core.FullBand{Scoring: align.DefaultScoring()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecs, _ := base.Run(toPipelineReads(reads), 4)
+
+	fmdIx, err := fmindex.NewFMD(append([]byte(nil), base.Ref...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := New("chrSim", ref, core.FullBand{Scoring: align.DefaultScoring()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual.Seeder = FMDSeeder{Index: fmdIx, Cfg: fmindex.DefaultSMEMConfig()}
+	gotRecs, stats := dual.Run(toPipelineReads(reads), 4)
+	if stats.SeedingNs <= 0 {
+		t.Fatal("dual seeder timing not recorded")
+	}
+	for i := range wantRecs {
+		if gotRecs[i].String() != wantRecs[i].String() {
+			t.Fatalf("read %d: FMD-seeded SAM differs\n fmd: %s\n sa:  %s", i, gotRecs[i], wantRecs[i])
+		}
+	}
+}
+
+// TestFMDSeederSingleStrandFallback: the plain Seeds method (forward
+// strand only) must agree with the suffix-array seeder's forward seeds.
+func TestFMDSeederSingleStrandFallback(t *testing.T) {
+	ref, reads := simWorld(t, 30_000, 40, 22)
+	base, err := New("chrSim", ref, core.FullBand{Scoring: align.DefaultScoring()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmdIx, err := fmindex.NewFMD(append([]byte(nil), base.Ref...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmdSeeder := FMDSeeder{Index: fmdIx, Cfg: fmindex.DefaultSMEMConfig()}
+	saSeeder := base.Seeder.(FMSeeder)
+	for _, r := range reads[:20] {
+		a := fmdSeeder.Seeds(r.Seq)
+		b := saSeeder.Seeds(r.Seq)
+		if len(a) != len(b) {
+			t.Fatalf("read %s: %d FMD seeds vs %d SA seeds", r.ID, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("read %s seed %d: %+v vs %+v", r.ID, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package bwamem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"seedex/internal/align"
+	"seedex/internal/chain"
+	"seedex/internal/fmindex"
+)
+
+// Index-file container: the contig table plus the serialized FM index,
+// so multi-contig references can be indexed once and reused (BWA's
+// `bwa index` workflow).
+
+var refMagic = [8]byte{'S', 'E', 'D', 'X', 'R', 'E', 'F', '1'}
+
+// SaveIndex writes the reference's contig table and FM index.
+func SaveIndex(w io.Writer, r *Reference, ix *fmindex.Index) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(refMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(r.Names))); err != nil {
+		return err
+	}
+	for i, name := range r.Names {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(r.Offsets[i])); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(r.Lengths[i])); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := ix.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadIndex reads a container written by SaveIndex.
+func LoadIndex(rd io.Reader) (*Reference, *fmindex.Index, error) {
+	br := bufio.NewReader(rd)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("bwamem: reading index magic: %w", err)
+	}
+	if magic != refMagic {
+		return nil, nil, fmt.Errorf("bwamem: not a seedex index file")
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, nil, err
+	}
+	if count == 0 || count > 1<<20 {
+		return nil, nil, fmt.Errorf("bwamem: implausible contig count %d", count)
+	}
+	r := &Reference{}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, nil, err
+		}
+		if nameLen > 4096 {
+			return nil, nil, fmt.Errorf("bwamem: implausible contig name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, nil, err
+		}
+		var off, ln uint64
+		if err := binary.Read(br, binary.LittleEndian, &off); err != nil {
+			return nil, nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
+			return nil, nil, err
+		}
+		r.Names = append(r.Names, string(name))
+		r.Offsets = append(r.Offsets, int(off))
+		r.Lengths = append(r.Lengths, int(ln))
+	}
+	ix, err := fmindex.ReadIndex(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.Cat = ix.Text()
+	for i := range r.Names {
+		if r.Offsets[i]+r.Lengths[i] > len(r.Cat) {
+			return nil, nil, fmt.Errorf("bwamem: contig %s exceeds indexed text", r.Names[i])
+		}
+	}
+	return r, ix, nil
+}
+
+// NewWithIndex assembles an aligner from a prebuilt reference and FM
+// index (as loaded by LoadIndex).
+func NewWithIndex(r *Reference, ix *fmindex.Index, ext align.Extender) *Aligner {
+	return &Aligner{
+		RefName:  r.Names[0],
+		Ref:      r.Cat,
+		Contigs:  r,
+		Seeder:   FMSeeder{Index: ix, Cfg: fmindex.DefaultSMEMConfig()},
+		Extender: ext,
+		Scoring:  align.DefaultScoring(),
+		Opts:     DefaultOptions(),
+		ChainCfg: chain.DefaultConfig(),
+	}
+}
+
+// BuildIndex constructs the reference and FM index for contigs (the
+// expensive step SaveIndex persists).
+func BuildIndex(contigs []Contig) (*Reference, *fmindex.Index, error) {
+	r, err := BuildReference(contigs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := fmindex.New(r.Cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, ix, nil
+}

@@ -1,0 +1,126 @@
+package bwamem
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"seedex/internal/align"
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/readsim"
+)
+
+func TestIndexFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	contigs := []Contig{
+		{Name: "chrA", Seq: genome.Simulate(genome.SimConfig{Length: 15_000}, rng)},
+		{Name: "chrB", Seq: genome.Simulate(genome.SimConfig{Length: 9_000}, rng)},
+	}
+	ref, ix, err := BuildIndex(contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ref, ix); err != nil {
+		t.Fatal(err)
+	}
+	ref2, ix2, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref2.Names) != 2 || ref2.Names[1] != "chrB" || ref2.Lengths[0] != 15_000 {
+		t.Fatalf("contig table mangled: %+v", ref2.Names)
+	}
+
+	// The two aligners must produce identical SAM.
+	ext := core.FullBand{Scoring: align.DefaultScoring()}
+	a1, err := NewMulti(contigs, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := NewWithIndex(ref2, ix2, ext)
+	reads := readsim.Simulate(contigs[0].Seq, readsim.DefaultConfig(40), rng)
+	for _, r := range reads {
+		x := a1.AlignRead(r.Seq)
+		y := a2.AlignRead(r.Seq)
+		rx := ToSAM(r.ID, r.Seq, r.Qual, a1.RefName, x)
+		ry := ToSAM(r.ID, r.Seq, r.Qual, a2.RefName, y)
+		if rx.String() != ry.String() {
+			t.Fatalf("read %s: loaded-index SAM differs:\n %s\n %s", r.ID, ry, rx)
+		}
+	}
+}
+
+func TestLoadIndexRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadIndex(strings.NewReader("definitely not an index file")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := LoadIndex(strings.NewReader("")); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Magic but truncated body.
+	if _, _, err := LoadIndex(bytes.NewReader([]byte("SEDXREF1"))); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestResolveSideBranches(t *testing.T) {
+	// Zero-length side: pass-through.
+	s, clip, qa, ta := resolveSide(align.ExtendResult{}, 0, 42, 5)
+	if s != 42 || clip != 0 || qa != 0 || ta != 0 {
+		t.Fatalf("zero side: %d %d %d %d", s, clip, qa, ta)
+	}
+	// Global within clip penalty of local: prefer to-end.
+	s, clip, qa, ta = resolveSide(align.ExtendResult{Local: 50, LocalQ: 8, LocalT: 8, Global: 47, GlobalT: 12}, 10, 40, 5)
+	if s != 47 || clip != 0 || qa != 10 || ta != 12 {
+		t.Fatalf("global preferred: %d %d %d %d", s, clip, qa, ta)
+	}
+	// Local wins by more than the clip penalty: soft clip.
+	s, clip, qa, ta = resolveSide(align.ExtendResult{Local: 60, LocalQ: 6, LocalT: 7, Global: 40, GlobalT: 12}, 10, 40, 5)
+	if s != 60 || clip != 4 || qa != 6 || ta != 7 {
+		t.Fatalf("local preferred: %d %d %d %d", s, clip, qa, ta)
+	}
+	// Nothing extends: clip the whole side, keep the incoming score.
+	s, clip, qa, ta = resolveSide(align.ExtendResult{}, 10, 40, 5)
+	if s != 40 || clip != 10 || qa != 0 || ta != 0 {
+		t.Fatalf("dead side: %d %d %d %d", s, clip, qa, ta)
+	}
+}
+
+func TestMapqBranches(t *testing.T) {
+	if q := mapq(0, 0, 50, 100); q != 0 {
+		t.Fatalf("zero best: %d", q)
+	}
+	if q := mapq(100, 0, 60, 100); q != 60 {
+		t.Fatalf("unique full-coverage: %d", q)
+	}
+	if q := mapq(100, 100, 60, 100); q != 0 {
+		t.Fatalf("tied competitor: %d", q)
+	}
+	if q := mapq(100, 120, 60, 100); q != 0 {
+		t.Fatalf("better competitor must clamp to 0: %d", q)
+	}
+	// Thin seed coverage damps quality.
+	full := mapq(100, 50, 60, 100)
+	thin := mapq(100, 50, 20, 100)
+	if thin >= full {
+		t.Fatalf("thin coverage not damped: %d vs %d", thin, full)
+	}
+}
+
+func TestNewMultiErrors(t *testing.T) {
+	if _, err := NewMulti(nil, core.FullBand{Scoring: align.DefaultScoring()}); err == nil {
+		t.Fatal("no contigs must error")
+	}
+}
+
+func TestInstrumentedExtenderNs(t *testing.T) {
+	ie := &InstrumentedExtender{Inner: core.FullBand{Scoring: align.DefaultScoring()}}
+	q := []byte{0, 1, 2, 3, 0, 1, 2, 3}
+	ie.Extend(q, q, 10)
+	if ie.Ns() <= 0 {
+		t.Fatal("no time recorded")
+	}
+}

@@ -1,0 +1,152 @@
+package bwamem
+
+import (
+	"math/rand"
+	"testing"
+
+	"seedex/internal/align"
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/sam"
+)
+
+func pairWorld(t *testing.T, seed int64, n int) (*Aligner, []ReadPair, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := genome.Simulate(genome.SimConfig{Length: 80_000}, rng)
+	a, err := New("chrP", ref, core.New(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := SimulatePairs(ref, n, 101, 350, 40, 0.004, rng)
+	return a, pairs, truth
+}
+
+func TestPairedEndAlignment(t *testing.T) {
+	a, pairs, truth := pairWorld(t, 1, 250)
+	recs, st := a.RunPairs(pairs, 0)
+	if len(recs) != 2*len(pairs) {
+		t.Fatalf("got %d records for %d pairs", len(recs), len(pairs))
+	}
+	if st.Insert.Mean < 280 || st.Insert.Mean > 420 {
+		t.Fatalf("estimated insert mean %.1f, simulated 350", st.Insert.Mean)
+	}
+	if st.ProperPairs < len(pairs)*90/100 {
+		t.Fatalf("proper pairs %d/%d", st.ProperPairs, len(pairs))
+	}
+	correct := 0
+	for i, rec := range recs {
+		if err := rec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Flag&sam.FlagPaired == 0 {
+			t.Fatalf("record %d missing paired flag", i)
+		}
+		pi := i / 2
+		if i%2 == 0 {
+			if rec.Flag&sam.FlagRead1 == 0 {
+				t.Fatalf("record %d missing READ1", i)
+			}
+			// Read 1 is the fragment's forward 5' end.
+			if rec.Flag&sam.FlagUnmapped == 0 {
+				d := rec.Pos - 1 - truth[pi]
+				if d < 0 {
+					d = -d
+				}
+				if d <= 12 {
+					correct++
+				}
+			}
+		} else if rec.Flag&sam.FlagRead2 == 0 {
+			t.Fatalf("record %d missing READ2", i)
+		}
+		// Proper pairs must carry consistent mate fields.
+		if rec.Flag&sam.FlagProperPair != 0 {
+			if rec.RNext != "=" || rec.PNext <= 0 || rec.TLen == 0 {
+				t.Fatalf("record %d: bad mate fields %q %d %d", i, rec.RNext, rec.PNext, rec.TLen)
+			}
+		}
+	}
+	if correct < len(pairs)*85/100 {
+		t.Fatalf("read-1 correct placements: %d/%d", correct, len(pairs))
+	}
+	// TLEN symmetry and plausibility on proper pairs.
+	for i := 0; i < len(recs); i += 2 {
+		r1, r2 := recs[i], recs[i+1]
+		if r1.Flag&sam.FlagProperPair == 0 {
+			continue
+		}
+		if r1.TLen != -r2.TLen {
+			t.Fatalf("pair %d: TLEN asymmetry %d vs %d", i/2, r1.TLen, r2.TLen)
+		}
+		tl := r1.TLen
+		if tl < 0 {
+			tl = -tl
+		}
+		if tl < 150 || tl > 600 {
+			t.Fatalf("pair %d: implausible TLEN %d", i/2, r1.TLen)
+		}
+	}
+}
+
+// TestPairedBitEquivalence: the paired pipeline under SeedEx equals the
+// full-band pipeline byte for byte.
+func TestPairedBitEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := genome.Simulate(genome.SimConfig{Length: 60_000}, rng)
+	pairs, _ := SimulatePairs(ref, 150, 101, 350, 40, 0.004, rng)
+
+	run := func(ext align.Extender) []sam.Record {
+		a, err := New("chrP", ref, ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _ := a.RunPairs(pairs, 4)
+		return recs
+	}
+	want := run(core.FullBand{Scoring: align.DefaultScoring()})
+	got := run(core.New(10))
+	for i := range want {
+		if got[i].String() != want[i].String() {
+			t.Fatalf("record %d differs:\n seedex: %s\n full:   %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPairRescueDisambiguates: in a repeat region, pairing information
+// should pick the placement consistent with the mate.
+func TestPairRescueDisambiguates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Genome with an exact 400bp duplication far away.
+	ref := genome.Simulate(genome.SimConfig{Length: 40_000}, rng)
+	copy(ref[30_000:30_400], ref[5_000:5_400])
+	a, err := New("chrR", ref, core.FullBand{Scoring: align.DefaultScoring()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fragment: read1 inside the duplicated block (ambiguous), read2 in
+	// unique flanking sequence of the 5k copy.
+	frag := ref[5_100:5_500] // 150 into dup block, extends into unique
+	r1 := append([]byte(nil), frag[:101]...)
+	r2 := genome.RevComp(frag[len(frag)-101:])
+	ins := a.EstimateInsert(nil, 0) // default stats 400±100
+	a1, a2, proper := a.AlignPair(ReadPair{Name: "p", Seq1: r1, Seq2: r2}, ins)
+	if !proper {
+		t.Fatalf("pair not proper: %+v %+v", a1, a2)
+	}
+	if a1.Pos != 5_100 {
+		t.Fatalf("read1 placed at %d, want 5100 (mate-consistent copy)", a1.Pos)
+	}
+}
+
+func TestInsertStatsWindow(t *testing.T) {
+	s := InsertStats{Mean: 350, Std: 40}
+	lo, hi := s.Window()
+	if lo != 190 || hi != 510 {
+		t.Fatalf("window %d..%d", lo, hi)
+	}
+	lo, _ = InsertStats{Mean: 50, Std: 40}.Window()
+	if lo != 0 {
+		t.Fatalf("window floor: %d", lo)
+	}
+}

@@ -1,0 +1,201 @@
+package bwamem
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seedex/internal/align"
+	"seedex/internal/chain"
+	"seedex/internal/sam"
+)
+
+// Read is one input read for the pipeline.
+type Read struct {
+	Name string
+	Seq  []byte // base codes
+	Qual []byte // ASCII qualities (may be nil)
+}
+
+// ExtJob records the shape of one extension dispatched to the extender;
+// the FPGA simulator replays these shapes for the Figure 17 model.
+type ExtJob struct {
+	QLen, TLen int
+}
+
+// InstrumentedExtender wraps an extender with time/work accounting, the
+// pipeline's analogue of the paper's FPGA-thread bookkeeping.
+type InstrumentedExtender struct {
+	Inner align.Extender
+	ns    atomic.Int64
+	calls atomic.Int64
+	mu    sync.Mutex
+	jobs  []ExtJob
+	// KeepJobs records job shapes for the FPGA replay model.
+	KeepJobs bool
+}
+
+var _ align.Extender = (*InstrumentedExtender)(nil)
+
+// Extend implements align.Extender.
+func (ie *InstrumentedExtender) Extend(q, t []byte, h0 int) align.ExtendResult {
+	start := time.Now()
+	res := ie.Inner.Extend(q, t, h0)
+	ie.ns.Add(time.Since(start).Nanoseconds())
+	ie.calls.Add(1)
+	if ie.KeepJobs {
+		ie.mu.Lock()
+		ie.jobs = append(ie.jobs, ExtJob{QLen: len(q), TLen: len(t)})
+		ie.mu.Unlock()
+	}
+	return res
+}
+
+// Ns returns the accumulated extension CPU time.
+func (ie *InstrumentedExtender) Ns() int64 { return ie.ns.Load() }
+
+// Calls returns the number of extensions.
+func (ie *InstrumentedExtender) Calls() int64 { return ie.calls.Load() }
+
+// Jobs returns the recorded job shapes.
+func (ie *InstrumentedExtender) Jobs() []ExtJob {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	return append([]ExtJob(nil), ie.jobs...)
+}
+
+// Stats aggregates one pipeline run (the Figure 17 breakdown source).
+type Stats struct {
+	Reads       int
+	Mapped      int
+	Extensions  int64
+	SeedingNs   int64 // seeding + chaining
+	ExtensionNs int64 // extender calls
+	RestNs      int64 // everything else (candidate resolution, traceback, SAM)
+	TotalNs     int64 // wall-clock across workers (sum of per-read times)
+}
+
+// Run aligns all reads with the given worker parallelism (0 = GOMAXPROCS),
+// mirroring the producer-consumer threading of Figure 12, and returns SAM
+// records in input order plus the stage-time breakdown.
+func (a *Aligner) Run(reads []Read, workers int) ([]sam.Record, Stats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	recs := make([]sam.Record, len(reads))
+	var stats Stats
+	stats.Reads = len(reads)
+	var mapped, extensions, seedNs, extNs, restNs, totalNs atomic.Int64
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reads) {
+					return
+				}
+				r := reads[i]
+				t0 := time.Now()
+				al, tm := a.alignTimed(r.Seq)
+				qual := r.Qual
+				if qual == nil {
+					qual = make([]byte, len(r.Seq))
+					for k := range qual {
+						qual[k] = 'I'
+					}
+				}
+				recs[i] = ToSAM(r.Name, r.Seq, qual, a.RefName, al)
+				if al.Mapped {
+					mapped.Add(1)
+				}
+				extensions.Add(int64(al.Extensions))
+				seedNs.Add(tm.seedNs)
+				extNs.Add(tm.extNs)
+				total := time.Since(t0).Nanoseconds()
+				totalNs.Add(total)
+				restNs.Add(total - tm.seedNs - tm.extNs)
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Mapped = int(mapped.Load())
+	stats.Extensions = extensions.Load()
+	stats.SeedingNs = seedNs.Load()
+	stats.ExtensionNs = extNs.Load()
+	stats.RestNs = restNs.Load()
+	stats.TotalNs = totalNs.Load()
+	return recs, stats
+}
+
+type readTimes struct {
+	seedNs, extNs int64
+}
+
+// alignTimed is AlignRead with per-stage attribution.
+func (a *Aligner) alignTimed(read []byte) (Alignment, readTimes) {
+	var tm readTimes
+	probe := &stageProbe{}
+	saveSeeder, saveExt := a.Seeder, a.Extender
+	// Wrap per call; the aligner value is shared across workers, so wrap
+	// via a shallow copy instead of mutating shared state.
+	cp := *a
+	cp.Seeder = wrapSeeder(saveSeeder, probe)
+	cp.Extender = &timedExtenderProbe{inner: saveExt, probe: probe}
+	al := cp.AlignRead(read)
+	tm.seedNs, tm.extNs = probe.seedNs, probe.extNs
+	return al, tm
+}
+
+type stageProbe struct {
+	seedNs, extNs int64 // per-read, single goroutine: no atomics needed
+}
+
+type timedSeeder struct {
+	inner Seeder
+	probe *stageProbe
+}
+
+func (ts *timedSeeder) Seeds(q []byte) []chain.Seed {
+	start := time.Now()
+	s := ts.inner.Seeds(q)
+	ts.probe.seedNs += time.Since(start).Nanoseconds()
+	return s
+}
+
+// timedDualSeeder preserves the DualSeeder upgrade through the timing
+// wrapper.
+type timedDualSeeder struct {
+	timedSeeder
+	dual DualSeeder
+}
+
+func (ts *timedDualSeeder) SeedsBoth(read []byte) []chain.Seed {
+	start := time.Now()
+	s := ts.dual.SeedsBoth(read)
+	ts.probe.seedNs += time.Since(start).Nanoseconds()
+	return s
+}
+
+func wrapSeeder(inner Seeder, probe *stageProbe) Seeder {
+	if d, ok := inner.(DualSeeder); ok {
+		return &timedDualSeeder{timedSeeder{inner, probe}, d}
+	}
+	return &timedSeeder{inner, probe}
+}
+
+type timedExtenderProbe struct {
+	inner align.Extender
+	probe *stageProbe
+}
+
+func (te *timedExtenderProbe) Extend(q, t []byte, h0 int) align.ExtendResult {
+	start := time.Now()
+	res := te.inner.Extend(q, t, h0)
+	te.probe.extNs += time.Since(start).Nanoseconds()
+	return res
+}

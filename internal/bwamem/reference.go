@@ -1,0 +1,84 @@
+package bwamem
+
+import (
+	"fmt"
+	"sort"
+
+	"seedex/internal/fmindex"
+)
+
+// ContigPad is the run of separator bases (code 4, never matching any
+// query base) inserted between contigs in the concatenated coordinate
+// space; it is longer than any extension window, so no alignment can
+// bridge two contigs.
+const ContigPad = 256
+
+// Contig is one reference sequence.
+type Contig struct {
+	Name string
+	Seq  []byte // base codes (ambiguous bases allowed; sanitized on build)
+}
+
+// Reference is a multi-contig reference in a single concatenated
+// coordinate space, the layout real aligners index.
+type Reference struct {
+	Names   []string
+	Offsets []int // contig start within Cat
+	Lengths []int
+	Cat     []byte // sanitized contigs joined by separator runs
+}
+
+// BuildReference sanitizes and concatenates the contigs.
+func BuildReference(contigs []Contig) (*Reference, error) {
+	if len(contigs) == 0 {
+		return nil, fmt.Errorf("bwamem: no contigs")
+	}
+	r := &Reference{}
+	for i, c := range contigs {
+		if len(c.Seq) == 0 {
+			return nil, fmt.Errorf("bwamem: contig %q is empty", c.Name)
+		}
+		if i > 0 {
+			for k := 0; k < ContigPad; k++ {
+				r.Cat = append(r.Cat, fmindex.Separator)
+			}
+		}
+		san := append([]byte(nil), c.Seq...)
+		fmindex.Sanitize(san)
+		r.Names = append(r.Names, c.Name)
+		r.Offsets = append(r.Offsets, len(r.Cat))
+		r.Lengths = append(r.Lengths, len(san))
+		r.Cat = append(r.Cat, san...)
+	}
+	return r, nil
+}
+
+// Resolve maps a concatenated position to (contig index, in-contig
+// offset); ok is false inside padding or out of range.
+func (r *Reference) Resolve(pos int) (int, int, bool) {
+	if pos < 0 || pos >= len(r.Cat) {
+		return 0, 0, false
+	}
+	i := sort.Search(len(r.Offsets), func(k int) bool { return r.Offsets[k] > pos }) - 1
+	if i < 0 {
+		return 0, 0, false
+	}
+	off := pos - r.Offsets[i]
+	if off >= r.Lengths[i] {
+		return 0, 0, false // inside the padding after contig i
+	}
+	return i, off, true
+}
+
+// Contains reports whether [pos, pos+span) lies entirely inside one
+// contig, returning its index and in-contig offset.
+func (r *Reference) Contains(pos, span int) (int, int, bool) {
+	i, off, ok := r.Resolve(pos)
+	if !ok {
+		return 0, 0, false
+	}
+	if span < 0 || off+span > r.Lengths[i] {
+		return 0, 0, false
+	}
+	return i, off, true
+}

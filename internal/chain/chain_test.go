@@ -1,0 +1,113 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeedAccessors(t *testing.T) {
+	s := Seed{QBeg: 5, RBeg: 100, Len: 20}
+	if s.QEnd() != 25 || s.REnd() != 120 || s.Diag() != 95 {
+		t.Fatalf("accessors wrong: %d %d %d", s.QEnd(), s.REnd(), s.Diag())
+	}
+}
+
+func TestColinearSeedsChainTogether(t *testing.T) {
+	seeds := []Seed{
+		{QBeg: 0, RBeg: 1000, Len: 25},
+		{QBeg: 30, RBeg: 1032, Len: 25}, // slight diagonal drift (indel)
+		{QBeg: 60, RBeg: 1061, Len: 30},
+	}
+	chains := Build(seeds, DefaultConfig())
+	if len(chains) != 1 {
+		t.Fatalf("expected one chain, got %d", len(chains))
+	}
+	c := chains[0]
+	if len(c.Seeds) != 3 {
+		t.Fatalf("chain has %d seeds, want 3", len(c.Seeds))
+	}
+	if c.Weight != 80 {
+		t.Fatalf("weight %d, want 80", c.Weight)
+	}
+	if c.Anchor().Len != 30 {
+		t.Fatalf("anchor %+v, want the longest seed", c.Anchor())
+	}
+}
+
+func TestDistantLociStaySeparate(t *testing.T) {
+	seeds := []Seed{
+		{QBeg: 0, RBeg: 1000, Len: 40},
+		{QBeg: 0, RBeg: 90_000, Len: 40},
+	}
+	chains := Build(seeds, DefaultConfig())
+	if len(chains) != 2 {
+		t.Fatalf("expected two chains, got %d", len(chains))
+	}
+}
+
+func TestStrandsNeverChain(t *testing.T) {
+	seeds := []Seed{
+		{QBeg: 0, RBeg: 1000, Len: 30},
+		{QBeg: 40, RBeg: 1040, Len: 30, Rev: true},
+	}
+	chains := Build(seeds, Config{MaxGap: 100, MaxDiagDiff: 100, MinWeight: 1, KeepFraction: 0, MaxChains: 10})
+	if len(chains) != 2 {
+		t.Fatalf("opposite strands chained together: %d chains", len(chains))
+	}
+}
+
+func TestWeightCountsUniqueCoverage(t *testing.T) {
+	// Two heavily overlapping seeds: weight is the union, not the sum.
+	seeds := []Seed{
+		{QBeg: 0, RBeg: 1000, Len: 30},
+		{QBeg: 10, RBeg: 1010, Len: 30},
+	}
+	chains := Build(seeds, Config{MaxGap: 100, MaxDiagDiff: 100, MinWeight: 1, KeepFraction: 0, MaxChains: 10})
+	// Overlapping colinear seeds may or may not merge depending on the
+	// advancement rule; in either case no chain may report weight > 40.
+	for _, c := range chains {
+		if c.Weight > 40 {
+			t.Fatalf("weight %d exceeds union coverage 40", c.Weight)
+		}
+	}
+}
+
+func TestFiltering(t *testing.T) {
+	seeds := []Seed{
+		{QBeg: 0, RBeg: 1000, Len: 80},   // strong
+		{QBeg: 0, RBeg: 50_000, Len: 20}, // weak: below half of best
+	}
+	chains := Build(seeds, DefaultConfig())
+	if len(chains) != 1 || chains[0].Weight != 80 {
+		t.Fatalf("filtering failed: %+v", chains)
+	}
+	// MinWeight filter.
+	weak := []Seed{{QBeg: 0, RBeg: 10, Len: 5}}
+	if got := Build(weak, DefaultConfig()); len(got) != 0 {
+		t.Fatalf("sub-MinWeight chain survived: %+v", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if Build(nil, DefaultConfig()) != nil {
+		t.Fatal("nil seeds must produce nil chains")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var seeds []Seed
+	for i := 0; i < 50; i++ {
+		seeds = append(seeds, Seed{QBeg: rng.Intn(80), RBeg: rng.Intn(5000), Len: 19 + rng.Intn(30)})
+	}
+	a := Build(seeds, DefaultConfig())
+	b := Build(seeds, DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic chain count")
+	}
+	for i := range a {
+		if a[i].Weight != b[i].Weight || a[i].RBeg() != b[i].RBeg() {
+			t.Fatal("nondeterministic chain order")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"seedex/internal/align"
+)
+
+// GlobalReport is the outcome of the global-alignment optimality check.
+type GlobalReport struct {
+	// Pass is true when the banded score is provably the full-width
+	// global score.
+	Pass bool
+	// Bound is the strongest upper bound over band-leaving paths
+	// (align.NegInf when no path can leave the band).
+	Bound int
+	// Rerun marks a full-width fallback (CheckedGlobal only).
+	Rerun bool
+	// Th carries the paper's doubled-gap thresholds, reported for
+	// comparison; the pass decision uses the boundary bounds, which
+	// remain sound for asymmetric lengths (see the comment on
+	// CheckGlobal).
+	Th Thresholds
+}
+
+// CheckGlobal runs a banded global alignment (the Needleman-Wunsch-style
+// kernel minimap2-class long-read aligners use between chained anchors,
+// paper §VII-D) and proves, or fails to prove, that its score equals the
+// full-width score.
+//
+// The paper extends the S1/S2 thresholds to global alignment by doubling
+// the gap terms, which models one excursion out of and back into the
+// band. For asymmetric query/target lengths the return gap can be
+// shorter than the outbound one, so this reproduction bases the passing
+// decision on per-crossing bounds instead, which are sound
+// unconditionally: every path that computes cells outside the band
+// either crosses the band's lower boundary through the E channel or its
+// upper boundary through the F channel (with captured scores), or enters
+// through the below-band first column / above-band first row
+// initialization cells (with closed-form arrival bounds). Each crossing
+// is extended with an all-match continuation; if every such bound stays
+// below the banded score, no outside path can win, and — because the
+// global endpoint itself lies inside the band — the banded score is
+// exactly the full-width score.
+func CheckGlobal(query, target []byte, h0 int, cfg Config) (align.GlobalResult, GlobalReport) {
+	n, m := len(query), len(target)
+	w := cfg.Band
+	sc := cfg.Scoring
+	res, bd := align.GlobalBanded(query, target, h0, sc, w)
+	rep := GlobalReport{Bound: align.NegInf, Th: ComputeThresholds(n, h0, w, sc, Global)}
+	if w >= n && w >= m {
+		rep.Pass = res.Feasible
+		return res, rep
+	}
+	if !res.Feasible {
+		return res, rep // endpoint outside the band: always rerun
+	}
+	up := func(v int) {
+		if v > rep.Bound {
+			rep.Bound = v
+		}
+	}
+	// Every band-leaving path must come back: the global endpoint (m, n)
+	// lies inside the band. Re-entering from below (diagonal offset w+1
+	// down to m−n) takes at least kBelow insertions, each consuming an
+	// unmatchable query base and extending a gap; from above, at least
+	// kAbove deletions. Both corrections keep the bounds sound while
+	// making them tight enough for high-h0 fills.
+	kBelow := (w + 1) - (m - n) // >= 1 while the endpoint is in-band
+	kAbove := (m - n) + (w + 1) // >= 1 likewise
+	retBelow := sc.GapOpen + kBelow*sc.GapExtend
+	retAbove := sc.GapOpen + kAbove*sc.GapExtend
+
+	// E crossings into the below-band region at column j.
+	for j, ev := range bd.EOut {
+		if ev > align.NegInf/2 {
+			up(ev + intMax(0, n-j-kBelow)*sc.Match - retBelow)
+		}
+	}
+	// F crossings into the above-band region at row i (the crossing
+	// consumes query base i+w+1 without matching it).
+	for i, fv := range bd.FOut {
+		if fv > align.NegInf/2 {
+			up(fv + intMax(0, n-(i+w+1))*sc.Match - retAbove)
+		}
+	}
+	// Below-band first-column arrivals (pure leading deletion of w+1
+	// target bases, then the mandatory return insertions).
+	if m > w {
+		arr := h0 - sc.GapOpen - (w+1)*sc.GapExtend
+		up(arr + intMax(0, n-kBelow)*sc.Match - retBelow)
+	}
+	// Above-band first-row arrivals (pure leading insertion consuming
+	// w+1 query bases unmatched, then the mandatory return deletions).
+	if n > w {
+		arr := h0 - sc.GapOpen - (w+1)*sc.GapExtend
+		up(arr + intMax(0, n-w-1)*sc.Match - retAbove)
+	}
+	rep.Pass = rep.Bound < res.Score
+	return res, rep
+}
+
+// CheckedGlobal is the speculate-and-test global aligner: banded global
+// alignment with the optimality check and a full-width rerun fallback.
+// Its score always equals align.Global's.
+func CheckedGlobal(query, target []byte, h0 int, cfg Config) (align.GlobalResult, GlobalReport) {
+	res, rep := CheckGlobal(query, target, h0, cfg)
+	if rep.Pass {
+		return res, rep
+	}
+	rep.Rerun = true
+	full := align.Global(query, target, h0, cfg.Scoring)
+	full.Cells += res.Cells
+	return full, rep
+}

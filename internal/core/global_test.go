@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seedex/internal/align"
+)
+
+// TestGlobalCheckSoundness: passing the global check means the banded
+// score equals the full-width global score — on random scorings too.
+func TestGlobalCheckSoundness(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sc := align.Scoring{
+			Match:     1 + rng.Intn(2),
+			Mismatch:  1 + rng.Intn(5),
+			GapOpen:   rng.Intn(7),
+			GapExtend: 1 + rng.Intn(2),
+		}
+		q := randSeq(rng, 1+rng.Intn(70))
+		var tg []byte
+		if rng.Intn(3) == 0 {
+			tg = randSeq(rng, 1+rng.Intn(90))
+		} else {
+			tg = mutate(rng, q, 0.05, 0.04)
+			if len(tg) == 0 {
+				tg = randSeq(rng, 5)
+			}
+		}
+		h0 := rng.Intn(120)
+		w := 1 + int(wRaw)%20
+		cfg := Config{Band: w, Scoring: sc, Kind: Global}
+		res, rep := CheckGlobal(q, tg, h0, cfg)
+		if !rep.Pass {
+			return true
+		}
+		full := align.Global(q, tg, h0, sc)
+		if res.Score != full.Score {
+			t.Logf("seed=%d w=%d h0=%d: banded %d != full %d (bound %d)", seed, w, h0, res.Score, full.Score, rep.Bound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckedGlobalAlwaysExact: check + rerun always reproduces the
+// full-width score.
+func TestCheckedGlobalAlwaysExact(t *testing.T) {
+	sc := align.DefaultScoring()
+	rng := rand.New(rand.NewSource(9))
+	reruns := 0
+	for trial := 0; trial < 400; trial++ {
+		q := randSeq(rng, 1+rng.Intn(80))
+		tg := mutate(rng, q, 0.04, 0.03)
+		if len(tg) == 0 {
+			continue
+		}
+		cfg := Config{Band: 4, Scoring: sc, Kind: Global}
+		res, rep := CheckedGlobal(q, tg, 30, cfg)
+		if rep.Rerun {
+			reruns++
+		}
+		if want := align.Global(q, tg, 30, sc); res.Score != want.Score {
+			t.Fatalf("trial %d: checked %d != full %d", trial, res.Score, want.Score)
+		}
+	}
+	t.Logf("global reruns: %d/400 at w=4", reruns)
+}
+
+// TestGlobalCheckPassesOnSimilarPairs: the point of §VII-D — between
+// chained anchors the sequences are similar, so tiny bands carry proofs.
+func TestGlobalCheckPassesOnSimilarPairs(t *testing.T) {
+	sc := align.DefaultScoring()
+	rng := rand.New(rand.NewSource(10))
+	passes := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		q := randSeq(rng, 100)
+		tg := append([]byte(nil), q...)
+		tg[rng.Intn(len(tg))] = byte(rng.Intn(4)) // one substitution
+		cfg := Config{Band: 5, Scoring: sc, Kind: Global}
+		_, rep := CheckGlobal(q, tg, 50, cfg)
+		if rep.Pass {
+			passes++
+		}
+	}
+	if passes < trials*9/10 {
+		t.Fatalf("only %d/%d similar pairs proven at w=5", passes, trials)
+	}
+}
+
+func TestGlobalCheckFullCover(t *testing.T) {
+	sc := align.DefaultScoring()
+	q := randSeq(rand.New(rand.NewSource(11)), 8)
+	res, rep := CheckGlobal(q, q, 10, Config{Band: 20, Scoring: sc, Kind: Global})
+	if !rep.Pass || res.Score != 10+8 {
+		t.Fatalf("full-cover global: %+v %+v", res, rep)
+	}
+}
+
+func TestGlobalCheckInfeasibleBand(t *testing.T) {
+	sc := align.DefaultScoring()
+	q := randSeq(rand.New(rand.NewSource(12)), 5)
+	tg := randSeq(rand.New(rand.NewSource(13)), 40)
+	res, rep := CheckedGlobal(q, tg, 10, Config{Band: 3, Scoring: sc, Kind: Global})
+	if !rep.Rerun {
+		t.Fatal("infeasible band must rerun")
+	}
+	if want := align.Global(q, tg, 10, sc); res.Score != want.Score {
+		t.Fatalf("rerun score %d != full %d", res.Score, want.Score)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"seedex/internal/align"
+)
+
+// Stats aggregates check outcomes across extensions. It is safe for
+// concurrent use (the aligner pipeline batches extensions across
+// goroutines, mirroring the paper's multi-threaded FPGA driver).
+type Stats struct {
+	mu       sync.Mutex
+	Total    int64
+	Outcomes map[Outcome]int64
+	// ThresholdOnly counts extensions proven optimal by thresholding
+	// alone (Figure 14's lower series).
+	ThresholdOnly int64
+	// Passed counts extensions proven optimal by the full workflow.
+	Passed int64
+	// Reruns counts extensions sent back to the host.
+	Reruns int64
+}
+
+// NewStats returns an empty Stats.
+func NewStats() *Stats { return &Stats{Outcomes: make(map[Outcome]int64)} }
+
+// Record adds one check report to the counters.
+func (s *Stats) Record(rep Report) { s.record(rep) }
+
+func (s *Stats) record(rep Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Total++
+	s.Outcomes[rep.Outcome]++
+	if rep.ThresholdOnlyPass {
+		s.ThresholdOnly++
+	}
+	if rep.Pass {
+		s.Passed++
+	} else {
+		s.Reruns++
+	}
+}
+
+// PassRate returns the fraction of extensions proven optimal.
+func (s *Stats) PassRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Passed) / float64(s.Total)
+}
+
+// ThresholdOnlyRate returns the fraction proven by thresholding alone.
+func (s *Stats) ThresholdOnlyRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.ThresholdOnly) / float64(s.Total)
+}
+
+// Snapshot returns a copy of the counters for reporting.
+func (s *Stats) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int64{
+		"total":          s.Total,
+		"passed":         s.Passed,
+		"reruns":         s.Reruns,
+		"threshold-only": s.ThresholdOnly,
+	}
+	for o, n := range s.Outcomes {
+		out[o.String()] = n
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Total == 0 {
+		return "seedex: no extensions"
+	}
+	return fmt.Sprintf("seedex: %d extensions, %.2f%% passed (%.2f%% threshold-only), %d reruns",
+		s.Total, 100*float64(s.Passed)/float64(s.Total), 100*float64(s.ThresholdOnly)/float64(s.Total), s.Reruns)
+}
+
+// SeedEx is the speculative extender: narrow-band extension plus the
+// optimality-check workflow, with a host fallback for the extensions whose
+// optimality cannot be proven. In ModeStrict its results are bit-identical
+// to running Fallback on everything — the property the paper validates
+// against BWA-MEM over 787M reads, reproduced here as a tested invariant.
+type SeedEx struct {
+	Config Config
+	// Fallback performs the host rerun; nil selects the full-band
+	// software kernel with Config.Scoring.
+	Fallback align.Extender
+	// Stats, when non-nil, aggregates check outcomes.
+	Stats *Stats
+}
+
+// New returns a SeedEx extender with the given band in ModeStrict with
+// BWA-MEM default scoring — the configuration whose output is
+// bit-equivalent to full-band alignment.
+func New(band int) *SeedEx {
+	return &SeedEx{
+		Config: Config{Band: band, Scoring: align.DefaultScoring(), Kind: SemiGlobal, Mode: ModeStrict},
+		Stats:  NewStats(),
+	}
+}
+
+var _ align.Extender = (*SeedEx)(nil)
+
+// Extend implements align.Extender.
+func (s *SeedEx) Extend(query, target []byte, h0 int) align.ExtendResult {
+	res, rep := Check(query, target, h0, s.Config)
+	if s.Stats != nil {
+		s.Stats.record(rep)
+	}
+	if rep.Pass {
+		return res
+	}
+	if s.Fallback != nil {
+		return s.Fallback.Extend(query, target, h0)
+	}
+	return align.Extend(query, target, h0, s.Config.Scoring)
+}
+
+// FullBand is the host reference extender: the full-width software kernel.
+type FullBand struct {
+	Scoring align.Scoring
+}
+
+var _ align.Extender = FullBand{}
+
+// Extend implements align.Extender.
+func (f FullBand) Extend(query, target []byte, h0 int) align.ExtendResult {
+	return align.Extend(query, target, h0, f.Scoring)
+}
+
+// Banded is a plain banded extender with no optimality checks — the
+// "BSW heuristic" whose output differences the paper's Figure 13 counts.
+type Banded struct {
+	Scoring align.Scoring
+	Band    int
+}
+
+var _ align.Extender = Banded{}
+
+// Extend implements align.Extender.
+func (b Banded) Extend(query, target []byte, h0 int) align.ExtendResult {
+	res, _ := align.ExtendBanded(query, target, h0, b.Scoring, b.Band)
+	return res
+}

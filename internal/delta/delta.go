@@ -1,0 +1,99 @@
+// Package delta implements the Lipton–Lopresti residue ("modulo circle")
+// arithmetic that the SeedEx edit machine uses to shrink its datapath to
+// 3 bits (paper §IV-B).
+//
+// The insight: the candidates compared inside a DP cell differ by at most
+// a fixed δ determined by the scoring scheme (δ = 3 for the relaxed edit
+// scoring). Storing only score residues modulo Δ ≥ 2δ+1 therefore loses no
+// information needed to pick the maximum: on the Δ-circle, whichever
+// residue precedes the other on the short arc is the larger value. SeedEx
+// uses Δ = 8 so residues fit in 3 bits.
+//
+// Full-width scores are recovered by an augmentation unit that walks an
+// "augmentation path" through the matrix: each step's true delta is the
+// signed representative of the residue difference, which is exact as long
+// as consecutive path cells differ by at most δ.
+package delta
+
+// Params of the modulo circle.
+const (
+	// MaxDelta is δ, the largest absolute difference between any two
+	// values the dmax units ever compare (set by the relaxed edit
+	// scoring: {+1 match, −1 mismatch, −1 del, 0 ins} over neighbouring
+	// cells whose values differ by at most 1).
+	MaxDelta = 3
+	// Mod is Δ, the modulo-circle circumference; Mod ≥ 2·MaxDelta+1 and a
+	// power of two so residues are 3-bit and wraparound is a mask.
+	Mod = 8
+
+	mask = Mod - 1
+)
+
+// Residue is a 3-bit score residue on the modulo circle.
+type Residue uint8
+
+// Encode reduces a full-width score to its residue.
+func Encode(v int) Residue { return Residue(uint(v) & mask) }
+
+// Add applies a signed delta (|d| <= MaxDelta) to a residue.
+func (r Residue) Add(d int) Residue { return Residue((uint(r) + uint(d)) & mask) }
+
+// DMax2 is the 2-input delta-max unit: it returns the residue of
+// max(X, Y) given only the residues of X and Y, under the precondition
+// |X−Y| <= MaxDelta. The short arc from y to x on the circle tells which
+// value is larger.
+func DMax2(x, y Residue) Residue {
+	d := (uint(x) - uint(y)) & mask
+	if d <= MaxDelta {
+		return x
+	}
+	return y
+}
+
+// DMax3 is the 3-input delta-max unit of Figure 11, composed from 2-input
+// units; valid when all pairwise differences are <= MaxDelta.
+func DMax3(x, y, z Residue) Residue { return DMax2(DMax2(x, y), z) }
+
+// SignedDelta decodes the difference b−a as a signed integer in
+// [−(Mod−MaxDelta−1), MaxDelta], exact when |B−A| <= MaxDelta.
+func SignedDelta(a, b Residue) int {
+	d := int((uint(b) - uint(a)) & mask)
+	if d > MaxDelta {
+		d -= Mod
+	}
+	return d
+}
+
+// Augmenter is the augmentation unit: a single full-width accumulator
+// attached to one PE. It follows the augmentation path, decoding each
+// step's residue back into an absolute score and tracking the running
+// maximum. Every other PE in the array stays 3-bit.
+type Augmenter struct {
+	val     int
+	res     Residue
+	max     int
+	started bool
+}
+
+// NewAugmenter starts the augmentation path at an absolute initial score.
+func NewAugmenter(initial int) *Augmenter {
+	return &Augmenter{val: initial, res: Encode(initial), max: initial, started: true}
+}
+
+// Step consumes the next residue along the augmentation path (which must
+// change by at most MaxDelta per step) and returns the decoded absolute
+// score.
+func (a *Augmenter) Step(r Residue) int {
+	a.val += SignedDelta(a.res, r)
+	a.res = r
+	if a.val > a.max {
+		a.max = a.val
+	}
+	return a.val
+}
+
+// Value returns the current decoded absolute score.
+func (a *Augmenter) Value() int { return a.val }
+
+// Max returns the maximum decoded score seen along the path.
+func (a *Augmenter) Max() int { return a.max }

@@ -1,0 +1,98 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDMax2AgainstRealMax(t *testing.T) {
+	f := func(base int16, d int8) bool {
+		x := int(base)
+		dd := int(d) % (MaxDelta + 1) // |X-Y| <= MaxDelta
+		y := x + dd
+		want := x
+		if y > want {
+			want = y
+		}
+		return DMax2(Encode(x), Encode(y)) == Encode(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDMax3AgainstRealMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5000; trial++ {
+		x := rng.Intn(2001) - 1000
+		y := x + rng.Intn(2*MaxDelta+1) - MaxDelta
+		z := x + rng.Intn(2*MaxDelta+1) - MaxDelta
+		// Enforce the 3-input pairwise precondition.
+		if y-z > MaxDelta || z-y > MaxDelta {
+			continue
+		}
+		want := x
+		if y > want {
+			want = y
+		}
+		if z > want {
+			want = z
+		}
+		if got := DMax3(Encode(x), Encode(y), Encode(z)); got != Encode(want) {
+			t.Fatalf("DMax3(%d,%d,%d): residue %d, want %d", x, y, z, got, Encode(want))
+		}
+	}
+}
+
+func TestSignedDelta(t *testing.T) {
+	for a := -20; a <= 20; a++ {
+		for d := -MaxDelta; d <= MaxDelta; d++ {
+			b := a + d
+			if got := SignedDelta(Encode(a), Encode(b)); got != d {
+				t.Fatalf("SignedDelta(%d,%d) = %d, want %d", a, b, got, d)
+			}
+		}
+	}
+}
+
+func TestAugmenterDecodesWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		v := rng.Intn(200) - 50
+		aug := NewAugmenter(v)
+		max := v
+		for step := 0; step < 500; step++ {
+			v += rng.Intn(2*MaxDelta+1) - MaxDelta
+			if v > max {
+				max = v
+			}
+			if got := aug.Step(Encode(v)); got != v {
+				t.Fatalf("trial %d step %d: decoded %d, want %d", trial, step, got, v)
+			}
+		}
+		if aug.Max() != max {
+			t.Fatalf("trial %d: max %d, want %d", trial, aug.Max(), max)
+		}
+		if aug.Value() != v {
+			t.Fatalf("trial %d: value %d, want %d", trial, aug.Value(), v)
+		}
+	}
+}
+
+func TestModuloCircleProperties(t *testing.T) {
+	if Mod < 2*MaxDelta+1 {
+		t.Fatalf("Δ=%d violates Δ >= 2δ+1 with δ=%d", Mod, MaxDelta)
+	}
+	if Mod&(Mod-1) != 0 {
+		t.Fatalf("Δ=%d is not a power of two (3-bit datapath)", Mod)
+	}
+	// Encode is a ring homomorphism for Add.
+	for v := -10; v < 10; v++ {
+		for d := -MaxDelta; d <= MaxDelta; d++ {
+			if Encode(v).Add(d) != Encode(v+d) {
+				t.Fatalf("Add inconsistent at v=%d d=%d", v, d)
+			}
+		}
+	}
+}

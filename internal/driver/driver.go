@@ -1,0 +1,196 @@
+// Package driver models the SeedEx host-FPGA integration of §V-B and
+// Figure 12 with real concurrency: seeding threads produce extension
+// batches into a queue; a pool of FPGA threads packages each batch,
+// DMAs it to device DRAM over a shared XDMA channel, acquires the device
+// lock, issues batch_start over the OCL channel, polls for batch_done,
+// retrieves results, and performs the host reruns for extensions whose
+// optimality checks failed. Multiple FPGA threads interleave so the DMA
+// and host post-processing of one batch overlap the device compute of
+// another, exactly the latency-concealment strategy the paper describes.
+//
+// The device itself is simulated: functionally it runs the SeedEx check
+// workflow per extension (narrow band + checks), and its batch latency
+// comes from the discrete-event system model in internal/fpga scaled to
+// a configurable wall-clock factor.
+package driver
+
+import (
+	"sync"
+	"time"
+
+	"seedex/internal/align"
+	"seedex/internal/core"
+	"seedex/internal/fpga"
+	"seedex/internal/hw"
+)
+
+// Request is one seed extension offered to the accelerator.
+type Request struct {
+	Q, T []byte
+	H0   int
+	// Tag identifies the request; responses arrive out of order and are
+	// rearranged by the consumer (the paper's post-process stage).
+	Tag int
+}
+
+// Response carries one extension result back to the host.
+type Response struct {
+	Tag int
+	Res align.ExtendResult
+	// Rerun marks results recomputed on the host because the device's
+	// optimality checks failed.
+	Rerun bool
+}
+
+// Config tunes the simulated platform.
+type Config struct {
+	// Band is the device's one-sided narrow band.
+	Band int
+	// Scoring is the affine scheme.
+	Scoring align.Scoring
+	// BatchSize is the number of extensions per device batch.
+	BatchSize int
+	// FPGAThreads is the host thread pool driving the device.
+	FPGAThreads int
+	// TimeScale multiplies modeled device/DMA nanoseconds into wall
+	// nanoseconds (1 = real-time model; larger values make the
+	// simulation observable in tests).
+	TimeScale float64
+	// DMABandwidthBytesPerNs is the modeled XDMA bandwidth (PCIe x16:
+	// ~16 GB/s = 16 bytes/ns).
+	DMABandwidthBytesPerNs float64
+}
+
+// DefaultConfig mirrors the paper's deployment shape.
+func DefaultConfig() Config {
+	return Config{
+		Band: 20, Scoring: align.DefaultScoring(),
+		BatchSize: 256, FPGAThreads: 4,
+		TimeScale: 1, DMABandwidthBytesPerNs: 16,
+	}
+}
+
+// Device is the simulated FPGA: one batch in flight at a time (the state
+// lock of §V-B), check-workflow functional behaviour, modeled latency.
+type Device struct {
+	cfg Config
+	sim fpga.Config
+	// mu is the FPGA state lock an FPGA thread must hold from
+	// batch_start to batch_done.
+	mu sync.Mutex
+	// Stats from the device's check workflow.
+	Stats *core.Stats
+	// BatchesRun counts processed batches.
+	BatchesRun int64
+}
+
+// NewDevice builds the simulated device.
+func NewDevice(cfg Config) *Device {
+	return &Device{cfg: cfg, sim: fpga.DefaultSeedEx(), Stats: core.NewStats()}
+}
+
+// compute produces the batch's functional results via the SeedEx check
+// workflow, plus the job shapes for the latency model. In the real
+// system this happens inside the silicon; in the simulation it is host
+// CPU work, so it runs *outside* the modeled timeline (before the device
+// lock), keeping the timing model clean.
+func (d *Device) compute(reqs []Request) ([]Response, []fpga.Job) {
+	ccfg := core.Config{Band: d.cfg.Band, Scoring: d.cfg.Scoring, Kind: core.SemiGlobal, Mode: core.ModeStrict}
+	out := make([]Response, len(reqs))
+	jobs := make([]fpga.Job, len(reqs))
+	for i, r := range reqs {
+		res, rep := core.Check(r.Q, r.T, r.H0, ccfg)
+		d.Stats.Record(rep)
+		out[i] = Response{Tag: r.Tag, Res: res, Rerun: !rep.Pass}
+		jobs[i] = fpga.Job{QLen: len(r.Q), TLen: len(r.T), NeedsEdit: rep.EditRan, Rerun: !rep.Pass}
+	}
+	return out, jobs
+}
+
+// occupy holds the device for the modeled batch latency (the
+// batch_start .. batch_done window). The caller must hold the lock.
+func (d *Device) occupy(jobs []fpga.Job) {
+	rep := fpga.Simulate(d.sim, jobs)
+	sleepScaled(float64(rep.Cycles)*hw.ClockNs, d.cfg.TimeScale)
+	d.BatchesRun++
+}
+
+// Run drives all requests through the platform and returns responses in
+// request order (rearranged from out-of-order completion). The returned
+// results are bit-identical to full-band extension: passing checks
+// guarantee it, failing checks trigger host reruns here.
+func Run(cfg Config, dev *Device, reqs []Request) []Response {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.FPGAThreads <= 0 {
+		cfg.FPGAThreads = 1
+	}
+	type batch struct {
+		reqs  []Request
+		bytes int
+	}
+	batches := make(chan batch)
+	go func() { // the seeding stage's batching producer
+		defer close(batches)
+		for lo := 0; lo < len(reqs); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(reqs) {
+				hi = len(reqs)
+			}
+			b := batch{reqs: reqs[lo:hi]}
+			for _, r := range b.reqs {
+				b.bytes += (len(r.Q)+len(r.T))*3/8 + 16
+			}
+			batches <- b
+		}
+	}()
+
+	out := make([]Response, len(reqs))
+	var dma sync.Mutex // XDMA channels shared by all FPGA threads
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.FPGAThreads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range batches {
+				// Functional mirror of the silicon (untimed, see
+				// Device.compute).
+				resps, jobs := dev.compute(b.reqs)
+				// 1. Package + DMA the inputs to device DRAM.
+				dma.Lock()
+				sleepScaled(float64(b.bytes)/cfg.DMABandwidthBytesPerNs, cfg.TimeScale)
+				dma.Unlock()
+				// 2-4. Acquire the device, batch_start .. batch_done.
+				dev.mu.Lock()
+				dev.occupy(jobs)
+				dev.mu.Unlock()
+				// 5. Retrieve results (5:1 coalesced lines) and rerun
+				// failures on the host, overlapped with other threads'
+				// device time.
+				dma.Lock()
+				sleepScaled(float64(len(b.reqs)*64/5)/cfg.DMABandwidthBytesPerNs, cfg.TimeScale)
+				dma.Unlock()
+				for i, r := range resps {
+					if r.Rerun {
+						r.Res = align.Extend(b.reqs[i].Q, b.reqs[i].T, b.reqs[i].H0, cfg.Scoring)
+						resps[i] = r
+					}
+					out[r.Tag] = resps[i]
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func sleepScaled(ns float64, scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	d := time.Duration(ns * scale)
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

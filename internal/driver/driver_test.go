@@ -1,0 +1,106 @@
+package driver
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"seedex/internal/align"
+)
+
+func makeRequests(n int, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	for i := range reqs {
+		tlen := 60 + rng.Intn(80)
+		t := make([]byte, tlen)
+		for k := range t {
+			t[k] = byte(rng.Intn(4))
+		}
+		qlen := tlen - rng.Intn(20)
+		q := append([]byte(nil), t[:qlen]...)
+		for k := 0; k < qlen/25; k++ {
+			q[rng.Intn(qlen)] = byte(rng.Intn(4))
+		}
+		reqs[i] = Request{Q: q, T: t, H0: 20 + rng.Intn(60), Tag: i}
+	}
+	return reqs
+}
+
+// TestDriverBitEquivalence: the full platform (batching, DMA, device
+// checks, out-of-order completion, host reruns) returns exactly the
+// full-band result for every request, in request order.
+func TestDriverBitEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 64
+	cfg.FPGAThreads = 4
+	cfg.TimeScale = 0.05
+	dev := NewDevice(cfg)
+	reqs := makeRequests(1000, 1)
+	resps := Run(cfg, dev, reqs)
+	if len(resps) != len(reqs) {
+		t.Fatalf("%d responses for %d requests", len(resps), len(reqs))
+	}
+	for i, r := range resps {
+		if r.Tag != i {
+			t.Fatalf("response %d carries tag %d: rearrangement broken", i, r.Tag)
+		}
+		want := align.Extend(reqs[i].Q, reqs[i].T, reqs[i].H0, cfg.Scoring)
+		got := r.Res
+		if got.Local != want.Local || got.LocalT != want.LocalT || got.LocalQ != want.LocalQ ||
+			got.Global != want.Global || got.GlobalT != want.GlobalT {
+			t.Fatalf("request %d: %+v != full-band %+v (rerun=%v)", i, got, want, r.Rerun)
+		}
+	}
+	if dev.BatchesRun != 16 {
+		t.Fatalf("expected 16 batches, ran %d", dev.BatchesRun)
+	}
+	if dev.Stats.Total != 1000 {
+		t.Fatalf("device processed %d extensions", dev.Stats.Total)
+	}
+	t.Logf("device: %v", dev.Stats)
+}
+
+// TestThreadInterleavingHidesLatency: with several FPGA threads the DMA
+// and rerun work of one batch overlaps the device time of another, so
+// wall time shrinks versus a single thread (§V-B's "multiple FPGA
+// threads interleave to conceal FPGA execution latency").
+func TestThreadInterleavingHidesLatency(t *testing.T) {
+	reqs := makeRequests(800, 2)
+	run := func(threads int) time.Duration {
+		cfg := DefaultConfig()
+		cfg.BatchSize = 50
+		cfg.FPGAThreads = threads
+		cfg.TimeScale = 50               // make modeled latencies observable
+		cfg.DMABandwidthBytesPerNs = 0.5 // DMA heavy enough to matter
+		dev := NewDevice(cfg)
+		start := time.Now()
+		Run(cfg, dev, reqs)
+		return time.Since(start)
+	}
+	single := run(1)
+	multi := run(4)
+	t.Logf("1 thread: %v, 4 threads: %v", single, multi)
+	if float64(multi) > 0.95*float64(single) {
+		t.Fatalf("interleaving did not conceal latency: %v vs %v", multi, single)
+	}
+}
+
+func TestSmallerThanOneBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TimeScale = 0.01
+	dev := NewDevice(cfg)
+	reqs := makeRequests(3, 3)
+	resps := Run(cfg, dev, reqs)
+	if len(resps) != 3 || dev.BatchesRun != 1 {
+		t.Fatalf("tiny workload: %d responses, %d batches", len(resps), dev.BatchesRun)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	cfg := DefaultConfig()
+	dev := NewDevice(cfg)
+	if resps := Run(cfg, dev, nil); len(resps) != 0 {
+		t.Fatalf("empty run returned %d responses", len(resps))
+	}
+}

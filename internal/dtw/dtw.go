@@ -1,0 +1,214 @@
+// Package dtw applies the SeedEx speculation-and-test idea to Dynamic
+// Time Warping, the first of the paper's §VII-D "other applications": DP
+// problems whose calculation has locality in one dimension.
+//
+// Banded (Sakoe-Chiba) DTW computes only cells with |i−j| <= w. SeedEx's
+// insight transplants directly: capture the accumulated costs at the
+// band's boundary cells and bound every path that leaves the band by its
+// boundary cost plus an admissible lower bound on the rows it still has
+// to visit. If every such exit bound is at least the banded cost, no
+// warping path outside the band can be cheaper, and the banded result is
+// provably optimal — without ever filling the full matrix. Failed checks
+// fall back to a full-matrix rerun, mirroring the SeedEx host rerun.
+package dtw
+
+import "math"
+
+// Dist is the local cost between two samples.
+func dist(a, b float64) float64 { return math.Abs(a - b) }
+
+// Result is one DTW evaluation.
+type Result struct {
+	// Cost is the optimal accumulated warping cost (within the band for
+	// banded runs).
+	Cost float64
+	// Cells counts DP cells evaluated.
+	Cells int64
+}
+
+// Full computes unconstrained DTW between x and y.
+func Full(x, y []float64) Result {
+	return banded(x, y, -1).Result
+}
+
+// bandedState carries the boundary information the checks consume.
+type bandedState struct {
+	Result
+	// exitAbove[i] is the accumulated cost at boundary cell (i, i+w);
+	// exitBelow[j] at (j+w, j). +Inf where the boundary does not exist.
+	exitAbove, exitBelow []float64
+	feasible             bool
+}
+
+// Banded computes Sakoe-Chiba banded DTW with one-sided band w.
+func Banded(x, y []float64, w int) Result {
+	return banded(x, y, w).Result
+}
+
+func banded(x, y []float64, w int) bandedState {
+	n, m := len(x), len(y)
+	st := bandedState{
+		exitAbove: make([]float64, n),
+		exitBelow: make([]float64, m),
+	}
+	for i := range st.exitAbove {
+		st.exitAbove[i] = math.Inf(1)
+	}
+	for j := range st.exitBelow {
+		st.exitBelow[j] = math.Inf(1)
+	}
+	if n == 0 || m == 0 {
+		st.Cost = math.Inf(1)
+		return st
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for j := range prev {
+		prev[j] = inf
+	}
+	for i := 0; i < n; i++ {
+		jmin, jmax := 0, m-1
+		if w >= 0 {
+			if lo := i - w; lo > jmin {
+				jmin = lo
+			}
+			if hi := i + w; hi < jmax {
+				jmax = hi
+			}
+			if jmin > jmax {
+				st.Cost = inf
+				return st
+			}
+		}
+		for j := 0; j < m; j++ {
+			cur[j] = inf
+		}
+		for j := jmin; j <= jmax; j++ {
+			d := dist(x[i], y[j])
+			best := inf
+			if i == 0 && j == 0 {
+				best = 0
+			}
+			if i > 0 && prev[j] < best {
+				best = prev[j]
+			}
+			if j > 0 && cur[j-1] < best {
+				best = cur[j-1]
+			}
+			if i > 0 && j > 0 && prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			cur[j] = best + d
+			st.Cells++
+			if w >= 0 {
+				if j-i == w {
+					st.exitAbove[i] = cur[j]
+				}
+				if i-j == w {
+					st.exitBelow[j] = cur[j]
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	st.Cost = prev[m-1]
+	st.feasible = !math.IsInf(st.Cost, 1)
+	return st
+}
+
+// Report is the outcome of a checked banded DTW.
+type Report struct {
+	// Pass is true when the banded cost is provably optimal.
+	Pass bool
+	// ExitBound is the smallest lower bound over paths leaving the band.
+	ExitBound float64
+	// Rerun is true when the caller had to fall back to full DTW.
+	Rerun bool
+}
+
+// rowLB returns, for each row i, an admissible lower bound on the
+// cheapest cell in the row: the distance from x[i] to the range of y.
+// O(n+m), no matrix sweep needed.
+func rowLB(x, y []float64) []float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		switch {
+		case v < lo:
+			out[i] = lo - v
+		case v > hi:
+			out[i] = v - hi
+		}
+	}
+	return out
+}
+
+// Check computes banded DTW and proves (or fails to prove) its
+// optimality: every warping path that leaves the band passes through a
+// band boundary cell, whose accumulated cost is known, and must still
+// visit every remaining row, each contributing at least its admissible
+// row lower bound. If each exit bound is >= the banded cost, no outside
+// path can be cheaper.
+func Check(x, y []float64, w int) (Result, Report) {
+	st := banded(x, y, w)
+	rep := Report{ExitBound: math.Inf(1)}
+	n := len(x)
+	if w >= 0 && w >= n && w >= len(y) {
+		rep.Pass = true // band covers the matrix
+		return st.Result, rep
+	}
+	if !st.feasible {
+		return st.Result, rep // no in-band path at all: rerun territory
+	}
+	lb := rowLB(x, y)
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + lb[i]
+	}
+	// Exits above: from (i, i+w) the path still has rows i+1..n-1 ahead
+	// (it may wander in row i first, at non-negative cost).
+	for i := 0; i < n; i++ {
+		if !math.IsInf(st.exitAbove[i], 1) {
+			if b := st.exitAbove[i] + suffix[i+1]; b < rep.ExitBound {
+				rep.ExitBound = b
+			}
+		}
+	}
+	// Exits below: the boundary cell of column j is (j+w, j), so rows
+	// j+w+1..n-1 remain.
+	for j := 0; j < len(y); j++ {
+		if math.IsInf(st.exitBelow[j], 1) {
+			continue
+		}
+		row := j + w
+		if row+1 <= n {
+			if b := st.exitBelow[j] + suffix[row+1]; b < rep.ExitBound {
+				rep.ExitBound = b
+			}
+		}
+	}
+	rep.Pass = rep.ExitBound >= st.Cost
+	return st.Result, rep
+}
+
+// Checked computes banded DTW with the optimality check, falling back to
+// the full computation when the check fails. Its cost always equals
+// Full(x, y).Cost.
+func Checked(x, y []float64, w int) (Result, Report) {
+	res, rep := Check(x, y, w)
+	if rep.Pass {
+		return res, rep
+	}
+	rep.Rerun = true
+	full := Full(x, y)
+	full.Cells += res.Cells
+	return full, rep
+}

@@ -1,0 +1,146 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSeries(rng *rand.Rand, n int, drift float64) []float64 {
+	out := make([]float64, n)
+	v := rng.Float64() * 10
+	for i := range out {
+		v += rng.NormFloat64() * drift
+		out[i] = v
+	}
+	return out
+}
+
+// warp produces a time-warped copy of x (random repeats/skips) plus noise.
+func warp(rng *rand.Rand, x []float64, noise float64) []float64 {
+	var out []float64
+	for _, v := range x {
+		r := rng.Float64()
+		switch {
+		case r < 0.1: // skip
+		case r < 0.2: // repeat
+			out = append(out, v+rng.NormFloat64()*noise, v+rng.NormFloat64()*noise)
+		default:
+			out = append(out, v+rng.NormFloat64()*noise)
+		}
+	}
+	if len(out) == 0 {
+		out = []float64{x[0]}
+	}
+	return out
+}
+
+func TestFullBasics(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if got := Full(x, x).Cost; got != 0 {
+		t.Fatalf("identical series must cost 0, got %v", got)
+	}
+	if got := Full([]float64{0}, []float64{5}).Cost; got != 5 {
+		t.Fatalf("single-point cost %v, want 5", got)
+	}
+	if !math.IsInf(Full(nil, x).Cost, 1) {
+		t.Fatal("empty series must be infeasible")
+	}
+}
+
+func TestWideBandEqualsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		x := randSeries(rng, 5+rng.Intn(40), 1)
+		y := warp(rng, x, 0.1)
+		w := len(x) + len(y)
+		if got, want := Banded(x, y, w).Cost, Full(x, y).Cost; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: wide band %v != full %v", trial, got, want)
+		}
+	}
+}
+
+// TestCheckSoundness is the DTW analogue of the SeedEx invariant: a
+// passing check means the banded cost is the true optimum.
+func TestCheckSoundness(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randSeries(rng, 3+rng.Intn(40), 1)
+		var y []float64
+		if rng.Intn(3) == 0 {
+			y = randSeries(rng, 3+rng.Intn(40), 1) // unrelated
+		} else {
+			y = warp(rng, x, 0.2)
+		}
+		w := int(wRaw)%15 + 1
+		res, rep := Check(x, y, w)
+		if !rep.Pass {
+			return true
+		}
+		full := Full(x, y)
+		if math.Abs(res.Cost-full.Cost) > 1e-9 {
+			t.Logf("seed=%d w=%d: banded %v != full %v (bound %v)", seed, w, res.Cost, full.Cost, rep.ExitBound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckedAlwaysOptimal: the check+rerun combination always yields the
+// full-DTW cost.
+func TestCheckedAlwaysOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	reruns := 0
+	for trial := 0; trial < 300; trial++ {
+		x := randSeries(rng, 5+rng.Intn(50), 1)
+		y := warp(rng, x, 0.3)
+		res, rep := Checked(x, y, 4)
+		if rep.Rerun {
+			reruns++
+		}
+		if want := Full(x, y).Cost; math.Abs(res.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: checked %v != full %v", trial, res.Cost, want)
+		}
+	}
+	t.Logf("reruns: %d/300", reruns)
+}
+
+// TestNarrowBandSavesWork: on well-aligned series the checked banded run
+// passes and computes far fewer cells than the full matrix.
+func TestNarrowBandSavesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	passes, cellsSaved := 0, 0
+	for trial := 0; trial < 100; trial++ {
+		x := randSeries(rng, 100, 1)
+		y := make([]float64, 100)
+		for i := range y {
+			y[i] = x[i] + rng.NormFloat64()*0.01
+		}
+		res, rep := Check(x, y, 6)
+		if rep.Pass {
+			passes++
+			if full := Full(x, y); res.Cells < full.Cells/2 {
+				cellsSaved++
+			}
+		}
+	}
+	if passes < 80 {
+		t.Fatalf("check passed only %d/100 on near-identical series", passes)
+	}
+	if cellsSaved < passes*9/10 {
+		t.Fatalf("banded run did not save work: %d/%d", cellsSaved, passes)
+	}
+}
+
+func TestFullCoverBand(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{1, 2, 3}
+	_, rep := Check(x, y, 10)
+	if !rep.Pass {
+		t.Fatal("full-cover band must pass")
+	}
+}

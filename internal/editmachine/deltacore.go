@@ -1,0 +1,93 @@
+package editmachine
+
+import (
+	"fmt"
+
+	"seedex/internal/delta"
+)
+
+// CanonicalRelaxed is the only scoring the 3-bit hardware datapath
+// supports: {m:+1, x:−1, go:0, ge(ins):0, ge(del):−1}. Its step deltas
+// keep every delta-max comparison within the modulo circle's δ = 3.
+var CanonicalRelaxed = Relaxed{Match: 1, Mismatch: 1, Ins: 0, Del: 1}
+
+// DeltaResult reports a delta-encoded (hardware-faithful) sweep.
+type DeltaResult struct {
+	// Score is the decoded region maximum read out by the augmentation
+	// unit on the augmentation path.
+	Score int
+	// PathLen is the number of augmentation-path steps taken.
+	PathLen int
+	// Cells is the number of 3-bit PE evaluations.
+	Cells int64
+	// Empty is true when the region has no cells.
+	Empty bool
+}
+
+// DeltaSweep is the delta-encoded edit machine: the corner-seeded region
+// sweep of SweepCorner executed entirely in 3-bit residues (internal/delta),
+// with a single full-width augmentation unit walking the region's
+// hypotenuse to decode the running maximum. Zero-penalty insertions
+// guarantee every cell's score propagates rightward to the hypotenuse, so
+// the augmentation unit observes the true region maximum.
+//
+// It must produce exactly the same score as
+// SweepCorner(query, target, w, init, CanonicalRelaxed).
+func DeltaSweep(query, target []byte, w, init int, rx Relaxed) (DeltaResult, error) {
+	if rx != CanonicalRelaxed {
+		return DeltaResult{}, fmt.Errorf("editmachine: delta datapath supports only the canonical relaxed scoring, got %+v", rx)
+	}
+	n, m := len(query), len(target)
+	if w < 0 || m <= w {
+		return DeltaResult{Empty: true}, nil
+	}
+	row := make([]delta.Residue, n+1)
+	res := DeltaResult{}
+	var aug *delta.Augmenter
+	for i := w + 1; i <= m; i++ {
+		jmax := i - w - 1
+		if jmax > n {
+			jmax = n
+		}
+		// Column 0: corner seed on the first region row, pure deletion
+		// decay afterwards (the only candidate is "up − 1").
+		var v delta.Residue
+		if i == w+1 {
+			v = delta.Encode(init)
+		} else {
+			v = row[0].Add(-1)
+		}
+		diag := row[0]
+		row[0] = v
+		res.Cells++
+		left := v
+		for j := 1; j <= jmax; j++ {
+			d := diag
+			diag = row[j]
+			s := -1
+			if target[i-1] == query[j-1] && target[i-1] < 4 {
+				s = 1
+			}
+			var best delta.Residue
+			if i == j+w+1 {
+				// Top-boundary cell: the up-neighbour is in-band and is
+				// not an input of the corner-seeded machine; 2-input dmax.
+				best = delta.DMax2(d.Add(s), left)
+			} else {
+				best = delta.DMax3(d.Add(s), row[j].Add(-1), left)
+			}
+			row[j] = best
+			left = best
+			res.Cells++
+		}
+		// Augmentation path: the rightmost region cell of each row.
+		if aug == nil {
+			aug = delta.NewAugmenter(init)
+		} else {
+			aug.Step(row[jmax])
+			res.PathLen++
+		}
+	}
+	res.Score = aug.Max()
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package editmachine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seedex/internal/align"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+func TestAdmissible(t *testing.T) {
+	sc := align.DefaultScoring()
+	if err := RelaxedFor(sc).Admissible(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := CanonicalRelaxed.Admissible(sc); err != nil {
+		t.Fatal(err)
+	}
+	bad := Relaxed{Match: 1, Mismatch: 5, Ins: 0, Del: 1}
+	if err := bad.Admissible(sc); err == nil {
+		t.Fatal("over-penalizing mismatch must not be admissible")
+	}
+	bad = Relaxed{Match: 1, Mismatch: 1, Ins: 2, Del: 1}
+	if err := bad.Admissible(sc); err == nil {
+		t.Fatal("over-penalizing insertion must not be admissible")
+	}
+}
+
+func TestEmptyRegion(t *testing.T) {
+	q := randSeq(rand.New(rand.NewSource(1)), 20)
+	tg := randSeq(rand.New(rand.NewSource(2)), 15)
+	// Band wider than the target: no below-band cells.
+	r := SweepCorner(q, tg, 20, 100, CanonicalRelaxed)
+	if !r.Empty {
+		t.Fatalf("expected empty region, got %+v", r)
+	}
+	d, err := DeltaSweep(q, tg, 20, 100, CanonicalRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty {
+		t.Fatalf("expected empty delta region, got %+v", d)
+	}
+}
+
+func TestDeltaSweepMatchesPlainCorner(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		qlen := 1 + r.Intn(80)
+		tlen := 1 + r.Intn(120)
+		w := r.Intn(20)
+		q, tg := randSeq(r, qlen), randSeq(r, tlen)
+		init := r.Intn(200) - 20
+		plain := SweepCorner(q, tg, w, init, CanonicalRelaxed)
+		dl, err := DeltaSweep(q, tg, w, init, CanonicalRelaxed)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if plain.Empty != dl.Empty {
+			t.Logf("empty mismatch: %v vs %v", plain.Empty, dl.Empty)
+			return false
+		}
+		if plain.Empty {
+			return true
+		}
+		if plain.Score != dl.Score {
+			t.Logf("seed %d (q=%d t=%d w=%d init=%d): plain %d delta %d", seed, qlen, tlen, w, init, plain.Score, dl.Score)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaSweepRejectsNonCanonical(t *testing.T) {
+	if _, err := DeltaSweep(nil, []byte{0}, 0, 1, Relaxed{Match: 2, Mismatch: 1, Ins: 0, Del: 1}); err == nil {
+		t.Fatal("expected rejection of non-canonical scoring")
+	}
+}
+
+// TestExactSweepDominatesAffine is the admissibility property behind the
+// strict checking mode: the exact-seeded relaxed sweep upper-bounds the
+// true affine-gap DP everywhere in the region.
+func TestExactSweepDominatesAffine(t *testing.T) {
+	sc := align.DefaultScoring()
+	rx := RelaxedFor(sc)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		qlen := 5 + rng.Intn(60)
+		tlen := 5 + rng.Intn(90)
+		w := rng.Intn(12)
+		tg := randSeq(rng, tlen)
+		q := randSeq(rng, qlen)
+		if rng.Intn(2) == 0 && qlen <= tlen {
+			copy(q, tg[:qlen]) // sometimes near-identical for live regions
+			if qlen > 3 {
+				q[rng.Intn(qlen)] = byte(rng.Intn(4))
+			}
+		}
+		h0 := 5 + rng.Intn(100)
+
+		_, bd := align.ExtendBanded(q, tg, h0, sc, w)
+		sw := SweepExact(q, tg, w, h0, bd.E, sc, rx)
+
+		_, mx := align.NaiveExtend(q, tg, h0, sc)
+		maxH, maxCont := 0, 0
+		for i := w + 1; i <= tlen; i++ {
+			for j := 0; j <= qlen && j < i-w; j++ {
+				h := mx.H[i][j]
+				if h > maxH {
+					maxH = h
+				}
+				if c := h + (qlen-j)*sc.Match; h > 0 && c > maxCont {
+					maxCont = c
+				}
+			}
+		}
+		if maxH > 0 {
+			if sw.Empty {
+				t.Fatalf("trial %d: affine region alive (max %d) but sweep empty", trial, maxH)
+			}
+			if sw.Score < maxH {
+				t.Fatalf("trial %d: relaxed score %d < affine region max %d (w=%d h0=%d)", trial, sw.Score, maxH, w, h0)
+			}
+			if sw.ScorePlusCont < maxCont {
+				t.Fatalf("trial %d: relaxed cont-bound %d < affine %d", trial, sw.ScorePlusCont, maxCont)
+			}
+		}
+	}
+}
+
+func TestSweepCornerKnownValues(t *testing.T) {
+	// Target repeats the query below the band: with init at the corner,
+	// the best region path should gain roughly one match per query base.
+	q := []byte{0, 1, 2, 3, 0, 1, 2, 3}
+	tg := append(randSeq(rand.New(rand.NewSource(3)), 4), q...)
+	w := 2
+	init := 50
+	r := SweepCorner(q, tg, w, init, CanonicalRelaxed)
+	if r.Empty {
+		t.Fatal("region unexpectedly empty")
+	}
+	if r.Score <= init {
+		t.Fatalf("score %d should exceed the %d seed via region matches", r.Score, init)
+	}
+	if r.Score > init+len(q) {
+		t.Fatalf("score %d exceeds the all-match bound %d", r.Score, init+len(q))
+	}
+	if r.ScorePlusCont < r.Score {
+		t.Fatalf("continuation bound %d below score %d", r.ScorePlusCont, r.Score)
+	}
+}
+
+func TestHalfWidthCellCount(t *testing.T) {
+	// The region is a trapezoid: its cell count must be at most roughly
+	// half the full rectangle (the basis of the half-width PE array,
+	// Figure 10), measured for a square-ish matrix.
+	q := randSeq(rand.New(rand.NewSource(4)), 100)
+	tg := randSeq(rand.New(rand.NewSource(5)), 120)
+	r := SweepCorner(q, tg, 10, 10, CanonicalRelaxed)
+	full := int64(len(q)+1) * int64(len(tg))
+	if r.Cells*2 > full+int64(len(tg)) {
+		t.Fatalf("region cells %d exceed half the rectangle %d", r.Cells, full)
+	}
+}

@@ -1,0 +1,141 @@
+// Package fastx reads and writes the FASTA and FASTQ formats used by the
+// aligner CLI and the read simulator.
+package fastx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FastaRecord is one FASTA sequence.
+type FastaRecord struct {
+	Name string // header line without '>' (first word)
+	Desc string // remainder of the header line
+	Seq  []byte // ASCII bases
+}
+
+// FastqRecord is one FASTQ read.
+type FastqRecord struct {
+	Name string
+	Seq  []byte
+	Qual []byte
+}
+
+// ReadFasta parses all records from r.
+func ReadFasta(r io.Reader) ([]FastaRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var recs []FastaRecord
+	var cur *FastaRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		t := strings.TrimSpace(sc.Text())
+		if t == "" {
+			continue
+		}
+		if strings.HasPrefix(t, ">") {
+			recs = append(recs, FastaRecord{})
+			cur = &recs[len(recs)-1]
+			head := strings.TrimPrefix(t, ">")
+			if i := strings.IndexAny(head, " \t"); i >= 0 {
+				cur.Name, cur.Desc = head[:i], strings.TrimSpace(head[i+1:])
+			} else {
+				cur.Name = head
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fastx: line %d: sequence before header", line)
+		}
+		cur.Seq = append(cur.Seq, []byte(t)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fastx: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteFasta writes records with 70-column wrapping.
+func WriteFasta(w io.Writer, recs []FastaRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if rec.Desc != "" {
+			fmt.Fprintf(bw, ">%s %s\n", rec.Name, rec.Desc)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", rec.Name)
+		}
+		for i := 0; i < len(rec.Seq); i += 70 {
+			end := i + 70
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			bw.Write(rec.Seq[i:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFastq parses all reads from r.
+func ReadFastq(r io.Reader) ([]FastqRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var recs []FastqRecord
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			t := strings.TrimRight(sc.Text(), "\r\n")
+			return t, true
+		}
+		return "", false
+	}
+	for {
+		h, ok := next()
+		if !ok {
+			break
+		}
+		if strings.TrimSpace(h) == "" {
+			continue
+		}
+		if !strings.HasPrefix(h, "@") {
+			return nil, fmt.Errorf("fastx: line %d: expected '@', got %q", line, h)
+		}
+		seq, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("fastx: truncated record at line %d", line)
+		}
+		plus, ok := next()
+		if !ok || !strings.HasPrefix(plus, "+") {
+			return nil, fmt.Errorf("fastx: line %d: expected '+' separator", line)
+		}
+		qual, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("fastx: truncated quality at line %d", line)
+		}
+		if len(qual) != len(seq) {
+			return nil, fmt.Errorf("fastx: line %d: quality length %d != sequence length %d", line, len(qual), len(seq))
+		}
+		name := strings.TrimPrefix(h, "@")
+		if i := strings.IndexAny(name, " \t"); i >= 0 {
+			name = name[:i]
+		}
+		recs = append(recs, FastqRecord{Name: name, Seq: []byte(seq), Qual: []byte(qual)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fastx: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteFastq writes reads to w.
+func WriteFastq(w io.Writer, recs []FastqRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rec.Name, rec.Seq, rec.Qual)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,91 @@
+package fastx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFastaRoundTrip(t *testing.T) {
+	in := []FastaRecord{
+		{Name: "chr1", Desc: "test sequence", Seq: bytes.Repeat([]byte("ACGT"), 50)},
+		{Name: "chr2", Seq: []byte("GGGCCC")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d records", len(out))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name || !bytes.Equal(out[i].Seq, in[i].Seq) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+	if out[0].Desc != "test sequence" {
+		t.Fatalf("desc lost: %q", out[0].Desc)
+	}
+}
+
+func TestFastaErrors(t *testing.T) {
+	if _, err := ReadFasta(strings.NewReader("ACGT\n")); err == nil {
+		t.Fatal("sequence before header must error")
+	}
+	recs, err := ReadFasta(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty input: %v %v", recs, err)
+	}
+}
+
+func TestFastqRoundTrip(t *testing.T) {
+	in := []FastqRecord{
+		{Name: "r1", Seq: []byte("ACGTACGT"), Qual: []byte("IIIIIIII")},
+		{Name: "r2", Seq: []byte("GG"), Qual: []byte("#I")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFastq(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFastq(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d records", len(out))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name || !bytes.Equal(out[i].Seq, in[i].Seq) || !bytes.Equal(out[i].Qual, in[i].Qual) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFastqNameTruncation(t *testing.T) {
+	out, err := ReadFastq(strings.NewReader("@read1 extra stuff\nACGT\n+\nIIII\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Name != "read1" {
+		t.Fatalf("name %q", out[0].Name)
+	}
+}
+
+func TestFastqErrors(t *testing.T) {
+	cases := []string{
+		"ACGT\nACGT\n+\nIIII\n", // missing @
+		"@r1\nACGT\nIIII\n",     // missing +
+		"@r1\nACGT\n+\nII\n",    // quality length mismatch
+		"@r1\nACGT\n+\n",        // truncated
+		"@r1\nACGT\n",           // truncated earlier
+	}
+	for i, c := range cases {
+		if _, err := ReadFastq(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seedex/internal/genome"
+)
+
+// combined builds the S = T·sep·revcomp(T) string for brute-force checks.
+func combined(text []byte) []byte {
+	s := append([]byte(nil), text...)
+	s = append(s, Separator)
+	return append(s, genome.RevComp(text)...)
+}
+
+// TestBiIntervalInvariant: after any mix of forward and backward
+// extensions, K matches the interval of P, L matches the interval of
+// revcomp(P), and S the occurrence count — all against brute force over
+// the combined string.
+func TestBiIntervalInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randSeq(rng, 30+rng.Intn(200))
+		fmd, err := NewFMD(append([]byte(nil), text...))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		s := combined(text)
+		for trial := 0; trial < 10; trial++ {
+			// Random walk: start from one base, extend both directions.
+			var p []byte
+			p = append(p, byte(rng.Intn(4)))
+			bi := fmd.Start(p[0])
+			for step := 0; step < 12 && bi.Alive(); step++ {
+				c := byte(rng.Intn(4))
+				if rng.Intn(2) == 0 {
+					bi = fmd.BackwardExt(bi, c)
+					p = append([]byte{c}, p...)
+				} else {
+					bi = fmd.ForwardExt(bi, c)
+					p = append(p, c)
+				}
+				wantK := bruteOccurrences(s, p)
+				if int(bi.S) != len(wantK) {
+					t.Logf("seed=%d: size %d, brute %d for %v", seed, bi.S, len(wantK), p)
+					return false
+				}
+				if !bi.Alive() {
+					break
+				}
+				// K interval rows must locate exactly the occurrences.
+				got := fmd.ix.Locate(Interval{bi.K, bi.K + bi.S}, 0)
+				if len(got) != len(wantK) {
+					t.Logf("seed=%d: locate %v, want %v for %v", seed, got, wantK, p)
+					return false
+				}
+				for i := range got {
+					if got[i] != wantK[i] {
+						t.Logf("seed=%d: locate %v, want %v", seed, got, wantK)
+						return false
+					}
+				}
+				// L interval likewise for revcomp(P).
+				rc := genome.RevComp(p)
+				wantL := bruteOccurrences(s, rc)
+				gotL := fmd.ix.Locate(Interval{bi.L, bi.L + bi.S}, 0)
+				if len(gotL) != len(wantL) {
+					t.Logf("seed=%d: L locate %d, want %d for %v", seed, len(gotL), len(wantL), rc)
+					return false
+				}
+				for i := range gotL {
+					if gotL[i] != wantL[i] {
+						t.Logf("seed=%d: L positions %v, want %v", seed, gotL, wantL)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountBiMatchesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	text := randSeq(rng, 400)
+	fmd, err := NewFMD(append([]byte(nil), text...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := combined(text)
+	for trial := 0; trial < 200; trial++ {
+		var p []byte
+		if trial%3 == 0 {
+			p = randSeq(rng, 1+rng.Intn(10))
+		} else {
+			beg := rng.Intn(len(text) - 15)
+			p = text[beg : beg+1+rng.Intn(14)]
+		}
+		bi := fmd.CountBi(p)
+		if int(bi.S) != len(bruteOccurrences(s, p)) {
+			t.Fatalf("trial %d: CountBi %d != brute %d for %v", trial, bi.S, len(bruteOccurrences(s, p)), p)
+		}
+	}
+}
+
+// TestSMEMsBiEqualsSuffixArraySMEMs cross-validates the two independent
+// SMEM implementations. The FMD search is inherently two-strand (its
+// intervals count hits in T and revcomp(T) at once, exactly like BWA),
+// so the oracle is the suffix-array containment method run over the
+// combined string S = T·sep·revcomp(T): spans, total occurrence counts
+// and per-strand positions must all agree.
+func TestSMEMsBiEqualsSuffixArraySMEMs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randSeq(rng, 150+rng.Intn(400))
+		ix, err := New(combined(text))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		fmd, err := NewFMD(append([]byte(nil), text...))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		n := len(text)
+		// Query: stitched text windows with mutations and an N.
+		a, b := rng.Intn(len(text)-40), rng.Intn(len(text)-40)
+		q := append([]byte(nil), text[a:a+35]...)
+		q = append(q, text[b:b+35]...)
+		q[10] = (q[10] + 1) % 4
+		if rng.Intn(2) == 0 {
+			q[50] = genome.N
+		}
+		cfg := SMEMConfig{MinLen: 5, MaxOcc: 0}
+		want := ix.SMEMs(q, cfg)
+		got := fmd.SMEMsBi(q, cfg)
+		// The two algorithms emit in different orders; canonicalize.
+		sortMEMs(want)
+		sortMEMs(got)
+		if len(got) != len(want) {
+			t.Logf("seed=%d: %d bidirectional SMEMs, %d combined suffix-array SMEMs", seed, len(got), len(want))
+			t.Logf("got:  %v", spans(got))
+			t.Logf("want: %v", spans(want))
+			return false
+		}
+		for i := range want {
+			g, w := got[i], want[i]
+			if g.QBeg != w.QBeg || g.Len != w.Len || g.Occ != w.Occ {
+				t.Logf("seed=%d: SMEM %d: got [%d,%d) occ %d, want [%d,%d) occ %d",
+					seed, i, g.QBeg, g.QBeg+g.Len, g.Occ, w.QBeg, w.QBeg+w.Len, w.Occ)
+				return false
+			}
+			// Map the oracle's combined-string positions to the FMD's
+			// per-strand coordinates.
+			var wantFw, wantRc []int
+			for _, p := range w.Positions {
+				if p+g.Len <= n {
+					wantFw = append(wantFw, p)
+				} else if p > n {
+					wantRc = append(wantRc, n-(p-n-1)-g.Len)
+				}
+			}
+			sortInts(wantRc)
+			if !equalInts(g.Positions, wantFw) || !equalInts(g.RCPositions, wantRc) {
+				t.Logf("seed=%d: SMEM %d positions fw %v/%v rc %v/%v",
+					seed, i, g.Positions, wantFw, g.RCPositions, wantRc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortMEMs(ms []MEM) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && (ms[j-1].QBeg > ms[j].QBeg || (ms[j-1].QBeg == ms[j].QBeg && ms[j-1].Len > ms[j].Len)); j-- {
+			ms[j-1], ms[j] = ms[j], ms[j-1]
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func spans(ms []MEM) [][2]int {
+	out := make([][2]int, len(ms))
+	for i, m := range ms {
+		out[i] = [2]int{m.QBeg, m.QBeg + m.Len}
+	}
+	return out
+}
+
+func TestFMDPalindromeSafety(t *testing.T) {
+	// Reverse-complement palindromes stress the K/L bookkeeping.
+	text := bytes.Repeat([]byte{0, 1, 2, 3}, 50) // ACGT repeats: rc(ACGT) = ACGT
+	fmd, err := NewFMD(append([]byte(nil), text...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := combined(text)
+	p := []byte{0, 1, 2, 3, 0, 1}
+	bi := fmd.CountBi(p)
+	if int(bi.S) != len(bruteOccurrences(s, p)) {
+		t.Fatalf("palindromic text: CountBi %d != brute %d", bi.S, len(bruteOccurrences(s, p)))
+	}
+}

@@ -1,0 +1,69 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSampledSALocateMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		text := randSeq(rng, 100+rng.Intn(600))
+		ix, err := New(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rate := range []int{4, 32, 64} {
+			ss := NewSampledSA(ix, rate)
+			for probe := 0; probe < 15; probe++ {
+				beg := rng.Intn(len(text) - 5)
+				p := text[beg : beg+1+rng.Intn(5)]
+				iv := ix.Count(p)
+				want := ix.Locate(iv, 0)
+				got := ss.Locate(iv, 0)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d rate %d: %d positions, want %d", trial, rate, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d rate %d: positions %v != %v for %v", trial, rate, got, want, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSampledSAMemorySavings(t *testing.T) {
+	text := randSeq(rand.New(rand.NewSource(2)), 3200)
+	ix, err := New(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewSampledSA(ix, 32)
+	if got, want := ss.MemoryEntries(), 3200/32; got != want {
+		t.Fatalf("retained %d entries, want %d", got, want)
+	}
+	// Cap behaviour.
+	iv := ix.Count(text[10:12])
+	if iv.Size() > 3 {
+		got := ss.Locate(iv, 3)
+		if len(got) != 3 {
+			t.Fatalf("cap ignored: %d", len(got))
+		}
+	}
+	if ss.Rate != 32 {
+		t.Fatalf("rate %d", ss.Rate)
+	}
+}
+
+func TestSampledSADefaultRate(t *testing.T) {
+	text := randSeq(rand.New(rand.NewSource(3)), 100)
+	ix, err := New(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss := NewSampledSA(ix, 0); ss.Rate != 32 {
+		t.Fatalf("default rate %d, want 32", ss.Rate)
+	}
+}

@@ -1,0 +1,101 @@
+package fmindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Index serialization: the text and suffix array are stored (the
+// expensive parts); BWT, counts and occurrence checkpoints are
+// reconstructed in O(n) on load. Production aligners ship prebuilt
+// indexes exactly this way (BWA's .bwt/.sa files).
+
+const (
+	indexMagic   = uint32(0x5345_4458) // "SEDX"
+	indexVersion = uint32(1)
+)
+
+// WriteTo serializes the index.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(indexMagic); err != nil {
+		return n, err
+	}
+	if err := put(indexVersion); err != nil {
+		return n, err
+	}
+	if err := put(uint64(len(ix.text))); err != nil {
+		return n, err
+	}
+	if _, err := bw.Write(ix.text); err != nil {
+		return n, err
+	}
+	n += int64(len(ix.text))
+	if err := put(ix.sa); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadIndex deserializes an index written by WriteTo, reconstructing the
+// derived structures.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("fmindex: reading magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("fmindex: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("fmindex: unsupported index version %d", version)
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxIndexLen = 1 << 33
+	if n > maxIndexLen {
+		return nil, fmt.Errorf("fmindex: implausible text length %d", n)
+	}
+	text := make([]byte, n)
+	if _, err := io.ReadFull(br, text); err != nil {
+		return nil, err
+	}
+	sa := make([]int32, n)
+	if err := binary.Read(br, binary.LittleEndian, sa); err != nil {
+		return nil, err
+	}
+	for i, p := range sa {
+		if p < 0 || uint64(p) >= n {
+			return nil, fmt.Errorf("fmindex: corrupt suffix array at %d", i)
+		}
+	}
+	return rebuild(text, sa)
+}
+
+// rebuild reconstructs an Index from its stored parts.
+func rebuild(text []byte, sa []int32) (*Index, error) {
+	for i, c := range text {
+		if c > Separator {
+			return nil, fmt.Errorf("fmindex: unsanitized base %d at %d", c, i)
+		}
+	}
+	ix := &Index{text: text, sa: sa}
+	ix.deriveFromSA()
+	return ix, nil
+}

@@ -1,0 +1,86 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		text := randSeq(rng, 100+rng.Intn(2000))
+		if trial%2 == 0 {
+			text[rng.Intn(len(text))] = Separator // multi-contig-style content
+		}
+		ix, err := New(append([]byte(nil), text...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Functional equivalence across a battery of queries.
+		for probe := 0; probe < 30; probe++ {
+			beg := rng.Intn(len(text) - 8)
+			p := text[beg : beg+1+rng.Intn(7)]
+			a, b := ix.Count(p), back.Count(p)
+			if a != b {
+				t.Fatalf("trial %d: Count differs after round trip: %+v vs %+v", trial, a, b)
+			}
+			la, lb := ix.Locate(a, 0), back.Locate(b, 0)
+			if len(la) != len(lb) {
+				t.Fatalf("trial %d: Locate differs", trial)
+			}
+			for i := range la {
+				if la[i] != lb[i] {
+					t.Fatalf("trial %d: positions differ", trial)
+				}
+			}
+			q := randSeq(rng, 30)
+			ma := ix.SMEMs(q, SMEMConfig{MinLen: 5, MaxOcc: 10})
+			mb := back.SMEMs(q, SMEMConfig{MinLen: 5, MaxOcc: 10})
+			if len(ma) != len(mb) {
+				t.Fatalf("trial %d: SMEMs differ after round trip", trial)
+			}
+		}
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x58, 0x44, 0x45, 0x53}) // little-endian magic
+	buf.Write([]byte{99, 0, 0, 0})
+	if _, err := ReadIndex(&buf); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReadIndexRejectsCorruptSA(t *testing.T) {
+	text := randSeq(rand.New(rand.NewSource(2)), 200)
+	ix, err := New(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-2] = 0x7f // clobber a suffix-array entry
+	if _, err := ReadIndex(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt suffix array accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package fmindex
+
+// MEM is a maximal exact match between a query and the indexed text.
+type MEM struct {
+	QBeg, Len int   // query span [QBeg, QBeg+Len)
+	Positions []int // forward-strand text positions of the occurrences (capped)
+	// RCPositions are reverse-strand hits (filled by the bidirectional
+	// FMD search only): text positions where the reverse complement of
+	// the matched query segment occurs.
+	RCPositions []int
+	// Occ is the total occurrence count before capping — forward-only
+	// for the suffix-array search, both strands for the FMD search.
+	Occ int
+}
+
+// SMEMConfig controls SMEM generation.
+type SMEMConfig struct {
+	// MinLen discards matches shorter than this (BWA-MEM: 19).
+	MinLen int
+	// MaxOcc caps the occurrences reported per SMEM (BWA-MEM: ~500;
+	// highly repetitive seeds are down-sampled).
+	MaxOcc int
+}
+
+// DefaultSMEMConfig mirrors BWA-MEM's defaults.
+func DefaultSMEMConfig() SMEMConfig { return SMEMConfig{MinLen: 19, MaxOcc: 50} }
+
+// SMEMs computes the supermaximal exact matches of q against the index:
+// maximal matches not contained in any other maximal match of the query.
+// For each query position the longest match starting there is found via
+// the suffix array; right-maximality is inherent and left-maximality is
+// the containment filter. This produces the same seed set BWA-MEM's
+// bidirectional SMEM walk generates.
+func (ix *Index) SMEMs(q []byte, cfg SMEMConfig) []MEM {
+	var mems []MEM
+	bestEnd := -1 // furthest match end seen so far; containment filter
+	i := 0
+	limit := 0 // index of the next ambiguous base at or after i
+	for i < len(q) {
+		if q[i] > 3 { // ambiguous base: no exact match crosses it
+			i++
+			continue
+		}
+		// Matches must stop at the next ambiguous base: codes >= 4 never
+		// match, even where the indexed text contains the separator code.
+		if limit <= i {
+			limit = i
+			for limit < len(q) && q[limit] <= 3 {
+				limit++
+			}
+		}
+		l, iv := ix.LongestMatch(q[i:limit])
+		if l == 0 {
+			i++
+			continue
+		}
+		end := i + l
+		if end > bestEnd {
+			bestEnd = end
+			if l >= cfg.MinLen {
+				mems = append(mems, MEM{
+					QBeg:      i,
+					Len:       l,
+					Positions: ix.LocateRaw(iv, cfg.MaxOcc),
+					Occ:       iv.Size(),
+				})
+			}
+		}
+		i++
+	}
+	return mems
+}

@@ -1,0 +1,149 @@
+package fmindex
+
+import "sort"
+
+// SMEMsBi computes the supermaximal exact matches of q against the FMD
+// index with Li's bidirectional algorithm (the procedure inside BWA-MEM):
+// from each start position, extend forward while recording every interval
+// where the occurrence count drops (the "curve" of the match), then sweep
+// backward over all candidates at once, emitting a match each time the
+// longest surviving candidate dies. Matches have both strands counted in
+// Occ; Positions are forward-strand text positions.
+//
+// It must produce exactly the same spans as the suffix-array SMEMs
+// method, which the tests enforce.
+func (f *FMD) SMEMsBi(q []byte, cfg SMEMConfig) []MEM {
+	var mems []MEM
+	x := 0
+	for x < len(q) {
+		if q[x] > 3 {
+			x++
+			continue
+		}
+		found, next := f.smem1(q, x, cfg)
+		mems = append(mems, found...)
+		x = next
+	}
+	return mems
+}
+
+// biCand is a candidate interval with its query end (exclusive).
+type biCand struct {
+	bi  BiInterval
+	end int
+}
+
+// smem1 returns the SMEMs passing through position x and the next start
+// position (the end of the longest forward extension, so every SMEM is
+// visited exactly once).
+func (f *FMD) smem1(q []byte, x int, cfg SMEMConfig) ([]MEM, int) {
+	ik := f.Start(q[x])
+	if !ik.Alive() {
+		return nil, x + 1
+	}
+	// Forward sweep: collect the curve of intervals.
+	var curve []biCand
+	end := x + 1
+	for ; end < len(q); end++ {
+		if q[end] > 3 {
+			break
+		}
+		ok := f.ForwardExt(ik, q[end])
+		if !ok.Alive() {
+			break
+		}
+		if ok.S != ik.S {
+			curve = append(curve, biCand{ik, end})
+		}
+		ik = ok
+	}
+	curve = append(curve, biCand{ik, end})
+	// Longest-first for the backward sweep.
+	for i, j := 0, len(curve)-1; i < j; i, j = i+1, j-1 {
+		curve[i], curve[j] = curve[j], curve[i]
+	}
+	next := curve[0].end
+
+	var mems []MEM
+	emit := func(start int, c biCand) {
+		if c.end-start < cfg.MinLen {
+			return
+		}
+		fw, rc := f.positions(c.bi, c.end-start, cfg.MaxOcc)
+		mems = append(mems, MEM{
+			QBeg:        start,
+			Len:         c.end - start,
+			Positions:   fw,
+			RCPositions: rc,
+			Occ:         int(c.bi.S),
+		})
+	}
+
+	prev := curve
+	i := x - 1
+	for {
+		var c byte = 4 // invalid: flush everything
+		if i >= 0 {
+			c = q[i]
+		}
+		var nxt []biCand
+		for _, p := range prev {
+			var ok BiInterval
+			if c <= 3 {
+				ok = f.BackwardExt(p.bi, c)
+			}
+			if !ok.Alive() {
+				// p cannot extend to i; it is left-maximal at i+1. The
+				// longest such candidate at this boundary is an SMEM;
+				// shorter ones are contained in it.
+				if len(nxt) == 0 && (len(mems) == 0 || i+1 < lastStart(mems)) {
+					emit(i+1, p)
+				}
+				continue
+			}
+			if len(nxt) == 0 || ok.S != nxt[len(nxt)-1].bi.S {
+				nxt = append(nxt, biCand{ok, p.end})
+			}
+		}
+		if len(nxt) == 0 || i < 0 {
+			break
+		}
+		prev = nxt
+		i--
+	}
+	return mems, next
+}
+
+func lastStart(mems []MEM) int { return mems[len(mems)-1].QBeg }
+
+// positions locates the interval's occurrences, split by strand: fw are
+// forward-strand text positions; rc are the text positions of the
+// reverse complement of the matched segment (hits inside the
+// reverse-complement half of the combined string, mapped back to T
+// coordinates). Each list is capped at max independently.
+func (f *FMD) positions(bi BiInterval, length, max int) (fw, rc []int) {
+	for r := bi.K; r < bi.K+bi.S; r++ {
+		if r == 0 {
+			continue
+		}
+		p := int(f.ix.sa[r-1])
+		switch {
+		case p+length <= f.n:
+			fw = append(fw, p)
+		case p > f.n:
+			// Offset j inside revcomp(T); the segment's reverse
+			// complement sits at T position n-j-length.
+			j := p - (f.n + 1)
+			rc = append(rc, f.n-j-length)
+		}
+	}
+	sort.Ints(fw)
+	sort.Ints(rc)
+	if max > 0 && len(fw) > max {
+		fw = fw[:max]
+	}
+	if max > 0 && len(rc) > max {
+		rc = rc[:max]
+	}
+	return
+}

@@ -1,0 +1,132 @@
+package fpga
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func workload(n int, rng *rand.Rand) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		q := 60 + rng.Intn(60)
+		jobs[i] = Job{
+			QLen:      q,
+			TLen:      q + rng.Intn(30),
+			NeedsEdit: rng.Float64() < 1.0/3,
+			Rerun:     rng.Float64() < 0.02,
+		}
+	}
+	return jobs
+}
+
+func TestIsoAreaThroughputSpeedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	jobs := workload(20000, rng)
+	se := Simulate(DefaultSeedEx(), jobs)
+	fb := Simulate(FullBandBaseline(), jobs)
+	if se.ThroughputPerS <= fb.ThroughputPerS {
+		t.Fatalf("SeedEx %.2g must beat full-band %.2g", se.ThroughputPerS, fb.ThroughputPerS)
+	}
+	speedup := se.ThroughputPerS / fb.ThroughputPerS
+	if speedup < 4.0 || speedup > 8.5 {
+		t.Fatalf("iso-area speedup %.2f outside plausible band around the paper's 6.0x", speedup)
+	}
+	t.Logf("iso-area speedup %.2fx (paper: 6.0x); SeedEx %.1f M ext/s, full-band %.1f M ext/s",
+		speedup, se.ThroughputPerS/1e6, fb.ThroughputPerS/1e6)
+	// Also iso-area in the LUT model: the two images should be within 2x
+	// of each other (the paper's full-band count was routability-limited).
+	a, b := DefaultSeedEx().LUTs(), FullBandBaseline().LUTs()
+	if a/b > 2.5 || b/a > 2.5 {
+		t.Fatalf("configs not roughly iso-area: %.0f vs %.0f LUTs", a, b)
+	}
+}
+
+func TestMemoryLatencyHidden(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	jobs := workload(10000, rng)
+	rep := Simulate(DefaultSeedEx(), jobs)
+	// Paper: "memory access time is completely hidden... near-100%
+	// utilization". Our prefetch model should stall on at most the
+	// pipeline warmup.
+	if rep.BSWUtilization < 0.9 {
+		t.Fatalf("BSW utilization %.2f, want near 1 (stalls %d)", rep.BSWUtilization, rep.MemStallCycles)
+	}
+	if rep.MemStallCycles > int64(len(jobs)) {
+		t.Fatalf("memory stalls %d not hidden", rep.MemStallCycles)
+	}
+}
+
+func TestThroughputScalesWithClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	jobs := workload(30000, rng)
+	var prev float64
+	for _, clusters := range []int{1, 2, 3} {
+		cfg := DefaultSeedEx()
+		cfg.Clusters = clusters
+		rep := Simulate(cfg, jobs)
+		if prev > 0 {
+			ratio := rep.ThroughputPerS / prev
+			if ratio < 1.6 || ratio > 2.4 {
+				// successive +1 cluster from 1->2 should be ~2x; 2->3 ~1.5x
+				if clusters == 3 && ratio > 1.3 && ratio < 1.7 {
+					prev = rep.ThroughputPerS
+					continue
+				}
+				t.Fatalf("clusters=%d: scaling ratio %.2f not ~linear", clusters, ratio)
+			}
+		}
+		prev = rep.ThroughputPerS
+	}
+}
+
+func TestEditMachineNotABottleneck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	jobs := workload(10000, rng)
+	rep := Simulate(DefaultSeedEx(), jobs)
+	// The 3:1 BSW:edit provisioning keeps the edit machine comfortably
+	// below saturation for the ~1/3 edit-check demand.
+	if rep.EditUtilization >= 0.95 {
+		t.Fatalf("edit machine saturated: %.2f", rep.EditUtilization)
+	}
+	if rep.EditBusy == 0 {
+		t.Fatal("edit machine never used")
+	}
+}
+
+func TestRerunAccounting(t *testing.T) {
+	jobs := []Job{{QLen: 100, TLen: 120, Rerun: true}, {QLen: 100, TLen: 120}}
+	rep := Simulate(DefaultSeedEx(), jobs)
+	if rep.Reruns != 1 {
+		t.Fatalf("reruns = %d, want 1", rep.Reruns)
+	}
+	if rep.Extensions != 2 {
+		t.Fatalf("extensions = %d, want 2", rep.Extensions)
+	}
+}
+
+func TestOutputCoalescing(t *testing.T) {
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = Job{QLen: 100, TLen: 110}
+	}
+	cfg := DefaultSeedEx()
+	cfg.Clusters = 1
+	rep := Simulate(cfg, jobs)
+	// 12 results at 5:1 = 3 output lines.
+	if rep.OutputLines != 3 {
+		t.Fatalf("output lines = %d, want 3", rep.OutputLines)
+	}
+	if rep.InputLines == 0 {
+		t.Fatal("no input lines accounted")
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	rep := Simulate(DefaultSeedEx(), nil)
+	if rep.Cycles != 0 || rep.Extensions != 0 {
+		t.Fatalf("empty workload: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}

@@ -1,0 +1,172 @@
+// Package genome provides nucleotide encodings and synthetic reference
+// genome generation used throughout the SeedEx reproduction.
+//
+// Bases are carried as 2-bit codes (A=0, C=1, G=2, T=3) in []byte slices;
+// the value 4 denotes an ambiguous base (N), matching the 3-bit on-wire
+// format the SeedEx FPGA consumes ("input genome string pair in a 3-bit
+// format", paper §IV-A).
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Base codes. Code 4 represents an ambiguous base (N).
+const (
+	A byte = 0
+	C byte = 1
+	G byte = 2
+	T byte = 3
+	N byte = 4
+)
+
+// Alphabet is the number of unambiguous base codes.
+const Alphabet = 4
+
+var code2char = [5]byte{'A', 'C', 'G', 'T', 'N'}
+
+var char2code [256]byte
+
+func init() {
+	for i := range char2code {
+		char2code[i] = N
+	}
+	for c, ch := range map[byte]byte{'A': A, 'a': A, 'C': C, 'c': C, 'G': G, 'g': G, 'T': T, 't': T} {
+		char2code[c] = ch
+	}
+}
+
+// EncodeByte converts one ASCII nucleotide to its 2-bit code (N for
+// anything unrecognized).
+func EncodeByte(ch byte) byte { return char2code[ch] }
+
+// DecodeByte converts a base code back to its ASCII letter.
+func DecodeByte(code byte) byte {
+	if int(code) >= len(code2char) {
+		return 'N'
+	}
+	return code2char[code]
+}
+
+// Encode converts an ASCII nucleotide string to base codes.
+func Encode(s string) []byte {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = char2code[s[i]]
+	}
+	return out
+}
+
+// Decode converts base codes to an ASCII nucleotide string.
+func Decode(seq []byte) string {
+	var b strings.Builder
+	b.Grow(len(seq))
+	for _, c := range seq {
+		b.WriteByte(DecodeByte(c))
+	}
+	return b.String()
+}
+
+// Complement returns the complementary code of a base (N maps to N).
+func Complement(code byte) byte {
+	if code >= N {
+		return N
+	}
+	return 3 - code
+}
+
+// RevComp returns the reverse complement of seq as a new slice.
+func RevComp(seq []byte) []byte {
+	out := make([]byte, len(seq))
+	for i, c := range seq {
+		out[len(seq)-1-i] = Complement(c)
+	}
+	return out
+}
+
+// Validate reports an error if seq contains a value that is not a valid
+// base code.
+func Validate(seq []byte) error {
+	for i, c := range seq {
+		if c > N {
+			return fmt.Errorf("genome: invalid base code %d at offset %d", c, i)
+		}
+	}
+	return nil
+}
+
+// SimConfig controls synthetic genome generation.
+type SimConfig struct {
+	// Length of the genome in base pairs.
+	Length int
+	// GC is the target GC content in [0,1]. Zero means 0.5.
+	GC float64
+	// RepeatFraction is the fraction of the genome covered by copied
+	// repeats (segmental duplications), approximating the repetitive
+	// structure that makes seeding ambiguous. Zero disables repeats.
+	RepeatFraction float64
+	// RepeatLen is the length of each repeat unit (default 500).
+	RepeatLen int
+}
+
+// Simulate generates a random genome according to cfg using rng.
+func Simulate(cfg SimConfig, rng *rand.Rand) []byte {
+	if cfg.Length <= 0 {
+		return nil
+	}
+	gc := cfg.GC
+	if gc == 0 {
+		gc = 0.5
+	}
+	g := make([]byte, cfg.Length)
+	for i := range g {
+		if rng.Float64() < gc {
+			if rng.Intn(2) == 0 {
+				g[i] = G
+			} else {
+				g[i] = C
+			}
+		} else {
+			if rng.Intn(2) == 0 {
+				g[i] = A
+			} else {
+				g[i] = T
+			}
+		}
+	}
+	if cfg.RepeatFraction > 0 {
+		rl := cfg.RepeatLen
+		if rl <= 0 {
+			rl = 500
+		}
+		if rl > cfg.Length/2 {
+			rl = cfg.Length / 2
+		}
+		covered := 0
+		target := int(float64(cfg.Length) * cfg.RepeatFraction)
+		for covered < target && rl > 0 {
+			src := rng.Intn(cfg.Length - rl)
+			dst := rng.Intn(cfg.Length - rl)
+			copy(g[dst:dst+rl], g[src:src+rl])
+			covered += rl
+		}
+	}
+	return g
+}
+
+// Slice returns genome[start:end) clamped to the genome bounds; callers use
+// it to fetch reference windows for extension without bounds bookkeeping.
+func Slice(g []byte, start, end int) []byte {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(g) {
+		end = len(g)
+	}
+	if start >= end {
+		return nil
+	}
+	return g[start:end]
+}

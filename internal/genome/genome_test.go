@@ -1,0 +1,130 @@
+package genome
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := "ACGTNacgtX"
+	enc := Encode(s)
+	want := []byte{A, C, G, T, N, A, C, G, T, N}
+	for i := range want {
+		if enc[i] != want[i] {
+			t.Fatalf("Encode(%q)[%d] = %d, want %d", s, i, enc[i], want[i])
+		}
+	}
+	if Decode(enc) != "ACGTNACGTN" {
+		t.Fatalf("Decode = %q", Decode(enc))
+	}
+	if DecodeByte(9) != 'N' {
+		t.Fatal("out-of-range code must decode to N")
+	}
+}
+
+func TestRevCompInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := make([]byte, len(raw))
+		for i, c := range raw {
+			s[i] = c % 5
+		}
+		rc := RevComp(RevComp(s))
+		for i := range s {
+			if rc[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := map[byte]byte{A: T, C: G, G: C, T: A, N: N}
+	for a, b := range pairs {
+		if Complement(a) != b {
+			t.Fatalf("Complement(%d) = %d, want %d", a, Complement(a), b)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]byte{0, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate([]byte{0, 7}); err == nil {
+		t.Fatal("expected error for invalid code")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Simulate(SimConfig{Length: 10_000, GC: 0.6}, rng)
+	if len(g) != 10_000 {
+		t.Fatalf("length %d", len(g))
+	}
+	gc := 0
+	for _, c := range g {
+		if c > 3 {
+			t.Fatalf("invalid base %d", c)
+		}
+		if c == G || c == C {
+			gc++
+		}
+	}
+	frac := float64(gc) / float64(len(g))
+	if frac < 0.55 || frac > 0.65 {
+		t.Fatalf("GC fraction %.3f, want ~0.6", frac)
+	}
+	if Simulate(SimConfig{Length: 0}, rng) != nil {
+		t.Fatal("zero length must return nil")
+	}
+}
+
+func TestSimulateRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := Simulate(SimConfig{Length: 20_000, RepeatFraction: 0.3, RepeatLen: 400}, rng)
+	// Count positions covered by at least one 100-mer that appears twice:
+	// crude repeat detector via sampling.
+	dup := 0
+	const k = 100
+	for trial := 0; trial < 50; trial++ {
+		i := rng.Intn(len(g) - k)
+		pat := g[i : i+k]
+		count := 0
+		for j := 0; j+k <= len(g); j++ {
+			same := true
+			for x := 0; x < k; x++ {
+				if g[j+x] != pat[x] {
+					same = false
+					break
+				}
+			}
+			if same {
+				count++
+			}
+		}
+		if count > 1 {
+			dup++
+		}
+	}
+	if dup == 0 {
+		t.Fatal("no repeats detected despite RepeatFraction=0.3")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	g := []byte{0, 1, 2, 3}
+	if got := Slice(g, -5, 2); len(got) != 2 {
+		t.Fatalf("clamped slice = %v", got)
+	}
+	if got := Slice(g, 2, 99); len(got) != 2 {
+		t.Fatalf("clamped slice = %v", got)
+	}
+	if got := Slice(g, 3, 3); got != nil {
+		t.Fatalf("empty slice = %v", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package hw provides the analytic hardware models of the SeedEx
+// reproduction: FPGA LUT area (Figures 4, 15, 16a/b; Table II), ASIC area
+// and power (Table III), and the comparator systems of Figure 18.
+//
+// The paper's numbers come from Vivado place-and-route on a VU9P and
+// Synopsys DC in TSMC 28nm — hardware this reproduction cannot run.
+// Following the substitution rules in DESIGN.md, the models below are
+// parametric in structural quantities (PE counts, datapath widths, core
+// counts) with per-component constants chosen once so that the paper's
+// *published component ratios* (full-band/SeedEx 2.3x, the edit-core
+// 1.82x/3.11x/6.06x ladder, 5.53% checker overhead, Table II utilization)
+// emerge from the model; every derived figure is then recomputed through
+// these formulas rather than hard-coded.
+package hw
+
+import "fmt"
+
+// VU9PLUTs is the usable LUT count of the Xilinx Ultrascale+ VU9P
+// (~2.5M logic elements ~ 1.18M LUTs).
+const VU9PLUTs = 1_182_240
+
+// FPGA clock period used by SeedEx custom logic (paper §VI: 8 ns).
+const ClockNs = 8.0
+
+// ClockHz is the SeedEx FPGA clock frequency.
+const ClockHz = 1e9 / ClockNs
+
+// LUT-model constants (see the package comment for the calibration
+// philosophy; TestPublishedRatiosEmerge pins the resulting ratios).
+const (
+	bswCoreFixedLUT  = 900.0  // input parse, score accumulators, control
+	bswPELUT         = 320.0  // one 8-bit affine-gap PE with score registers
+	bswRoutingLUT    = 0.4738 // superlinear routing/wiring term per PE^2
+	editCoreFixedLUT = 900.0  // edit core control and buffers
+	editPENaiveLUT   = 176.0  // 8-bit reduced-scoring (no E/F registers) PE
+	editPEDeltaLUT   = 94.0   // 3-bit delta-encoded PE + share of dmax tree
+	checkerFraction  = 0.0553 // optimality-check logic share of a SeedEx core
+	controllerLUT    = 400.0  // master state controller
+	ioBuffersLUT     = 5_800.0
+	awsShellLUT      = 0.1974 * VU9PLUTs // AWS shell + AXI interconnect
+	seedingLUT       = 0.2104 * VU9PLUTs // ERT seeding accelerator (1x6)
+)
+
+// BSWCoreLUT models one banded Smith-Waterman core with pes processing
+// elements (Figure 4's near-linear growth with a mild routing term).
+func BSWCoreLUT(pes int) float64 {
+	p := float64(pes)
+	return bswCoreFixedLUT + bswPELUT*p + bswRoutingLUT*p*p
+}
+
+// EditCoreLevel selects how much of §IV-B's optimization ladder is
+// applied to the edit machine (Figure 16b).
+type EditCoreLevel int
+
+// Ladder rungs, in paper order.
+const (
+	// EditNaive uses the reduced edit scoring datapath but keeps the
+	// 8-bit width (1.82x smaller than a BSW core).
+	EditNaive EditCoreLevel = iota
+	// EditDelta adds 3-bit delta encoding (3.11x smaller).
+	EditDelta
+	// EditHalfWidth additionally halves the PE array for the trapezoid
+	// sweep (6.06x smaller) — the shipping configuration.
+	EditHalfWidth
+)
+
+// EditCoreLUT models the edit machine at a given optimization level, for
+// an array matched to a BSW core with pes PEs.
+func EditCoreLUT(pes int, level EditCoreLevel) float64 {
+	p := float64(pes)
+	switch level {
+	case EditNaive:
+		return editCoreFixedLUT + editPENaiveLUT*p
+	case EditDelta:
+		return editCoreFixedLUT + editPEDeltaLUT*p
+	default: // EditHalfWidth
+		return editCoreFixedLUT/2 + editPEDeltaLUT*(p+1)/2
+	}
+}
+
+// SeedExCoreLUT models one SeedEx core: bswPerCore narrow-band BSW cores,
+// one half-width delta edit machine, and the optimality-check logic
+// (thresholds, E-score max unit, workflow FSM) at its published share.
+func SeedExCoreLUT(pes, bswPerCore int) float64 {
+	datapath := float64(bswPerCore)*BSWCoreLUT(pes) + EditCoreLUT(pes, EditHalfWidth)
+	return datapath / (1 - checkerFraction)
+}
+
+// CheckerLUT is the optimality-check logic of one SeedEx core.
+func CheckerLUT(pes, bswPerCore int) float64 {
+	return SeedExCoreLUT(pes, bswPerCore) * checkerFraction
+}
+
+// FullBandCoreLUT is the baseline: a BSW core whose band covers the whole
+// query (one PE per query position).
+func FullBandCoreLUT(qlen int) float64 { return BSWCoreLUT(qlen) }
+
+// Breakdown is a named LUT budget (Figure 15 / Table II rows).
+type Breakdown struct {
+	Name string
+	LUT  float64
+}
+
+// Pct returns the share of the VU9P budget.
+func (b Breakdown) Pct() float64 { return 100 * b.LUT / VU9PLUTs }
+
+// String renders one budget row.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%-22s %9.0f LUT  %5.2f%%", b.Name, b.LUT, b.Pct())
+}
+
+// SeedExFPGABreakdown models the SeedEx-only FPGA image of Figure 15:
+// cores SeedEx cores (3 BSW + 1 edit each) plus controller, buffers and
+// the AWS shell.
+func SeedExFPGABreakdown(pes, cores int) []Breakdown {
+	bsw := float64(cores) * 3 * BSWCoreLUT(pes)
+	edit := float64(cores) * EditCoreLUT(pes, EditHalfWidth)
+	checker := float64(cores) * CheckerLUT(pes, 3)
+	return []Breakdown{
+		{"BSW cores", bsw},
+		{"Edit cores", edit},
+		{"Checker", checker},
+		{"Controller", controllerLUT},
+		{"I/O buffers", ioBuffersLUT},
+		{"AWS interface", awsShellLUT},
+	}
+}
+
+// CombinedImageBreakdown models Table II: the seeding accelerator plus a
+// 3-core SeedEx cluster on one image.
+func CombinedImageBreakdown(pes int) []Breakdown {
+	seedex := 3 * SeedExCoreLUT(pes, 3)
+	return []Breakdown{
+		{"Seeding (ERT 1x6)", seedingLUT},
+		{"SeedEx: Controller", controllerLUT},
+		{"SeedEx: I/O Buffers", ioBuffersLUT},
+		{"SeedEx: SeedEx Core", seedex},
+		{"AWS Interface", awsShellLUT},
+	}
+}
+
+// TotalLUT sums a breakdown.
+func TotalLUT(rows []Breakdown) float64 {
+	t := 0.0
+	for _, r := range rows {
+		t += r.LUT
+	}
+	return t
+}

@@ -1,0 +1,146 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func within(t *testing.T, name string, got, want, tolFrac float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero target", name)
+	}
+	if math.Abs(got-want)/math.Abs(want) > tolFrac {
+		t.Fatalf("%s = %.4g, want %.4g (±%.0f%%)", name, got, want, tolFrac*100)
+	}
+}
+
+// TestPublishedRatiosEmerge pins the calibration: the paper's published
+// component ratios must fall out of the structural LUT model.
+func TestPublishedRatiosEmerge(t *testing.T) {
+	// Figure 16a: 3 full-band BSW cores vs one SeedEx core -> 2.3x LUTs.
+	ratio := 3 * FullBandCoreLUT(101) / SeedExCoreLUT(41, 3)
+	within(t, "fullband/seedex core LUT ratio", ratio, 2.3, 0.10)
+
+	// Figure 16b ladder at 41 PEs.
+	b := BSWCoreLUT(41)
+	within(t, "edit naive ladder", b/EditCoreLUT(41, EditNaive), 1.82, 0.10)
+	within(t, "edit delta ladder", b/EditCoreLUT(41, EditDelta), 3.11, 0.10)
+	within(t, "edit half-width ladder", b/EditCoreLUT(41, EditHalfWidth), 6.06, 0.10)
+
+	// Checker overhead share.
+	within(t, "checker fraction",
+		CheckerLUT(41, 3)/SeedExCoreLUT(41, 3), 0.0553, 0.01)
+}
+
+func TestAreaGrowsWithBand(t *testing.T) {
+	prev := 0.0
+	for pes := 5; pes <= 101; pes += 8 {
+		a := BSWCoreLUT(pes)
+		if a <= prev {
+			t.Fatalf("area must grow with band: %d PEs -> %.0f", pes, a)
+		}
+		prev = a
+	}
+}
+
+// TestTableIIUtilization checks the combined-image budget against the
+// paper's Table II percentages.
+func TestTableIIUtilization(t *testing.T) {
+	rows := CombinedImageBreakdown(41)
+	var seedexCore, total float64
+	for _, r := range rows {
+		total += r.LUT
+		if r.Name == "SeedEx: SeedEx Core" {
+			seedexCore = r.Pct()
+		}
+	}
+	within(t, "SeedEx core utilization %", seedexCore, 12.47, 0.10)
+	totalPct := 100 * total / VU9PLUTs
+	within(t, "combined image utilization %", totalPct, 53.77, 0.10)
+}
+
+func TestSeedExFPGABreakdown(t *testing.T) {
+	rows := SeedExFPGABreakdown(41, 4)
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	var bsw, edit float64
+	for _, r := range rows {
+		if r.LUT <= 0 {
+			t.Fatalf("row %s has non-positive LUTs", r.Name)
+		}
+		if r.String() == "" {
+			t.Fatal("empty row rendering")
+		}
+		switch r.Name {
+		case "BSW cores":
+			bsw = r.LUT
+		case "Edit cores":
+			edit = r.LUT
+		}
+	}
+	// Compute should dominate (paper: "a majority of our resources are
+	// spent on compute"), and edit cores are ~6x smaller than BSW cores
+	// at a 3:1 count ratio.
+	if bsw < edit*10 {
+		t.Fatalf("BSW %.0f vs edit %.0f: expected ~18x", bsw, edit)
+	}
+}
+
+func TestASICTableIII(t *testing.T) {
+	area, power := ASICTotals(SeedExASIC())
+	within(t, "SeedEx ASIC area", area, 0.98, 0.06)
+	within(t, "SeedEx ASIC power", power/1000, 1.10, 0.06)
+	all, allPower := ASICTotals(append(SeedExASIC(), ERTASIC()))
+	within(t, "ERT+SeedEx area", all, 28.76, 0.02)
+	within(t, "ERT+SeedEx power", allPower/1000, 9.81, 0.02)
+	for _, c := range SeedExASIC() {
+		if FormatASICRow(c) == "" {
+			t.Fatal("empty ASIC row")
+		}
+	}
+}
+
+func TestSillaxScaling(t *testing.T) {
+	if SillaxPEStates(32) != 1024 {
+		t.Fatalf("Silla needs K^2 states")
+	}
+}
+
+func TestFigure18Shape(t *testing.T) {
+	bars := Figure18(41, 101, 121)
+	byName := map[string]Comparator{}
+	for _, b := range bars {
+		byName[b.Name] = b
+	}
+	// 18a: SeedEx ~20x Sillax, both far above CPU/GPU.
+	within(t, "SeedEx/Sillax kernel ratio",
+		byName["SeedEx"].KernelThroughput/byName["Sillax"].KernelThroughput, 20, 0.01)
+	if byName["Sillax"].KernelThroughput <= byName["CPU (SeqAn)"].KernelThroughput {
+		t.Fatal("Sillax must beat CPU per mm^2")
+	}
+	if byName["CPU (SeqAn)"].KernelThroughput <= byName["GPU (SW#)"].KernelThroughput {
+		t.Fatal("CPU (SeqAn) beats GPU (SW#) for short reads in the paper")
+	}
+	// 18b/c orderings.
+	se, si, ga := byName["ERT+SeedEx"], byName["ERT+Sillax"], byName["GenAx"]
+	within(t, "app vs ERT+Sillax", se.AppThroughput/si.AppThroughput, 1.56, 0.01)
+	within(t, "app vs GenAx", se.AppThroughput/ga.AppThroughput, 14.6, 0.01)
+	within(t, "eff vs ERT+Sillax", se.EnergyEff/si.EnergyEff, 2.45, 0.01)
+	within(t, "eff vs GenAx", se.EnergyEff/ga.EnergyEff, 2.11, 0.01)
+	if se.AppThroughput <= byName["BWA-MEM2"].AppThroughput {
+		t.Fatal("accelerated system must beat software baseline")
+	}
+}
+
+func TestKernelThroughputModel(t *testing.T) {
+	ext, perMM2 := SeedExASICKernelThroughput(41, 101, 121)
+	if ext <= 0 || perMM2 <= 0 {
+		t.Fatalf("non-positive throughput %v %v", ext, perMM2)
+	}
+	// 12 cores at ~2 GHz with ~300-cycle service: tens of millions ext/s.
+	if ext < 20e6 || ext > 500e6 {
+		t.Fatalf("ASIC kernel throughput %.3g ext/s implausible", ext)
+	}
+}

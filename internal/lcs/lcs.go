@@ -1,0 +1,202 @@
+// Package lcs applies the SeedEx speculation-and-test idea to the Longest
+// Common Subsequence problem, the second §VII-D application: banded LCS
+// with thresholding and boundary checks that prove band optimality.
+//
+// The S1-style threshold transplants directly: any alignment path that
+// drifts more than w off the diagonal leaves at least w+1 characters of
+// one string unmatched, so its LCS length is at most
+// min(n, m−(w+1)) or min(n−(w+1), m). The E-score-style boundary check
+// bounds each band-leaving path by its known boundary value plus an
+// all-match continuation.
+package lcs
+
+// Result is one LCS evaluation.
+type Result struct {
+	// Length of the longest common subsequence (within the band for
+	// banded runs).
+	Length int
+	// Cells counts DP cells evaluated.
+	Cells int64
+}
+
+// Full computes the unconstrained LCS length of a and b.
+func Full(a, b []byte) Result {
+	st := banded(a, b, -1)
+	return st.Result
+}
+
+// Banded computes LCS restricted to |i−j| <= w.
+func Banded(a, b []byte, w int) Result {
+	return banded(a, b, w).Result
+}
+
+type state struct {
+	Result
+	// exitAbove[i]: value at boundary cell (i, i+w); exitBelow[j]: at
+	// (j+w, j). -1 where absent.
+	exitAbove, exitBelow []int
+}
+
+func banded(a, b []byte, w int) state {
+	n, m := len(a), len(b)
+	st := state{exitAbove: make([]int, n+1), exitBelow: make([]int, m+1)}
+	for i := range st.exitAbove {
+		st.exitAbove[i] = -1
+	}
+	for j := range st.exitBelow {
+		st.exitBelow[j] = -1
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	const dead = -1 << 30
+	for j := range prev {
+		prev[j] = dead
+	}
+	prev[0] = 0
+	for i := 0; i <= n; i++ {
+		if i > 0 {
+			for j := range cur {
+				cur[j] = dead
+			}
+			jmin, jmax := 0, m
+			if w >= 0 {
+				if lo := i - w; lo > jmin {
+					jmin = lo
+				}
+				if hi := i + w; hi < jmax {
+					jmax = hi
+				}
+			}
+			for j := jmin; j <= jmax; j++ {
+				best := dead
+				if prev[j] > best {
+					best = prev[j]
+				}
+				if j > 0 {
+					if cur[j-1] > best {
+						best = cur[j-1]
+					}
+					if a[i-1] == b[j-1] && prev[j-1] != dead && prev[j-1]+1 > best {
+						best = prev[j-1] + 1
+					}
+				}
+				if i == 0 && j == 0 {
+					best = 0
+				}
+				cur[j] = best
+				if best != dead {
+					st.Cells++
+				}
+			}
+			prev, cur = cur, prev
+		} else if w >= 0 {
+			// Row 0 init restricted to the band.
+			for j := w + 1; j <= m; j++ {
+				prev[j] = dead
+			}
+			for j := 0; j <= w && j <= m; j++ {
+				prev[j] = 0
+			}
+		} else {
+			for j := 0; j <= m; j++ {
+				prev[j] = 0
+			}
+		}
+		if w >= 0 {
+			if j := i + w; j <= m && prev[j] != dead {
+				st.exitAbove[i] = prev[j]
+			}
+			if i >= w {
+				if j := i - w; j >= 0 && j <= m && prev[j] != dead {
+					st.exitBelow[j] = prev[j]
+				}
+			}
+		}
+	}
+	if prev[m] == dead {
+		st.Length = 0
+	} else {
+		st.Length = prev[m]
+	}
+	return st
+}
+
+// Report is the outcome of a checked banded LCS.
+type Report struct {
+	// Pass is true when the banded length is provably optimal.
+	Pass bool
+	// Threshold is the S1-style bound on any band-leaving path.
+	Threshold int
+	// ExitBound is the strongest boundary bound.
+	ExitBound int
+	// Rerun marks a fallback to the full DP.
+	Rerun bool
+}
+
+// Check computes banded LCS and proves (or fails to prove) optimality.
+func Check(a, b []byte, w int) (Result, Report) {
+	st := banded(a, b, w)
+	rep := Report{ExitBound: -1}
+	n, m := len(a), len(b)
+	if w >= n && w >= m {
+		rep.Pass = true
+		return st.Result, rep
+	}
+	// Threshold check: any path drifting beyond the band wastes w+1
+	// characters of one string.
+	above := min(n, m-(w+1))
+	below := min(n-(w+1), m)
+	rep.Threshold = max(above, below)
+	if st.Length > rep.Threshold {
+		rep.Pass = true
+		return st.Result, rep
+	}
+	// Boundary check: paths leave the band through a boundary cell with
+	// known value; everything after can match at most the remaining
+	// shorter side.
+	bound := -1
+	for i := 0; i <= n; i++ {
+		if v := st.exitAbove[i]; v >= 0 {
+			if x := v + min(n-i, m-(i+w)); x > bound {
+				bound = x
+			}
+		}
+	}
+	for j := 0; j <= m; j++ {
+		if v := st.exitBelow[j]; v >= 0 {
+			if x := v + min(n-(j+w), m-j); x > bound {
+				bound = x
+			}
+		}
+	}
+	rep.ExitBound = bound
+	rep.Pass = bound < st.Length
+	return st.Result, rep
+}
+
+// Checked computes banded LCS with the optimality check and a full-DP
+// fallback; its length always equals Full(a, b).Length.
+func Checked(a, b []byte, w int) (Result, Report) {
+	res, rep := Check(a, b, w)
+	if rep.Pass {
+		return res, rep
+	}
+	rep.Rerun = true
+	full := Full(a, b)
+	full.Cells += res.Cells
+	return full, rep
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package lcs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteLCS is the classic O(nm) reference.
+func bruteLCS(a, b []byte) int {
+	n, m := len(a), len(b)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			best := prev[j]
+			if cur[j-1] > best {
+				best = cur[j-1]
+			}
+			if a[i-1] == b[j-1] && prev[j-1]+1 > best {
+				best = prev[j-1] + 1
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return prev[m]
+}
+
+func randStr(rng *rand.Rand, n, sigma int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(sigma))
+	}
+	return s
+}
+
+func TestFullMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := randStr(rng, rng.Intn(60), 4)
+		b := randStr(rng, rng.Intn(60), 4)
+		if got, want := Full(a, b).Length, bruteLCS(a, b); got != want {
+			t.Fatalf("trial %d: Full %d != brute %d", trial, got, want)
+		}
+	}
+}
+
+func TestWideBandEqualsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		a := randStr(rng, 1+rng.Intn(50), 4)
+		b := randStr(rng, 1+rng.Intn(50), 4)
+		w := len(a) + len(b)
+		if got, want := Banded(a, b, w).Length, Full(a, b).Length; got != want {
+			t.Fatalf("trial %d: wide band %d != full %d", trial, got, want)
+		}
+	}
+}
+
+// TestCheckSoundness: a passing check means the banded LCS length is the
+// true LCS length.
+func TestCheckSoundness(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randStr(rng, 1+rng.Intn(60), 2+rng.Intn(4))
+		var b []byte
+		if rng.Intn(2) == 0 {
+			b = randStr(rng, 1+rng.Intn(60), 4)
+		} else {
+			// Mutated copy: high-similarity case where narrow bands win.
+			b = append([]byte(nil), a...)
+			for k := 0; k < len(b)/10+1; k++ {
+				b[rng.Intn(len(b))] = byte(rng.Intn(4))
+			}
+		}
+		w := int(wRaw) % 12
+		res, rep := Check(a, b, w)
+		if !rep.Pass {
+			return true
+		}
+		if want := bruteLCS(a, b); res.Length != want {
+			t.Logf("seed=%d w=%d: banded %d != full %d (thr %d bound %d)", seed, w, res.Length, want, rep.Threshold, rep.ExitBound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckedAlwaysOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	reruns := 0
+	for trial := 0; trial < 300; trial++ {
+		a := randStr(rng, 1+rng.Intn(80), 4)
+		b := randStr(rng, 1+rng.Intn(80), 4)
+		res, rep := Checked(a, b, 5)
+		if rep.Rerun {
+			reruns++
+		}
+		if want := bruteLCS(a, b); res.Length != want {
+			t.Fatalf("trial %d: checked %d != brute %d", trial, res.Length, want)
+		}
+	}
+	t.Logf("reruns: %d/300", reruns)
+}
+
+// TestSimilarStringsPassNarrow: near-identical strings pass the check at
+// tiny bands, saving nearly the whole matrix.
+func TestSimilarStringsPassNarrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	passes := 0
+	for trial := 0; trial < 100; trial++ {
+		a := randStr(rng, 120, 4)
+		b := append([]byte(nil), a...)
+		b[rng.Intn(len(b))] = byte(rng.Intn(4))
+		res, rep := Check(a, b, 3)
+		if rep.Pass {
+			passes++
+			if res.Cells > int64(len(a)*10) {
+				t.Fatalf("banded LCS computed too many cells: %d", res.Cells)
+			}
+		}
+	}
+	if passes < 90 {
+		t.Fatalf("only %d/100 near-identical pairs passed at w=3", passes)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Full(nil, []byte{1}).Length != 0 {
+		t.Fatal("empty LCS must be 0")
+	}
+	res, rep := Checked(nil, nil, 2)
+	if res.Length != 0 || !rep.Pass {
+		t.Fatalf("empty inputs: %+v %+v", res, rep)
+	}
+}

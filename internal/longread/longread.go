@@ -1,0 +1,339 @@
+// Package longread implements the paper's §VII-D long-read scenario: the
+// "seed-and-chain-then-fill" strategy of minimap2-class aligners, where
+// global alignments between chained anchors are computed with a small
+// band — the step the paper measures at 16-33% of minimap2's execution
+// time and proposes SeedEx for ("performing optimal global alignment
+// with a small area").
+//
+// Every inter-anchor fill runs through core.CheckedGlobal: a narrow-band
+// global alignment whose optimality is proven by the SeedEx-style
+// boundary checks, with a full-width rerun when the proof fails. The
+// read ends are extended with the semi-global SeedEx extender, so the
+// module exercises both alignment kinds the paper targets.
+package longread
+
+import (
+	"sync/atomic"
+
+	"seedex/internal/align"
+	"seedex/internal/chain"
+	"seedex/internal/core"
+	"seedex/internal/ert"
+	"seedex/internal/genome"
+)
+
+// Config tunes the long-read aligner.
+type Config struct {
+	// K is the anchor k-mer width; Stride the anchor sampling stride
+	// (a stand-in for minimap2's minimizers).
+	K, Stride int
+	// Band is the one-sided band for inter-anchor global fills.
+	Band int
+	// EndBand is the band of the semi-global end extensions.
+	EndBand int
+	// Scoring is the affine scheme.
+	Scoring align.Scoring
+	// MaxAnchorOcc masks repetitive anchors.
+	MaxAnchorOcc int
+}
+
+// DefaultConfig suits noisy reads of a few kbp.
+func DefaultConfig() Config {
+	return Config{K: 15, Stride: 5, Band: 8, EndBand: 16, Scoring: align.DefaultScoring(), MaxAnchorOcc: 20}
+}
+
+// Stats aggregates fill outcomes across reads (atomic: the caller may
+// align from several goroutines).
+type Stats struct {
+	Fills, FillPasses, FillReruns atomic.Int64
+	FillCells                     atomic.Int64
+}
+
+// PassRate returns the fraction of fills whose optimality was proven.
+func (s *Stats) PassRate() float64 {
+	t := s.Fills.Load()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.FillPasses.Load()) / float64(t)
+}
+
+// Aligner maps long reads against one reference.
+type Aligner struct {
+	Ref   []byte
+	Index *ert.Index
+	Cfg   Config
+	Stats Stats
+	// FullFill disables the checked banded fill and always runs the
+	// full-width global kernel (the baseline the equivalence tests
+	// compare against).
+	FullFill bool
+}
+
+// New builds a long-read aligner over a sanitized reference.
+func New(ref []byte, cfg Config) *Aligner {
+	return &Aligner{Ref: ref, Index: ert.Build(ref, cfg.K), Cfg: cfg}
+}
+
+// Result is one long-read alignment.
+type Result struct {
+	Mapped  bool
+	Rev     bool
+	Pos     int // reference start of the first anchor's extension
+	Score   int
+	Anchors int
+	Fills   int
+}
+
+// Detailed is a Result extended with a full CIGAR, assembled from the
+// anchors, linear-space (Myers-Miller) global fills, and soft-clipped
+// ends — the record a PAF/SAM emitter would consume.
+type Detailed struct {
+	Result
+	Cigar align.Cigar
+	// QBeg/QEnd delimit the aligned query span (ends outside it are
+	// soft-clipped in the CIGAR; Result.Pos/Score still reflect the end
+	// extensions).
+	QBeg, QEnd int
+	// CigarPos is the reference position the CIGAR starts at (the first
+	// anchor).
+	CigarPos int
+}
+
+// AlignDetailed maps one read and reconstructs its alignment path. The
+// score/position decision logic is Align's; only the winning chain is
+// traced (the paper's once-per-read traceback division of labour),
+// using the linear-space aligner so multi-kbp fills stay cheap in
+// memory.
+func (a *Aligner) AlignDetailed(read []byte) (Detailed, error) {
+	var best Detailed
+	for _, rev := range []bool{false, true} {
+		q := read
+		if rev {
+			q = genome.RevComp(read)
+		}
+		r := a.alignStrand(q)
+		r.Rev = rev
+		if r.Mapped && (!best.Mapped || r.Score > best.Score ||
+			(r.Score == best.Score && r.Pos < best.Pos)) {
+			best.Result = r
+			d, err := a.traceStrand(q)
+			if err != nil {
+				return Detailed{}, err
+			}
+			best.Cigar, best.QBeg, best.QEnd, best.CigarPos = d.Cigar, d.QBeg, d.QEnd, d.CigarPos
+		}
+	}
+	if best.Mapped {
+		if err := best.Cigar.Validate(len(read), best.Cigar.TargetLen()); err != nil {
+			return Detailed{}, err
+		}
+	}
+	return best, nil
+}
+
+// traceStrand rebuilds the winning strand's anchors and assembles the
+// CIGAR: clip, anchors as matches, fills via linear-space global
+// alignment.
+func (a *Aligner) traceStrand(q []byte) (Detailed, error) {
+	seeds := a.Index.Seeds(q, ert.Config{
+		Stride: a.Cfg.Stride, MaxOcc: a.Cfg.MaxAnchorOcc, MinSeedLen: a.Cfg.K,
+	})
+	chains := chain.Build(seeds, chain.Config{
+		MaxGap: 500, MaxDiagDiff: 200, MinWeight: a.Cfg.K,
+		KeepFraction: 0.5, MaxChains: 3,
+	})
+	if len(chains) == 0 {
+		return Detailed{}, nil
+	}
+	// Mirror alignStrand's choice: the best chain by stitched score.
+	bestScore, bestIdx := 0, -1
+	for ci, c := range chains {
+		r := a.alignChain(q, c)
+		if r.Mapped && (bestIdx < 0 || r.Score > bestScore) {
+			bestScore, bestIdx = r.Score, ci
+		}
+	}
+	if bestIdx < 0 {
+		return Detailed{}, nil
+	}
+	anchors := advancingAnchors(chains[bestIdx].Seeds)
+	var cig align.Cigar
+	first, last := anchors[0], anchors[len(anchors)-1]
+	d := Detailed{QBeg: first.QBeg, QEnd: last.QEnd(), CigarPos: first.RBeg}
+	cig = cig.Push(align.OpSoft, first.QBeg)
+	for i, s := range anchors {
+		if i > 0 {
+			prev := anchors[i-1]
+			qs, qe := prev.QEnd(), s.QBeg
+			rs, re := prev.REnd(), s.RBeg
+			switch {
+			case qe == qs && re == rs:
+			case qe == qs:
+				cig = cig.Push(align.OpDel, re-rs)
+			case re == rs:
+				cig = cig.Push(align.OpIns, qe-qs)
+			default:
+				fc, _ := align.GlobalAlign(q[qs:qe], a.Ref[rs:re], a.Cfg.Scoring)
+				cig = cig.Concat(fc)
+			}
+		}
+		cig = cig.Push(align.OpMatch, s.Len)
+	}
+	cig = cig.Push(align.OpSoft, len(q)-last.QEnd())
+	d.Cigar = cig
+	return d, nil
+}
+
+// Align maps one read (base codes).
+func (a *Aligner) Align(read []byte) Result {
+	var best Result
+	for _, rev := range []bool{false, true} {
+		q := read
+		if rev {
+			q = genome.RevComp(read)
+		}
+		r := a.alignStrand(q)
+		r.Rev = rev
+		if r.Mapped && (!best.Mapped || r.Score > best.Score ||
+			(r.Score == best.Score && r.Pos < best.Pos)) {
+			best = r
+		}
+	}
+	return best
+}
+
+func (a *Aligner) alignStrand(q []byte) Result {
+	seeds := a.Index.Seeds(q, ert.Config{
+		Stride: a.Cfg.Stride, MaxOcc: a.Cfg.MaxAnchorOcc, MinSeedLen: a.Cfg.K,
+	})
+	if len(seeds) == 0 {
+		return Result{}
+	}
+	ccfg := chain.Config{
+		MaxGap: 500, MaxDiagDiff: 200, MinWeight: a.Cfg.K,
+		KeepFraction: 0.5, MaxChains: 3,
+	}
+	chains := chain.Build(seeds, ccfg)
+	if len(chains) == 0 {
+		return Result{}
+	}
+	var best Result
+	for _, c := range chains {
+		r := a.alignChain(q, c)
+		if r.Mapped && (!best.Mapped || r.Score > best.Score ||
+			(r.Score == best.Score && r.Pos < best.Pos)) {
+			best = r
+		}
+	}
+	return best
+}
+
+// alignChain stitches a chain: anchors score as exact matches, the gaps
+// between consecutive anchors are filled with checked banded global
+// alignments, and the read ends extend semi-globally.
+func (a *Aligner) alignChain(q []byte, c chain.Chain) Result {
+	sc := a.Cfg.Scoring
+	anchors := advancingAnchors(c.Seeds)
+	if len(anchors) == 0 {
+		return Result{}
+	}
+	res := Result{Mapped: true, Anchors: len(anchors)}
+	score := 0
+	for i, s := range anchors {
+		score += s.Len * sc.Match
+		if i == 0 {
+			continue
+		}
+		prev := anchors[i-1]
+		qs, qe := prev.QEnd(), s.QBeg
+		rs, re := prev.REnd(), s.RBeg
+		score += a.fill(q[qs:qe], a.Ref[rs:re])
+		res.Fills++
+	}
+	// End extensions through the semi-global SeedEx path.
+	first, last := anchors[0], anchors[len(anchors)-1]
+	ext := &core.SeedEx{Config: core.Config{Band: a.Cfg.EndBand, Scoring: sc, Kind: core.SemiGlobal, Mode: core.ModeStrict}}
+	pos := first.RBeg
+	if first.QBeg > 0 {
+		lq := reversed(q[:first.QBeg])
+		lo := first.RBeg - first.QBeg - a.Cfg.EndBand
+		if lo < 0 {
+			lo = 0
+		}
+		lt := reversed(a.Ref[lo:first.RBeg])
+		r := ext.Extend(lq, lt, score)
+		if r.Local > score {
+			score = r.Local
+			pos = first.RBeg - r.LocalT
+		}
+	}
+	if last.QEnd() < len(q) {
+		rq := q[last.QEnd():]
+		hi := last.REnd() + len(rq) + a.Cfg.EndBand
+		if hi > len(a.Ref) {
+			hi = len(a.Ref)
+		}
+		r := ext.Extend(rq, a.Ref[last.REnd():hi], score)
+		if r.Local > score {
+			score = r.Local
+		}
+	}
+	res.Score = score
+	res.Pos = pos
+	return res
+}
+
+// fill aligns one inter-anchor gap globally and returns its score
+// contribution (0-based: gap cost only, no seed score).
+func (a *Aligner) fill(q, t []byte) int {
+	if len(q) == 0 && len(t) == 0 {
+		return 0
+	}
+	const h0 = 1 << 14 // offset so intermediate scores stay positive
+	if len(q) == 0 || len(t) == 0 {
+		// Pure gap between abutting anchors.
+		l := len(q) + len(t)
+		return -(a.Cfg.Scoring.GapOpen + l*a.Cfg.Scoring.GapExtend)
+	}
+	if a.FullFill {
+		r := align.Global(q, t, h0, a.Cfg.Scoring)
+		a.Stats.FillCells.Add(r.Cells)
+		return r.Score - h0
+	}
+	cfg := core.Config{Band: a.Cfg.Band, Scoring: a.Cfg.Scoring, Kind: core.Global}
+	r, rep := core.CheckedGlobal(q, t, h0, cfg)
+	a.Stats.Fills.Add(1)
+	a.Stats.FillCells.Add(r.Cells)
+	if rep.Rerun {
+		a.Stats.FillReruns.Add(1)
+	} else {
+		a.Stats.FillPasses.Add(1)
+	}
+	return r.Score - h0
+}
+
+// advancingAnchors selects a strictly advancing, non-overlapping anchor
+// subsequence from a chain's seeds.
+func advancingAnchors(seeds []chain.Seed) []chain.Seed {
+	var anchors []chain.Seed
+	for _, s := range seeds {
+		if len(anchors) == 0 {
+			anchors = append(anchors, s)
+			continue
+		}
+		last := anchors[len(anchors)-1]
+		if s.QBeg >= last.QEnd() && s.RBeg >= last.REnd() {
+			anchors = append(anchors, s)
+		}
+	}
+	return anchors
+}
+
+func reversed(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package longread
+
+import (
+	"math/rand"
+	"testing"
+
+	"seedex/internal/genome"
+)
+
+// simLongRead draws an ONT-flavoured noisy long read from ref.
+func simLongRead(rng *rand.Rand, ref []byte, minLen, maxLen int) (read []byte, pos int, rev bool) {
+	l := minLen + rng.Intn(maxLen-minLen)
+	pos = rng.Intn(len(ref) - l)
+	for _, c := range ref[pos : pos+l] {
+		r := rng.Float64()
+		switch {
+		case r < 0.025: // deletion
+		case r < 0.055: // insertion
+			read = append(read, byte(rng.Intn(4)), c)
+		case r < 0.075: // substitution
+			read = append(read, (c+byte(1+rng.Intn(3)))%4)
+		default:
+			read = append(read, c)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		read = genome.RevComp(read)
+		rev = true
+	}
+	return
+}
+
+func world(t *testing.T, seed int64) ([]byte, *Aligner) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := genome.Simulate(genome.SimConfig{Length: 200_000, RepeatFraction: 0.02}, rng)
+	return ref, New(ref, DefaultConfig())
+}
+
+func TestLongReadMapping(t *testing.T) {
+	ref, a := world(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	mapped, correct := 0, 0
+	const n = 40
+	for i := 0; i < n; i++ {
+		read, pos, rev := simLongRead(rng, ref, 1000, 3000)
+		r := a.Align(read)
+		if !r.Mapped {
+			continue
+		}
+		mapped++
+		d := r.Pos - pos
+		if d < 0 {
+			d = -d
+		}
+		if d <= 50 && r.Rev == rev {
+			correct++
+		}
+	}
+	if mapped < n*9/10 || correct < mapped*9/10 {
+		t.Fatalf("long reads: mapped %d/%d, correct %d", mapped, n, correct)
+	}
+	if a.Stats.Fills.Load() == 0 {
+		t.Fatal("no inter-anchor fills performed")
+	}
+	t.Logf("fills: %d, pass rate %.3f, reruns %d",
+		a.Stats.Fills.Load(), a.Stats.PassRate(), a.Stats.FillReruns.Load())
+}
+
+// TestCheckedFillBitEquivalence: the checked banded fill must give every
+// read exactly the score of the full-width fill — the §VII-D claim that
+// SeedEx can serve the minimap2 gap-filling kernel without accuracy loss.
+func TestCheckedFillBitEquivalence(t *testing.T) {
+	ref, a := world(t, 3)
+	full := New(ref, DefaultConfig())
+	full.FullFill = true
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		read, _, _ := simLongRead(rng, ref, 800, 2500)
+		got := a.Align(read)
+		want := full.Align(read)
+		if got != want {
+			t.Fatalf("read %d: checked %+v != full-fill %+v", i, got, want)
+		}
+	}
+}
+
+// TestFillPassRate: at the default small band, the overwhelming majority
+// of fills between true anchors carry optimality proofs.
+func TestFillPassRate(t *testing.T) {
+	ref, a := world(t, 5)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		read, _, _ := simLongRead(rng, ref, 1000, 2500)
+		a.Align(read)
+	}
+	if a.Stats.Fills.Load() < 50 {
+		t.Fatalf("too few fills to measure: %d", a.Stats.Fills.Load())
+	}
+	if pr := a.Stats.PassRate(); pr < 0.7 {
+		t.Fatalf("fill pass rate %.3f too low at w=%d", pr, a.Cfg.Band)
+	}
+	t.Logf("fill pass rate %.3f over %d fills", a.Stats.PassRate(), a.Stats.Fills.Load())
+}
+
+func TestUnmappableLongRead(t *testing.T) {
+	_, a := world(t, 7)
+	junk := make([]byte, 1500)
+	rng := rand.New(rand.NewSource(8))
+	for i := range junk {
+		junk[i] = byte(rng.Intn(4))
+	}
+	r := a.Align(junk)
+	if r.Mapped && r.Anchors > 3 {
+		t.Fatalf("random read should not anchor broadly: %+v", r)
+	}
+}
+
+func TestAbuttingAnchorsGapCost(t *testing.T) {
+	_, a := world(t, 9)
+	// Pure-gap fill (one side empty).
+	got := a.fill(nil, []byte{0, 1, 2})
+	want := -(a.Cfg.Scoring.GapOpen + 3*a.Cfg.Scoring.GapExtend)
+	if got != want {
+		t.Fatalf("pure gap fill = %d, want %d", got, want)
+	}
+	if a.fill(nil, nil) != 0 {
+		t.Fatal("empty fill must be free")
+	}
+}
+
+// TestAlignDetailedCigar: the assembled CIGAR must consume the whole read
+// and exactly match the reference span it claims; rescoring the aligned
+// (non-clipped) part against the reference must be positive and
+// consistent with the fill scores.
+func TestAlignDetailedCigar(t *testing.T) {
+	ref, a := world(t, 11)
+	rng := rand.New(rand.NewSource(12))
+	checked := 0
+	for i := 0; i < 15; i++ {
+		read, pos, rev := simLongRead(rng, ref, 1000, 2500)
+		d, err := a.AlignDetailed(read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Mapped {
+			continue
+		}
+		checked++
+		q := read
+		if d.Rev {
+			q = genome.RevComp(read)
+		}
+		if err := d.Cigar.Validate(len(q), d.Cigar.TargetLen()); err != nil {
+			t.Fatalf("read %d: %v (cigar %s)", i, err, d.Cigar)
+		}
+		// Walk the CIGAR and check every M column is a plausible pairing
+		// and the match fraction is high.
+		qi, ri := 0, d.CigarPos
+		matches, aligned := 0, 0
+		for _, e := range d.Cigar {
+			switch e.Op {
+			case 'S', 'I':
+				qi += e.Len
+			case 'D':
+				ri += e.Len
+			case 'M':
+				for k := 0; k < e.Len; k++ {
+					if ref[ri] == q[qi] {
+						matches++
+					}
+					aligned++
+					qi++
+					ri++
+				}
+			}
+		}
+		if aligned == 0 || float64(matches)/float64(aligned) < 0.85 {
+			t.Fatalf("read %d: match fraction %d/%d too low", i, matches, aligned)
+		}
+		d2 := d.CigarPos - pos
+		if d2 < 0 {
+			d2 = -d2
+		}
+		if d.Rev != rev || d2 > 100 {
+			t.Fatalf("read %d: cigar anchored at %d (rev=%v), truth %d (rev=%v)", i, d.CigarPos, d.Rev, pos, rev)
+		}
+	}
+	if checked < 12 {
+		t.Fatalf("only %d/15 reads produced detailed alignments", checked)
+	}
+}

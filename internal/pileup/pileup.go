@@ -1,0 +1,113 @@
+// Package pileup implements the minimal tertiary-analysis step the paper
+// motivates (§I: "understanding mutations... variant detection"): a
+// per-position base pileup over aligned reads and a naive SNV caller.
+// Because SeedEx alignments are bit-identical to full-band alignments,
+// variant calls downstream are identical too — the end-to-end property
+// this package's tests demonstrate.
+package pileup
+
+import (
+	"fmt"
+
+	"seedex/internal/align"
+)
+
+// AlignedRead is one mapped read in reference coordinates.
+type AlignedRead struct {
+	Pos   int // 0-based reference start
+	Seq   []byte
+	Cigar align.Cigar
+	Rev   bool // informational; Seq is already reference-oriented
+}
+
+// Pile is the per-position base evidence.
+type Pile struct {
+	// Counts[b] is the number of reads voting base b (codes 0..3) at
+	// this position; Depth the total aligned coverage.
+	Counts [4]int
+	Depth  int
+}
+
+// Pileup accumulates base votes over [0, refLen) from the reads' CIGARs
+// (soft clips and insertions consume query only; deletions consume
+// reference only).
+func Pileup(refLen int, reads []AlignedRead) []Pile {
+	piles := make([]Pile, refLen)
+	for _, r := range reads {
+		qi, ri := 0, r.Pos
+		for _, e := range r.Cigar {
+			switch e.Op {
+			case align.OpSoft, align.OpIns:
+				qi += e.Len
+			case align.OpDel:
+				ri += e.Len
+			case align.OpMatch:
+				for k := 0; k < e.Len; k++ {
+					if ri >= 0 && ri < refLen && qi < len(r.Seq) && r.Seq[qi] < 4 {
+						piles[ri].Counts[r.Seq[qi]]++
+						piles[ri].Depth++
+					}
+					qi++
+					ri++
+				}
+			}
+		}
+	}
+	return piles
+}
+
+// Variant is one called single-nucleotide variant.
+type Variant struct {
+	Pos      int
+	Ref, Alt byte
+	Depth    int
+	AltCount int
+}
+
+// String renders a VCF-flavoured line.
+func (v Variant) String() string {
+	const bases = "ACGT"
+	return fmt.Sprintf("pos=%d %c>%c depth=%d alt=%d", v.Pos+1, bases[v.Ref], bases[v.Alt], v.Depth, v.AltCount)
+}
+
+// CallConfig tunes the naive caller.
+type CallConfig struct {
+	MinDepth int     // minimum coverage to call (default 8)
+	MinFrac  float64 // minimum alternate-allele fraction (default 0.3)
+}
+
+// DefaultCallConfig returns sensible defaults for ~30x coverage.
+func DefaultCallConfig() CallConfig { return CallConfig{MinDepth: 8, MinFrac: 0.3} }
+
+// CallSNVs reports positions whose dominant non-reference base clears
+// the depth and fraction thresholds.
+func CallSNVs(ref []byte, piles []Pile, cfg CallConfig) []Variant {
+	if cfg.MinDepth <= 0 {
+		cfg.MinDepth = 8
+	}
+	if cfg.MinFrac <= 0 {
+		cfg.MinFrac = 0.3
+	}
+	var out []Variant
+	for pos, p := range piles {
+		if p.Depth < cfg.MinDepth || ref[pos] > 3 {
+			continue
+		}
+		alt, altN := byte(0), -1
+		for b := byte(0); b < 4; b++ {
+			if b == ref[pos] {
+				continue
+			}
+			if p.Counts[b] > altN {
+				alt, altN = b, p.Counts[b]
+			}
+		}
+		if altN <= 0 || float64(altN) < cfg.MinFrac*float64(p.Depth) {
+			continue
+		}
+		// The alternate must also out-vote sequencing noise decisively
+		// relative to the reference allele for a haploid-style call.
+		out = append(out, Variant{Pos: pos, Ref: ref[pos], Alt: alt, Depth: p.Depth, AltCount: altN})
+	}
+	return out
+}

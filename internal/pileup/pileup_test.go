@@ -1,0 +1,144 @@
+package pileup
+
+import (
+	"math/rand"
+	"testing"
+
+	"seedex/internal/align"
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/readsim"
+)
+
+func TestPileupWalksCigars(t *testing.T) {
+	// ref positions:      0123456789
+	// read1 (pos 2):        MMMM
+	// read2 (pos 4, 1D):      MM D MM
+	reads := []AlignedRead{
+		{Pos: 2, Seq: []byte{0, 1, 2, 3}, Cigar: align.Cigar{{Op: align.OpMatch, Len: 4}}},
+		{Pos: 4, Seq: []byte{2, 3, 1, 1}, Cigar: align.Cigar{
+			{Op: align.OpMatch, Len: 2}, {Op: align.OpDel, Len: 1}, {Op: align.OpMatch, Len: 2},
+		}},
+	}
+	piles := Pileup(10, reads)
+	if piles[2].Counts[0] != 1 || piles[5].Counts[3] != 2 {
+		t.Fatalf("unexpected piles: %+v", piles[2:6])
+	}
+	if piles[6].Depth != 0 { // deleted base: no vote
+		t.Fatalf("deleted position has depth %d", piles[6].Depth)
+	}
+	if piles[7].Counts[1] != 1 || piles[8].Counts[1] != 1 {
+		t.Fatalf("post-deletion votes wrong: %+v", piles[7:9])
+	}
+}
+
+func TestPileupSoftClipAndInsertion(t *testing.T) {
+	reads := []AlignedRead{
+		{Pos: 3, Seq: []byte{0, 0, 1, 2, 3, 3}, Cigar: align.Cigar{
+			{Op: align.OpSoft, Len: 2}, {Op: align.OpMatch, Len: 1},
+			{Op: align.OpIns, Len: 1}, {Op: align.OpMatch, Len: 2},
+		}},
+	}
+	piles := Pileup(10, reads)
+	if piles[3].Counts[1] != 1 || piles[4].Counts[3] != 1 || piles[5].Counts[3] != 1 {
+		t.Fatalf("clip/insertion handling wrong: %+v", piles[3:6])
+	}
+}
+
+// TestEndToEndVariantCalling: simulate a genome with known SNVs, align
+// 30x reads through the SeedEx pipeline, and recover the variants. The
+// same calls must come out of the full-band pipeline (bit-equivalent
+// alignments => bit-equivalent variant calls).
+func TestEndToEndVariantCalling(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ref := genome.Simulate(genome.SimConfig{Length: 20_000}, rng)
+
+	// The donor genome: ref with 12 planted SNVs.
+	donor := append([]byte(nil), ref...)
+	truth := map[int]byte{}
+	for len(truth) < 12 {
+		pos := 500 + rng.Intn(len(ref)-1000)
+		if _, dup := truth[pos]; dup {
+			continue
+		}
+		alt := (donor[pos] + byte(1+rng.Intn(3))) % 4
+		truth[pos] = alt
+		donor[pos] = alt
+	}
+	// ~30x coverage of 101bp reads from the donor.
+	cfg := readsim.Config{N: 6000, ReadLen: 101, ErrRate: 0.002, RevCompFraction: 0.5}
+	reads := readsim.Simulate(donor, cfg, rng)
+
+	call := func(ext align.Extender) []Variant {
+		a, err := bwamem.New("chr", ref, ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var aligned []AlignedRead
+		for _, r := range reads {
+			al := a.AlignRead(r.Seq)
+			if !al.Mapped || al.MapQ < 20 {
+				continue
+			}
+			seq := r.Seq
+			if al.Rev {
+				seq = genome.RevComp(r.Seq)
+			}
+			aligned = append(aligned, AlignedRead{Pos: al.Pos, Seq: seq, Cigar: al.Cigar, Rev: al.Rev})
+		}
+		piles := Pileup(len(ref), aligned)
+		return CallSNVs(ref, piles, DefaultCallConfig())
+	}
+
+	seedexCalls := call(core.New(20))
+	found := 0
+	falsePos := 0
+	for _, v := range seedexCalls {
+		if alt, ok := truth[v.Pos]; ok && alt == v.Alt {
+			found++
+		} else {
+			falsePos++
+		}
+	}
+	if found < len(truth)*9/10 {
+		t.Fatalf("recovered %d/%d planted SNVs (calls: %d)", found, len(truth), len(seedexCalls))
+	}
+	if falsePos > 3 {
+		t.Fatalf("%d false positives", falsePos)
+	}
+
+	fullCalls := call(core.FullBand{Scoring: align.DefaultScoring()})
+	if len(fullCalls) != len(seedexCalls) {
+		t.Fatalf("SeedEx and full-band pipelines called %d vs %d variants", len(seedexCalls), len(fullCalls))
+	}
+	for i := range fullCalls {
+		if fullCalls[i] != seedexCalls[i] {
+			t.Fatalf("variant %d differs: %v vs %v", i, seedexCalls[i], fullCalls[i])
+		}
+	}
+	t.Logf("recovered %d/%d SNVs, %d false positives, calls identical across extenders", found, len(truth), falsePos)
+}
+
+func TestCallSNVsThresholds(t *testing.T) {
+	ref := []byte{0, 1, 2, 3}
+	piles := []Pile{
+		{Counts: [4]int{2, 8, 0, 0}, Depth: 10}, // alt A... ref is 0(A): alt must differ
+		{Counts: [4]int{9, 1, 0, 0}, Depth: 10}, // pos1 ref C: alt A at 90%
+		{Counts: [4]int{1, 0, 2, 0}, Depth: 3},  // below MinDepth
+		{Counts: [4]int{0, 0, 1, 9}, Depth: 10}, // pos3 ref T: ref-dominant
+	}
+	vs := CallSNVs(ref, piles, CallConfig{MinDepth: 8, MinFrac: 0.3})
+	if len(vs) != 2 {
+		t.Fatalf("expected 2 variants, got %v", vs)
+	}
+	if vs[0].Pos != 0 || vs[0].Alt != 1 {
+		t.Fatalf("variant 0: %+v", vs[0])
+	}
+	if vs[1].Pos != 1 || vs[1].Alt != 0 {
+		t.Fatalf("variant 1: %+v", vs[1])
+	}
+	if vs[0].String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

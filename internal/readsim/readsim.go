@@ -1,0 +1,153 @@
+// Package readsim simulates short-read sequencing: it samples reads from
+// a reference genome, injects individual variants (the ~0.1% human-vs-
+// reference divergence) and sequencing errors with an Illumina-like
+// profile, and records the ground-truth origin of every read. It stands
+// in for the paper's 50x NA12878 Illumina platinum-genomes dataset (see
+// the substitution table in DESIGN.md).
+package readsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seedex/internal/genome"
+)
+
+// Config controls read simulation.
+type Config struct {
+	// N is the number of reads; ReadLen their length (paper: 101 bp).
+	N, ReadLen int
+	// SNPRate is the per-base variant substitution rate (human: ~0.001).
+	SNPRate float64
+	// IndelRate is the per-base variant indel rate (~0.0001); half
+	// insertions, half deletions, with geometric length (mean ~1.5).
+	IndelRate float64
+	// ErrRate is the per-base sequencing substitution error rate
+	// (Illumina: ~0.002, growing toward the read's 3' end).
+	ErrRate float64
+	// RevCompFraction of reads come from the reverse strand (default 0.5).
+	RevCompFraction float64
+	// GarbageTailFraction of reads get their last few bases replaced with
+	// random sequence, modelling adapter read-through and the low-quality
+	// 3' tails of real Illumina data (these are what drive extensions
+	// into the between-thresholds regime of the SeedEx checks).
+	GarbageTailFraction float64
+	// GarbageTailMax is the maximum garbage tail length (default 25).
+	GarbageTailMax int
+}
+
+// DefaultConfig mirrors the paper's workload shape.
+func DefaultConfig(n int) Config {
+	return Config{N: n, ReadLen: 101, SNPRate: 0.001, IndelRate: 0.0001, ErrRate: 0.002, RevCompFraction: 0.5}
+}
+
+// RealisticConfig adds the messiness of real datasets on top of
+// DefaultConfig: elevated error and a fraction of garbage 3' tails.
+func RealisticConfig(n int) Config {
+	c := DefaultConfig(n)
+	c.ErrRate = 0.005
+	c.GarbageTailFraction = 0.15
+	c.GarbageTailMax = 30
+	return c
+}
+
+// Read is one simulated read with its ground truth.
+type Read struct {
+	ID   string
+	Seq  []byte // base codes
+	Qual []byte // Phred+33 qualities
+	// TruePos is the 0-based reference position of the read's origin
+	// (leftmost reference base covered).
+	TruePos int
+	// RevComp marks reads sampled from the reverse strand.
+	RevComp bool
+	// Edits counts injected variants plus sequencing errors.
+	Edits int
+}
+
+// Simulate draws cfg.N reads from ref using rng.
+func Simulate(ref []byte, cfg Config, rng *rand.Rand) []Read {
+	if cfg.ReadLen <= 0 || cfg.ReadLen > len(ref) {
+		return nil
+	}
+	reads := make([]Read, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		reads = append(reads, simulateOne(ref, cfg, rng, i))
+	}
+	return reads
+}
+
+func simulateOne(ref []byte, cfg Config, rng *rand.Rand, idx int) Read {
+	// Sample a window slightly longer than the read so deletions still
+	// leave enough bases.
+	win := cfg.ReadLen + 10
+	pos := rng.Intn(len(ref) - win + 1)
+	tmpl := append([]byte(nil), ref[pos:pos+win]...)
+
+	edits := 0
+	// Variants + errors in one pass over the template.
+	out := make([]byte, 0, win)
+	for j := 0; j < len(tmpl); j++ {
+		c := tmpl[j]
+		r := rng.Float64()
+		switch {
+		case r < cfg.IndelRate/2: // deletion
+			edits++
+			continue
+		case r < cfg.IndelRate: // insertion before c
+			edits++
+			out = append(out, byte(rng.Intn(4)), c)
+		case r < cfg.IndelRate+cfg.SNPRate: // variant substitution
+			edits++
+			out = append(out, (c+byte(1+rng.Intn(3)))%4)
+		default:
+			out = append(out, c)
+		}
+	}
+	if len(out) < cfg.ReadLen {
+		out = append(out, tmpl[len(tmpl)-(cfg.ReadLen-len(out)):]...)
+	}
+	seq := out[:cfg.ReadLen]
+	if cfg.GarbageTailFraction > 0 && rng.Float64() < cfg.GarbageTailFraction {
+		max := cfg.GarbageTailMax
+		if max <= 0 {
+			max = 25
+		}
+		if max > cfg.ReadLen/2 {
+			max = cfg.ReadLen / 2
+		}
+		tail := 1 + rng.Intn(max)
+		for j := cfg.ReadLen - tail; j < cfg.ReadLen; j++ {
+			seq[j] = byte(rng.Intn(4))
+			edits++
+		}
+	}
+	// Sequencing errors, rate ramping toward the 3' end.
+	qual := make([]byte, cfg.ReadLen)
+	for j := range seq {
+		ramp := 0.5 + 1.5*float64(j)/float64(cfg.ReadLen)
+		if rng.Float64() < cfg.ErrRate*ramp {
+			seq[j] = (seq[j] + byte(1+rng.Intn(3))) % 4
+			edits++
+			qual[j] = '#' + 10
+		} else {
+			qual[j] = 'I'
+		}
+	}
+	rd := Read{
+		ID:      fmt.Sprintf("sim_%d_pos%d", idx, pos),
+		Seq:     seq,
+		Qual:    qual,
+		TruePos: pos,
+		Edits:   edits,
+	}
+	if rng.Float64() < cfg.RevCompFraction {
+		rd.Seq = genome.RevComp(rd.Seq)
+		for a, b := 0, len(rd.Qual)-1; a < b; a, b = a+1, b-1 {
+			rd.Qual[a], rd.Qual[b] = rd.Qual[b], rd.Qual[a]
+		}
+		rd.RevComp = true
+		rd.ID += "_rc"
+	}
+	return rd
+}

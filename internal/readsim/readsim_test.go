@@ -1,0 +1,133 @@
+package readsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"seedex/internal/genome"
+)
+
+func TestSimulateBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genome.Simulate(genome.SimConfig{Length: 20_000}, rng)
+	reads := Simulate(ref, DefaultConfig(200), rng)
+	if len(reads) != 200 {
+		t.Fatalf("got %d reads", len(reads))
+	}
+	revs := 0
+	for _, r := range reads {
+		if len(r.Seq) != 101 || len(r.Qual) != 101 {
+			t.Fatalf("read %s has wrong lengths", r.ID)
+		}
+		if r.TruePos < 0 || r.TruePos >= len(ref) {
+			t.Fatalf("read %s true pos %d out of range", r.ID, r.TruePos)
+		}
+		for _, c := range r.Seq {
+			if c > 3 {
+				t.Fatalf("read %s has invalid base %d", r.ID, c)
+			}
+		}
+		if r.RevComp {
+			revs++
+		}
+	}
+	if revs < 60 || revs > 140 {
+		t.Fatalf("strand balance off: %d/200 reverse", revs)
+	}
+}
+
+// TestErrorFreeReadsMatchReference: with all rates zero a forward read is
+// a verbatim window of the reference at its TruePos.
+func TestErrorFreeReadsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := genome.Simulate(genome.SimConfig{Length: 10_000}, rng)
+	cfg := Config{N: 50, ReadLen: 80, RevCompFraction: 0}
+	for _, r := range Simulate(ref, cfg, rng) {
+		for i, c := range r.Seq {
+			if ref[r.TruePos+i] != c {
+				t.Fatalf("read %s differs from reference at %d", r.ID, i)
+			}
+		}
+		if r.Edits != 0 {
+			t.Fatalf("read %s reports %d edits with zero rates", r.ID, r.Edits)
+		}
+	}
+}
+
+func TestRevCompGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := genome.Simulate(genome.SimConfig{Length: 10_000}, rng)
+	cfg := Config{N: 50, ReadLen: 80, RevCompFraction: 1}
+	for _, r := range Simulate(ref, cfg, rng) {
+		if !r.RevComp {
+			t.Fatal("expected reverse-strand read")
+		}
+		fw := genome.RevComp(r.Seq)
+		for i, c := range fw {
+			if ref[r.TruePos+i] != c {
+				t.Fatalf("revcomp of read %s differs from reference at %d", r.ID, i)
+			}
+		}
+	}
+}
+
+func TestErrorRatesRoughlyHonoured(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := genome.Simulate(genome.SimConfig{Length: 50_000}, rng)
+	cfg := Config{N: 500, ReadLen: 100, ErrRate: 0.01, RevCompFraction: 0}
+	edits := 0
+	for _, r := range Simulate(ref, cfg, rng) {
+		edits += r.Edits
+	}
+	// Expected ~ 500*100*0.01 = 500 errors (the ramp averages ~1.25x).
+	if edits < 300 || edits > 1000 {
+		t.Fatalf("edit count %d implausible for 1%% error rate", edits)
+	}
+}
+
+func TestDegenerateConfig(t *testing.T) {
+	ref := []byte{0, 1, 2, 3}
+	if Simulate(ref, Config{N: 5, ReadLen: 100}, rand.New(rand.NewSource(1))) != nil {
+		t.Fatal("read longer than reference must yield nil")
+	}
+}
+
+func TestRealisticConfigGarbageTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := genome.Simulate(genome.SimConfig{Length: 30_000}, rng)
+	cfg := RealisticConfig(400)
+	if cfg.GarbageTailFraction <= 0 || cfg.ErrRate <= 0 {
+		t.Fatalf("realistic config degenerate: %+v", cfg)
+	}
+	reads := Simulate(ref, cfg, rng)
+	// Garbage-tailed reads should show visibly elevated edit counts.
+	heavy := 0
+	for _, r := range reads {
+		if r.Edits >= 5 {
+			heavy++
+		}
+	}
+	lo := int(float64(cfg.N) * cfg.GarbageTailFraction / 2)
+	if heavy < lo {
+		t.Fatalf("only %d/%d reads look garbage-tailed, expected >= %d", heavy, len(reads), lo)
+	}
+}
+
+func TestIndelReadsStillAnchor(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ref := genome.Simulate(genome.SimConfig{Length: 20_000}, rng)
+	cfg := DefaultConfig(300)
+	cfg.IndelRate = 0.01 // force the indel branches
+	indels := 0
+	for _, r := range Simulate(ref, cfg, rng) {
+		if len(r.Seq) != cfg.ReadLen {
+			t.Fatalf("read %s has length %d after indels", r.ID, len(r.Seq))
+		}
+		if r.Edits > 0 {
+			indels++
+		}
+	}
+	if indels < 150 {
+		t.Fatalf("too few edited reads: %d/300", indels)
+	}
+}

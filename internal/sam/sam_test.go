@@ -1,0 +1,77 @@
+package sam
+
+import (
+	"strings"
+	"testing"
+
+	"seedex/internal/align"
+)
+
+func TestMappedRecordRendering(t *testing.T) {
+	r := Record{
+		QName: "read1", Flag: FlagReverse, RName: "chr1", Pos: 42, MapQ: 60,
+		Cigar: align.Cigar{{Op: align.OpSoft, Len: 2}, {Op: align.OpMatch, Len: 6}},
+		Seq:   "ACGTACGT", Qual: "IIIIIIII", Score: 90, SubScore: 10,
+	}
+	s := r.String()
+	fields := strings.Split(s, "\t")
+	if len(fields) != 13 {
+		t.Fatalf("got %d fields: %q", len(fields), s)
+	}
+	want := []string{"read1", "16", "chr1", "42", "60", "2S6M", "*", "0", "0", "ACGTACGT", "IIIIIIII", "AS:i:90", "XS:i:10"}
+	for i, w := range want {
+		if fields[i] != w {
+			t.Fatalf("field %d = %q, want %q", i, fields[i], w)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmappedRecordRendering(t *testing.T) {
+	r := Record{QName: "read2", Flag: FlagUnmapped, Seq: "ACGT", Qual: "IIII"}
+	fields := strings.Split(r.String(), "\t")
+	if len(fields) != 11 {
+		t.Fatalf("unmapped record has %d fields", len(fields))
+	}
+	if fields[2] != "*" || fields[3] != "0" || fields[5] != "*" {
+		t.Fatalf("unmapped placeholders wrong: %v", fields)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySeqPlaceholders(t *testing.T) {
+	r := Record{QName: "r", Flag: FlagUnmapped}
+	fields := strings.Split(r.String(), "\t")
+	if fields[9] != "*" || fields[10] != "*" {
+		t.Fatalf("empty seq/qual should render *: %v", fields)
+	}
+}
+
+func TestHeader(t *testing.T) {
+	h := Header("chrSim", 12345, "seedex")
+	if !strings.Contains(h, "SN:chrSim") || !strings.Contains(h, "LN:12345") {
+		t.Fatalf("header missing fields: %q", h)
+	}
+	if !strings.HasPrefix(h, "@HD") {
+		t.Fatalf("header must start with @HD: %q", h)
+	}
+}
+
+func TestValidateCatchesBadRecords(t *testing.T) {
+	bad := Record{QName: "x", Pos: 0, Seq: "ACGT", Cigar: align.Cigar{{Op: align.OpMatch, Len: 4}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("pos 0 mapped record must fail")
+	}
+	bad = Record{QName: "x", Pos: 5, MapQ: 99, Seq: "ACGT", Cigar: align.Cigar{{Op: align.OpMatch, Len: 4}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mapq 99 must fail")
+	}
+	bad = Record{QName: "x", Pos: 5, Seq: "ACGT", Cigar: align.Cigar{{Op: align.OpMatch, Len: 3}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("cigar/seq length mismatch must fail")
+	}
+}

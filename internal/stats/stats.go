@@ -1,0 +1,144 @@
+// Package stats provides the small statistics and table-rendering helpers
+// the benchmark harness shares.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts values into buckets defined by upper edges; values
+// above the last edge land in an overflow bucket.
+type Histogram struct {
+	Edges  []int // ascending upper bounds (inclusive)
+	Counts []int64
+	Total  int64
+}
+
+// NewHistogram returns a histogram with the given inclusive upper edges.
+func NewHistogram(edges ...int) *Histogram {
+	if !sort.IntsAreSorted(edges) {
+		panic("stats: histogram edges must ascend")
+	}
+	return &Histogram{Edges: edges, Counts: make([]int64, len(edges)+1)}
+}
+
+// Add counts one value.
+func (h *Histogram) Add(v int) {
+	h.Total++
+	for i, e := range h.Edges {
+		if v <= e {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Edges)]++
+}
+
+// Pct returns the percentage of values in bucket i.
+func (h *Histogram) Pct(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return 100 * float64(h.Counts[i]) / float64(h.Total)
+}
+
+// CumPct returns the cumulative percentage up to and including bucket i.
+func (h *Histogram) CumPct(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var c int64
+	for j := 0; j <= i; j++ {
+		c += h.Counts[j]
+	}
+	return 100 * float64(c) / float64(h.Total)
+}
+
+// Labels returns human-readable bucket labels ("<=10", ..., ">40").
+func (h *Histogram) Labels() []string {
+	out := make([]string, len(h.Counts))
+	for i, e := range h.Edges {
+		out[i] = fmt.Sprintf("<=%d", e)
+	}
+	out[len(h.Edges)] = fmt.Sprintf(">%d", h.Edges[len(h.Edges)-1])
+	return out
+}
+
+// Table renders aligned rows for the bench harness.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	all := append([][]string{t.Header}, t.Rows...)
+	widths := make([]int, len(t.Header))
+	for _, r := range all {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range all {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs by
+// nearest-rank; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p / 100 * float64(len(s)-1))
+	return s[i]
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 20, 40)
+	for _, v := range []int{1, 10, 11, 20, 21, 40, 41, 100} {
+		h.Add(v)
+	}
+	if h.Total != 8 {
+		t.Fatalf("total %d", h.Total)
+	}
+	want := []int64{2, 2, 2, 2} // <=10, <=20, <=40, >40
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Pct(0) != 25 || h.CumPct(1) != 50 || h.CumPct(3) != 100 {
+		t.Fatalf("percentages wrong: %v %v %v", h.Pct(0), h.CumPct(1), h.CumPct(3))
+	}
+	labels := h.Labels()
+	if labels[0] != "<=10" || labels[3] != ">40" {
+		t.Fatalf("labels %v", labels)
+	}
+}
+
+func TestHistogramEdgeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted edges must panic")
+		}
+	}()
+	NewHistogram(10, 5)
+}
+
+func TestEmptyHistogramPcts(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Pct(0) != 0 || h.CumPct(0) != 0 {
+		t.Fatal("empty histogram should report zero percentages")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.Add("alpha", 3.14159)
+	tab.Add("b", 42)
+	s := tab.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "3.14") || !strings.Contains(s, "42") {
+		t.Fatalf("rendering: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+}
+
+func TestMeanPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Mean(xs) != 3 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if Mean(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Fatal("empty inputs must return 0")
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatalf("percentile extremes: %v %v", Percentile(xs, 0), Percentile(xs, 100))
+	}
+}

@@ -1,0 +1,51 @@
+package systolic
+
+import (
+	"seedex/internal/editmachine"
+)
+
+// EditCore is the timed model of the SeedEx edit machine (paper §IV-B):
+// a half-width array of 3-bit delta-encoded PEs sweeping the below-band
+// trapezoid, with one augmentation unit decoding scores along the
+// hypotenuse. Functionally it defers to the delta-encoded sweep (which
+// is bit-exact against the plain relaxed DP by property test); timing is
+// occupancy-based — the array retires up to PEs() region cells per cycle
+// along the wavefront, plus pipeline fill and augmentation drain.
+type EditCore struct {
+	// W is the one-sided band of the BSW cores this edit machine serves;
+	// the matched full array would have 2W+1 PEs, the half-width array
+	// has W+1.
+	W int
+}
+
+// PEs returns the half-width processing-element count.
+func (e *EditCore) PEs() int { return e.W + 1 }
+
+// EditRun reports one trapezoid sweep.
+type EditRun struct {
+	// Score is the decoded optimistic region score (score_ed).
+	Score int
+	// Empty marks a band covering the whole matrix (no region).
+	Empty bool
+	// Cycles is the modeled latency: fill + ceil(cells/PEs) + drain.
+	Cycles int
+	// Cells is the number of region cells (3-bit PE evaluations).
+	Cells int64
+}
+
+// Sweep runs the corner-seeded (S1) region sweep for query/target at the
+// core's band, as the check workflow dispatches it.
+func (e *EditCore) Sweep(query, target []byte, init int) (EditRun, error) {
+	res, err := editmachine.DeltaSweep(query, target, e.W, init, editmachine.CanonicalRelaxed)
+	if err != nil {
+		return EditRun{}, err
+	}
+	run := EditRun{Score: res.Score, Empty: res.Empty, Cells: res.Cells}
+	if res.Empty {
+		return run, nil
+	}
+	pes := int64(e.PEs())
+	occupancy := int((res.Cells + pes - 1) / pes)
+	run.Cycles = e.PEs() + occupancy + res.PathLen
+	return run, nil
+}

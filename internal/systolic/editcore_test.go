@@ -1,0 +1,59 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"seedex/internal/editmachine"
+)
+
+func TestEditCoreMatchesPlainSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	core := &EditCore{W: 10}
+	if core.PEs() != 11 {
+		t.Fatalf("half-width PEs = %d, want 11", core.PEs())
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := randSeq(rng, 1+rng.Intn(80))
+		tg := randSeq(rng, 1+rng.Intn(120))
+		init := rng.Intn(150)
+		run, err := core.Sweep(q, tg, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := editmachine.SweepCorner(q, tg, core.W, init, editmachine.CanonicalRelaxed)
+		if run.Empty != plain.Empty {
+			t.Fatalf("trial %d: empty mismatch", trial)
+		}
+		if plain.Empty {
+			continue
+		}
+		if run.Score != plain.Score {
+			t.Fatalf("trial %d: edit core score %d != plain %d", trial, run.Score, plain.Score)
+		}
+		if run.Cells != plain.Cells {
+			t.Fatalf("trial %d: cells %d != %d", trial, run.Cells, plain.Cells)
+		}
+		if run.Cycles <= 0 {
+			t.Fatalf("trial %d: no cycles charged", trial)
+		}
+	}
+}
+
+func TestEditCoreTimingScalesWithRegion(t *testing.T) {
+	core := &EditCore{W: 8}
+	q := randSeq(rand.New(rand.NewSource(2)), 60)
+	short := append(randSeq(rand.New(rand.NewSource(3)), 20), q...)
+	long := append(randSeq(rand.New(rand.NewSource(4)), 80), q...)
+	a, err := core.Sweep(q, short, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Sweep(q, long, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycles <= a.Cycles {
+		t.Fatalf("longer region must cost more cycles: %d vs %d", b.Cycles, a.Cycles)
+	}
+}

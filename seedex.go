@@ -1,0 +1,185 @@
+// Package seedex is a Go reproduction of "SeedEx: A Genome Sequencing
+// Accelerator for Optimal Alignments in Subminimal Space" (MICRO 2020):
+// a speculation-and-test framework that runs seed extensions on a cheap
+// narrow-band Smith-Waterman engine and *proves* per-extension optimality
+// with three checks (thresholding, E-score, edit-distance), falling back
+// to a full-band host rerun for the ~2% of extensions whose optimality
+// cannot be proven. The result is bit-identical to full-band alignment at
+// a fraction of the hardware cost.
+//
+// This package is the public facade; the implementation lives in the
+// internal packages:
+//
+//   - internal/align      — extension kernels, banding, traceback, CIGAR
+//   - internal/core       — the SeedEx optimality checks and extender
+//   - internal/editmachine, internal/delta — the edit machine and its
+//     3-bit delta-encoded datapath
+//   - internal/systolic, internal/fpga, internal/hw — cycle-level and
+//     system-level hardware models
+//   - internal/fmindex, internal/ert, internal/chain, internal/bwamem —
+//     the mini aligner pipeline (seeding, chaining, SAM output)
+//   - internal/genome, internal/readsim, internal/fastx, internal/sam —
+//     data substrates
+//   - internal/dtw, internal/lcs — the §VII-D extensions (optimality-
+//     checked banded DTW and LCS)
+//
+// Quick start:
+//
+//	ext := seedex.NewExtender(20)                  // ±20 band, strict mode
+//	res := ext.Extend(query, target, h0)           // bit-equal to full band
+//	fmt.Println(ext.Stats)                         // pass rates, reruns
+//
+// or end to end:
+//
+//	a, _ := seedex.NewAligner("chr1", refCodes, seedex.NewExtender(20))
+//	records, stats := a.Run(reads, 0)
+package seedex
+
+import (
+	"seedex/internal/align"
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/longread"
+	"seedex/internal/readsim"
+)
+
+// Re-exported core types. The aliases are the public API surface; see the
+// internal packages for full documentation.
+type (
+	// Scoring is an affine-gap scoring scheme (penalties positive).
+	Scoring = align.Scoring
+	// ExtendResult reports one seed extension (local + global scores and
+	// positions).
+	ExtendResult = align.ExtendResult
+	// Extender is anything that can perform seed extensions.
+	Extender = align.Extender
+	// Cigar is a run-length encoded alignment description.
+	Cigar = align.Cigar
+	// CheckConfig parameterizes the SeedEx optimality checker.
+	CheckConfig = core.Config
+	// CheckReport carries the outcome of one check workflow.
+	CheckReport = core.Report
+	// Thresholds are the S1/S2 upper bounds of Theorem 1.
+	Thresholds = core.Thresholds
+	// SpeculativeExtender is the SeedEx narrow-band extender with checks
+	// and host rerun.
+	SpeculativeExtender = core.SeedEx
+	// Stats aggregates check outcomes.
+	Stats = core.Stats
+	// Aligner is the mini BWA-MEM-style pipeline.
+	Aligner = bwamem.Aligner
+	// Read is one pipeline input read.
+	Read = bwamem.Read
+)
+
+// Checking modes.
+const (
+	// ModePaper follows the paper's workflow verbatim (guarantees the
+	// local result).
+	ModePaper = core.ModePaper
+	// ModeStrict guarantees full bit-equivalence of the extension result.
+	ModeStrict = core.ModeStrict
+)
+
+// DefaultScoring returns BWA-MEM's default scheme {1,4,6,1}.
+func DefaultScoring() Scoring { return align.DefaultScoring() }
+
+// Extend runs the full-band software kernel (the host rerun reference).
+func Extend(query, target []byte, h0 int, sc Scoring) ExtendResult {
+	return align.Extend(query, target, h0, sc)
+}
+
+// ExtendBanded runs the banded kernel with one-sided band w.
+func ExtendBanded(query, target []byte, h0 int, sc Scoring, w int) ExtendResult {
+	res, _ := align.ExtendBanded(query, target, h0, sc, w)
+	return res
+}
+
+// Check speculatively extends with a narrow band and runs the SeedEx
+// optimality checks.
+func Check(query, target []byte, h0 int, cfg CheckConfig) (ExtendResult, CheckReport) {
+	return core.Check(query, target, h0, cfg)
+}
+
+// ComputeThresholds evaluates the S1/S2 bounds (equations 4 and 5).
+func ComputeThresholds(qlen, h0, w int, sc Scoring) Thresholds {
+	return core.ComputeThresholds(qlen, h0, w, sc, core.SemiGlobal)
+}
+
+// NewExtender returns a strict-mode SeedEx extender with one-sided band w
+// and default scoring; its results are bit-identical to full-band
+// extension.
+func NewExtender(w int) *SpeculativeExtender { return core.New(w) }
+
+// NewAligner builds the mini aligner over a reference sequence (ASCII or
+// base codes accepted via EncodeBases) with the given extender.
+func NewAligner(refName string, ref []byte, ext Extender) (*Aligner, error) {
+	return bwamem.New(refName, ref, ext)
+}
+
+// EncodeBases converts an ASCII nucleotide string to base codes.
+func EncodeBases(s string) []byte { return genome.Encode(s) }
+
+// DecodeBases converts base codes back to ASCII.
+func DecodeBases(b []byte) string { return genome.Decode(b) }
+
+// RevComp returns the reverse complement of a base-code sequence.
+func RevComp(b []byte) []byte { return genome.RevComp(b) }
+
+// SimulateGenome generates a synthetic reference (see genome.SimConfig).
+type SimConfig = genome.SimConfig
+
+// SimulateReads generates synthetic reads (see readsim.Config).
+type ReadSimConfig = readsim.Config
+
+// SimRead is one simulated read with ground truth.
+type SimRead = readsim.Read
+
+// Contig is one reference sequence of a multi-contig aligner.
+type Contig = bwamem.Contig
+
+// NewMultiAligner builds the aligner over several contigs (chromosomes).
+func NewMultiAligner(contigs []Contig, ext Extender) (*Aligner, error) {
+	return bwamem.NewMulti(contigs, ext)
+}
+
+// ReadPair is one paired-end fragment's two ends; align with
+// Aligner.RunPairs or Aligner.AlignPair.
+type ReadPair = bwamem.ReadPair
+
+// InsertStats is the paired-end fragment-length distribution.
+type InsertStats = bwamem.InsertStats
+
+// GlobalResult reports one global (end-to-end) alignment.
+type GlobalResult = align.GlobalResult
+
+// Global computes the full-width global alignment score (the gap-filling
+// kernel of long-read aligners, paper §VII-D).
+func Global(query, target []byte, h0 int, sc Scoring) GlobalResult {
+	return align.Global(query, target, h0, sc)
+}
+
+// CheckedGlobal is the speculate-and-test global aligner: banded global
+// alignment with SeedEx-style optimality checks and a full-width rerun;
+// its score always equals Global's.
+func CheckedGlobal(query, target []byte, h0 int, w int, sc Scoring) (GlobalResult, bool) {
+	res, rep := core.CheckedGlobal(query, target, h0, core.Config{Band: w, Scoring: sc, Kind: core.Global})
+	return res, !rep.Rerun
+}
+
+// GlobalAlign computes an optimal global alignment CIGAR in linear space
+// (Myers-Miller), practical for multi-kbp sequences.
+func GlobalAlign(query, target []byte, sc Scoring) (Cigar, int) {
+	return align.GlobalAlign(query, target, sc)
+}
+
+// LongReadAligner is the §VII-D seed-and-chain-then-fill long-read
+// aligner with checked banded global fills.
+type LongReadAligner = longread.Aligner
+
+// NewLongReadAligner builds a long-read aligner over a sanitized
+// reference with default (noisy multi-kbp) settings.
+func NewLongReadAligner(ref []byte) *LongReadAligner {
+	return longread.New(ref, longread.DefaultConfig())
+}

@@ -1,0 +1,161 @@
+package seedex_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"seedex"
+)
+
+// TestPublicAPIQuickstart exercises the documented entry points end to
+// end: speculative extension with bit-equivalence, thresholds, and the
+// full aligner.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sc := seedex.DefaultScoring()
+	q := seedex.EncodeBases("ACGTACGTACGTACGTACGTACGTACGT")
+	target := seedex.EncodeBases("ACGTACGTACGTTCGTACGTACGTACGTAC")
+
+	ext := seedex.NewExtender(5)
+	got := ext.Extend(q, target, 30)
+	want := seedex.Extend(q, target, 30, sc)
+	// Cells/Rows are work counters, not part of the alignment result.
+	if got.Local != want.Local || got.LocalT != want.LocalT || got.LocalQ != want.LocalQ ||
+		got.Global != want.Global || got.GlobalT != want.GlobalT {
+		t.Fatalf("speculative %+v != full %+v", got, want)
+	}
+	if ext.Stats.Total != 1 {
+		t.Fatalf("stats not recorded: %+v", ext.Stats)
+	}
+
+	th := seedex.ComputeThresholds(len(q), 30, 5, sc)
+	if th.S2 <= th.S1 {
+		t.Fatalf("thresholds inverted: %+v", th)
+	}
+
+	res, rep := seedex.Check(q, target, 30, seedex.CheckConfig{
+		Band: 5, Scoring: sc, Mode: seedex.ModeStrict,
+	})
+	if rep.Pass && (res.Local != want.Local || res.Global != want.Global) {
+		t.Fatalf("passing check with wrong result: %+v vs %+v", res, want)
+	}
+}
+
+func TestPublicAPIAligner(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	refStr := make([]byte, 20_000)
+	letters := "ACGT"
+	for i := range refStr {
+		refStr[i] = letters[rng.Intn(4)]
+	}
+	ref := seedex.EncodeBases(string(refStr))
+
+	a, err := seedex.NewAligner("chr1", ref, seedex.NewExtender(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 5000
+	read := append([]byte(nil), ref[pos:pos+80]...)
+	read[40] = (read[40] + 1) % 4
+
+	al := a.AlignRead(read)
+	if !al.Mapped || al.Pos != pos {
+		t.Fatalf("alignment %+v, want pos %d", al, pos)
+	}
+
+	recs, stats := a.Run([]seedex.Read{{Name: "r1", Seq: read}}, 1)
+	if len(recs) != 1 || stats.Mapped != 1 {
+		t.Fatalf("pipeline: %d recs, %+v", len(recs), stats)
+	}
+}
+
+func TestBaseCodecHelpers(t *testing.T) {
+	if seedex.DecodeBases(seedex.EncodeBases("ACGTN")) != "ACGTN" {
+		t.Fatal("codec round trip failed")
+	}
+	rc := seedex.RevComp(seedex.EncodeBases("AACG"))
+	if seedex.DecodeBases(rc) != "CGTT" {
+		t.Fatalf("revcomp: %s", seedex.DecodeBases(rc))
+	}
+}
+
+func TestExtendBandedFacade(t *testing.T) {
+	q := seedex.EncodeBases("ACGTACGTAC")
+	sc := seedex.DefaultScoring()
+	wide := seedex.ExtendBanded(q, q, 20, sc, 10)
+	full := seedex.Extend(q, q, 20, sc)
+	if wide.Local != full.Local || wide.Global != full.Global {
+		t.Fatalf("wide band should equal full: %+v vs %+v", wide, full)
+	}
+}
+
+// TestPublicAPIGlobalAndLongRead covers the global-alignment and
+// long-read entry points.
+func TestPublicAPIGlobalAndLongRead(t *testing.T) {
+	sc := seedex.DefaultScoring()
+	q := seedex.EncodeBases("ACGTACGTACGTACGTACGTACGT")
+	tgt := seedex.EncodeBases("ACGTACGTACTTACGTACGTACGT")
+
+	full := seedex.Global(q, tgt, 10, sc)
+	if !full.Feasible {
+		t.Fatal("global infeasible")
+	}
+	res, proven := seedex.CheckedGlobal(q, tgt, 10, 4, sc)
+	if res.Score != full.Score {
+		t.Fatalf("checked global %d != full %d (proven=%v)", res.Score, full.Score, proven)
+	}
+	cig, score := seedex.GlobalAlign(q, tgt, sc)
+	if err := cig.Validate(len(q), len(tgt)); err != nil {
+		t.Fatal(err)
+	}
+	if score != full.Score-10 { // GlobalAlign is h0-free
+		t.Fatalf("linear-space score %d, want %d", score, full.Score-10)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	refStr := make([]byte, 60_000)
+	for i := range refStr {
+		refStr[i] = "ACGT"[rng.Intn(4)]
+	}
+	ref := seedex.EncodeBases(string(refStr))
+	lr := seedex.NewLongReadAligner(ref)
+	pos := 20_000
+	read := append([]byte(nil), ref[pos:pos+1500]...)
+	r := lr.Align(read)
+	if !r.Mapped || r.Pos != pos || r.Rev {
+		t.Fatalf("long read: %+v, want pos %d", r, pos)
+	}
+}
+
+// TestPublicAPIMultiContigAndPairs covers the multi-contig and paired
+// entry points.
+func TestPublicAPIMultiContigAndPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mk := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(4))
+		}
+		return s
+	}
+	c1, c2 := mk(20_000), mk(15_000)
+	a, err := seedex.NewMultiAligner([]seedex.Contig{{Name: "chr1", Seq: c1}, {Name: "chr2", Seq: c2}}, seedex.NewExtender(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := append([]byte(nil), c2[7000:7100]...)
+	al := a.AlignRead(read)
+	if !al.Mapped || al.RName != "chr2" || al.Pos != 7000 {
+		t.Fatalf("multi-contig alignment: %+v", al)
+	}
+
+	frag := c1[3000:3350]
+	p := seedex.ReadPair{
+		Name: "p1",
+		Seq1: append([]byte(nil), frag[:101]...),
+		Seq2: seedex.RevComp(frag[len(frag)-101:]),
+	}
+	a1, a2, proper := a.AlignPair(p, seedex.InsertStats{Mean: 350, Std: 50})
+	if !proper || a1.Pos != 3000 || a2.RName != "chr1" {
+		t.Fatalf("pair: %+v / %+v proper=%v", a1, a2, proper)
+	}
+}
