@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race bench bench-extend
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent subsystems get a dedicated race pass: the FPGA driver,
+# the aligner pipeline and the shared (atomic) check statistics.
+race:
+	$(GO) test -race ./internal/driver/... ./internal/bwamem/... ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Perf trajectory for the extension hot path (writes BENCH_extend.json).
+bench-extend:
+	$(GO) run ./cmd/seedex-bench -fig extend

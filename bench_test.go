@@ -47,6 +47,74 @@ func workload(b *testing.B) *bench.Workload {
 	return wl
 }
 
+var (
+	wl150Once sync.Once
+	wl150     *bench.Workload
+	wl150Err  error
+)
+
+func workload150(b *testing.B) *bench.Workload {
+	b.Helper()
+	wl150Once.Do(func() {
+		wl150, wl150Err = bench.Workload150(120_000, 400, 1)
+	})
+	if wl150Err != nil {
+		b.Fatal(wl150Err)
+	}
+	return wl150
+}
+
+// BenchmarkExtend measures the extension hot path on the standard 150 bp
+// workload: the reference ("seed") kernels versus the workspace kernels
+// (reusable rows + query profile) and the full check workflow. Run with
+// -benchmem: the workspace paths must report 0 allocs/op.
+func BenchmarkExtend(b *testing.B) {
+	w := workload150(b)
+	probs := w.Problems
+	sc := w.Scoring
+	const band = 21
+	measure := func(b *testing.B, fn func(p bench.Problem) int64) {
+		b.Helper()
+		var cells int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cells += fn(probs[i%len(probs)])
+		}
+		b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
+	}
+	b.Run("full/seed-kernel", func(b *testing.B) {
+		measure(b, func(p bench.Problem) int64 {
+			return align.ExtendRef(p.Q, p.T, p.H0, sc).Cells
+		})
+	})
+	b.Run("full/workspace", func(b *testing.B) {
+		ws := align.NewWorkspace()
+		measure(b, func(p bench.Problem) int64 {
+			return align.ExtendWS(ws, p.Q, p.T, p.H0, sc).Cells
+		})
+	})
+	b.Run("banded/seed-kernel", func(b *testing.B) {
+		measure(b, func(p bench.Problem) int64 {
+			r, _ := align.ExtendBandedRef(p.Q, p.T, p.H0, sc, band)
+			return r.Cells
+		})
+	})
+	b.Run("banded/workspace", func(b *testing.B) {
+		ws := align.NewWorkspace()
+		measure(b, func(p bench.Problem) int64 {
+			r, _ := align.ExtendBandedWS(ws, p.Q, p.T, p.H0, sc, band)
+			return r.Cells
+		})
+	})
+	b.Run("checked/workspace", func(b *testing.B) {
+		chk := core.NewChecker(core.Config{Band: band, Scoring: sc, Kind: core.SemiGlobal, Mode: core.ModeStrict})
+		measure(b, func(p bench.Problem) int64 {
+			r, _ := chk.Check(p.Q, p.T, p.H0)
+			return r.Cells
+		})
+	})
+}
+
 // BenchmarkFig02BandDistribution measures the used-band computation that
 // underlies Figure 2 (binary search for the minimal sufficient band).
 func BenchmarkFig02BandDistribution(b *testing.B) {

@@ -28,11 +28,14 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("seedex-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.String("fig", "all", "figure/table to regenerate: 2,3,4,13,14,15,16,17,18,t2,t3 or 'all'")
+	fig := fs.String("fig", "all", "figure/table to regenerate: 2,3,4,13,14,15,16,17,18,t2,t3,extend or 'all'")
 	refLen := fs.Int("ref", 200_000, "synthetic reference length (bp)")
 	nReads := fs.Int("reads", 1000, "simulated read count")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	workers := fs.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS)")
+	extendJSON := fs.String("extend-json", "BENCH_extend.json", "output path for the extension kernel benchmark (-fig extend)")
+	extendBand := fs.Int("extend-band", 21, "one-sided band for the checked paths of -fig extend")
+	extendRounds := fs.Int("extend-rounds", 3, "timing rounds per kernel for -fig extend")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +121,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if all || want["18"] {
 		section("Figure 18: ASIC comparator bars")
 		fmt.Fprintln(stdout, bench.Fig18())
+	}
+	if want["extend"] { // not part of 'all': it writes a file and takes timing-quality minutes
+		section("Extension kernel benchmark (150 bp workload)")
+		fmt.Fprintf(stderr, "building 150 bp workload: %d bp reference, %d reads (seed %d)...\n", *refLen, *nReads, *seed)
+		w150, err := bench.Workload150(*refLen, *nReads, *seed)
+		if err != nil {
+			return err
+		}
+		rep := bench.ExtendBench(w150, *extendBand, *extendRounds)
+		fmt.Fprintln(stdout, rep)
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*extendJSON, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *extendJSON)
 	}
 	if all || want["ablations"] {
 		section("Ablation: edit-machine seeding strategy")

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -35,6 +38,48 @@ func TestBenchSingleFigure(t *testing.T) {
 	// Static figures must not build a workload.
 	if strings.Contains(stderr.String(), "building workload") {
 		t.Fatal("workload built unnecessarily")
+	}
+}
+
+func TestBenchExtendJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_extend.json")
+	var out, stderr bytes.Buffer
+	err := run([]string{"-fig", "extend", "-reads", "40", "-ref", "30000",
+		"-extend-rounds", "1", "-extend-json", path}, &out, &stderr)
+	if err != nil {
+		t.Fatalf("%v (%s)", err, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("benchmark JSON not written: %v", err)
+	}
+	var rep struct {
+		ReadLen int `json:"read_len"`
+		Kernels []struct {
+			Kernel      string  `json:"kernel"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			CellsPerSec float64 `json:"cells_per_sec"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"kernels"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.ReadLen != 150 {
+		t.Fatalf("read length %d, want 150", rep.ReadLen)
+	}
+	seen := map[string]bool{}
+	for _, k := range rep.Kernels {
+		seen[k.Kernel] = true
+		if k.NsPerOp <= 0 || k.CellsPerSec <= 0 {
+			t.Fatalf("kernel %s has empty measurements: %+v", k.Kernel, k)
+		}
+	}
+	for _, want := range []string{"full/seed", "full/workspace", "banded/seed",
+		"banded/workspace", "checked/pooled", "checked/workspace"} {
+		if !seen[want] {
+			t.Fatalf("kernel %q missing from report (have %v)", want, seen)
+		}
 	}
 }
 

@@ -42,6 +42,17 @@ type Extender interface {
 	Extend(query, target []byte, h0 int) ExtendResult
 }
 
+// SessionExtender is an Extender that can mint per-goroutine sessions: a
+// Session shares the parent's configuration and aggregate statistics but
+// owns its own scratch memory, so long-lived workers (pipeline goroutines,
+// FPGA driver threads) extend allocation-free without sharing mutable
+// state. Sessions must not be used concurrently; the parent Extender
+// remains safe for shared use.
+type SessionExtender interface {
+	Extender
+	Session() Extender
+}
+
 // Options controls optional kernel behaviour.
 type Options struct {
 	// DisableEarlyTerm turns off the exact dead-region trimming and
@@ -51,34 +62,62 @@ type Options struct {
 
 // Extend runs the full-width (unbanded) extension kernel.
 // It is the host "full-band rerun" ground truth of the SeedEx workflow.
+// It draws scratch from the shared workspace pool; hot callers should hold
+// a Workspace and use ExtendWS instead.
 func Extend(query, target []byte, h0 int, sc Scoring) ExtendResult {
-	r, _ := extendCore(query, target, h0, sc, -1, Options{}, false)
+	ws := GetWorkspace()
+	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, Options{}, false)
+	PutWorkspace(ws)
 	return r
 }
 
 // ExtendOpts is Extend with explicit Options.
 func ExtendOpts(query, target []byte, h0 int, sc Scoring, opts Options) ExtendResult {
-	r, _ := extendCore(query, target, h0, sc, -1, opts, false)
+	ws := GetWorkspace()
+	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, opts, false)
+	PutWorkspace(ws)
 	return r
 }
 
 // ExtendBanded runs the kernel restricted to the band |i-j| <= w and
 // additionally captures the E-scores crossing the band's lower boundary
 // (needed by the SeedEx optimality checks). Out-of-band neighbours are
-// treated as dead cells.
+// treated as dead cells. The returned boundary is freshly allocated (it
+// must outlive the pooled workspace); hot callers should hold a Workspace
+// and use ExtendBandedWS, whose boundary aliases workspace memory.
 func ExtendBanded(query, target []byte, h0 int, sc Scoring, w int) (ExtendResult, BandBoundary) {
-	return extendCore(query, target, h0, sc, w, Options{}, true)
+	return ExtendBandedOpts(query, target, h0, sc, w, Options{})
 }
 
 // ExtendBandedOpts is ExtendBanded with explicit Options.
 func ExtendBandedOpts(query, target []byte, h0 int, sc Scoring, w int, opts Options) (ExtendResult, BandBoundary) {
-	return extendCore(query, target, h0, sc, w, opts, true)
+	ws := GetWorkspace()
+	r, bd := extendCoreWS(ws, query, target, h0, sc, w, opts, true)
+	out := BandBoundary{E: append([]int(nil), bd.E...)}
+	PutWorkspace(ws)
+	return r, out
 }
 
-// extendCore is the shared row-streaming kernel. w < 0 selects the full
-// width. When captureBoundary is set (banded mode), the outgoing lower
-// boundary E-scores are recorded.
-func extendCore(query, target []byte, h0 int, sc Scoring, w int, opts Options, captureBoundary bool) (ExtendResult, BandBoundary) {
+// ExtendRef runs the original int-arithmetic full-width kernel. It is kept
+// as the independent reference implementation: the equivalence tests pin
+// the workspace kernel against it bit-for-bit, and the benchmarks use it
+// as the perf baseline ("seed kernel").
+func ExtendRef(query, target []byte, h0 int, sc Scoring) ExtendResult {
+	r, _ := extendCoreRef(query, target, h0, sc, -1, Options{}, false)
+	return r
+}
+
+// ExtendBandedRef is the reference counterpart of ExtendBanded.
+func ExtendBandedRef(query, target []byte, h0 int, sc Scoring, w int) (ExtendResult, BandBoundary) {
+	return extendCoreRef(query, target, h0, sc, w, Options{}, true)
+}
+
+// extendCoreRef is the allocating row-streaming reference kernel. w < 0
+// selects the full width. When captureBoundary is set (banded mode), the
+// outgoing lower boundary E-scores are recorded. The workspace kernel
+// (extendCoreWS) mirrors this code and must stay bit-identical to it; it
+// also delegates here when a problem's score range could overflow int32.
+func extendCoreRef(query, target []byte, h0 int, sc Scoring, w int, opts Options, captureBoundary bool) (ExtendResult, BandBoundary) {
 	n, m := len(query), len(target)
 	res := ExtendResult{}
 	var boundary BandBoundary

@@ -85,9 +85,13 @@ func forwardScores(q, t []byte, sc Scoring, openTop int) (h, eAt []int) {
 	for j := 1; j <= n; j++ {
 		h[j] = -sc.GapOpen - j*sc.GapExtend
 	}
-	// E(1, j): a deletion opening at the top boundary.
-	for j := 0; j <= n; j++ {
-		e[j] = h[j] - openTop - sc.GapExtend
+	// E(1, j): a deletion opening in row 1. The openTop discount applies
+	// only at column 0 (a gap continuing across the divide-and-conquer
+	// seam is the alignment's *first* op); a row-1 deletion at j > 0
+	// follows row-0 insertions, is a fresh gap, and pays the full open.
+	e[0] = h[0] - openTop - sc.GapExtend
+	for j := 1; j <= n; j++ {
+		e[j] = h[j] - sc.GapOpen - sc.GapExtend
 	}
 	for i := 1; i <= m; i++ {
 		diag := h[0]
@@ -153,12 +157,12 @@ func nwSmall(q, t []byte, sc Scoring, openTop, openBot int) (Cigar, int) {
 	for i := 1; i <= m; i++ {
 		H[i][0] = -openTop - i*sc.GapExtend
 		for j := 1; j <= n; j++ {
-			open := sc.GapOpen
-			if i == 1 {
-				open = openTop // gap starting at the top boundary
-			}
+			// openTop is NOT applied here: at j > 0 a row-1 deletion
+			// follows row-0 insertions and cannot merge with the seam gap,
+			// so it pays the standard open. Column 0 (the only place the
+			// discount is sound) is handled by the H[i][0] initialization.
 			ev := saturSub(E[i-1][j], sc.GapExtend)
-			if v := saturSub(H[i-1][j], open+sc.GapExtend); v > ev {
+			if v := saturSub(H[i-1][j], sc.GapOpen+sc.GapExtend); v > ev {
 				ev = v
 			}
 			E[i][j] = ev

@@ -50,6 +50,46 @@ func TestGlobalAlignOptimal(t *testing.T) {
 	}
 }
 
+// TestGlobalAlignSeamRegression pins seeds that once tripped a seam bug:
+// the openTop discount in the E-join reconstruction was granted to any
+// row-1 deletion, letting a child claim a discounted score its cigar
+// (starting with an insertion) could not realize after concatenation.
+func TestGlobalAlignSeamRegression(t *testing.T) {
+	for _, seed := range []int64{4056162585390323733, 1, 99} {
+		rng := rand.New(rand.NewSource(seed))
+		sc := Scoring{
+			Match:     1 + rng.Intn(3),
+			Mismatch:  1 + rng.Intn(6),
+			GapOpen:   rng.Intn(8),
+			GapExtend: 1 + rng.Intn(3),
+		}
+		n := 1 + rng.Intn(120)
+		q := randSeq(rng, n)
+		var tg []byte
+		switch rng.Intn(3) {
+		case 0:
+			tg = randSeq(rng, 1+rng.Intn(150))
+		case 1:
+			tg = mutate(rng, q, 0.1, 0.08)
+			if len(tg) == 0 {
+				tg = randSeq(rng, 3)
+			}
+		default:
+			tg = append([]byte(nil), q[:n/2]...)
+			tg = append(tg, randSeq(rng, 10+rng.Intn(60))...)
+			tg = append(tg, q[n/2:]...)
+		}
+		cig, score := GlobalAlign(q, tg, sc)
+		if err := cig.Validate(len(q), len(tg)); err != nil {
+			t.Fatalf("seed %d: %v (cigar %s)", seed, err, cig)
+		}
+		want := Global(q, tg, 0, sc)
+		if !want.Feasible || score != want.Score {
+			t.Fatalf("seed %d: linear-space score %d, DP %d", seed, score, want.Score)
+		}
+	}
+}
+
 func TestGlobalAlignDegenerate(t *testing.T) {
 	sc := DefaultScoring()
 	if cig, _ := GlobalAlign(nil, nil, sc); len(cig) != 0 {

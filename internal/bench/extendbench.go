@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"seedex/internal/align"
+	"seedex/internal/core"
+	"seedex/internal/readsim"
+)
+
+// Workload150 builds the standard 150 bp extension workload used by the
+// kernel benchmarks (the perf-trajectory baseline): realistic error
+// profile at the longer modern Illumina read length.
+func Workload150(refLen, nReads int, seed int64) (*Workload, error) {
+	cfg := readsim.RealisticConfig(nReads)
+	cfg.ReadLen = 150
+	return BuildWorkloadCfg(refLen, cfg, seed)
+}
+
+// ExtendKernelResult is one kernel's measurement over the workload.
+type ExtendKernelResult struct {
+	// Kernel names the code path: full/seed, full/workspace, banded/seed,
+	// banded/workspace, checked/pooled, checked/workspace.
+	Kernel string `json:"kernel"`
+	// NsPerOp is wall time per extension.
+	NsPerOp float64 `json:"ns_per_op"`
+	// CellsPerSec is DP throughput (computed cells per second).
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// AllocsPerOp is heap allocations per extension in steady state.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// ExtendBenchReport is the machine-readable perf snapshot emitted as
+// BENCH_extend.json so future changes have a trajectory to compare
+// against.
+type ExtendBenchReport struct {
+	ReadLen  int                  `json:"read_len"`
+	Problems int                  `json:"problems"`
+	Band     int                  `json:"band"`
+	Kernels  []ExtendKernelResult `json:"kernels"`
+	// SpeedupFull is the full-band workspace kernel's cells/s over the
+	// seed (reference) kernel.
+	SpeedupFull float64 `json:"speedup_full_ws_vs_seed"`
+	// SpeedupBanded is the banded workspace kernel's cells/s over the
+	// seed banded kernel.
+	SpeedupBanded float64 `json:"speedup_banded_ws_vs_seed"`
+}
+
+// JSON renders the report for BENCH_extend.json.
+func (r ExtendBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders a human-readable summary table.
+func (r ExtendBenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s %14s %10s\n", "kernel", "ns/op", "cells/s", "allocs/op")
+	for _, k := range r.Kernels {
+		fmt.Fprintf(&b, "%-18s %12.0f %14.3e %10.2f\n", k.Kernel, k.NsPerOp, k.CellsPerSec, k.AllocsPerOp)
+	}
+	fmt.Fprintf(&b, "full-band workspace vs seed kernel: %.2fx cells/s\n", r.SpeedupFull)
+	fmt.Fprintf(&b, "banded    workspace vs seed kernel: %.2fx cells/s", r.SpeedupBanded)
+	return b.String()
+}
+
+// measureKernel times fn over every problem for the given number of
+// rounds (after one warmup pass) and samples steady-state allocations.
+// fn returns the number of DP cells the call computed.
+func measureKernel(name string, probs []Problem, rounds int, fn func(Problem) int64) ExtendKernelResult {
+	for _, p := range probs {
+		fn(p) // warm caches, pools and workspaces
+	}
+	var cells int64
+	ops := 0
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i := range probs {
+			cells += fn(probs[i])
+			ops++
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Steady-state allocation count via the runtime's malloc counter
+	// (bench is a library, so testing.AllocsPerRun is not available).
+	prev := runtime.GOMAXPROCS(1)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := range probs {
+		fn(probs[i])
+	}
+	runtime.ReadMemStats(&m1)
+	runtime.GOMAXPROCS(prev)
+
+	return ExtendKernelResult{
+		Kernel:      name,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		CellsPerSec: float64(cells) / elapsed.Seconds(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(len(probs)),
+	}
+}
+
+// ExtendBench measures every extension code path over the workload's
+// harvested problems: the reference ("seed") kernels, the workspace
+// kernels, and the full check workflow (pooled and workspace-held).
+func ExtendBench(w *Workload, band, rounds int) ExtendBenchReport {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	probs := w.Problems
+	sc := w.Scoring
+	rep := ExtendBenchReport{Problems: len(probs), Band: band}
+	if len(w.Reads) > 0 {
+		rep.ReadLen = len(w.Reads[0].Seq)
+	}
+	if len(probs) == 0 {
+		return rep
+	}
+
+	ws := align.NewWorkspace()
+	ccfg := core.Config{Band: band, Scoring: sc, Kind: core.SemiGlobal, Mode: core.ModeStrict}
+	chk := core.NewChecker(ccfg)
+
+	rep.Kernels = append(rep.Kernels,
+		measureKernel("full/seed", probs, rounds, func(p Problem) int64 {
+			return align.ExtendRef(p.Q, p.T, p.H0, sc).Cells
+		}),
+		measureKernel("full/workspace", probs, rounds, func(p Problem) int64 {
+			return align.ExtendWS(ws, p.Q, p.T, p.H0, sc).Cells
+		}),
+		measureKernel("banded/seed", probs, rounds, func(p Problem) int64 {
+			r, _ := align.ExtendBandedRef(p.Q, p.T, p.H0, sc, band)
+			return r.Cells
+		}),
+		measureKernel("banded/workspace", probs, rounds, func(p Problem) int64 {
+			r, _ := align.ExtendBandedWS(ws, p.Q, p.T, p.H0, sc, band)
+			return r.Cells
+		}),
+		measureKernel("checked/pooled", probs, rounds, func(p Problem) int64 {
+			r, _ := core.Check(p.Q, p.T, p.H0, ccfg)
+			return r.Cells
+		}),
+		measureKernel("checked/workspace", probs, rounds, func(p Problem) int64 {
+			r, _ := chk.Check(p.Q, p.T, p.H0)
+			return r.Cells
+		}),
+	)
+	byName := map[string]ExtendKernelResult{}
+	for _, k := range rep.Kernels {
+		byName[k.Kernel] = k
+	}
+	if s := byName["full/seed"].CellsPerSec; s > 0 {
+		rep.SpeedupFull = byName["full/workspace"].CellsPerSec / s
+	}
+	if s := byName["banded/seed"].CellsPerSec; s > 0 {
+		rep.SpeedupBanded = byName["banded/workspace"].CellsPerSec / s
+	}
+	return rep
+}

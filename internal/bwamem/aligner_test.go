@@ -82,7 +82,7 @@ func TestSeedExPipelineBitEquivalence(t *testing.T) {
 				t.Fatalf("w=%d read %d: SAM differs\n seedex: %s\n full:   %s", w, i, gotRecs[i], wantRecs[i])
 			}
 		}
-		if se.Stats.Total == 0 {
+		if se.Stats.Total.Load() == 0 {
 			t.Fatal("no extensions went through the checker")
 		}
 		t.Logf("w=%d: %s", w, se.Stats)

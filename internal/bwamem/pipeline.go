@@ -52,6 +52,38 @@ func (ie *InstrumentedExtender) Extend(q, t []byte, h0 int) align.ExtendResult {
 	return res
 }
 
+// Session implements align.SessionExtender: the session extends through a
+// per-goroutine session of the inner extender (when it offers one) while
+// accounting into this wrapper's shared atomic counters.
+func (ie *InstrumentedExtender) Session() align.Extender {
+	inner := ie.Inner
+	if se, ok := inner.(align.SessionExtender); ok {
+		inner = se.Session()
+	}
+	return &instrumentedSession{parent: ie, inner: inner}
+}
+
+var _ align.SessionExtender = (*InstrumentedExtender)(nil)
+
+type instrumentedSession struct {
+	parent *InstrumentedExtender
+	inner  align.Extender
+}
+
+func (s *instrumentedSession) Extend(q, t []byte, h0 int) align.ExtendResult {
+	start := time.Now()
+	res := s.inner.Extend(q, t, h0)
+	ie := s.parent
+	ie.ns.Add(time.Since(start).Nanoseconds())
+	ie.calls.Add(1)
+	if ie.KeepJobs {
+		ie.mu.Lock()
+		ie.jobs = append(ie.jobs, ExtJob{QLen: len(q), TLen: len(t)})
+		ie.mu.Unlock()
+	}
+	return res
+}
+
 // Ns returns the accumulated extension CPU time.
 func (ie *InstrumentedExtender) Ns() int64 { return ie.ns.Load() }
 
@@ -88,12 +120,29 @@ func (a *Aligner) Run(reads []Read, workers int) ([]sam.Record, Stats) {
 	stats.Reads = len(reads)
 	var mapped, extensions, seedNs, extNs, restNs, totalNs atomic.Int64
 
+	// One prefilled default-quality buffer shared by every read lacking
+	// qualities; ToSAM copies the slice into the record, so handing out
+	// read-only sub-slices is safe across workers.
+	maxQual := 0
+	for _, r := range reads {
+		if r.Qual == nil && len(r.Seq) > maxQual {
+			maxQual = len(r.Seq)
+		}
+	}
+	defaultQual := make([]byte, maxQual)
+	for k := range defaultQual {
+		defaultQual[k] = 'I'
+	}
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker aligner view: private extension session and
+			// timing probes built once, not once per read.
+			st := a.newWorkerState()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(reads) {
@@ -101,13 +150,10 @@ func (a *Aligner) Run(reads []Read, workers int) ([]sam.Record, Stats) {
 				}
 				r := reads[i]
 				t0 := time.Now()
-				al, tm := a.alignTimed(r.Seq)
+				al, tm := st.alignTimed(r.Seq)
 				qual := r.Qual
 				if qual == nil {
-					qual = make([]byte, len(r.Seq))
-					for k := range qual {
-						qual[k] = 'I'
-					}
+					qual = defaultQual[:len(r.Seq)]
 				}
 				recs[i] = ToSAM(r.Name, r.Seq, qual, a.RefName, al)
 				if al.Mapped {
@@ -136,19 +182,33 @@ type readTimes struct {
 	seedNs, extNs int64
 }
 
-// alignTimed is AlignRead with per-stage attribution.
-func (a *Aligner) alignTimed(read []byte) (Alignment, readTimes) {
-	var tm readTimes
+// workerState is one worker's private view of the shared aligner: a
+// shallow copy whose seeder and extender are wrapped with timing probes,
+// and whose extender is a per-worker session (own scratch memory) when
+// the configured extender offers one. The shared aligner is never
+// mutated.
+type workerState struct {
+	cp    Aligner
+	probe *stageProbe
+}
+
+func (a *Aligner) newWorkerState() *workerState {
 	probe := &stageProbe{}
-	saveSeeder, saveExt := a.Seeder, a.Extender
-	// Wrap per call; the aligner value is shared across workers, so wrap
-	// via a shallow copy instead of mutating shared state.
+	ext := a.Extender
+	if se, ok := ext.(align.SessionExtender); ok {
+		ext = se.Session()
+	}
 	cp := *a
-	cp.Seeder = wrapSeeder(saveSeeder, probe)
-	cp.Extender = &timedExtenderProbe{inner: saveExt, probe: probe}
-	al := cp.AlignRead(read)
-	tm.seedNs, tm.extNs = probe.seedNs, probe.extNs
-	return al, tm
+	cp.Seeder = wrapSeeder(a.Seeder, probe)
+	cp.Extender = &timedExtenderProbe{inner: ext, probe: probe}
+	return &workerState{cp: cp, probe: probe}
+}
+
+// alignTimed is AlignRead with per-stage attribution.
+func (st *workerState) alignTimed(read []byte) (Alignment, readTimes) {
+	st.probe.seedNs, st.probe.extNs = 0, 0
+	al := st.cp.AlignRead(read)
+	return al, readTimes{seedNs: st.probe.seedNs, extNs: st.probe.extNs}
 }
 
 type stageProbe struct {

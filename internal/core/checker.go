@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+
+	"seedex/internal/align"
+	"seedex/internal/editmachine"
+)
+
+// Request is one extension problem submitted to a batch.
+type Request struct {
+	Q, T []byte // query and target (band-anchored at their left ends)
+	H0   int    // seed score the extension starts from
+	Tag  int    // caller-chosen identifier, echoed in the Response
+}
+
+// Response reports one extension of a batch.
+type Response struct {
+	Tag   int
+	Res   align.ExtendResult
+	Rerun bool // optimality was not proven; Res came from the fallback
+}
+
+// Checker runs the SeedEx check workflow with caller-owned scratch: one
+// Checker value holds every buffer the banded kernel, the edit machine and
+// the host rerun need, so a goroutine that keeps a Checker for its
+// lifetime performs the whole speculate-check-rerun cycle without
+// allocating. A Checker must not be used concurrently; mint one per
+// worker (see SeedEx.Session).
+type Checker struct {
+	Config Config
+	// Fallback performs host reruns; nil selects the workspace-backed
+	// full-band kernel with Config.Scoring.
+	Fallback align.Extender
+	// Stats, when non-nil, aggregates check outcomes (atomic counters, so
+	// many Checkers may share one Stats).
+	Stats *Stats
+
+	ews *align.Workspace
+	ems *editmachine.Workspace
+}
+
+// NewChecker returns a Checker for cfg with pre-created workspaces.
+func NewChecker(cfg Config) *Checker {
+	return &Checker{Config: cfg, ews: align.NewWorkspace(), ems: editmachine.NewWorkspace()}
+}
+
+var _ align.Extender = (*Checker)(nil)
+
+func (c *Checker) init() {
+	if c.ews == nil {
+		c.ews = align.NewWorkspace()
+		c.ems = editmachine.NewWorkspace()
+	}
+}
+
+// Check speculatively extends query against target with the narrow band
+// and runs the optimality-check workflow. It does not record stats and
+// does not rerun; the caller decides what to do on !report.Pass.
+func (c *Checker) Check(query, target []byte, h0 int) (align.ExtendResult, Report) {
+	c.init()
+	res, bd := align.ExtendBandedWS(c.ews, query, target, h0, c.Config.Scoring, c.Config.Band)
+	rep := check(c.ems, query, target, h0, res, bd, c.Config)
+	return res, rep
+}
+
+// Rerun performs the host full-band extension for a failed check.
+func (c *Checker) Rerun(query, target []byte, h0 int) align.ExtendResult {
+	if c.Fallback != nil {
+		return c.Fallback.Extend(query, target, h0)
+	}
+	c.init()
+	return align.ExtendWS(c.ews, query, target, h0, c.Config.Scoring)
+}
+
+// Extend implements align.Extender: check, record, rerun on failure.
+func (c *Checker) Extend(query, target []byte, h0 int) align.ExtendResult {
+	res, rep := c.Check(query, target, h0)
+	if c.Stats != nil {
+		c.Stats.record(rep)
+	}
+	if rep.Pass {
+		return res
+	}
+	return c.Rerun(query, target, h0)
+}
+
+// ExtendBatch runs every request through the check workflow (with rerun on
+// failure) and returns the responses in request order.
+func (c *Checker) ExtendBatch(reqs []Request) []Response {
+	return c.ExtendBatchInto(reqs, nil)
+}
+
+// ExtendBatchInto is ExtendBatch reusing dst's backing array when it is
+// large enough — the allocation-free form for long-lived workers.
+func (c *Checker) ExtendBatchInto(reqs []Request, dst []Response) []Response {
+	if cap(dst) < len(reqs) {
+		dst = make([]Response, len(reqs))
+	}
+	dst = dst[:len(reqs)]
+	for i, r := range reqs {
+		res, rep := c.Check(r.Q, r.T, r.H0)
+		if c.Stats != nil {
+			c.Stats.record(rep)
+		}
+		rerun := !rep.Pass
+		if rerun {
+			res = c.Rerun(r.Q, r.T, r.H0)
+		}
+		dst[i] = Response{Tag: r.Tag, Res: res, Rerun: rerun}
+	}
+	return dst
+}
+
+// checkerPool backs the package-level Check function; long-lived callers
+// should hold their own Checker.
+var checkerPool = sync.Pool{New: func() any { return &Checker{} }}

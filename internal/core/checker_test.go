@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"seedex/internal/align"
+)
+
+// TestCheckerMatchesCheck: the workspace-holding Checker must reproduce the
+// package-level Check bit-for-bit — results and full reports — across
+// random workloads, bands and both modes.
+func TestCheckerMatchesCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	sc := align.DefaultScoring()
+	for _, mode := range []Mode{ModePaper, ModeStrict} {
+		for _, w := range []int{1, 3, 8, 16, 40} {
+			cfg := Config{Band: w, Scoring: sc, Kind: SemiGlobal, Mode: mode}
+			chk := NewChecker(cfg)
+			for iter := 0; iter < 300; iter++ {
+				var q, tg []byte
+				var h0 int
+				if iter%2 == 0 {
+					q, tg, h0 = realisticCase(rng)
+				} else {
+					q, tg, h0 = adversarialCase(rng)
+				}
+				wantRes, wantRep := Check(q, tg, h0, cfg)
+				gotRes, gotRep := chk.Check(q, tg, h0)
+				if gotRes != wantRes {
+					t.Fatalf("mode=%d w=%d iter=%d: result %+v != %+v", mode, w, iter, gotRes, wantRes)
+				}
+				if gotRep != wantRep {
+					t.Fatalf("mode=%d w=%d iter=%d: report %+v != %+v", mode, w, iter, gotRep, wantRep)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckerExtendMatchesSeedEx: Checker.Extend (and a Session minted from
+// a SeedEx) must agree with SeedEx.Extend, including the stats trail.
+func TestCheckerExtendMatchesSeedEx(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	se := New(8)
+	sess := se.Session()
+	chk := NewChecker(se.Config)
+	chk.Stats = NewStats()
+	for iter := 0; iter < 400; iter++ {
+		q, tg, h0 := realisticCase(rng)
+		want := se.Extend(q, tg, h0)
+		if got := sess.Extend(q, tg, h0); got != want {
+			t.Fatalf("iter %d: session %+v != seedex %+v", iter, got, want)
+		}
+		if got := chk.Extend(q, tg, h0); got != want {
+			t.Fatalf("iter %d: checker %+v != seedex %+v", iter, got, want)
+		}
+	}
+	// The session shares the parent's stats; the standalone checker has its
+	// own. Both views must be consistent.
+	if se.Stats.Total.Load() != 800 {
+		t.Fatalf("seedex+session recorded %d extensions, want 800", se.Stats.Total.Load())
+	}
+	if chk.Stats.Total.Load() != 400 {
+		t.Fatalf("checker recorded %d extensions, want 400", chk.Stats.Total.Load())
+	}
+	if se.Stats.Passed.Load()+se.Stats.Reruns.Load() != se.Stats.Total.Load() {
+		t.Fatalf("stats do not add up: %v", se.Stats.Snapshot())
+	}
+}
+
+// TestExtendBatch: request order, tags and rerun flags must survive
+// batching, and every response must equal the full-band ground truth.
+func TestExtendBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	cfg := Config{Band: 6, Scoring: align.DefaultScoring(), Kind: SemiGlobal, Mode: ModeStrict}
+	chk := NewChecker(cfg)
+	chk.Stats = NewStats()
+	reqs := make([]Request, 120)
+	for i := range reqs {
+		q, tg, h0 := realisticCase(rng)
+		reqs[i] = Request{Q: q, T: tg, H0: h0, Tag: 1000 + i}
+	}
+	resps := chk.ExtendBatch(reqs)
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(reqs))
+	}
+	reruns := 0
+	for i, r := range resps {
+		if r.Tag != reqs[i].Tag {
+			t.Fatalf("response %d carries tag %d, want %d", i, r.Tag, reqs[i].Tag)
+		}
+		want := align.Extend(reqs[i].Q, reqs[i].T, reqs[i].H0, cfg.Scoring)
+		if got := r.Res; got.Local != want.Local || got.LocalT != want.LocalT || got.LocalQ != want.LocalQ ||
+			got.Global != want.Global || got.GlobalT != want.GlobalT {
+			t.Fatalf("request %d: %+v != full-band %+v (rerun=%v)", i, got, want, r.Rerun)
+		}
+		if r.Rerun {
+			reruns++
+		}
+	}
+	if int64(reruns) != chk.Stats.Reruns.Load() {
+		t.Fatalf("rerun flags (%d) disagree with stats (%d)", reruns, chk.Stats.Reruns.Load())
+	}
+	// Into-form reuses the response slice.
+	again := chk.ExtendBatchInto(reqs, resps)
+	if &again[0] != &resps[0] {
+		t.Fatal("ExtendBatchInto must reuse the destination backing array")
+	}
+}
+
+// TestCheckerZeroAllocs: steady-state Checker.Check and the batch path must
+// not allocate — the tentpole property extended through the check workflow.
+func TestCheckerZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	cfg := Config{Band: 8, Scoring: align.DefaultScoring(), Kind: SemiGlobal, Mode: ModeStrict}
+	chk := NewChecker(cfg)
+	chk.Stats = NewStats()
+	q, tg, h0 := realisticCase(rng)
+	chk.Extend(q, tg, h0) // warm every buffer, including the rerun path
+	if n := testing.AllocsPerRun(200, func() {
+		chk.Check(q, tg, h0)
+	}); n != 0 {
+		t.Fatalf("Checker.Check allocates %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		chk.Extend(q, tg, h0)
+	}); n != 0 {
+		t.Fatalf("Checker.Extend allocates %.1f allocs/op, want 0", n)
+	}
+	reqs := make([]Request, 16)
+	for i := range reqs {
+		qq, tt, hh := realisticCase(rng)
+		reqs[i] = Request{Q: qq, T: tt, H0: hh, Tag: i}
+	}
+	dst := chk.ExtendBatch(reqs)
+	if n := testing.AllocsPerRun(100, func() {
+		dst = chk.ExtendBatchInto(reqs, dst)
+	}); n != 0 {
+		t.Fatalf("ExtendBatchInto allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestSessionExtenders: every extender flavour must satisfy
+// align.SessionExtender and its sessions must match the parent.
+func TestSessionExtenders(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	sc := align.DefaultScoring()
+	parents := []align.SessionExtender{
+		New(8),
+		FullBand{Scoring: sc},
+		Banded{Scoring: sc, Band: 8},
+	}
+	for pi, p := range parents {
+		sess := p.Session()
+		for iter := 0; iter < 200; iter++ {
+			q, tg, h0 := realisticCase(rng)
+			if got, want := sess.Extend(q, tg, h0), p.Extend(q, tg, h0); got != want {
+				t.Fatalf("parent %d iter %d: session %+v != parent %+v", pi, iter, got, want)
+			}
+		}
+	}
+}

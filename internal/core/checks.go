@@ -191,14 +191,17 @@ type Config struct {
 // Check speculatively extends query against target with the narrow band
 // and runs the optimality-check workflow, returning the banded result and
 // a full report. The caller decides what to do on !report.Pass (typically:
-// rerun with the full band).
+// rerun with the full band). Scratch comes from a shared Checker pool; hot
+// callers should hold a Checker and use its Check method.
 func Check(query, target []byte, h0 int, cfg Config) (align.ExtendResult, Report) {
-	res, bd := align.ExtendBanded(query, target, h0, cfg.Scoring, cfg.Band)
-	rep := check(query, target, h0, res, bd, cfg)
+	c := checkerPool.Get().(*Checker)
+	c.Config = cfg
+	res, rep := c.Check(query, target, h0)
+	checkerPool.Put(c)
 	return res, rep
 }
 
-func check(query, target []byte, h0 int, res align.ExtendResult, bd align.BandBoundary, cfg Config) Report {
+func check(ems *editmachine.Workspace, query, target []byte, h0 int, res align.ExtendResult, bd align.BandBoundary, cfg Config) Report {
 	n, m := len(query), len(target)
 	w := cfg.Band
 	sc := cfg.Scoring
@@ -218,7 +221,7 @@ func check(query, target []byte, h0 int, res align.ExtendResult, bd align.BandBo
 	case res.Local > rep.Th.S2:
 		rep.Outcome, rep.Pass, rep.ThresholdOnlyPass = PassS2, true, true
 		if cfg.Mode == ModeStrict {
-			return strictGlobal(query, target, h0, res, bd, cfg, rep, nil)
+			return strictGlobal(ems, query, target, h0, res, bd, cfg, rep, nil)
 		}
 		return rep
 	}
@@ -236,7 +239,7 @@ func check(query, target []byte, h0 int, res align.ExtendResult, bd align.BandBo
 	rx := editmachine.RelaxedFor(sc)
 	switch cfg.Mode {
 	case ModePaper:
-		sw := editmachine.SweepCorner(query, target, w, rep.Th.S1, editmachine.CanonicalRelaxed)
+		sw := editmachine.SweepCornerWS(ems, query, target, w, rep.Th.S1, editmachine.CanonicalRelaxed)
 		if !sw.Empty {
 			rep.ScoreEd = sw.Score
 			if sw.Score >= res.Local {
@@ -247,7 +250,7 @@ func check(query, target []byte, h0 int, res align.ExtendResult, bd align.BandBo
 		rep.Outcome, rep.Pass = PassChecks, true
 		return rep
 	default: // ModeStrict
-		sw := editmachine.SweepExact(query, target, w, h0, bd.E, sc, rx)
+		sw := editmachine.SweepExactWS(ems, query, target, w, h0, bd.E, sc, rx)
 		if !sw.Empty {
 			rep.ScoreEd = sw.Score
 			// The continuation-aware bound also covers paths that dip
@@ -258,14 +261,14 @@ func check(query, target []byte, h0 int, res align.ExtendResult, bd align.BandBo
 			}
 		}
 		rep.Outcome, rep.Pass = PassChecks, true
-		return strictGlobal(query, target, h0, res, bd, cfg, rep, &sw)
+		return strictGlobal(ems, query, target, h0, res, bd, cfg, rep, &sw)
 	}
 }
 
 // strictGlobal verifies the global (right-edge) endpoint in ModeStrict:
 // every path that ever leaves the band must be provably unable to beat the
 // banded global score at the right edge.
-func strictGlobal(query, target []byte, h0 int, res align.ExtendResult, bd align.BandBoundary, cfg Config, rep Report, sweep *editmachine.RegionResult) Report {
+func strictGlobal(ems *editmachine.Workspace, query, target []byte, h0 int, res align.ExtendResult, bd align.BandBoundary, cfg Config, rep Report, sweep *editmachine.RegionResult) Report {
 	n := len(query)
 	sc := cfg.Scoring
 	w := cfg.Band
@@ -273,7 +276,7 @@ func strictGlobal(query, target []byte, h0 int, res align.ExtendResult, bd align
 	// Below-band side: continuation-aware region bound.
 	below := 0
 	if sweep == nil {
-		sw := editmachine.SweepExact(query, target, w, h0, bd.E, sc, editmachine.RelaxedFor(sc))
+		sw := editmachine.SweepExactWS(ems, query, target, w, h0, bd.E, sc, editmachine.RelaxedFor(sc))
 		sweep = &sw
 	}
 	if !sweep.Empty && sweep.ScorePlusCont > 0 {

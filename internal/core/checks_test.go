@@ -206,7 +206,7 @@ func TestSeedExBitEquivalence(t *testing.T) {
 				t.Fatalf("w=%d seed=%d: seedex %+v != full %+v", w, seed, got, want)
 			}
 		}
-		if se.Stats.Total == 0 {
+		if se.Stats.Total.Load() == 0 {
 			t.Fatalf("stats not recorded")
 		}
 	}
@@ -270,7 +270,7 @@ func TestStatsAggregation(t *testing.T) {
 	s := NewStats()
 	s.record(Report{Pass: true, Outcome: PassS2, ThresholdOnlyPass: true})
 	s.record(Report{Pass: false, Outcome: FailS1})
-	if s.Total != 2 || s.Passed != 1 || s.Reruns != 1 || s.ThresholdOnly != 1 {
+	if s.Total.Load() != 2 || s.Passed.Load() != 1 || s.Reruns.Load() != 1 || s.ThresholdOnly.Load() != 1 {
 		t.Fatalf("bad counters: %+v", s.Snapshot())
 	}
 	if s.PassRate() != 0.5 || s.ThresholdOnlyRate() != 0.5 {

@@ -1,95 +1,8 @@
 package core
 
 import (
-	"fmt"
-	"sync"
-
 	"seedex/internal/align"
 )
-
-// Stats aggregates check outcomes across extensions. It is safe for
-// concurrent use (the aligner pipeline batches extensions across
-// goroutines, mirroring the paper's multi-threaded FPGA driver).
-type Stats struct {
-	mu       sync.Mutex
-	Total    int64
-	Outcomes map[Outcome]int64
-	// ThresholdOnly counts extensions proven optimal by thresholding
-	// alone (Figure 14's lower series).
-	ThresholdOnly int64
-	// Passed counts extensions proven optimal by the full workflow.
-	Passed int64
-	// Reruns counts extensions sent back to the host.
-	Reruns int64
-}
-
-// NewStats returns an empty Stats.
-func NewStats() *Stats { return &Stats{Outcomes: make(map[Outcome]int64)} }
-
-// Record adds one check report to the counters.
-func (s *Stats) Record(rep Report) { s.record(rep) }
-
-func (s *Stats) record(rep Report) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.Total++
-	s.Outcomes[rep.Outcome]++
-	if rep.ThresholdOnlyPass {
-		s.ThresholdOnly++
-	}
-	if rep.Pass {
-		s.Passed++
-	} else {
-		s.Reruns++
-	}
-}
-
-// PassRate returns the fraction of extensions proven optimal.
-func (s *Stats) PassRate() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.Total == 0 {
-		return 0
-	}
-	return float64(s.Passed) / float64(s.Total)
-}
-
-// ThresholdOnlyRate returns the fraction proven by thresholding alone.
-func (s *Stats) ThresholdOnlyRate() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.Total == 0 {
-		return 0
-	}
-	return float64(s.ThresholdOnly) / float64(s.Total)
-}
-
-// Snapshot returns a copy of the counters for reporting.
-func (s *Stats) Snapshot() map[string]int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := map[string]int64{
-		"total":          s.Total,
-		"passed":         s.Passed,
-		"reruns":         s.Reruns,
-		"threshold-only": s.ThresholdOnly,
-	}
-	for o, n := range s.Outcomes {
-		out[o.String()] = n
-	}
-	return out
-}
-
-// String renders a one-line summary.
-func (s *Stats) String() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.Total == 0 {
-		return "seedex: no extensions"
-	}
-	return fmt.Sprintf("seedex: %d extensions, %.2f%% passed (%.2f%% threshold-only), %d reruns",
-		s.Total, 100*float64(s.Passed)/float64(s.Total), 100*float64(s.ThresholdOnly)/float64(s.Total), s.Reruns)
-}
 
 // SeedEx is the speculative extender: narrow-band extension plus the
 // optimality-check workflow, with a host fallback for the extensions whose
@@ -132,6 +45,15 @@ func (s *SeedEx) Extend(query, target []byte, h0 int) align.ExtendResult {
 	return align.Extend(query, target, h0, s.Config.Scoring)
 }
 
+// Session returns a Checker bound to this extender's configuration,
+// fallback and stats: a per-goroutine extension session whose scratch
+// memory (DP rows, query profile, edit-machine row) is reused across
+// calls. Results are identical to Extend; stats still aggregate into the
+// shared (atomic) counters.
+func (s *SeedEx) Session() align.Extender {
+	return &Checker{Config: s.Config, Fallback: s.Fallback, Stats: s.Stats}
+}
+
 // FullBand is the host reference extender: the full-width software kernel.
 type FullBand struct {
 	Scoring align.Scoring
@@ -142,6 +64,20 @@ var _ align.Extender = FullBand{}
 // Extend implements align.Extender.
 func (f FullBand) Extend(query, target []byte, h0 int) align.ExtendResult {
 	return align.Extend(query, target, h0, f.Scoring)
+}
+
+// Session returns a workspace-holding full-band session.
+func (f FullBand) Session() align.Extender {
+	return &fullBandSession{sc: f.Scoring, ws: align.NewWorkspace()}
+}
+
+type fullBandSession struct {
+	sc align.Scoring
+	ws *align.Workspace
+}
+
+func (f *fullBandSession) Extend(query, target []byte, h0 int) align.ExtendResult {
+	return align.ExtendWS(f.ws, query, target, h0, f.sc)
 }
 
 // Banded is a plain banded extender with no optimality checks — the
@@ -156,5 +92,22 @@ var _ align.Extender = Banded{}
 // Extend implements align.Extender.
 func (b Banded) Extend(query, target []byte, h0 int) align.ExtendResult {
 	res, _ := align.ExtendBanded(query, target, h0, b.Scoring, b.Band)
+	return res
+}
+
+// Session returns a workspace-holding banded session (no boundary copy:
+// the heuristic discards it).
+func (b Banded) Session() align.Extender {
+	return &bandedSession{sc: b.Scoring, w: b.Band, ws: align.NewWorkspace()}
+}
+
+type bandedSession struct {
+	sc align.Scoring
+	w  int
+	ws *align.Workspace
+}
+
+func (b *bandedSession) Extend(query, target []byte, h0 int) align.ExtendResult {
+	res, _ := align.ExtendBandedWS(b.ws, query, target, h0, b.sc, b.w)
 	return res
 }

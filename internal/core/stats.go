@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// numOutcomes sizes the per-outcome counter array; Outcome values are the
+// dense indices 0..FailGlobal.
+const numOutcomes = int(FailGlobal) + 1
+
+// Stats aggregates check outcomes across extensions. Every counter is an
+// independent atomic, so concurrent recorders (FPGA driver threads,
+// pipeline workers) never serialize on a shared lock — recording is a
+// handful of uncontended fetch-adds.
+type Stats struct {
+	Total atomic.Int64
+	// ThresholdOnly counts extensions proven optimal by thresholding
+	// alone (Figure 14's lower series).
+	ThresholdOnly atomic.Int64
+	// Passed counts extensions proven optimal by the full workflow.
+	Passed atomic.Int64
+	// Reruns counts extensions sent back to the host.
+	Reruns atomic.Int64
+	// outcomes[o] counts reports with Outcome o; dense array, no map and
+	// no lock on the record path.
+	outcomes [numOutcomes]atomic.Int64
+}
+
+// NewStats returns an empty Stats.
+func NewStats() *Stats { return &Stats{} }
+
+// Record adds one check report to the counters.
+func (s *Stats) Record(rep Report) { s.record(rep) }
+
+func (s *Stats) record(rep Report) {
+	s.Total.Add(1)
+	if o := rep.Outcome; o >= 0 && int(o) < numOutcomes {
+		s.outcomes[o].Add(1)
+	}
+	if rep.ThresholdOnlyPass {
+		s.ThresholdOnly.Add(1)
+	}
+	if rep.Pass {
+		s.Passed.Add(1)
+	} else {
+		s.Reruns.Add(1)
+	}
+}
+
+// OutcomeCount returns the number of reports recorded with outcome o.
+func (s *Stats) OutcomeCount(o Outcome) int64 {
+	if o < 0 || int(o) >= numOutcomes {
+		return 0
+	}
+	return s.outcomes[o].Load()
+}
+
+// PassRate returns the fraction of extensions proven optimal.
+func (s *Stats) PassRate() float64 {
+	total := s.Total.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Passed.Load()) / float64(total)
+}
+
+// ThresholdOnlyRate returns the fraction proven by thresholding alone.
+func (s *Stats) ThresholdOnlyRate() float64 {
+	total := s.Total.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ThresholdOnly.Load()) / float64(total)
+}
+
+// Snapshot returns a copy of the counters for reporting. Counters are read
+// individually, so a snapshot taken while recorders run is approximate
+// (each number is exact, their sum may straddle an in-flight record).
+func (s *Stats) Snapshot() map[string]int64 {
+	out := map[string]int64{
+		"total":          s.Total.Load(),
+		"passed":         s.Passed.Load(),
+		"reruns":         s.Reruns.Load(),
+		"threshold-only": s.ThresholdOnly.Load(),
+	}
+	for o := 0; o < numOutcomes; o++ {
+		if n := s.outcomes[o].Load(); n > 0 {
+			out[Outcome(o).String()] = n
+		}
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	total := s.Total.Load()
+	if total == 0 {
+		return "seedex: no extensions"
+	}
+	return fmt.Sprintf("seedex: %d extensions, %.2f%% passed (%.2f%% threshold-only), %d reruns",
+		total, 100*float64(s.Passed.Load())/float64(total), 100*float64(s.ThresholdOnly.Load())/float64(total), s.Reruns.Load())
+}

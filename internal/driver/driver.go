@@ -16,6 +16,7 @@ package driver
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seedex/internal/align"
@@ -24,23 +25,17 @@ import (
 	"seedex/internal/hw"
 )
 
-// Request is one seed extension offered to the accelerator.
-type Request struct {
-	Q, T []byte
-	H0   int
-	// Tag identifies the request; responses arrive out of order and are
-	// rearranged by the consumer (the paper's post-process stage).
-	Tag int
-}
+// Request is one seed extension offered to the accelerator. Responses
+// arrive out of order (identified by Tag) and are rearranged by the
+// consumer (the paper's post-process stage). It is the batch-API request
+// type of internal/core, so batches flow into core.Checker.ExtendBatch
+// without conversion.
+type Request = core.Request
 
-// Response carries one extension result back to the host.
-type Response struct {
-	Tag int
-	Res align.ExtendResult
-	// Rerun marks results recomputed on the host because the device's
-	// optimality checks failed.
-	Rerun bool
-}
+// Response carries one extension result back to the host; Rerun marks
+// results recomputed on the host because the device's optimality checks
+// failed.
+type Response = core.Response
 
 // Config tunes the simulated platform.
 type Config struct {
@@ -82,6 +77,16 @@ type Device struct {
 	Stats *core.Stats
 	// BatchesRun counts processed batches.
 	BatchesRun int64
+	// HostReruns counts extensions recomputed on the host because their
+	// optimality checks failed.
+	HostReruns atomic.Int64
+	// OverlappedReruns counts host reruns that executed while the device
+	// was busy with another thread's batch — the latency-concealment
+	// overlap of §V-B made observable.
+	OverlappedReruns atomic.Int64
+	// busy is 1 while a batch occupies the device (batch_start ..
+	// batch_done).
+	busy atomic.Int32
 }
 
 // NewDevice builds the simulated device.
@@ -89,17 +94,31 @@ func NewDevice(cfg Config) *Device {
 	return &Device{cfg: cfg, sim: fpga.DefaultSeedEx(), Stats: core.NewStats()}
 }
 
+// Checker mints a per-thread check session configured like the device.
+// Each FPGA thread holds one for its lifetime: the banded kernel, the
+// edit machine and the host rerun all reuse its scratch.
+func (d *Device) Checker() *core.Checker {
+	return core.NewChecker(core.Config{Band: d.cfg.Band, Scoring: d.cfg.Scoring, Kind: core.SemiGlobal, Mode: core.ModeStrict})
+}
+
 // compute produces the batch's functional results via the SeedEx check
 // workflow, plus the job shapes for the latency model. In the real
 // system this happens inside the silicon; in the simulation it is host
 // CPU work, so it runs *outside* the modeled timeline (before the device
-// lock), keeping the timing model clean.
-func (d *Device) compute(reqs []Request) ([]Response, []fpga.Job) {
-	ccfg := core.Config{Band: d.cfg.Band, Scoring: d.cfg.Scoring, Kind: core.SemiGlobal, Mode: core.ModeStrict}
-	out := make([]Response, len(reqs))
-	jobs := make([]fpga.Job, len(reqs))
+// lock), keeping the timing model clean. Results and jobs reuse the
+// caller's buffers; reruns are NOT performed here (step 5 of Run does
+// them, overlapped with other threads' device time).
+func (d *Device) compute(chk *core.Checker, reqs []Request, out []Response, jobs []fpga.Job) ([]Response, []fpga.Job) {
+	if cap(out) < len(reqs) {
+		out = make([]Response, len(reqs))
+	}
+	out = out[:len(reqs)]
+	if cap(jobs) < len(reqs) {
+		jobs = make([]fpga.Job, len(reqs))
+	}
+	jobs = jobs[:len(reqs)]
 	for i, r := range reqs {
-		res, rep := core.Check(r.Q, r.T, r.H0, ccfg)
+		res, rep := chk.Check(r.Q, r.T, r.H0)
 		d.Stats.Record(rep)
 		out[i] = Response{Tag: r.Tag, Res: res, Rerun: !rep.Pass}
 		jobs[i] = fpga.Job{QLen: len(r.Q), TLen: len(r.T), NeedsEdit: rep.EditRan, Rerun: !rep.Pass}
@@ -110,9 +129,11 @@ func (d *Device) compute(reqs []Request) ([]Response, []fpga.Job) {
 // occupy holds the device for the modeled batch latency (the
 // batch_start .. batch_done window). The caller must hold the lock.
 func (d *Device) occupy(jobs []fpga.Job) {
+	d.busy.Store(1)
 	rep := fpga.Simulate(d.sim, jobs)
 	sleepScaled(float64(rep.Cycles)*hw.ClockNs, d.cfg.TimeScale)
 	d.BatchesRun++
+	d.busy.Store(0)
 }
 
 // Run drives all requests through the platform and returns responses in
@@ -153,10 +174,16 @@ func Run(cfg Config, dev *Device, reqs []Request) []Response {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-thread session: one checker (banded kernel + edit
+			// machine + rerun scratch) and reusable response/job buffers
+			// for this thread's lifetime.
+			chk := dev.Checker()
+			var resps []Response
+			var jobs []fpga.Job
 			for b := range batches {
 				// Functional mirror of the silicon (untimed, see
 				// Device.compute).
-				resps, jobs := dev.compute(b.reqs)
+				resps, jobs = dev.compute(chk, b.reqs, resps, jobs)
 				// 1. Package + DMA the inputs to device DRAM.
 				dma.Lock()
 				sleepScaled(float64(b.bytes)/cfg.DMABandwidthBytesPerNs, cfg.TimeScale)
@@ -165,18 +192,23 @@ func Run(cfg Config, dev *Device, reqs []Request) []Response {
 				dev.mu.Lock()
 				dev.occupy(jobs)
 				dev.mu.Unlock()
-				// 5. Retrieve results (5:1 coalesced lines) and rerun
-				// failures on the host, overlapped with other threads'
-				// device time.
+				// 5. Retrieve results (5:1 coalesced lines). Only the
+				// retrieval itself holds the DMA channel.
 				dma.Lock()
 				sleepScaled(float64(len(b.reqs)*64/5)/cfg.DMABandwidthBytesPerNs, cfg.TimeScale)
 				dma.Unlock()
-				for i, r := range resps {
-					if r.Rerun {
-						r.Res = align.Extend(b.reqs[i].Q, b.reqs[i].T, b.reqs[i].H0, cfg.Scoring)
-						resps[i] = r
+				// Host reruns execute outside every lock, so they overlap
+				// other threads' DMA and device time; the checker's
+				// workspace makes each rerun allocation-free.
+				for i := range resps {
+					if resps[i].Rerun {
+						resps[i].Res = chk.Rerun(b.reqs[i].Q, b.reqs[i].T, b.reqs[i].H0)
+						dev.HostReruns.Add(1)
+						if dev.busy.Load() != 0 {
+							dev.OverlappedReruns.Add(1)
+						}
 					}
-					out[r.Tag] = resps[i]
+					out[resps[i].Tag] = resps[i]
 				}
 			}
 		}()

@@ -55,8 +55,8 @@ func TestDriverBitEquivalence(t *testing.T) {
 	if dev.BatchesRun != 16 {
 		t.Fatalf("expected 16 batches, ran %d", dev.BatchesRun)
 	}
-	if dev.Stats.Total != 1000 {
-		t.Fatalf("device processed %d extensions", dev.Stats.Total)
+	if dev.Stats.Total.Load() != 1000 {
+		t.Fatalf("device processed %d extensions", dev.Stats.Total.Load())
 	}
 	t.Logf("device: %v", dev.Stats)
 }
@@ -83,6 +83,40 @@ func TestThreadInterleavingHidesLatency(t *testing.T) {
 	t.Logf("1 thread: %v, 4 threads: %v", single, multi)
 	if float64(multi) > 0.95*float64(single) {
 		t.Fatalf("interleaving did not conceal latency: %v vs %v", multi, single)
+	}
+}
+
+// TestRerunOverlapsDeviceTime: host reruns must execute outside the DMA
+// and device locks, so with several FPGA threads some reruns land while
+// the device is busy with another thread's batch. A small band forces
+// plenty of check failures; results must still be bit-identical.
+func TestRerunOverlapsDeviceTime(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Band = 2 // tiny band: most realistic-with-edits cases fail checks
+	cfg.BatchSize = 40
+	cfg.FPGAThreads = 4
+	cfg.TimeScale = 30 // keep the device occupied long enough to observe
+	cfg.DMABandwidthBytesPerNs = 4
+	dev := NewDevice(cfg)
+	reqs := makeRequests(600, 4)
+	resps := Run(cfg, dev, reqs)
+	for i, r := range resps {
+		want := align.Extend(reqs[i].Q, reqs[i].T, reqs[i].H0, cfg.Scoring)
+		if got := r.Res; got.Local != want.Local || got.Global != want.Global {
+			t.Fatalf("request %d: %+v != full-band %+v", i, got, want)
+		}
+	}
+	reruns := dev.HostReruns.Load()
+	if reruns != dev.Stats.Reruns.Load() {
+		t.Fatalf("HostReruns %d != Stats.Reruns %d", reruns, dev.Stats.Reruns.Load())
+	}
+	if reruns < 50 {
+		t.Fatalf("band %d should force many reruns, got %d", cfg.Band, reruns)
+	}
+	if ov := dev.OverlappedReruns.Load(); ov == 0 {
+		t.Fatalf("no rerun overlapped device time (of %d reruns): step 5 serializes", reruns)
+	} else {
+		t.Logf("%d/%d reruns overlapped device compute", ov, reruns)
 	}
 }
 

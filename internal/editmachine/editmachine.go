@@ -95,13 +95,13 @@ type RegionResult struct {
 // single initial score init (the threshold S1) at its top-left corner
 // (w+1, 0) and swept with relaxed scoring. Top-boundary cells receive no
 // input from the band (those paths are covered by the E-score check).
+// It draws scratch from a shared pool; hot callers should hold a Workspace
+// and use SweepCornerWS.
 func SweepCorner(query, target []byte, w, init int, rx Relaxed) RegionResult {
-	return sweep(query, target, w, rx, func(i int) int {
-		if i == w+1 {
-			return init
-		}
-		return negInf
-	}, nil)
+	ws := wsPool.Get().(*Workspace)
+	res := SweepCornerWS(ws, query, target, w, init, rx)
+	wsPool.Put(ws)
+	return res
 }
 
 // SweepExact runs the strict-mode sweep: column-0 cells are seeded with
@@ -112,30 +112,29 @@ func SweepCorner(query, target []byte, w, init int, rx Relaxed) RegionResult {
 // including paths that re-enter the band — which is what the strict
 // checking mode needs for bit-equivalence of both the local and global
 // endpoints.
+// It draws scratch from a shared pool; hot callers should hold a Workspace
+// and use SweepExactWS.
 func SweepExact(query, target []byte, w, h0 int, boundaryE []int, sc align.Scoring, rx Relaxed) RegionResult {
-	col0 := func(i int) int {
-		return h0 - sc.GapOpen - i*sc.GapExtend
-	}
-	return sweep(query, target, w, rx, col0, boundaryE)
+	ws := wsPool.Get().(*Workspace)
+	res := SweepExactWS(ws, query, target, w, h0, boundaryE, sc, rx)
+	wsPool.Put(ws)
+	return res
 }
 
-// sweep computes the relaxed DP over the region. col0Seed(i) seeds column
+// sweepWS computes the relaxed DP over the region. col0Seed(i) seeds column
 // 0 at row i; topSeed[j] (optional) seeds the top-boundary cell
 // (j+w+1, j) with the E-score crossing the band's lower boundary there
 // (zero means no live crossing and is ignored). No zero-floor is applied:
 // scores may run negative, exactly like the 3-bit hardware datapath, which
 // only makes the bound more conservative.
-func sweep(query, target []byte, w int, rx Relaxed, col0Seed func(int) int, topSeed []int) RegionResult {
+func sweepWS(ws *Workspace, query, target []byte, w int, rx Relaxed, col0Seed func(int) int, topSeed []int) RegionResult {
 	n, m := len(query), len(target)
 	res := RegionResult{Score: negInf, ScorePlusCont: negInf, RightEdge: negInf, Empty: true}
 	if w < 0 || m <= w { // first region row is w+1
 		return res
 	}
 	// row[j] holds R(i-1, j) while computing row i.
-	row := make([]int, n+1)
-	for j := range row {
-		row[j] = negInf
-	}
+	row := ws.rowBuf(n)
 	for i := w + 1; i <= m; i++ {
 		jmax := i - w - 1
 		if jmax > n {

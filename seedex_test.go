@@ -23,7 +23,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		got.Global != want.Global || got.GlobalT != want.GlobalT {
 		t.Fatalf("speculative %+v != full %+v", got, want)
 	}
-	if ext.Stats.Total != 1 {
+	if ext.Stats.Total.Load() != 1 {
 		t.Fatalf("stats not recorded: %+v", ext.Stats)
 	}
 
