@@ -18,9 +18,14 @@ test:
 race:
 	$(GO) test -race ./internal/driver/... ./internal/bwamem/... ./internal/core/...
 
+# Full benchmark pass: every testing.B entry, then a refresh of the
+# extension perf trajectory (BENCH_extend.json).
 bench:
 	$(GO) test -bench=. -benchmem .
-
-# Perf trajectory for the extension hot path (writes BENCH_extend.json).
-bench-extend:
 	$(GO) run ./cmd/seedex-bench -fig extend
+
+# Perf trajectory for the extension hot path alone (writes
+# BENCH_extend.json). Add -cpuprofile/-memprofile through EXTENDFLAGS to
+# profile the kernels, e.g. EXTENDFLAGS='-cpuprofile cpu.out'.
+bench-extend:
+	$(GO) run ./cmd/seedex-bench -fig extend $(EXTENDFLAGS)

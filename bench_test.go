@@ -113,6 +113,47 @@ func BenchmarkExtend(b *testing.B) {
 			return r.Cells
 		})
 	})
+	// Packed inter-sequence (SWAR) batch kernels: b.N still counts
+	// extensions, fed to the kernels in accelerator-batch-sized chunks.
+	measureBatch := func(b *testing.B, fn func(jobs []align.Job, res []align.ExtendResult)) {
+		b.Helper()
+		const chunk = 256
+		jobs := make([]align.Job, 0, chunk)
+		res := make([]align.ExtendResult, chunk)
+		var cells int64
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			jobs = jobs[:0]
+			for len(jobs) < chunk && done+len(jobs) < b.N {
+				p := probs[(done+len(jobs))%len(probs)]
+				jobs = append(jobs, align.Job{Q: p.Q, T: p.T, H0: p.H0})
+			}
+			fn(jobs, res[:len(jobs)])
+			for i := range jobs {
+				cells += res[i].Cells
+			}
+			done += len(jobs)
+		}
+		b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
+	}
+	b.Run("banded/batch", func(b *testing.B) {
+		ws := align.NewWorkspace()
+		measureBatch(b, func(jobs []align.Job, res []align.ExtendResult) {
+			align.ExtendBandedBatchWS(ws, jobs, sc, band, res, nil)
+		})
+	})
+	b.Run("full/batch", func(b *testing.B) {
+		ws := align.NewWorkspace()
+		measureBatch(b, func(jobs []align.Job, res []align.ExtendResult) {
+			align.ExtendBatchFullWS(ws, jobs, sc, res)
+		})
+	})
+	b.Run("checked/batch", func(b *testing.B) {
+		chk := core.NewChecker(core.Config{Band: band, Scoring: sc, Kind: core.SemiGlobal, Mode: core.ModeStrict})
+		measureBatch(b, func(jobs []align.Job, res []align.ExtendResult) {
+			chk.ExtendJobs(jobs, res)
+		})
+	})
 }
 
 // BenchmarkFig02BandDistribution measures the used-band computation that

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"seedex/internal/bench"
@@ -36,8 +38,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 	extendJSON := fs.String("extend-json", "BENCH_extend.json", "output path for the extension kernel benchmark (-fig extend)")
 	extendBand := fs.Int("extend-band", 21, "one-sided band for the checked paths of -fig extend")
 	extendRounds := fs.Int("extend-rounds", 3, "timing rounds per kernel for -fig extend")
+	extendReadLen := fs.Int("extend-readlen", 150, "read length for -fig extend: 150 (standard trajectory) or 100 (8-bit SWAR tier dominates)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "seedex-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "seedex-bench: memprofile:", err)
+			}
+		}()
 	}
 
 	want := map[string]bool{}
@@ -123,13 +154,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, bench.Fig18())
 	}
 	if want["extend"] { // not part of 'all': it writes a file and takes timing-quality minutes
-		section("Extension kernel benchmark (150 bp workload)")
-		fmt.Fprintf(stderr, "building 150 bp workload: %d bp reference, %d reads (seed %d)...\n", *refLen, *nReads, *seed)
-		w150, err := bench.Workload150(*refLen, *nReads, *seed)
+		section(fmt.Sprintf("Extension kernel benchmark (%d bp workload)", *extendReadLen))
+		fmt.Fprintf(stderr, "building %d bp workload: %d bp reference, %d reads (seed %d)...\n", *extendReadLen, *refLen, *nReads, *seed)
+		build := bench.Workload150
+		if *extendReadLen == 100 {
+			build = bench.Workload100
+		}
+		wext, err := build(*refLen, *nReads, *seed)
 		if err != nil {
 			return err
 		}
-		rep := bench.ExtendBench(w150, *extendBand, *extendRounds)
+		rep := bench.ExtendBench(wext, *extendBand, *extendRounds)
 		fmt.Fprintln(stdout, rep)
 		data, err := rep.JSON()
 		if err != nil {

@@ -42,6 +42,27 @@ type Extender interface {
 	Extend(query, target []byte, h0 int) ExtendResult
 }
 
+// Job is one independent extension problem of a batch: align Q against T
+// starting from seed score H0. Jobs in a batch share one scoring scheme
+// and band; everything else (lengths, h0) may differ per job.
+type Job struct {
+	Q, T []byte
+	H0   int
+}
+
+// BatchExtender is an Extender that can run many independent extensions
+// as one batch — the software analogue of filling the accelerator's
+// systolic cores from a DMA batch. Implementations pack jobs into SIMD
+// lanes (see the SWAR kernels in this package) or dispatch them to
+// hardware; semantically ExtendJobs is identical to calling Extend once
+// per job, and the results are bit-for-bit those of the scalar kernels.
+type BatchExtender interface {
+	Extender
+	// ExtendJobs extends every job and returns the results in job order,
+	// reusing dst's backing array when it is large enough.
+	ExtendJobs(jobs []Job, dst []ExtendResult) []ExtendResult
+}
+
 // SessionExtender is an Extender that can mint per-goroutine sessions: a
 // Session shares the parent's configuration and aggregate statistics but
 // owns its own scratch memory, so long-lived workers (pipeline goroutines,
@@ -66,7 +87,7 @@ type Options struct {
 // a Workspace and use ExtendWS instead.
 func Extend(query, target []byte, h0 int, sc Scoring) ExtendResult {
 	ws := GetWorkspace()
-	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, Options{}, false)
+	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, Options{}, nil)
 	PutWorkspace(ws)
 	return r
 }
@@ -74,7 +95,7 @@ func Extend(query, target []byte, h0 int, sc Scoring) ExtendResult {
 // ExtendOpts is Extend with explicit Options.
 func ExtendOpts(query, target []byte, h0 int, sc Scoring, opts Options) ExtendResult {
 	ws := GetWorkspace()
-	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, opts, false)
+	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, opts, nil)
 	PutWorkspace(ws)
 	return r
 }
@@ -92,7 +113,7 @@ func ExtendBanded(query, target []byte, h0 int, sc Scoring, w int) (ExtendResult
 // ExtendBandedOpts is ExtendBanded with explicit Options.
 func ExtendBandedOpts(query, target []byte, h0 int, sc Scoring, w int, opts Options) (ExtendResult, BandBoundary) {
 	ws := GetWorkspace()
-	r, bd := extendCoreWS(ws, query, target, h0, sc, w, opts, true)
+	r, bd := extendCoreWS(ws, query, target, h0, sc, w, opts, ws.boundaryBuf(len(query)))
 	out := BandBoundary{E: append([]int(nil), bd.E...)}
 	PutWorkspace(ws)
 	return r, out

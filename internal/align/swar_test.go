@@ -1,0 +1,215 @@
+package align
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// batchCase builds a batch of jobs sized for the requested tier: tier8
+// keeps every score ceiling within an int8 lane, tier16 within int16,
+// mixed spans both plus scalar-tier outliers.
+func batchJobs(rng *rand.Rand, count int, tier string) []Job {
+	jobs := make([]Job, count)
+	for i := range jobs {
+		var qlen, h0 int
+		switch tier {
+		case "tier8":
+			qlen = 20 + rng.Intn(80) // ceiling h0 + qlen <= 127 with Match=1
+			h0 = 1 + rng.Intn(120-qlen)
+		case "tier16":
+			qlen = 150 + rng.Intn(200)
+			h0 = 100 + rng.Intn(1000)
+		default: // mixed
+			qlen = 10 + rng.Intn(300)
+			h0 = 1 + rng.Intn(2000)
+		}
+		t := randSeq(rng, qlen+rng.Intn(40))
+		q := mutate(rng, t[:min(qlen, len(t))], 0.04, 0.02)
+		if len(q) == 0 {
+			q = randSeq(rng, 3)
+		}
+		jobs[i] = Job{Q: q, T: t, H0: h0}
+	}
+	return jobs
+}
+
+// checkBatchMatchesScalar asserts the batch path reproduces the scalar
+// per-job kernel bit-for-bit on score fields and boundary E.
+func checkBatchMatchesScalar(t *testing.T, jobs []Job, sc Scoring, w int) {
+	t.Helper()
+	ws := NewWorkspace()
+	res := make([]ExtendResult, len(jobs))
+	bds := make([]BandBoundary, len(jobs))
+	if w >= 0 {
+		ExtendBandedBatchWS(ws, jobs, sc, w, res, bds)
+	} else {
+		ExtendBatchFullWS(ws, jobs, sc, res)
+	}
+	ref := NewWorkspace()
+	for i, jb := range jobs {
+		var want ExtendResult
+		var wantBd BandBoundary
+		if w >= 0 {
+			want, wantBd = ExtendBandedWS(ref, jb.Q, jb.T, jb.H0, sc, w)
+		} else {
+			want = ExtendWS(ref, jb.Q, jb.T, jb.H0, sc)
+		}
+		if !sameResult(res[i], want) {
+			t.Fatalf("job %d (n=%d m=%d h0=%d w=%d): batch %+v, scalar %+v",
+				i, len(jb.Q), len(jb.T), jb.H0, w, res[i], want)
+		}
+		if w >= 0 {
+			if len(bds[i].E) != len(jb.Q)+1 {
+				t.Fatalf("job %d: boundary len %d, want %d", i, len(bds[i].E), len(jb.Q)+1)
+			}
+			for j := range wantBd.E {
+				if bds[i].E[j] != wantBd.E[j] {
+					t.Fatalf("job %d boundary E[%d]: batch %d, scalar %d",
+						i, j, bds[i].E[j], wantBd.E[j])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchMatchesScalarBanded(t *testing.T) {
+	for _, tier := range []string{"tier8", "tier16", "mixed"} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(100 + seed))
+			jobs := batchJobs(rng, 1+rng.Intn(40), tier)
+			for _, w := range []int{0, 1, 5, 21, 1000} {
+				t.Run(fmt.Sprintf("%s/seed%d/w%d", tier, seed, w), func(t *testing.T) {
+					checkBatchMatchesScalar(t, jobs, DefaultScoring(), w)
+				})
+			}
+		}
+	}
+}
+
+func TestBatchMatchesScalarFull(t *testing.T) {
+	for _, tier := range []string{"tier8", "tier16", "mixed"} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(200 + seed))
+			jobs := batchJobs(rng, 1+rng.Intn(40), tier)
+			checkBatchMatchesScalar(t, jobs, DefaultScoring(), -1)
+		}
+	}
+}
+
+func TestBatchRandomScoring(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		sc := Scoring{
+			Match:     1 + rng.Intn(8),
+			Mismatch:  rng.Intn(10),
+			GapOpen:   rng.Intn(12),
+			GapExtend: 1 + rng.Intn(6),
+		}
+		jobs := batchJobs(rng, 1+rng.Intn(24), "mixed")
+		w := rng.Intn(60)
+		checkBatchMatchesScalar(t, jobs, sc, w)
+	}
+}
+
+// TestBatchEdgeCases covers the degenerate shapes that exercise lane
+// demotion and masking: empty query, empty target, band wider than the
+// target, h0 <= 0, ambiguous bases, single-job batches, and h0 at the
+// int8 tier boundary.
+func TestBatchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	q, tg := randSeq(rng, 30), randSeq(rng, 40)
+	amb := randSeq(rng, 25)
+	for i := 0; i < len(amb); i += 4 {
+		amb[i] = 4 + byte(i%12) // ambiguous / out-of-range codes
+	}
+	jobs := []Job{
+		{Q: nil, T: tg, H0: 10},
+		{Q: q, T: nil, H0: 10},
+		{Q: q, T: tg, H0: 0},
+		{Q: q, T: tg, H0: -5},
+		{Q: q[:1], T: tg, H0: 1},
+		{Q: q, T: tg[:1], H0: 12},
+		{Q: amb, T: tg, H0: 9},
+		{Q: q, T: amb, H0: 9},
+		{Q: q, T: tg, H0: swarCap8 - len(q)}, // exactly at the int8 ceiling
+		{Q: q, T: tg, H0: swarCap8},          // just past it: int16 tier
+		{Q: q, T: tg, H0: swarCap16},         // past int16: scalar tier
+		{Q: q, T: tg, H0: 97},
+	}
+	for _, w := range []int{0, 3, 21, 100, 1000} { // incl. band wider than target
+		checkBatchMatchesScalar(t, jobs, DefaultScoring(), w)
+	}
+	checkBatchMatchesScalar(t, jobs, DefaultScoring(), -1)
+}
+
+// TestBatchPartialGroups pins lane-group formation: batches smaller than
+// a lane group and batches that straddle group boundaries must still be
+// bit-identical to the scalar path.
+func TestBatchPartialGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	for _, count := range []int{1, 2, 3, 7, 8, 9, 15, 17} {
+		jobs := batchJobs(rng, count, "tier8")
+		checkBatchMatchesScalar(t, jobs, DefaultScoring(), 21)
+	}
+}
+
+// TestBatchLaneDemotion pins the divergence rule: one huge problem
+// grouped with tiny ones demotes the tiny ones to the scalar path, and
+// results stay bit-identical either way.
+func TestBatchLaneDemotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	big := randSeq(rng, 100)
+	jobs := []Job{{Q: big, T: randSeq(rng, 120), H0: 20}}
+	for i := 0; i < 7; i++ {
+		jobs = append(jobs, Job{Q: randSeq(rng, 3), T: randSeq(rng, 4), H0: 5})
+	}
+	checkBatchMatchesScalar(t, jobs, DefaultScoring(), 21)
+}
+
+func TestBatchZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	jobs := batchJobs(rng, 32, "mixed")
+	ws := NewWorkspace()
+	res := make([]ExtendResult, len(jobs))
+	bds := make([]BandBoundary, len(jobs))
+	ExtendBandedBatchWS(ws, jobs, DefaultScoring(), 21, res, bds) // warm buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		ExtendBandedBatchWS(ws, jobs, DefaultScoring(), 21, res, bds)
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtendBandedBatchWS allocates %.1f per batch in steady state, want 0", allocs)
+	}
+}
+
+func BenchmarkBatchKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(800))
+	jobs := batchJobs(rng, 512, "tier8")
+	sc := DefaultScoring()
+	const w = 21
+	ws := NewWorkspace()
+	res := make([]ExtendResult, len(jobs))
+	bds := make([]BandBoundary, len(jobs))
+	var cells int64
+
+	b.Run("banded/scalar", func(b *testing.B) {
+		cells = 0
+		for i := 0; i < b.N; i++ {
+			for _, jb := range jobs {
+				r, _ := ExtendBandedWS(ws, jb.Q, jb.T, jb.H0, sc, w)
+				cells += r.Cells
+			}
+		}
+		b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
+	})
+	b.Run("banded/swar", func(b *testing.B) {
+		cells = 0
+		for i := 0; i < b.N; i++ {
+			ExtendBandedBatchWS(ws, jobs, sc, w, res, bds)
+			for j := range res {
+				cells += res[j].Cells
+			}
+		}
+		b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
+	})
+}

@@ -26,6 +26,23 @@ type Workspace struct {
 	h, e   []int32
 	prof   []int32
 	boundE []int
+
+	// Batch (SWAR) scratch: packed DP rows and lane-transposed sequences
+	// for the inter-sequence kernels, the sort keys used to bucket a batch
+	// by shape, and one arena serving every job's boundary-E capture.
+	pk         packedScratch
+	batchKeys  []uint64
+	boundArena []int
+}
+
+// packedScratch holds the lane-packed state of the SWAR kernels: one
+// uint64 word per DP column (8×int8 or 4×int16 lanes), plus per-column
+// lane masks. See swar8.go for the layout invariants.
+type packedScratch struct {
+	hw, ew []uint64 // packed H and E rows, one word per query column
+	qw, tw []uint64 // lane-transposed query / target base codes
+	colHi  []uint64 // per-column lane-validity masks (high bit per lane)
+	edgeHi []uint64 // per-column right-edge masks (j == lane query length)
 }
 
 // NewWorkspace returns an empty Workspace; buffers are sized lazily on
@@ -61,6 +78,42 @@ func (ws *Workspace) prepare(query []byte, match, mis int32) {
 			prof[int(b)*n+j] = match
 		}
 	}
+}
+
+// preparePacked sizes the packed scratch for a lane group whose longest
+// query is nMax and longest target is mMax, clearing the E row (the
+// kernels require an all-dead initial E row; every other buffer is fully
+// written by the kernel's own setup).
+func (ws *Workspace) preparePacked(nMax, mMax int) {
+	if cap(ws.pk.hw) < nMax+1 {
+		ws.pk.hw = make([]uint64, nMax+1)
+		ws.pk.ew = make([]uint64, nMax+1)
+		ws.pk.qw = make([]uint64, nMax+1)
+		ws.pk.colHi = make([]uint64, nMax+1)
+		ws.pk.edgeHi = make([]uint64, nMax+1)
+	}
+	ws.pk.hw = ws.pk.hw[:nMax+1]
+	ws.pk.ew = ws.pk.ew[:nMax+1]
+	ws.pk.qw = ws.pk.qw[:nMax+1]
+	ws.pk.colHi = ws.pk.colHi[:nMax+1]
+	ws.pk.edgeHi = ws.pk.edgeHi[:nMax+1]
+	clear(ws.pk.ew)
+	if cap(ws.pk.tw) < mMax+1 {
+		ws.pk.tw = make([]uint64, mMax+1)
+	}
+	ws.pk.tw = ws.pk.tw[:mMax+1]
+}
+
+// boundaryArena returns a zeroed arena of total ints, carved by the batch
+// entry points into one boundary-E buffer per job. It aliases workspace
+// memory: valid until the next batch run on this workspace.
+func (ws *Workspace) boundaryArena(total int) []int {
+	if cap(ws.boundArena) < total {
+		ws.boundArena = make([]int, total)
+	}
+	a := ws.boundArena[:total]
+	clear(a)
+	return a
 }
 
 // boundaryBuf returns the zeroed boundary E buffer for a query of length
@@ -106,13 +159,13 @@ func PutWorkspace(ws *Workspace) { wsPool.Put(ws) }
 // it performs no allocations once ws has warmed to the workload's maximum
 // query length.
 func ExtendWS(ws *Workspace, query, target []byte, h0 int, sc Scoring) ExtendResult {
-	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, Options{}, false)
+	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, Options{}, nil)
 	return r
 }
 
 // ExtendWSOpts is ExtendWS with explicit Options.
 func ExtendWSOpts(ws *Workspace, query, target []byte, h0 int, sc Scoring, opts Options) ExtendResult {
-	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, opts, false)
+	r, _ := extendCoreWS(ws, query, target, h0, sc, -1, opts, nil)
 	return r
 }
 
@@ -120,26 +173,26 @@ func ExtendWSOpts(ws *Workspace, query, target []byte, h0 int, sc Scoring, opts 
 // returned BandBoundary.E aliases workspace memory and is valid only until
 // the next extension run on ws; copy it to retain it.
 func ExtendBandedWS(ws *Workspace, query, target []byte, h0 int, sc Scoring, w int) (ExtendResult, BandBoundary) {
-	return extendCoreWS(ws, query, target, h0, sc, w, Options{}, true)
+	return extendCoreWS(ws, query, target, h0, sc, w, Options{}, ws.boundaryBuf(len(query)))
 }
 
 // ExtendBandedWSOpts is ExtendBandedWS with explicit Options.
 func ExtendBandedWSOpts(ws *Workspace, query, target []byte, h0 int, sc Scoring, w int, opts Options) (ExtendResult, BandBoundary) {
-	return extendCoreWS(ws, query, target, h0, sc, w, opts, true)
+	return extendCoreWS(ws, query, target, h0, sc, w, opts, ws.boundaryBuf(len(query)))
 }
 
 // extendCoreWS is the workspace-backed row-streaming kernel: bit-identical
 // to extendCoreRef (the tests assert it), with int32 rows and the query
 // profile replacing the per-cell substitution call. Problems whose score
 // range could overflow the int32 datapath are delegated to the reference
-// kernel.
-func extendCoreWS(ws *Workspace, query, target []byte, h0 int, sc Scoring, w int, opts Options, captureBoundary bool) (ExtendResult, BandBoundary) {
+// kernel. bd, when non-nil, is a pre-zeroed len(query)+1 buffer that
+// receives the band's lower-boundary E-scores (the batch path passes
+// arena slices here; the WS wrappers pass ws.boundaryBuf).
+func extendCoreWS(ws *Workspace, query, target []byte, h0 int, sc Scoring, w int, opts Options, bd []int) (ExtendResult, BandBoundary) {
 	n, m := len(query), len(target)
 	res := ExtendResult{}
-	var boundary BandBoundary
-	if captureBoundary {
-		boundary.E = ws.boundaryBuf(n)
-	}
+	boundary := BandBoundary{E: bd}
+	captureBoundary := bd != nil
 	if h0 <= 0 || n == 0 {
 		// No seed score to extend from, or nothing to align (see
 		// extendCoreRef).

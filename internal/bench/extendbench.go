@@ -21,6 +21,15 @@ func Workload150(refLen, nReads int, seed int64) (*Workload, error) {
 	return BuildWorkloadCfg(refLen, cfg, seed)
 }
 
+// Workload100 builds a 100 bp extension workload: short enough that the
+// score ceiling of most extension problems fits the 8-bit SWAR tier, so
+// the packed batch kernels run mostly eight problems per word.
+func Workload100(refLen, nReads int, seed int64) (*Workload, error) {
+	cfg := readsim.RealisticConfig(nReads)
+	cfg.ReadLen = 100
+	return BuildWorkloadCfg(refLen, cfg, seed)
+}
+
 // ExtendKernelResult is one kernel's measurement over the workload.
 type ExtendKernelResult struct {
 	// Kernel names the code path: full/seed, full/workspace, banded/seed,
@@ -48,6 +57,18 @@ type ExtendBenchReport struct {
 	// SpeedupBanded is the banded workspace kernel's cells/s over the
 	// seed banded kernel.
 	SpeedupBanded float64 `json:"speedup_banded_ws_vs_seed"`
+	// SpeedupBatchBanded is the packed (SWAR) banded batch kernel's
+	// cells/s over the scalar workspace banded kernel — the PR 2 tentpole
+	// figure.
+	SpeedupBatchBanded float64 `json:"speedup_banded_batch_vs_ws"`
+	// SpeedupBatchBandedNs is the same comparison in wall time per
+	// extension (ns/op ratio), immune to the two paths' different cell
+	// accounting (the batch kernels report a deterministic full-sweep
+	// count; the scalar kernel counts early-exited rows).
+	SpeedupBatchBandedNs float64 `json:"speedup_banded_batch_vs_ws_nsop"`
+	// SpeedupBatchFull is the packed full-width batch kernel's cells/s
+	// over the scalar workspace full-width kernel.
+	SpeedupBatchFull float64 `json:"speedup_full_batch_vs_ws"`
 }
 
 // JSON renders the report for BENCH_extend.json.
@@ -63,7 +84,9 @@ func (r ExtendBenchReport) String() string {
 		fmt.Fprintf(&b, "%-18s %12.0f %14.3e %10.2f\n", k.Kernel, k.NsPerOp, k.CellsPerSec, k.AllocsPerOp)
 	}
 	fmt.Fprintf(&b, "full-band workspace vs seed kernel: %.2fx cells/s\n", r.SpeedupFull)
-	fmt.Fprintf(&b, "banded    workspace vs seed kernel: %.2fx cells/s", r.SpeedupBanded)
+	fmt.Fprintf(&b, "banded    workspace vs seed kernel: %.2fx cells/s\n", r.SpeedupBanded)
+	fmt.Fprintf(&b, "banded    batch (SWAR) vs workspace: %.2fx cells/s, %.2fx ns/op\n", r.SpeedupBatchBanded, r.SpeedupBatchBandedNs)
+	fmt.Fprintf(&b, "full-band batch (SWAR) vs workspace: %.2fx cells/s", r.SpeedupBatchFull)
 	return b.String()
 }
 
@@ -94,6 +117,56 @@ func measureKernel(name string, probs []Problem, rounds int, fn func(Problem) in
 	for i := range probs {
 		fn(probs[i])
 	}
+	runtime.ReadMemStats(&m1)
+	runtime.GOMAXPROCS(prev)
+
+	return ExtendKernelResult{
+		Kernel:      name,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		CellsPerSec: float64(cells) / elapsed.Seconds(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(len(probs)),
+	}
+}
+
+// extendBatchSize is the chunk handed to the packed batch kernels per
+// call — the shape of one accelerator DMA batch.
+const extendBatchSize = 256
+
+// measureBatch times a batch kernel over the problems in chunks of
+// extendBatchSize, reporting per-extension figures comparable with
+// measureKernel's rows. fn processes jobs[lo:hi] and returns the DP cells
+// it computed.
+func measureBatch(name string, probs []Problem, rounds int, fn func(jobs []align.Job) int64) ExtendKernelResult {
+	jobs := make([]align.Job, len(probs))
+	for i, p := range probs {
+		jobs[i] = align.Job{Q: p.Q, T: p.T, H0: p.H0}
+	}
+	sweep := func() int64 {
+		var cells int64
+		for lo := 0; lo < len(jobs); lo += extendBatchSize {
+			hi := lo + extendBatchSize
+			if hi > len(jobs) {
+				hi = len(jobs)
+			}
+			cells += fn(jobs[lo:hi])
+		}
+		return cells
+	}
+	sweep() // warm workspaces
+	var cells int64
+	ops := 0
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		cells += sweep()
+		ops += len(jobs)
+	}
+	elapsed := time.Since(start)
+
+	prev := runtime.GOMAXPROCS(1)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	sweep()
 	runtime.ReadMemStats(&m1)
 	runtime.GOMAXPROCS(prev)
 
@@ -150,6 +223,28 @@ func ExtendBench(w *Workload, band, rounds int) ExtendBenchReport {
 			return r.Cells
 		}),
 	)
+	// Packed inter-sequence (SWAR) batch kernels: many problems share each
+	// machine word, so these rows are the software mirror of the
+	// accelerator's batch datapath.
+	bres := make([]align.ExtendResult, extendBatchSize)
+	rep.Kernels = append(rep.Kernels,
+		measureBatch("banded/batch", probs, rounds, func(jobs []align.Job) int64 {
+			align.ExtendBandedBatchWS(ws, jobs, sc, band, bres[:len(jobs)], nil)
+			var cells int64
+			for i := range jobs {
+				cells += bres[i].Cells
+			}
+			return cells
+		}),
+		measureBatch("full/batch", probs, rounds, func(jobs []align.Job) int64 {
+			align.ExtendBatchFullWS(ws, jobs, sc, bres[:len(jobs)])
+			var cells int64
+			for i := range jobs {
+				cells += bres[i].Cells
+			}
+			return cells
+		}),
+	)
 	byName := map[string]ExtendKernelResult{}
 	for _, k := range rep.Kernels {
 		byName[k.Kernel] = k
@@ -159,6 +254,15 @@ func ExtendBench(w *Workload, band, rounds int) ExtendBenchReport {
 	}
 	if s := byName["banded/seed"].CellsPerSec; s > 0 {
 		rep.SpeedupBanded = byName["banded/workspace"].CellsPerSec / s
+	}
+	if s := byName["banded/workspace"].CellsPerSec; s > 0 {
+		rep.SpeedupBatchBanded = byName["banded/batch"].CellsPerSec / s
+	}
+	if s := byName["banded/batch"].NsPerOp; s > 0 {
+		rep.SpeedupBatchBandedNs = byName["banded/workspace"].NsPerOp / s
+	}
+	if s := byName["full/workspace"].CellsPerSec; s > 0 {
+		rep.SpeedupBatchFull = byName["full/batch"].CellsPerSec / s
 	}
 	return rep
 }

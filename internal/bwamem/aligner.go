@@ -330,6 +330,9 @@ func (a *Aligner) alignChain(q []byte, c chain.Chain) (candidate, int) {
 	if a.Opts.MaxSeedsPerChain > 0 && len(seeds) > a.Opts.MaxSeedsPerChain {
 		seeds = seeds[:a.Opts.MaxSeedsPerChain]
 	}
+	if be, ok := a.Extender.(align.BatchExtender); ok && len(seeds) > 1 {
+		return a.alignChainBatch(q, c, seeds, be)
+	}
 	var best candidate
 	total := 0
 	for i, s := range seeds {
@@ -337,6 +340,87 @@ func (a *Aligner) alignChain(q []byte, c chain.Chain) (candidate, int) {
 		total += n
 		if i == 0 || cand.score > best.score ||
 			(cand.score == best.score && cand.pos < best.pos) {
+			best = cand
+		}
+	}
+	return best, total
+}
+
+// alignChainBatch is alignChain against a batch-capable extender: all the
+// chain's left extensions run as one batch, then — because each right
+// extension is seeded by its left side's resolved score — all the right
+// extensions as a second batch. Results (and the winning candidate) are
+// identical to the sequential path; the batches exist so the SWAR lanes
+// (or the FPGA's cores) fill across a chain's seeds, per §V-B's "the FPGA
+// processes all seeds in a chain" integration.
+func (a *Aligner) alignChainBatch(q []byte, c chain.Chain, seeds []chain.Seed, be align.BatchExtender) (candidate, int) {
+	sc := a.Scoring
+	band := sc.EstimateBand(len(q), 0, a.Opts.BandCap)
+	cands := make([]candidate, len(seeds))
+	scoreL := make([]int, len(seeds))
+	jobs := make([]align.Job, 0, len(seeds))
+	total := 0
+
+	for si, s := range seeds {
+		cand := &cands[si]
+		*cand = candidate{rev: c.Rev, anchor: s}
+		h0 := s.Len * sc.Match
+		scoreL[si] = h0
+		if s.QBeg > 0 {
+			cand.lq = reversed(q[:s.QBeg])
+			lo := s.RBeg - s.QBeg - band
+			if lo < 0 {
+				lo = 0
+			}
+			cand.lt = reversed(a.Ref[lo:s.RBeg])
+			cand.lh0 = h0
+			jobs = append(jobs, align.Job{Q: cand.lq, T: cand.lt, H0: h0})
+		}
+	}
+	results := be.ExtendJobs(jobs, nil)
+	ji := 0
+	for si, s := range seeds {
+		if s.QBeg > 0 {
+			h0 := s.Len * sc.Match
+			scoreL[si], cands[si].clipL, cands[si].lQ, cands[si].lT =
+				resolveSide(results[ji], s.QBeg, h0, a.Opts.ClipPenalty)
+			ji++
+			total++
+		}
+	}
+
+	jobs = jobs[:0]
+	for si, s := range seeds {
+		cand := &cands[si]
+		cand.score = scoreL[si]
+		if qe := s.QEnd(); qe < len(q) {
+			cand.rq = append([]byte(nil), q[qe:]...)
+			re := s.REnd()
+			hi := re + (len(q) - qe) + band
+			if hi > len(a.Ref) {
+				hi = len(a.Ref)
+			}
+			cand.rt = append([]byte(nil), a.Ref[re:hi]...)
+			cand.rh0 = scoreL[si]
+			jobs = append(jobs, align.Job{Q: cand.rq, T: cand.rt, H0: scoreL[si]})
+		}
+	}
+	results = be.ExtendJobs(jobs, results[:0])
+	ji = 0
+	for si, s := range seeds {
+		cand := &cands[si]
+		if qe := s.QEnd(); qe < len(q) {
+			cand.score, cand.clipR, cand.rQ, cand.rT =
+				resolveSide(results[ji], len(q)-qe, scoreL[si], a.Opts.ClipPenalty)
+			ji++
+			total++
+		}
+		cand.pos = s.RBeg - cand.lT
+	}
+
+	best := cands[0]
+	for _, cand := range cands[1:] {
+		if cand.score > best.score || (cand.score == best.score && cand.pos < best.pos) {
 			best = cand
 		}
 	}

@@ -52,6 +52,42 @@ func (ie *InstrumentedExtender) Extend(q, t []byte, h0 int) align.ExtendResult {
 	return res
 }
 
+// ExtendJobs implements align.BatchExtender, forwarding batches to the
+// inner extender (or degrading to a per-job loop when it cannot batch)
+// while accounting each job into the shared counters.
+func (ie *InstrumentedExtender) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	start := time.Now()
+	dst = extendJobsVia(ie.Inner, jobs, dst)
+	ie.ns.Add(time.Since(start).Nanoseconds())
+	ie.calls.Add(int64(len(jobs)))
+	if ie.KeepJobs {
+		ie.mu.Lock()
+		for i := range jobs {
+			ie.jobs = append(ie.jobs, ExtJob{QLen: len(jobs[i].Q), TLen: len(jobs[i].T)})
+		}
+		ie.mu.Unlock()
+	}
+	return dst
+}
+
+var _ align.BatchExtender = (*InstrumentedExtender)(nil)
+
+// extendJobsVia dispatches a batch to ext's batch path when it has one,
+// or runs the jobs one by one otherwise (same results either way).
+func extendJobsVia(ext align.Extender, jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	if be, ok := ext.(align.BatchExtender); ok {
+		return be.ExtendJobs(jobs, dst)
+	}
+	if cap(dst) < len(jobs) {
+		dst = make([]align.ExtendResult, len(jobs))
+	}
+	dst = dst[:len(jobs)]
+	for i := range jobs {
+		dst[i] = ext.Extend(jobs[i].Q, jobs[i].T, jobs[i].H0)
+	}
+	return dst
+}
+
 // Session implements align.SessionExtender: the session extends through a
 // per-goroutine session of the inner extender (when it offers one) while
 // accounting into this wrapper's shared atomic counters.
@@ -83,6 +119,26 @@ func (s *instrumentedSession) Extend(q, t []byte, h0 int) align.ExtendResult {
 	}
 	return res
 }
+
+// ExtendJobs forwards a batch through the session's inner extender,
+// accounting into the parent's shared counters.
+func (s *instrumentedSession) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	start := time.Now()
+	dst = extendJobsVia(s.inner, jobs, dst)
+	ie := s.parent
+	ie.ns.Add(time.Since(start).Nanoseconds())
+	ie.calls.Add(int64(len(jobs)))
+	if ie.KeepJobs {
+		ie.mu.Lock()
+		for i := range jobs {
+			ie.jobs = append(ie.jobs, ExtJob{QLen: len(jobs[i].Q), TLen: len(jobs[i].T)})
+		}
+		ie.mu.Unlock()
+	}
+	return dst
+}
+
+var _ align.BatchExtender = (*instrumentedSession)(nil)
 
 // Ns returns the accumulated extension CPU time.
 func (ie *InstrumentedExtender) Ns() int64 { return ie.ns.Load() }
@@ -259,3 +315,14 @@ func (te *timedExtenderProbe) Extend(q, t []byte, h0 int) align.ExtendResult {
 	te.probe.extNs += time.Since(start).Nanoseconds()
 	return res
 }
+
+// ExtendJobs keeps the per-worker extender batch-capable so alignChain's
+// batched path survives the timing wrapper.
+func (te *timedExtenderProbe) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	start := time.Now()
+	dst = extendJobsVia(te.inner, jobs, dst)
+	te.probe.extNs += time.Since(start).Nanoseconds()
+	return dst
+}
+
+var _ align.BatchExtender = (*timedExtenderProbe)(nil)

@@ -38,6 +38,14 @@ type Checker struct {
 
 	ews *align.Workspace
 	ems *editmachine.Workspace
+
+	// Batch scratch (grow-only): per-job banded results, boundaries and
+	// reports for checkJobs, plus the Job slice ExtendBatchInto builds
+	// from its Requests.
+	bjobs []align.Job
+	bres  []align.ExtendResult
+	bbds  []align.BandBoundary
+	breps []Report
 }
 
 // NewChecker returns a Checker for cfg with pre-created workspaces.
@@ -91,19 +99,53 @@ func (c *Checker) ExtendBatch(reqs []Request) []Response {
 	return c.ExtendBatchInto(reqs, nil)
 }
 
+// checkJobs is the batched speculate-and-check core: one packed banded
+// extension over all jobs (the SWAR kernels fill lanes across jobs, the
+// software analogue of the accelerator's systolic batch), then the
+// optimality checks per job. Results land in c.bres, boundaries in
+// c.bbds, reports in the returned slice (aliasing c.breps; everything is
+// valid until the next batch call on this Checker). No stats, no reruns —
+// each entry point layers its own policy on top.
+func (c *Checker) checkJobs(jobs []align.Job) []Report {
+	c.init()
+	if cap(c.bres) < len(jobs) {
+		c.bres = make([]align.ExtendResult, len(jobs))
+		c.bbds = make([]align.BandBoundary, len(jobs))
+		c.breps = make([]Report, len(jobs))
+	}
+	c.bres = c.bres[:len(jobs)]
+	c.bbds = c.bbds[:len(jobs)]
+	c.breps = c.breps[:len(jobs)]
+	align.ExtendBandedBatchWS(c.ews, jobs, c.Config.Scoring, c.Config.Band, c.bres, c.bbds)
+	for i := range jobs {
+		c.breps[i] = check(c.ems, jobs[i].Q, jobs[i].T, jobs[i].H0, c.bres[i], c.bbds[i], c.Config)
+	}
+	return c.breps
+}
+
 // ExtendBatchInto is ExtendBatch reusing dst's backing array when it is
-// large enough — the allocation-free form for long-lived workers.
+// large enough — the allocation-free form for long-lived workers. The
+// speculative banded extensions of the whole batch run as one packed
+// (SWAR) kernel invocation; failed checks then rerun individually.
 func (c *Checker) ExtendBatchInto(reqs []Request, dst []Response) []Response {
 	if cap(dst) < len(reqs) {
 		dst = make([]Response, len(reqs))
 	}
 	dst = dst[:len(reqs)]
+	if cap(c.bjobs) < len(reqs) {
+		c.bjobs = make([]align.Job, len(reqs))
+	}
+	c.bjobs = c.bjobs[:len(reqs)]
 	for i, r := range reqs {
-		res, rep := c.Check(r.Q, r.T, r.H0)
+		c.bjobs[i] = align.Job{Q: r.Q, T: r.T, H0: r.H0}
+	}
+	reps := c.checkJobs(c.bjobs)
+	for i, r := range reqs {
 		if c.Stats != nil {
-			c.Stats.record(rep)
+			c.Stats.record(reps[i])
 		}
-		rerun := !rep.Pass
+		res := c.bres[i]
+		rerun := !reps[i].Pass
 		if rerun {
 			res = c.Rerun(r.Q, r.T, r.H0)
 		}
@@ -111,6 +153,55 @@ func (c *Checker) ExtendBatchInto(reqs []Request, dst []Response) []Response {
 	}
 	return dst
 }
+
+// CheckBatch speculatively extends every request as one packed batch and
+// runs the optimality checks, without host reruns: a failed response
+// carries the banded result with Rerun set, and the caller decides where
+// the rerun happens (the FPGA driver overlaps host reruns with device
+// compute). The returned reports alias checker scratch, valid until the
+// next batch call; stats are not recorded.
+func (c *Checker) CheckBatch(reqs []Request, dst []Response) ([]Response, []Report) {
+	if cap(dst) < len(reqs) {
+		dst = make([]Response, len(reqs))
+	}
+	dst = dst[:len(reqs)]
+	if cap(c.bjobs) < len(reqs) {
+		c.bjobs = make([]align.Job, len(reqs))
+	}
+	c.bjobs = c.bjobs[:len(reqs)]
+	for i, r := range reqs {
+		c.bjobs[i] = align.Job{Q: r.Q, T: r.T, H0: r.H0}
+	}
+	reps := c.checkJobs(c.bjobs)
+	for i, r := range reqs {
+		dst[i] = Response{Tag: r.Tag, Res: c.bres[i], Rerun: !reps[i].Pass}
+	}
+	return dst, reps
+}
+
+// ExtendJobs implements align.BatchExtender: the full check workflow
+// (batched speculation, checks, stats, reruns on failure) over every job,
+// results in job order.
+func (c *Checker) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	if cap(dst) < len(jobs) {
+		dst = make([]align.ExtendResult, len(jobs))
+	}
+	dst = dst[:len(jobs)]
+	reps := c.checkJobs(jobs)
+	for i := range jobs {
+		if c.Stats != nil {
+			c.Stats.record(reps[i])
+		}
+		if reps[i].Pass {
+			dst[i] = c.bres[i]
+		} else {
+			dst[i] = c.Rerun(jobs[i].Q, jobs[i].T, jobs[i].H0)
+		}
+	}
+	return dst
+}
+
+var _ align.BatchExtender = (*Checker)(nil)
 
 // checkerPool backs the package-level Check function; long-lived callers
 // should hold their own Checker.

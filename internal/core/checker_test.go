@@ -109,6 +109,84 @@ func TestExtendBatch(t *testing.T) {
 	}
 }
 
+// TestExtendBatchMixedShapesStats: mixed-shape batches — lengths that never
+// fill a full SWAR lane group, degenerate jobs, adversarial inputs — must
+// leave exactly the same trail in core.Stats as running every request
+// through the scalar path, with identical responses.
+func TestExtendBatchMixedShapesStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for _, mode := range []Mode{ModePaper, ModeStrict} {
+		for _, w := range []int{3, 8, 20} {
+			cfg := Config{Band: w, Scoring: align.DefaultScoring(), Kind: SemiGlobal, Mode: mode}
+			batched := NewChecker(cfg)
+			batched.Stats = NewStats()
+			scalar := NewChecker(cfg)
+			scalar.Stats = NewStats()
+
+			// Batch sizes chosen to leave lane groups partial (never a
+			// multiple of 8), including single-job batches.
+			var dst []Response
+			for _, size := range []int{1, 2, 3, 5, 7, 9, 11, 13, 17, 23} {
+				reqs := make([]Request, size)
+				for i := range reqs {
+					var q, tg []byte
+					var h0 int
+					switch i % 4 {
+					case 0:
+						q, tg, h0 = realisticCase(rng)
+					case 1:
+						q, tg, h0 = adversarialCase(rng)
+					case 2: // tiny shapes: lane-demotion territory
+						q, tg, h0 = randSeq(rng, 1+rng.Intn(4)), randSeq(rng, 1+rng.Intn(4)), 1+rng.Intn(10)
+					default: // degenerate: empty query/target or dead seed
+						switch rng.Intn(3) {
+						case 0:
+							q, tg, h0 = nil, randSeq(rng, 20), 30
+						case 1:
+							q, tg, h0 = randSeq(rng, 20), nil, 30
+						default:
+							q, tg, h0 = randSeq(rng, 20), randSeq(rng, 25), -rng.Intn(3)
+						}
+					}
+					reqs[i] = Request{Q: q, T: tg, H0: h0, Tag: i}
+				}
+				dst = batched.ExtendBatchInto(reqs, dst)
+				for i, r := range reqs {
+					// Rows/Cells are work-model fields and legitimately
+					// differ (the packed kernels report a deterministic
+					// full-sweep count); every result field must match.
+					want := scalar.Extend(r.Q, r.T, r.H0)
+					got := dst[i].Res
+					if got.Local != want.Local || got.LocalT != want.LocalT || got.LocalQ != want.LocalQ ||
+						got.Global != want.Global || got.GlobalT != want.GlobalT {
+						t.Fatalf("mode=%d w=%d size=%d req=%d: batch %+v != scalar %+v",
+							mode, w, size, i, got, want)
+					}
+					if dst[i].Tag != r.Tag {
+						t.Fatalf("mode=%d w=%d size=%d req=%d: tag %d != %d", mode, w, size, i, dst[i].Tag, r.Tag)
+					}
+				}
+			}
+
+			// Every counter the two paths recorded must agree.
+			b, s := batched.Stats, scalar.Stats
+			if b.Total.Load() != s.Total.Load() || b.Passed.Load() != s.Passed.Load() ||
+				b.Reruns.Load() != s.Reruns.Load() || b.ThresholdOnly.Load() != s.ThresholdOnly.Load() {
+				t.Fatalf("mode=%d w=%d: counters diverge: batch %v, scalar %v", mode, w, b.Snapshot(), s.Snapshot())
+			}
+			for o := PassFullCover; o <= FailGlobal; o++ {
+				if b.OutcomeCount(o) != s.OutcomeCount(o) {
+					t.Fatalf("mode=%d w=%d: outcome %v: batch %d, scalar %d",
+						mode, w, o, b.OutcomeCount(o), s.OutcomeCount(o))
+				}
+			}
+			if b.Passed.Load()+b.Reruns.Load() != b.Total.Load() {
+				t.Fatalf("mode=%d w=%d: stats do not add up: %v", mode, w, b.Snapshot())
+			}
+		}
+	}
+}
+
 // TestCheckerZeroAllocs: steady-state Checker.Check and the batch path must
 // not allocate — the tentpole property extended through the check workflow.
 func TestCheckerZeroAllocs(t *testing.T) {

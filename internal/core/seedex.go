@@ -45,6 +45,19 @@ func (s *SeedEx) Extend(query, target []byte, h0 int) align.ExtendResult {
 	return align.Extend(query, target, h0, s.Config.Scoring)
 }
 
+// ExtendJobs implements align.BatchExtender with pooled scratch: the
+// whole batch's banded extensions run as one packed kernel invocation,
+// then checks, stats and reruns per job (identical results to Extend).
+func (s *SeedEx) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	c := checkerPool.Get().(*Checker)
+	c.Config, c.Fallback, c.Stats = s.Config, s.Fallback, s.Stats
+	dst = c.ExtendJobs(jobs, dst)
+	checkerPool.Put(c)
+	return dst
+}
+
+var _ align.BatchExtender = (*SeedEx)(nil)
+
 // Session returns a Checker bound to this extender's configuration,
 // fallback and stats: a per-goroutine extension session whose scratch
 // memory (DP rows, query profile, edit-machine row) is reused across
@@ -66,6 +79,16 @@ func (f FullBand) Extend(query, target []byte, h0 int) align.ExtendResult {
 	return align.Extend(query, target, h0, f.Scoring)
 }
 
+// ExtendJobs implements align.BatchExtender with pooled scratch.
+func (f FullBand) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	ws := align.GetWorkspace()
+	dst = extendJobsFull(ws, jobs, f.Scoring, dst)
+	align.PutWorkspace(ws)
+	return dst
+}
+
+var _ align.BatchExtender = FullBand{}
+
 // Session returns a workspace-holding full-band session.
 func (f FullBand) Session() align.Extender {
 	return &fullBandSession{sc: f.Scoring, ws: align.NewWorkspace()}
@@ -78,6 +101,23 @@ type fullBandSession struct {
 
 func (f *fullBandSession) Extend(query, target []byte, h0 int) align.ExtendResult {
 	return align.ExtendWS(f.ws, query, target, h0, f.sc)
+}
+
+// ExtendJobs implements align.BatchExtender: the batch runs through the
+// packed full-width kernels on the session's workspace.
+func (f *fullBandSession) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	return extendJobsFull(f.ws, jobs, f.sc, dst)
+}
+
+var _ align.BatchExtender = (*fullBandSession)(nil)
+
+func extendJobsFull(ws *align.Workspace, jobs []align.Job, sc align.Scoring, dst []align.ExtendResult) []align.ExtendResult {
+	if cap(dst) < len(jobs) {
+		dst = make([]align.ExtendResult, len(jobs))
+	}
+	dst = dst[:len(jobs)]
+	align.ExtendBatchFullWS(ws, jobs, sc, dst)
+	return dst
 }
 
 // Banded is a plain banded extender with no optimality checks — the
@@ -95,6 +135,16 @@ func (b Banded) Extend(query, target []byte, h0 int) align.ExtendResult {
 	return res
 }
 
+// ExtendJobs implements align.BatchExtender with pooled scratch.
+func (b Banded) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	ws := align.GetWorkspace()
+	dst = extendJobsBanded(ws, jobs, b.Scoring, b.Band, dst)
+	align.PutWorkspace(ws)
+	return dst
+}
+
+var _ align.BatchExtender = Banded{}
+
 // Session returns a workspace-holding banded session (no boundary copy:
 // the heuristic discards it).
 func (b Banded) Session() align.Extender {
@@ -110,4 +160,21 @@ type bandedSession struct {
 func (b *bandedSession) Extend(query, target []byte, h0 int) align.ExtendResult {
 	res, _ := align.ExtendBandedWS(b.ws, query, target, h0, b.sc, b.w)
 	return res
+}
+
+// ExtendJobs implements align.BatchExtender: the batch runs through the
+// packed banded kernels on the session's workspace (no boundary capture).
+func (b *bandedSession) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	return extendJobsBanded(b.ws, jobs, b.sc, b.w, dst)
+}
+
+var _ align.BatchExtender = (*bandedSession)(nil)
+
+func extendJobsBanded(ws *align.Workspace, jobs []align.Job, sc align.Scoring, w int, dst []align.ExtendResult) []align.ExtendResult {
+	if cap(dst) < len(jobs) {
+		dst = make([]align.ExtendResult, len(jobs))
+	}
+	dst = dst[:len(jobs)]
+	align.ExtendBandedBatchWS(ws, jobs, sc, w, dst, nil)
+	return dst
 }

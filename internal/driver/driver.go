@@ -117,11 +117,13 @@ func (d *Device) compute(chk *core.Checker, reqs []Request, out []Response, jobs
 		jobs = make([]fpga.Job, len(reqs))
 	}
 	jobs = jobs[:len(reqs)]
+	// One packed (SWAR) kernel invocation covers the whole batch's banded
+	// extensions — the software mirror of the systolic cores chewing a DMA
+	// batch in parallel — followed by the per-extension optimality checks.
+	out, reps := chk.CheckBatch(reqs, out)
 	for i, r := range reqs {
-		res, rep := chk.Check(r.Q, r.T, r.H0)
-		d.Stats.Record(rep)
-		out[i] = Response{Tag: r.Tag, Res: res, Rerun: !rep.Pass}
-		jobs[i] = fpga.Job{QLen: len(r.Q), TLen: len(r.T), NeedsEdit: rep.EditRan, Rerun: !rep.Pass}
+		d.Stats.Record(reps[i])
+		jobs[i] = fpga.Job{QLen: len(r.Q), TLen: len(r.T), NeedsEdit: reps[i].EditRan, Rerun: !reps[i].Pass}
 	}
 	return out, jobs
 }
