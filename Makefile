@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-extend
+.PHONY: check vet build test race bench bench-extend serve-bench
 
 check: vet build test race
 
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # The concurrent subsystems get a dedicated race pass: the FPGA driver,
-# the aligner pipeline and the shared (atomic) check statistics.
+# the aligner pipeline, the shared (atomic) check statistics, and the
+# micro-batching alignment service with its daemon.
 race:
-	$(GO) test -race ./internal/driver/... ./internal/bwamem/... ./internal/core/...
+	$(GO) test -race ./internal/driver/... ./internal/bwamem/... ./internal/core/... ./internal/server/... ./cmd/seedex-serve/...
 
 # Full benchmark pass: every testing.B entry, then a refresh of the
 # extension perf trajectory (BENCH_extend.json).
@@ -29,3 +30,9 @@ bench:
 # profile the kernels, e.g. EXTENDFLAGS='-cpuprofile cpu.out'.
 bench-extend:
 	$(GO) run ./cmd/seedex-bench -fig extend $(EXTENDFLAGS)
+
+# Alignment-service load test: micro-batched vs unbatched throughput over
+# the 150 bp workload (writes BENCH_serve.json). Override knobs through
+# SERVEFLAGS, e.g. SERVEFLAGS='-serve-dur 500ms -serve-conc 8,32'.
+serve-bench:
+	$(GO) run ./cmd/seedex-bench -fig serve $(SERVEFLAGS)

@@ -105,8 +105,14 @@ func TestCLIErrors(t *testing.T) {
 	}
 	dir := t.TempDir()
 	refPath, readsPath := writeWorld(t, dir, 1)
-	if err := run([]string{"-ref", refPath, "-reads", readsPath, "-extender", "bogus"}, &out, &stderr); err == nil {
+	err := run([]string{"-ref", refPath, "-reads", readsPath, "-extender", "bogus"}, &out, &stderr)
+	if err == nil {
 		t.Fatal("unknown extender must error")
+	}
+	for _, want := range []string{`"bogus"`, "seedex", "fullband", "banded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-extender error %q does not name %q", err, want)
+		}
 	}
 	if err := run([]string{"-ref", refPath, "-reads", readsPath, "-seeder", "bogus"}, &out, &stderr); err == nil {
 		t.Fatal("unknown seeder must error")

@@ -7,7 +7,6 @@ import (
 	"io"
 	"os"
 
-	"seedex/internal/align"
 	"seedex/internal/bwamem"
 	"seedex/internal/core"
 	"seedex/internal/ert"
@@ -68,20 +67,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	sc := align.DefaultScoring()
-	var ext align.Extender
-	var se *core.SeedEx
-	switch *extName {
-	case "seedex":
-		se = core.New(*band)
-		ext = se
-	case "fullband":
-		ext = core.FullBand{Scoring: sc}
-	case "banded":
-		ext = core.Banded{Scoring: sc, Band: *band}
-	default:
-		return fmt.Errorf("unknown extender %q", *extName)
+	ext, err := core.NamedExtender(*extName, *band)
+	if err != nil {
+		return err
 	}
+	se, _ := ext.(*core.SeedEx)
 
 	var a *bwamem.Aligner
 	if *indexPath != "" {

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"seedex/internal/bench"
 )
@@ -30,7 +31,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("seedex-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.String("fig", "all", "figure/table to regenerate: 2,3,4,13,14,15,16,17,18,t2,t3,extend or 'all'")
+	fig := fs.String("fig", "all", "figure/table to regenerate: 2,3,4,13,14,15,16,17,18,t2,t3,extend,serve or 'all'")
 	refLen := fs.Int("ref", 200_000, "synthetic reference length (bp)")
 	nReads := fs.Int("reads", 1000, "simulated read count")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
@@ -39,6 +40,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	extendBand := fs.Int("extend-band", 21, "one-sided band for the checked paths of -fig extend")
 	extendRounds := fs.Int("extend-rounds", 3, "timing rounds per kernel for -fig extend")
 	extendReadLen := fs.Int("extend-readlen", 150, "read length for -fig extend: 150 (standard trajectory) or 100 (8-bit SWAR tier dominates)")
+	serveJSON := fs.String("serve-json", "BENCH_serve.json", "output path for the alignment-service benchmark (-fig serve)")
+	serveDur := fs.Duration("serve-dur", time.Second, "measurement window per concurrency point for -fig serve")
+	serveConc := fs.String("serve-conc", "4,16,32,64", "comma-separated client concurrencies for -fig serve")
+	serveJobs := fs.Int("serve-jobs", 8, "jobs per request for -fig serve")
+	serveStrict := fs.Bool("serve-strict", false, "serve ModeStrict (bit-identical checks) instead of the paper workflow for -fig serve")
+	serveBatch := fs.Int("serve-batch", 64, "micro-batch size for the batched -fig serve configuration")
+	serveFlush := fs.Duration("serve-flush", 100*time.Microsecond, "micro-batch flush interval for -fig serve")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -174,6 +182,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "wrote %s\n", *extendJSON)
+	}
+	if want["serve"] { // not part of 'all': it writes a file and load-tests for seconds
+		section("Alignment service: micro-batched vs unbatched throughput")
+		fmt.Fprintf(stderr, "building 150 bp workload: %d bp reference, %d reads (seed %d)...\n", *refLen, *nReads, *seed)
+		wsrv, err := bench.Workload150(*refLen, *nReads, *seed)
+		if err != nil {
+			return err
+		}
+		var concs []int
+		for _, f := range strings.Split(*serveConc, ",") {
+			var c int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &c); err != nil || c <= 0 {
+				return fmt.Errorf("bad -serve-conc entry %q", f)
+			}
+			concs = append(concs, c)
+		}
+		rep := bench.ServeBench(wsrv, bench.ServeBenchConfig{
+			MaxBatch:       *serveBatch,
+			Flush:          *serveFlush,
+			Strict:         *serveStrict,
+			JobsPerRequest: *serveJobs,
+			Concurrency:    concs,
+			Duration:       *serveDur,
+		})
+		fmt.Fprintln(stdout, rep)
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*serveJSON, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *serveJSON)
 	}
 	if all || want["ablations"] {
 		section("Ablation: edit-machine seeding strategy")

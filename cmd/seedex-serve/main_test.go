@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle boots the daemon on an ephemeral port, runs a
+// request through it, and checks that SIGTERM produces a graceful drain
+// and a clean exit.
+func TestServeLifecycle(t *testing.T) {
+	var stderr bytes.Buffer
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-band", "16", "-flush", "1ms"}, &stderr, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited before ready: %v\nstderr: %s", err, stderr.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	body := `{"jobs":[{"query":"ACGTACGTACGT","target":"ACGTACGTACGTAA","h0":30}]}`
+	resp, err := http.Post(base+"/v1/extend", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/extend: %v", err)
+	}
+	var out struct {
+		Results []struct {
+			Global int `json:"global"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(out.Results) != 1 {
+		t.Fatalf("extend: status %d, %d results", resp.StatusCode, len(out.Results))
+	}
+	if out.Results[0].Global <= 30 {
+		t.Errorf("global score %d, want > h0 for a matching extension", out.Results[0].Global)
+	}
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v status=%v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned error after SIGTERM: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not exit after SIGTERM\nstderr: %s", stderr.String())
+	}
+	log := stderr.String()
+	for _, want := range []string{"listening on", "draining", "served"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("stderr missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestServeBadFlags checks flag validation paths without binding a port.
+func TestServeBadFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-extender", "bogus"}, &stderr, nil); err == nil {
+		t.Fatal("unknown extender accepted")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error %q does not name the bad extender", err)
+	}
+	if err := run([]string{"-ref", "/nonexistent/ref.fa"}, &stderr, nil); err == nil {
+		t.Fatal("missing reference accepted")
+	}
+}
+
+// TestServeMapFlow boots with a tiny on-disk reference and exercises
+// /v1/map end to end.
+func TestServeMapFlow(t *testing.T) {
+	ref := t.TempDir() + "/ref.fa"
+	rng := rand.New(rand.NewSource(7))
+	var sb strings.Builder
+	for i := 0; i < 900; i++ {
+		sb.WriteByte("ACGT"[rng.Intn(4)])
+	}
+	seq := sb.String()
+	if err := os.WriteFile(ref, []byte(">chr1\n"+seq+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stderr bytes.Buffer
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-ref", ref}, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited before ready: %v\nstderr: %s", err, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	read := seq[100:250]
+	body := fmt.Sprintf(`{"reads":[{"name":"r1","seq":%q}]}`, read)
+	resp, err := http.Post("http://"+addr+"/v1/map", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/map: %v", err)
+	}
+	var out struct {
+		Results []struct {
+			Mapped bool `json:"mapped"`
+			RName  string
+			Pos    int
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(out.Results) != 1 {
+		t.Fatalf("map: status %d, %d results", resp.StatusCode, len(out.Results))
+	}
+	if !out.Results[0].Mapped || out.Results[0].RName != "chr1" || out.Results[0].Pos != 101 {
+		t.Errorf("mapping = %+v, want mapped at chr1:101", out.Results[0])
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned error: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seedex/internal/align"
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+	"seedex/internal/fastx"
+	"seedex/internal/genome"
+	"seedex/internal/server"
+)
+
+// run is the testable daemon body; main wires it to os streams. When
+// ready is non-nil it receives the bound listen address once the server
+// accepts connections. run returns after a graceful drain (SIGINT or
+// SIGTERM) or a listener failure.
+func run(args []string, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("seedex-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8844", "listen address")
+	extName := fs.String("extender", "seedex", "extension engine: seedex | fullband | banded")
+	band := fs.Int("band", 20, "one-sided band (SeedEx and banded engines)")
+	mode := fs.String("mode", "strict", "seedex check workflow: strict (bit-identical to full-band) | paper (threshold passes skip the edit machine)")
+	maxBatch := fs.Int("max-batch", 64, "flush a micro-batch at this many jobs (1 disables coalescing)")
+	flush := fs.Duration("flush", 200*time.Microsecond, "flush a micro-batch this long after its first job arrives")
+	queueCap := fs.Int("queue", 1024, "admission queue bound; overflow answers 429")
+	workers := fs.Int("workers", 0, "batch workers (0 = GOMAXPROCS)")
+	refPath := fs.String("ref", "", "reference FASTA; enables the /v1/map endpoint")
+	indexPath := fs.String("index", "", "index file for -ref: loaded if it exists, otherwise built and saved")
+	maxJobs := fs.Int("max-jobs", 4096, "maximum jobs or reads per request")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ext, err := core.NamedExtender(*extName, *band)
+	if err != nil {
+		return err
+	}
+	se, _ := ext.(*core.SeedEx)
+	switch *mode {
+	case "strict":
+	case "paper":
+		if se != nil {
+			se.Config.Mode = core.ModePaper
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (valid: strict, paper)", *mode)
+	}
+
+	var aligner *bwamem.Aligner
+	if *refPath != "" {
+		aligner, err = loadAligner(*refPath, *indexPath, ext, stderr)
+		if err != nil {
+			return err
+		}
+	}
+
+	s := server.New(server.Config{
+		Extender: ext,
+		Aligner:  aligner,
+		Batch: server.BatcherConfig{
+			MaxBatch:      *maxBatch,
+			FlushInterval: *flush,
+			QueueCap:      *queueCap,
+			Workers:       *workers,
+		},
+		MaxJobsPerRequest: *maxJobs,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	fmt.Fprintf(stderr, "seedex-serve: listening on %s (extender=%s band=%d batch=%d flush=%s queue=%d)\n",
+		ln.Addr(), *extName, *band, *maxBatch, *flush, *queueCap)
+	if aligner != nil {
+		fmt.Fprintf(stderr, "seedex-serve: /v1/map enabled (%d contigs)\n", len(aligner.Contigs.Names))
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-sig:
+	}
+
+	fmt.Fprintln(stderr, "seedex-serve: draining (in-flight work completes, new work gets 503)...")
+	s.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "seedex-serve: drain budget exceeded, closing: %v\n", err)
+		hs.Close()
+	}
+	s.Close()
+	snap := s.Metrics().Snapshot(0, 0)
+	fmt.Fprintf(stderr, "seedex-serve: served %d requests, %d jobs in %d batches (mean occupancy %.1f)\n",
+		snap.Requests, snap.Completed, snap.Batches, snap.MeanOccupancy)
+	if se != nil {
+		fmt.Fprintln(stderr, se.Stats)
+	}
+	return nil
+}
+
+// loadAligner assembles the mapping pipeline behind /v1/map, loading or
+// building the index the same way seedex-align does.
+func loadAligner(refPath, indexPath string, ext align.Extender, stderr io.Writer) (*bwamem.Aligner, error) {
+	rf, err := os.Open(refPath)
+	if err != nil {
+		return nil, err
+	}
+	refs, err := fastx.ReadFasta(rf)
+	rf.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("no sequences in %s", refPath)
+	}
+	contigs := make([]bwamem.Contig, len(refs))
+	for i, r := range refs {
+		contigs[i] = bwamem.Contig{Name: r.Name, Seq: genome.Encode(string(r.Seq))}
+	}
+	if indexPath != "" {
+		if f, ferr := os.Open(indexPath); ferr == nil {
+			ref, ix, lerr := bwamem.LoadIndex(f)
+			f.Close()
+			if lerr != nil {
+				return nil, fmt.Errorf("loading %s: %w", indexPath, lerr)
+			}
+			fmt.Fprintf(stderr, "seedex-serve: loaded index %s (%d contigs)\n", indexPath, len(ref.Names))
+			return bwamem.NewWithIndex(ref, ix, ext), nil
+		}
+		ref, ix, berr := bwamem.BuildIndex(contigs)
+		if berr != nil {
+			return nil, berr
+		}
+		f, cerr := os.Create(indexPath)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if serr := bwamem.SaveIndex(f, ref, ix); serr != nil {
+			f.Close()
+			return nil, serr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return nil, cerr
+		}
+		fmt.Fprintf(stderr, "seedex-serve: built and saved index %s\n", indexPath)
+		return bwamem.NewWithIndex(ref, ix, ext), nil
+	}
+	return bwamem.NewMulti(contigs, ext)
+}

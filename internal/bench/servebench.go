@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/server"
+)
+
+// ServeBenchConfig shapes the alignment-service load test: the same
+// workload is served under a micro-batching configuration and a
+// no-batching control, at increasing client concurrency.
+type ServeBenchConfig struct {
+	// Band is the SeedEx one-sided band of the served extender.
+	Band int
+	// MaxBatch/Flush tune the batched configuration (the control always
+	// runs MaxBatch=1). Defaults: 64 jobs, 100µs.
+	MaxBatch int
+	Flush    time.Duration
+	// Strict selects ModeStrict for the served checker (bit-identical to
+	// full-band, but its unconditional global certificate dominates the
+	// per-job cost). The default is the paper's workflow (ModePaper),
+	// where threshold passes skip the edit machine and the packed
+	// speculation kernel carries most of the compute.
+	Strict bool
+	// JobsPerRequest is the client request size (default 8: each batch
+	// coalesces jobs from several requests to fill SWAR lanes).
+	JobsPerRequest int
+	// Concurrency lists the client counts to sweep (default 4, 16, 32, 64).
+	Concurrency []int
+	// Duration is the measurement window per point (default 1s).
+	Duration time.Duration
+}
+
+func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
+	if c.Band <= 0 {
+		c.Band = 21
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Flush <= 0 {
+		c.Flush = 100 * time.Microsecond
+	}
+	if c.JobsPerRequest <= 0 {
+		c.JobsPerRequest = 8
+	}
+	if len(c.Concurrency) == 0 {
+		c.Concurrency = []int{4, 16, 32, 64}
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	return c
+}
+
+// ServePoint is one (configuration, concurrency) measurement.
+type ServePoint struct {
+	Config      string  `json:"config"` // "batched" or "unbatched"
+	Concurrency int     `json:"concurrency"`
+	Requests    int64   `json:"requests"`
+	Jobs        int64   `json:"jobs"`
+	Rejected    int64   `json:"jobs_rejected"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	// Client-observed request latency.
+	P50Us float64 `json:"latency_p50_us"`
+	P99Us float64 `json:"latency_p99_us"`
+	// Server-side batch shape.
+	Batches       int64   `json:"batches"`
+	MeanOccupancy float64 `json:"batch_occupancy_mean"`
+}
+
+// ServeGain compares the two configurations at one concurrency.
+type ServeGain struct {
+	Concurrency int `json:"concurrency"`
+	// Gain is batched jobs/s over unbatched jobs/s.
+	Gain float64 `json:"throughput_gain"`
+}
+
+// ServeBenchReport is the machine-readable snapshot emitted as
+// BENCH_serve.json: micro-batched service throughput vs the no-batching
+// control over the standard 150 bp workload.
+type ServeBenchReport struct {
+	ReadLen        int          `json:"read_len"`
+	Problems       int          `json:"problems"`
+	Band           int          `json:"band"`
+	Mode           string       `json:"mode"`
+	MaxBatch       int          `json:"max_batch"`
+	FlushUs        float64      `json:"flush_us"`
+	JobsPerRequest int          `json:"jobs_per_request"`
+	DurationMs     float64      `json:"duration_ms_per_point"`
+	Points         []ServePoint `json:"points"`
+	Gains          []ServeGain  `json:"gains"`
+	// GainHighConc is the throughput gain at the highest measured
+	// concurrency — the headline micro-batching figure.
+	GainHighConc float64 `json:"throughput_gain_high_concurrency"`
+}
+
+// JSON renders the report for BENCH_serve.json.
+func (r ServeBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders a human-readable summary table.
+func (r ServeBenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %5s %10s %12s %10s %10s %9s %6s\n",
+		"config", "conc", "jobs/s", "requests", "p50(us)", "p99(us)", "batches", "occ")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10s %5d %10.0f %12d %10.0f %10.0f %9d %6.1f\n",
+			p.Config, p.Concurrency, p.JobsPerSec, p.Requests, p.P50Us, p.P99Us, p.Batches, p.MeanOccupancy)
+	}
+	for _, g := range r.Gains {
+		fmt.Fprintf(&b, "batched vs unbatched @ %d clients: %.2fx jobs/s\n", g.Concurrency, g.Gain)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ServeBench load-tests the alignment service over the workload's
+// harvested problems. For each concurrency point it boots a fresh
+// in-process server twice — once micro-batching (flush at MaxBatch jobs
+// or Flush), once with batching disabled (MaxBatch=1) — and drives it
+// with closed-loop HTTP clients issuing JobsPerRequest-job requests.
+func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
+	cfg = cfg.withDefaults()
+	rep := ServeBenchReport{
+		Problems:       len(w.Problems),
+		Band:           cfg.Band,
+		Mode:           "paper",
+		MaxBatch:       cfg.MaxBatch,
+		FlushUs:        float64(cfg.Flush.Nanoseconds()) / 1e3,
+		JobsPerRequest: cfg.JobsPerRequest,
+		DurationMs:     float64(cfg.Duration.Nanoseconds()) / 1e6,
+	}
+	if len(w.Reads) > 0 {
+		rep.ReadLen = len(w.Reads[0].Seq)
+	}
+	if cfg.Strict {
+		rep.Mode = "strict"
+	}
+	if len(w.Problems) == 0 {
+		return rep
+	}
+	bodies := serveBodies(w.Problems, cfg.JobsPerRequest)
+
+	configs := []struct {
+		name  string
+		batch server.BatcherConfig
+	}{
+		{"batched", server.BatcherConfig{MaxBatch: cfg.MaxBatch, FlushInterval: cfg.Flush}},
+		{"unbatched", server.BatcherConfig{MaxBatch: 1, FlushInterval: cfg.Flush}},
+	}
+	byConfig := map[string]map[int]ServePoint{}
+	for _, c := range configs {
+		byConfig[c.name] = map[int]ServePoint{}
+		for _, conc := range cfg.Concurrency {
+			p := runServePoint(cfg, c.batch, bodies, conc)
+			p.Config = c.name
+			rep.Points = append(rep.Points, p)
+			byConfig[c.name][conc] = p
+		}
+	}
+	for _, conc := range cfg.Concurrency {
+		if u := byConfig["unbatched"][conc].JobsPerSec; u > 0 {
+			g := ServeGain{Concurrency: conc, Gain: byConfig["batched"][conc].JobsPerSec / u}
+			rep.Gains = append(rep.Gains, g)
+			rep.GainHighConc = g.Gain
+		}
+	}
+	return rep
+}
+
+// serveBodies pre-marshals a rotation of request bodies so the client
+// loop measures service throughput, not JSON encoding.
+func serveBodies(probs []Problem, jobsPerReq int) [][]byte {
+	const maxBodies = 512
+	n := len(probs) / jobsPerReq
+	if n > maxBodies {
+		n = maxBodies
+	}
+	if n == 0 {
+		n = 1
+	}
+	bodies := make([][]byte, n)
+	k := 0
+	for i := range bodies {
+		type wireJob struct {
+			Query  string `json:"query"`
+			Target string `json:"target"`
+			H0     int    `json:"h0"`
+		}
+		jobs := make([]wireJob, jobsPerReq)
+		for j := range jobs {
+			p := probs[k%len(probs)]
+			k++
+			jobs[j] = wireJob{Query: genome.Decode(p.Q), Target: genome.Decode(p.T), H0: p.H0}
+		}
+		bodies[i], _ = json.Marshal(map[string]any{"jobs": jobs})
+	}
+	return bodies
+}
+
+// runServePoint measures one (batch config, concurrency) cell: a fresh
+// server, closed-loop clients for the duration, then the server's own
+// batch-shape metrics.
+func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]byte, conc int) ServePoint {
+	jobsPerReq, dur := cfg.JobsPerRequest, cfg.Duration
+	se := core.New(cfg.Band)
+	if !cfg.Strict {
+		se.Config.Mode = core.ModePaper
+	}
+	s := server.New(server.Config{Extender: se, Batch: bcfg})
+	ts := httptest.NewServer(s.Handler())
+	tr := &http.Transport{MaxIdleConns: 2 * conc, MaxIdleConnsPerHost: 2 * conc}
+	client := &http.Client{Transport: tr}
+	url := ts.URL + "/v1/extend"
+
+	var stop atomic.Bool
+	var requests, jobs, rejected int64
+	lats := make([][]time.Duration, conc)
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, 4096)
+			for it := id; !stop.Load(); it++ {
+				body := bodies[it%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					continue
+				}
+				drainBody(resp)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					atomic.AddInt64(&requests, 1)
+					atomic.AddInt64(&jobs, int64(jobsPerReq))
+					mine = append(mine, time.Since(t0))
+				case http.StatusTooManyRequests:
+					atomic.AddInt64(&rejected, int64(jobsPerReq))
+				}
+			}
+			lats[id] = mine
+		}(i)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	ts.Close()
+	s.Close()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	snap := s.Metrics().Snapshot(0, 0)
+	p := ServePoint{
+		Concurrency:   conc,
+		Requests:      requests,
+		Jobs:          jobs,
+		Rejected:      rejected,
+		JobsPerSec:    float64(jobs) / elapsed.Seconds(),
+		Batches:       snap.Batches,
+		MeanOccupancy: snap.MeanOccupancy,
+	}
+	if len(all) > 0 {
+		p.P50Us = float64(all[len(all)/2].Nanoseconds()) / 1e3
+		p.P99Us = float64(all[len(all)*99/100].Nanoseconds()) / 1e3
+	}
+	return p
+}
+
+// drainBody consumes and closes a response body so the transport reuses
+// the connection.
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

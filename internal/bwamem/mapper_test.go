@@ -1,0 +1,83 @@
+package bwamem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"seedex/internal/align"
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/readsim"
+)
+
+// TestMapperMatchesRun proves the reentrant Mapper entry point produces
+// exactly the records the batch pipeline produces, including under
+// concurrent use of independent sessions against one shared aligner.
+func TestMapperMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := genome.Simulate(genome.SimConfig{Length: 30_000}, rng)
+	reads := readsim.Simulate(ref, readsim.DefaultConfig(40), rng)
+
+	se := core.New(20)
+	a, err := New("chrT", ref, se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := make([]Read, len(reads))
+	for i, r := range reads {
+		pr[i] = Read{Name: r.ID, Seq: r.Seq, Qual: r.Qual}
+	}
+	want, _ := a.Run(pr, 0)
+
+	// Concurrent mappers, each owning a session, splitting the reads.
+	got := make([]string, len(pr))
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := a.NewMapper()
+			for i := w; i < len(pr); i += workers {
+				rec, al := m.Map(pr[i].Name, pr[i].Seq, pr[i].Qual)
+				got[i] = rec.String()
+				if al.Mapped != (rec.Flag&4 == 0) {
+					t.Errorf("read %d: Mapped=%v disagrees with flag %d", i, al.Mapped, rec.Flag)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range pr {
+		if got[i] != want[i].String() {
+			t.Fatalf("read %d: mapper record differs from pipeline:\n  mapper:   %s\n  pipeline: %s", i, got[i], want[i].String())
+		}
+	}
+	if se.Stats.Total.Load() == 0 {
+		t.Fatal("mapper sessions did not record into the shared stats")
+	}
+}
+
+// TestMapperDefaultQual pins the nil-qual path to Run's 'I' fill.
+func TestMapperDefaultQual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := genome.Simulate(genome.SimConfig{Length: 20_000}, rng)
+	reads := readsim.Simulate(ref, readsim.DefaultConfig(5), rng)
+	a, err := New("chrT", ref, core.FullBand{Scoring: align.DefaultScoring()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := make([]Read, len(reads))
+	for i, r := range reads {
+		pr[i] = Read{Name: r.ID, Seq: r.Seq} // no qualities
+	}
+	want, _ := a.Run(pr, 1)
+	m := a.NewMapper()
+	for i := range pr {
+		rec, _ := m.Map(pr[i].Name, pr[i].Seq, nil)
+		if rec.String() != want[i].String() {
+			t.Fatalf("read %d differs without qualities", i)
+		}
+	}
+}

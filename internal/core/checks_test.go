@@ -280,7 +280,14 @@ func TestStatsAggregation(t *testing.T) {
 		t.Fatal("empty stats string")
 	}
 	snap := s.Snapshot()
-	if snap["pass-s2"] != 1 || snap["fail-s1"] != 1 {
-		t.Fatalf("snapshot missing outcomes: %v", snap)
+	if snap.Total != 2 || snap.Passed != 1 || snap.Reruns != 1 || snap.ThresholdOnly != 1 {
+		t.Fatalf("bad snapshot counters: %+v", snap)
+	}
+	oc := snap.OutcomeCounts()
+	if oc["pass-s2"] != 1 || oc["fail-s1"] != 1 {
+		t.Fatalf("snapshot missing outcomes: %v", oc)
+	}
+	if snap.String() != s.String() {
+		t.Fatalf("snapshot and live summaries diverge: %q vs %q", snap.String(), s.String())
 	}
 }

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"seedex/internal/align"
+)
+
+// Extender engine names shared by every front-end (seedex-align,
+// seedex-serve, the bench harness) so the valid set and the construction
+// logic live in exactly one place.
+const (
+	ExtenderSeedEx   = "seedex"
+	ExtenderFullBand = "fullband"
+	ExtenderBanded   = "banded"
+)
+
+// ExtenderNames returns the valid engine names in display order.
+func ExtenderNames() []string {
+	return []string{ExtenderSeedEx, ExtenderFullBand, ExtenderBanded}
+}
+
+// NamedExtender constructs the extension engine selected by name with
+// BWA-MEM default scoring: the SeedEx speculative extender (with fresh
+// Stats), the full-band reference, or the plain banded heuristic. An
+// unknown name yields an error listing the valid set. The returned
+// extender always implements align.BatchExtender and
+// align.SessionExtender; callers wanting the SeedEx check statistics can
+// type-assert to *SeedEx.
+func NamedExtender(name string, band int) (align.Extender, error) {
+	switch name {
+	case ExtenderSeedEx:
+		return New(band), nil
+	case ExtenderFullBand:
+		return FullBand{Scoring: align.DefaultScoring()}, nil
+	case ExtenderBanded:
+		return Banded{Scoring: align.DefaultScoring(), Band: band}, nil
+	}
+	return nil, fmt.Errorf("unknown extender %q (valid: %s)", name, strings.Join(ExtenderNames(), ", "))
+}

@@ -57,47 +57,76 @@ func (s *Stats) OutcomeCount(o Outcome) int64 {
 }
 
 // PassRate returns the fraction of extensions proven optimal.
-func (s *Stats) PassRate() float64 {
-	total := s.Total.Load()
-	if total == 0 {
-		return 0
-	}
-	return float64(s.Passed.Load()) / float64(total)
-}
+func (s *Stats) PassRate() float64 { return s.Snapshot().PassRate() }
 
 // ThresholdOnlyRate returns the fraction proven by thresholding alone.
-func (s *Stats) ThresholdOnlyRate() float64 {
-	total := s.Total.Load()
-	if total == 0 {
-		return 0
-	}
-	return float64(s.ThresholdOnly.Load()) / float64(total)
+func (s *Stats) ThresholdOnlyRate() float64 { return s.Snapshot().ThresholdOnlyRate() }
+
+// StatsSnapshot is a plain (non-atomic) copy of the counters at one
+// instant: the single reporting path shared by the CLI summaries and the
+// server's /metrics endpoint. Taking one performs only atomic loads — no
+// locks and no allocation.
+type StatsSnapshot struct {
+	Total         int64 `json:"total"`
+	Passed        int64 `json:"passed"`
+	Reruns        int64 `json:"reruns"`
+	ThresholdOnly int64 `json:"threshold_only"`
+	// Outcomes[o] counts reports with Outcome o (dense, indexed like the
+	// live counters); use OutcomeCounts for the named non-zero view.
+	Outcomes [numOutcomes]int64 `json:"-"`
 }
 
-// Snapshot returns a copy of the counters for reporting. Counters are read
+// Snapshot reads the counters into a plain struct. Counters are read
 // individually, so a snapshot taken while recorders run is approximate
 // (each number is exact, their sum may straddle an in-flight record).
-func (s *Stats) Snapshot() map[string]int64 {
-	out := map[string]int64{
-		"total":          s.Total.Load(),
-		"passed":         s.Passed.Load(),
-		"reruns":         s.Reruns.Load(),
-		"threshold-only": s.ThresholdOnly.Load(),
-	}
+func (s *Stats) Snapshot() StatsSnapshot {
+	var out StatsSnapshot
+	out.Total = s.Total.Load()
+	out.Passed = s.Passed.Load()
+	out.Reruns = s.Reruns.Load()
+	out.ThresholdOnly = s.ThresholdOnly.Load()
 	for o := 0; o < numOutcomes; o++ {
-		if n := s.outcomes[o].Load(); n > 0 {
+		out.Outcomes[o] = s.outcomes[o].Load()
+	}
+	return out
+}
+
+// OutcomeCounts returns the non-zero outcome counters keyed by the
+// outcome names ("pass-s2", "fail-edit", ...).
+func (sn StatsSnapshot) OutcomeCounts() map[string]int64 {
+	out := map[string]int64{}
+	for o, n := range sn.Outcomes {
+		if n > 0 {
 			out[Outcome(o).String()] = n
 		}
 	}
 	return out
 }
 
+// PassRate returns the fraction of extensions proven optimal.
+func (sn StatsSnapshot) PassRate() float64 {
+	if sn.Total == 0 {
+		return 0
+	}
+	return float64(sn.Passed) / float64(sn.Total)
+}
+
+// ThresholdOnlyRate returns the fraction proven by thresholding alone.
+func (sn StatsSnapshot) ThresholdOnlyRate() float64 {
+	if sn.Total == 0 {
+		return 0
+	}
+	return float64(sn.ThresholdOnly) / float64(sn.Total)
+}
+
 // String renders a one-line summary.
-func (s *Stats) String() string {
-	total := s.Total.Load()
-	if total == 0 {
+func (sn StatsSnapshot) String() string {
+	if sn.Total == 0 {
 		return "seedex: no extensions"
 	}
 	return fmt.Sprintf("seedex: %d extensions, %.2f%% passed (%.2f%% threshold-only), %d reruns",
-		total, 100*float64(s.Passed.Load())/float64(total), 100*float64(s.ThresholdOnly.Load())/float64(total), s.Reruns.Load())
+		sn.Total, 100*sn.PassRate(), 100*sn.ThresholdOnlyRate(), sn.Reruns)
 }
+
+// String renders a one-line summary of the live counters.
+func (s *Stats) String() string { return s.Snapshot().String() }

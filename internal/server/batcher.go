@@ -1,0 +1,221 @@
+// Package server is the network front-end of the repository: an HTTP/JSON
+// alignment service that coalesces concurrent requests into dynamic
+// micro-batches and dispatches them through the packed (SWAR) batch
+// kernels, so independent clients share machine-word lanes the way the
+// paper's host batches independent extensions into one FPGA DMA transfer
+// (§V-B). The subsystem owns bounded admission queues with backpressure,
+// a worker pool of per-worker extension sessions, deadline propagation,
+// graceful drain, and a /metrics surface over the core check statistics.
+package server
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Admission errors. Handlers map ErrQueueFull to 429 (with Retry-After)
+// and ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("server: admission queue full")
+	ErrDraining  = errors.New("server: draining, not accepting work")
+)
+
+// BatcherConfig tunes one micro-batching pipeline.
+type BatcherConfig struct {
+	// MaxBatch flushes a batch when this many jobs are pending (the size
+	// trigger). Default 64 — a multiple of the 8-wide SWAR lane count.
+	MaxBatch int
+	// FlushInterval flushes this long after the first job of a batch
+	// arrives (the deadline trigger), bounding the latency a lone request
+	// pays for coalescing. Default 200µs. Zero means flush opportunistically:
+	// take whatever is queued right now, never wait.
+	FlushInterval time.Duration
+	// QueueCap bounds the admission queue; Submit refuses further work
+	// (ErrQueueFull) when it is full. Default 1024.
+	QueueCap int
+	// Workers is the batch worker pool size. Default GOMAXPROCS.
+	Workers int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// batcher coalesces individually submitted jobs into micro-batches: a
+// collector goroutine assembles batches (size- or deadline-triggered) and
+// a worker pool executes them. One batcher instance serves one job type —
+// the server runs one for extension jobs and one for mapping jobs.
+type batcher[T any] struct {
+	cfg BatcherConfig
+	met *Metrics
+
+	mu     sync.RWMutex // guards closed vs. the in-channel close
+	closed bool
+
+	in      chan T
+	batches chan []T
+	free    chan []T // recycled batch backing arrays
+
+	collectorDone sync.WaitGroup
+	workersDone   sync.WaitGroup
+	closeOnce     sync.Once
+}
+
+// newBatcher starts the collector and worker pool. work is called once per
+// worker and returns that worker's batch processor — the closure owns the
+// worker's session state (extension scratch, mapper) for its lifetime.
+func newBatcher[T any](cfg BatcherConfig, met *Metrics, work func() func([]T)) *batcher[T] {
+	cfg = cfg.withDefaults()
+	b := &batcher[T]{
+		cfg:     cfg,
+		met:     met,
+		in:      make(chan T, cfg.QueueCap),
+		batches: make(chan []T, cfg.Workers),
+		free:    make(chan []T, cfg.Workers*2),
+	}
+	b.collectorDone.Add(1)
+	go b.collect()
+	for w := 0; w < cfg.Workers; w++ {
+		b.workersDone.Add(1)
+		go func() {
+			defer b.workersDone.Done()
+			proc := work()
+			for batch := range b.batches {
+				proc(batch)
+				select {
+				case b.free <- batch[:0]:
+				default:
+				}
+			}
+		}()
+	}
+	return b
+}
+
+// Submit offers one job to the admission queue without blocking: the
+// backpressure decision is made here, not after resources are consumed.
+func (b *batcher[T]) Submit(job T) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrDraining
+	}
+	select {
+	case b.in <- job:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth reports the jobs currently waiting for the collector.
+func (b *batcher[T]) QueueDepth() int { return len(b.in) }
+
+// QueueCap reports the admission bound.
+func (b *batcher[T]) QueueCap() int { return b.cfg.QueueCap }
+
+// Close stops admission, drains every queued job through the workers, and
+// waits for them to finish. Safe to call more than once.
+func (b *batcher[T]) Close() {
+	b.closeOnce.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		close(b.in)
+		b.mu.Unlock()
+		b.collectorDone.Wait()
+		close(b.batches)
+		b.workersDone.Wait()
+	})
+}
+
+// collect assembles micro-batches: block for the first job, then fill
+// until the size trigger (MaxBatch), the deadline trigger (FlushInterval
+// after the first job), or queue closure.
+func (b *batcher[T]) collect() {
+	defer b.collectorDone.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		first, ok := <-b.in
+		if !ok {
+			return
+		}
+		batch := b.getBatch()
+		batch = append(batch, first)
+		open := true
+		if b.cfg.FlushInterval > 0 {
+			timer.Reset(b.cfg.FlushInterval)
+			fired := false
+			for open && !fired && len(batch) < b.cfg.MaxBatch {
+				select {
+				case job, more := <-b.in:
+					if !more {
+						open = false
+						break
+					}
+					batch = append(batch, job)
+				case <-timer.C:
+					fired = true
+				}
+			}
+			if !fired && !timer.Stop() {
+				<-timer.C
+			}
+		} else {
+			// Opportunistic mode: drain whatever is queued, never wait.
+		greedy:
+			for len(batch) < b.cfg.MaxBatch {
+				select {
+				case job, more := <-b.in:
+					if !more {
+						open = false
+						break greedy
+					}
+					batch = append(batch, job)
+				default:
+					break greedy
+				}
+			}
+		}
+		b.dispatch(batch)
+		if !open {
+			return
+		}
+	}
+}
+
+// dispatch hands one assembled batch to the worker pool and records the
+// occupancy metrics.
+func (b *batcher[T]) dispatch(batch []T) {
+	if len(batch) == 0 {
+		return
+	}
+	if b.met != nil {
+		b.met.Batches.Add(1)
+		b.met.Occupancy.observe(int64(len(batch)))
+	}
+	b.batches <- batch
+}
+
+func (b *batcher[T]) getBatch() []T {
+	select {
+	case batch := <-b.free:
+		return batch
+	default:
+		return make([]T, 0, b.cfg.MaxBatch)
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatcherBackpressure pins the admission contract deterministically:
+// with the single worker blocked, the pipeline's finite capacity (queue +
+// collector batch + batch channel) fills and Submit refuses with
+// ErrQueueFull instead of blocking.
+func TestBatcherBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	var processed atomic.Int64
+	met := &Metrics{}
+	b := newBatcher(BatcherConfig{MaxBatch: 2, FlushInterval: 50 * time.Microsecond, QueueCap: 2, Workers: 1}, met,
+		func() func([]int) {
+			return func(batch []int) {
+				<-release
+				processed.Add(int64(len(batch)))
+			}
+		})
+
+	// Fill until refusal; the capacity bound is queue(2) + one assembling
+	// batch(2) + one queued batch(2) + the in-flight batch(2).
+	accepted := 0
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = b.Submit(i); err != nil {
+			break
+		}
+		accepted++
+		time.Sleep(time.Millisecond) // let the collector pull and flush
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull after %d accepts, got %v", accepted, err)
+	}
+	if accepted > 10 {
+		t.Fatalf("pipeline absorbed %d jobs; capacity bound is broken", accepted)
+	}
+
+	// Release the worker: Close must drain every accepted job.
+	close(release)
+	b.Close()
+	if got := processed.Load(); got != int64(accepted) {
+		t.Fatalf("drained %d jobs, accepted %d", got, accepted)
+	}
+	if err := b.Submit(1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Close = %v, want ErrDraining", err)
+	}
+	if met.Batches.Load() == 0 {
+		t.Fatal("no batches recorded")
+	}
+}
+
+// TestBatcherSizeTrigger proves the size trigger flushes without waiting
+// for the deadline: MaxBatch jobs submitted at once produce a full batch
+// well before the (long) flush interval.
+func TestBatcherSizeTrigger(t *testing.T) {
+	done := make(chan int, 16)
+	met := &Metrics{}
+	b := newBatcher(BatcherConfig{MaxBatch: 8, FlushInterval: time.Hour, QueueCap: 64, Workers: 1}, met,
+		func() func([]int) {
+			return func(batch []int) { done <- len(batch) }
+		})
+	defer b.Close()
+	for i := 0; i < 8; i++ {
+		if err := b.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case n := <-done:
+		if n != 8 {
+			t.Fatalf("batch size %d, want 8", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("size trigger did not flush")
+	}
+}
+
+// TestBatcherDeadlineTrigger proves a lone job flushes after the
+// interval, not after MaxBatch.
+func TestBatcherDeadlineTrigger(t *testing.T) {
+	done := make(chan int, 1)
+	b := newBatcher(BatcherConfig{MaxBatch: 64, FlushInterval: 2 * time.Millisecond, QueueCap: 64, Workers: 1}, &Metrics{},
+		func() func([]int) {
+			return func(batch []int) { done <- len(batch) }
+		})
+	defer b.Close()
+	if err := b.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("batch size %d, want 1", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline trigger did not flush")
+	}
+}

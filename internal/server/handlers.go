@@ -1,0 +1,476 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"io"
+
+	"seedex/internal/core"
+	"seedex/internal/genome"
+)
+
+// ExtendJob is one extension problem in the request JSON: align query
+// against target (ASCII bases) starting from seed score h0.
+type ExtendJob struct {
+	Query  string `json:"query"`
+	Target string `json:"target"`
+	H0     int    `json:"h0"`
+}
+
+// ExtendRequest is the POST /v1/extend body.
+type ExtendRequest struct {
+	Jobs []ExtendJob `json:"jobs"`
+	// DeadlineMs, when positive, bounds this request's service time; jobs
+	// still queued when it passes are skipped and the request answers 504.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+}
+
+// ExtendResult mirrors align.ExtendResult over the wire, plus the SeedEx
+// rerun flag.
+type ExtendResult struct {
+	Local   int   `json:"local"`
+	LocalT  int   `json:"local_t"`
+	LocalQ  int   `json:"local_q"`
+	Global  int   `json:"global"`
+	GlobalT int   `json:"global_t"`
+	Cells   int64 `json:"cells"`
+	// Rerun reports that the banded result could not be proven optimal and
+	// the response came from the full-band rerun (checked engines only).
+	Rerun bool `json:"rerun,omitempty"`
+}
+
+// ExtendResponse is the POST /v1/extend reply.
+type ExtendResponse struct {
+	Results []ExtendResult `json:"results"`
+}
+
+// MapRead is one read in the POST /v1/map body (ASCII bases; qual
+// optional).
+type MapRead struct {
+	Name string `json:"name"`
+	Seq  string `json:"seq"`
+	Qual string `json:"qual,omitempty"`
+}
+
+// MapRequest is the POST /v1/map body.
+type MapRequest struct {
+	Reads      []MapRead `json:"reads"`
+	DeadlineMs int       `json:"deadline_ms,omitempty"`
+}
+
+// MapResult is one mapped read in the reply.
+type MapResult struct {
+	Name   string `json:"name"`
+	Mapped bool   `json:"mapped"`
+	RName  string `json:"rname,omitempty"`
+	Pos    int    `json:"pos,omitempty"` // 1-based, SAM convention
+	Rev    bool   `json:"rev,omitempty"`
+	MapQ   int    `json:"mapq"`
+	Score  int    `json:"score"`
+	Cigar  string `json:"cigar,omitempty"`
+	Sam    string `json:"sam"`
+}
+
+// MapResponse is the POST /v1/map reply.
+type MapResponse struct {
+	Results []MapResult `json:"results"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/extend", s.handleExtend)
+	s.mux.HandleFunc("POST /v1/extend/stream", s.handleExtendStream)
+	s.mux.HandleFunc("POST /v1/map", s.handleMap)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// admitError maps a Submit error onto its HTTP reply and counters.
+func (s *Server) admitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.met.Rejected.Add(1)
+		s.writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+	case errors.Is(err, ErrDraining):
+		s.met.Draining.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+	default:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// requestContext applies the request's JSON deadline to its context.
+func requestContext(r *http.Request, deadlineMs int) (context.Context, context.CancelFunc) {
+	if deadlineMs > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(deadlineMs)*time.Millisecond)
+	}
+	return r.Context(), func() {}
+}
+
+// validateJob bounds one extension job's shape.
+func (s *Server) validateJob(j ExtendJob) error {
+	if j.Query == "" || j.Target == "" {
+		return fmt.Errorf("query and target must be non-empty")
+	}
+	if len(j.Query) > s.cfg.MaxSeqLen || len(j.Target) > s.cfg.MaxSeqLen {
+		return fmt.Errorf("sequence longer than %d bp", s.cfg.MaxSeqLen)
+	}
+	if j.H0 < 0 {
+		return fmt.Errorf("h0 must be non-negative")
+	}
+	return nil
+}
+
+func wireResult(r core.Response) ExtendResult {
+	return ExtendResult{
+		Local:   r.Res.Local,
+		LocalT:  r.Res.LocalT,
+		LocalQ:  r.Res.LocalQ,
+		Global:  r.Res.Global,
+		GlobalT: r.Res.GlobalT,
+		Cells:   r.Res.Cells,
+		Rerun:   r.Rerun,
+	}
+}
+
+// handleExtend runs one JSON batch of extension jobs through the
+// micro-batcher. Independent requests coalesce into shared device
+// batches; each request waits only for its own jobs.
+func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	start := time.Now()
+	if s.draining.Load() {
+		s.met.Draining.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req ExtendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.BadInput.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 || len(req.Jobs) > s.cfg.MaxJobsPerRequest {
+		s.met.BadInput.Add(1)
+		s.writeError(w, http.StatusBadRequest, "jobs must hold 1..%d entries", s.cfg.MaxJobsPerRequest)
+		return
+	}
+	for i, j := range req.Jobs {
+		if err := s.validateJob(j); err != nil {
+			s.met.BadInput.Add(1)
+			s.writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+	}
+	ctx, cancel := requestContext(r, req.DeadlineMs)
+	defer cancel()
+
+	p := newPending(len(req.Jobs))
+	var admit error
+	submitted := 0
+	for i, j := range req.Jobs {
+		job := extJob{
+			ctx: ctx,
+			req: core.Request{Q: genome.Encode(j.Query), T: genome.Encode(j.Target), H0: j.H0, Tag: i},
+			out: p,
+			enq: time.Now(),
+		}
+		if err := s.ext.Submit(job); err != nil {
+			admit = err
+			break
+		}
+		s.met.Accepted.Add(1)
+		submitted++
+	}
+	if admit != nil {
+		// Wait out the jobs already in flight (they write into p), then
+		// refuse the request as a whole: partial results are never served.
+		p.remaining.Add(int32(submitted - len(req.Jobs)))
+		if submitted > 0 {
+			<-p.done
+		}
+		s.admitError(w, admit)
+		return
+	}
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded with jobs in flight")
+		return
+	}
+	resp := ExtendResponse{Results: make([]ExtendResult, len(p.resp))}
+	for i, r := range p.resp {
+		resp.Results[i] = wireResult(r)
+	}
+	s.met.observeLatency(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExtendStream is the pipelined NDJSON form: one ExtendJob per
+// input line, one ExtendResult per output line, in input order. The
+// stream window keeps jobs flowing into the micro-batcher while earlier
+// results are still being written, so a single client saturates the
+// batch pipeline without batching client-side.
+func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if s.draining.Load() {
+		s.met.Draining.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ctx := r.Context()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+
+	// window holds the pendings of submitted jobs in input order.
+	const streamWindow = 256
+	window := make(chan *pending, streamWindow)
+	errs := make(chan error, 1)
+	go func() {
+		defer close(window)
+		dec := json.NewDecoder(r.Body)
+		for i := 0; ; i++ {
+			var j ExtendJob
+			if err := dec.Decode(&j); err != nil {
+				if !errors.Is(err, io.EOF) {
+					// Non-EOF decode error: report it after drained results.
+					select {
+					case errs <- fmt.Errorf("line %d: %v", i, err):
+					default:
+					}
+				}
+				return
+			}
+			if err := s.validateJob(j); err != nil {
+				s.met.BadInput.Add(1)
+				select {
+				case errs <- fmt.Errorf("line %d: %v", i, err):
+				default:
+				}
+				return
+			}
+			p := newPending(1)
+			job := extJob{
+				ctx: ctx,
+				req: core.Request{Q: genome.Encode(j.Query), T: genome.Encode(j.Target), H0: j.H0},
+				out: p,
+				enq: time.Now(),
+			}
+			if err := s.submitWait(ctx, job); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+				return
+			}
+			s.met.Accepted.Add(1)
+			select {
+			case window <- p:
+			case <-ctx.Done():
+				// Still deliver the pending so the job completion has a
+				// home; the writer is gone.
+				return
+			}
+		}
+	}()
+
+	for p := range window {
+		select {
+		case <-p.done:
+		case <-ctx.Done():
+			return
+		}
+		if err := enc.Encode(wireResult(p.resp[0])); err != nil {
+			return
+		}
+		if len(window) == 0 {
+			out.Flush()
+		}
+	}
+	select {
+	case err := <-errs:
+		enc.Encode(errorBody{Error: err.Error()})
+	default:
+	}
+}
+
+// submitWait is Submit with flow control for streaming clients: a full
+// queue blocks the reader (bounded by the request context) instead of
+// failing the stream, which is exactly the backpressure a pipelined
+// producer wants.
+func (s *Server) submitWait(ctx context.Context, job extJob) error {
+	for {
+		err := s.ext.Submit(job)
+		if err == nil || !errors.Is(err, ErrQueueFull) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+}
+
+// handleMap runs one JSON batch of reads through the mapping pipeline.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	start := time.Now()
+	if s.maps == nil {
+		s.writeError(w, http.StatusNotImplemented, "mapping endpoint disabled: server started without a reference")
+		return
+	}
+	if s.draining.Load() {
+		s.met.Draining.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req MapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.BadInput.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Reads) == 0 || len(req.Reads) > s.cfg.MaxJobsPerRequest {
+		s.met.BadInput.Add(1)
+		s.writeError(w, http.StatusBadRequest, "reads must hold 1..%d entries", s.cfg.MaxJobsPerRequest)
+		return
+	}
+	for i, rd := range req.Reads {
+		if rd.Seq == "" || len(rd.Seq) > s.cfg.MaxSeqLen {
+			s.met.BadInput.Add(1)
+			s.writeError(w, http.StatusBadRequest, "read %d: seq must hold 1..%d bases", i, s.cfg.MaxSeqLen)
+			return
+		}
+		if rd.Qual != "" && len(rd.Qual) != len(rd.Seq) {
+			s.met.BadInput.Add(1)
+			s.writeError(w, http.StatusBadRequest, "read %d: qual length %d != seq length %d", i, len(rd.Qual), len(rd.Seq))
+			return
+		}
+	}
+	ctx, cancel := requestContext(r, req.DeadlineMs)
+	defer cancel()
+
+	p := newMapPending(len(req.Reads))
+	var admit error
+	submitted := 0
+	for i, rd := range req.Reads {
+		var qual []byte
+		if rd.Qual != "" {
+			qual = []byte(rd.Qual)
+		}
+		job := mapJob{ctx: ctx, name: rd.Name, seq: genome.Encode(rd.Seq), qual: qual, out: p, i: i, enq: time.Now()}
+		if err := s.maps.Submit(job); err != nil {
+			admit = err
+			break
+		}
+		s.met.Accepted.Add(1)
+		submitted++
+	}
+	if admit != nil {
+		p.remaining.Add(int32(submitted - len(req.Reads)))
+		if submitted > 0 {
+			<-p.done
+		}
+		s.admitError(w, admit)
+		return
+	}
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded with reads in flight")
+		return
+	}
+	s.met.observeLatency(time.Since(start))
+	writeJSON(w, http.StatusOK, MapResponse{Results: p.res})
+}
+
+// metricsBody is the /metrics document: the operational counters plus the
+// SeedEx check statistics (shared StatsSnapshot path with the CLI).
+type metricsBody struct {
+	MetricsSnapshot
+	UptimeSec float64           `json:"uptime_sec"`
+	Checks    *checksBody       `json:"checks,omitempty"`
+	MapQueue  *queueBody        `json:"map_queue,omitempty"`
+	Config    metricsConfigEcho `json:"config"`
+}
+
+type checksBody struct {
+	core.StatsSnapshot
+	PassRate          float64          `json:"pass_rate"`
+	ThresholdOnlyRate float64          `json:"threshold_only_rate"`
+	Outcomes          map[string]int64 `json:"outcomes"`
+}
+
+type queueBody struct {
+	Depth int `json:"depth"`
+	Cap   int `json:"cap"`
+}
+
+type metricsConfigEcho struct {
+	MaxBatch   int     `json:"max_batch"`
+	FlushUs    float64 `json:"flush_us"`
+	Workers    int     `json:"workers"`
+	QueueCap   int     `json:"queue_cap"`
+	MapEnabled bool    `json:"map_enabled"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := metricsBody{
+		MetricsSnapshot: s.met.Snapshot(s.ext.QueueDepth(), s.ext.QueueCap()),
+		UptimeSec:       time.Since(s.started).Seconds(),
+		Config: metricsConfigEcho{
+			MaxBatch:   s.cfg.Batch.MaxBatch,
+			FlushUs:    float64(s.cfg.Batch.FlushInterval.Nanoseconds()) / 1e3,
+			Workers:    s.cfg.Batch.Workers,
+			QueueCap:   s.cfg.Batch.QueueCap,
+			MapEnabled: s.maps != nil,
+		},
+	}
+	if s.stats != nil {
+		snap := s.stats.Snapshot()
+		body.Checks = &checksBody{
+			StatsSnapshot:     snap,
+			PassRate:          snap.PassRate(),
+			ThresholdOnlyRate: snap.ThresholdOnlyRate(),
+			Outcomes:          snap.OutcomeCounts(),
+		}
+	}
+	if s.maps != nil {
+		body.MapQueue = &queueBody{Depth: s.maps.QueueDepth(), Cap: s.maps.QueueCap()}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"seedex/internal/align"
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Extender drives /v1/extend and /v1/extend/stream. Required. When it
+	// is a *core.SeedEx (or any extender whose sessions are
+	// *core.Checker), batches run the full speculate-check-rerun workflow
+	// and responses carry the rerun flag; other extenders run their plain
+	// batch path.
+	Extender align.Extender
+	// Aligner, when non-nil, enables /v1/map (full read mapping).
+	Aligner *bwamem.Aligner
+	// Batch tunes the extension micro-batcher; see BatcherConfig for the
+	// defaults (flush at 64 jobs or 200µs).
+	Batch BatcherConfig
+	// MapBatch tunes the mapping micro-batcher. Mapping jobs cost far more
+	// than single extensions, so its defaults are smaller: flush at 16
+	// reads or the same interval.
+	MapBatch BatcherConfig
+	// MaxJobsPerRequest bounds one POST body (default 4096 jobs or reads).
+	MaxJobsPerRequest int
+	// MaxSeqLen bounds one query or target sequence (default 100_000).
+	MaxSeqLen int
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch.FlushInterval == 0 {
+		c.Batch.FlushInterval = 200 * time.Microsecond
+	}
+	if c.MapBatch.MaxBatch <= 0 {
+		c.MapBatch.MaxBatch = 16
+	}
+	if c.MapBatch.FlushInterval == 0 {
+		c.MapBatch.FlushInterval = c.Batch.FlushInterval
+	}
+	if c.MaxJobsPerRequest <= 0 {
+		c.MaxJobsPerRequest = 4096
+	}
+	if c.MaxSeqLen <= 0 {
+		c.MaxSeqLen = 100_000
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the alignment service: micro-batching pipelines over the
+// packed extension kernels plus the HTTP surface. Create with New, expose
+// via Handler, stop with StartDrain + Close.
+type Server struct {
+	cfg      Config
+	met      *Metrics
+	ext      *batcher[extJob]
+	maps     *batcher[mapJob]
+	stats    *core.Stats // check statistics, when the extender keeps them
+	mux      *http.ServeMux
+	draining atomic.Bool
+	started  time.Time
+}
+
+// New builds the pipelines and the HTTP mux. The caller owns cfg.Extender
+// (and cfg.Aligner); the server owns everything it starts.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	// Resolve the batcher defaults up front: the worker factories read the
+	// final values through s.cfg before the pools start.
+	cfg.Batch = cfg.Batch.withDefaults()
+	cfg.MapBatch = cfg.MapBatch.withDefaults()
+	s := &Server{cfg: cfg, met: &Metrics{}, mux: http.NewServeMux(), started: time.Now()}
+	if se, ok := cfg.Extender.(*core.SeedEx); ok {
+		s.stats = se.Stats
+	}
+	s.ext = newBatcher(cfg.Batch, s.met, s.extWorker)
+	if cfg.Aligner != nil {
+		s.maps = newBatcher(cfg.MapBatch, s.met, s.mapWorker)
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP surface:
+//
+//	POST /v1/extend         JSON batch of extension jobs
+//	POST /v1/extend/stream  NDJSON job stream, results in input order
+//	POST /v1/map            JSON batch of reads -> SAM records (with -ref)
+//	GET  /metrics           operational counters + check statistics
+//	GET  /healthz           ok / draining
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain stops admitting work: job endpoints answer 503 and healthz
+// reports draining, while already-admitted jobs keep flowing. Call it
+// before (or concurrently with) http.Server.Shutdown so in-flight
+// handlers finish against live pipelines.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Close drains the pipelines: every queued job is computed, the worker
+// pools exit, and pending handlers observe their results. Call after the
+// HTTP server has stopped accepting requests.
+func (s *Server) Close() {
+	s.StartDrain()
+	s.ext.Close()
+	if s.maps != nil {
+		s.maps.Close()
+	}
+}
+
+// Metrics exposes the live counters (shared with the /metrics endpoint).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// pending collects one request's extension results as its jobs complete,
+// possibly across several device batches. done closes when the last job
+// lands.
+type pending struct {
+	resp      []core.Response
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+func newPending(n int) *pending {
+	p := &pending{resp: make([]core.Response, n), done: make(chan struct{})}
+	p.remaining.Store(int32(n))
+	return p
+}
+
+func (p *pending) deliver(i int, r core.Response) {
+	p.resp[i] = r
+	if p.remaining.Add(-1) == 0 {
+		close(p.done)
+	}
+}
+
+// extJob is one extension queued for micro-batching.
+type extJob struct {
+	ctx context.Context
+	req core.Request // Tag carries the job's slot in its pending
+	out *pending
+	enq time.Time
+}
+
+// mapJob is one read queued for the mapping pipeline.
+type mapJob struct {
+	ctx  context.Context
+	name string
+	seq  []byte // base codes
+	qual []byte // ASCII qualities or nil
+	out  *mapPending
+	i    int
+	enq  time.Time
+}
+
+// mapPending mirrors pending for mapping results.
+type mapPending struct {
+	res       []MapResult
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+func newMapPending(n int) *mapPending {
+	p := &mapPending{res: make([]MapResult, n), done: make(chan struct{})}
+	p.remaining.Store(int32(n))
+	return p
+}
+
+func (p *mapPending) deliver(i int, r MapResult) {
+	p.res[i] = r
+	if p.remaining.Add(-1) == 0 {
+		close(p.done)
+	}
+}
+
+// extWorker returns one extension worker's batch processor. The worker
+// owns a per-worker session of the configured extender (its scratch
+// memory lives as long as the worker), so a batch runs allocation-free
+// through the packed kernels: core.Checker.ExtendBatchInto for checked
+// engines, align.BatchExtender.ExtendJobs otherwise.
+func (s *Server) extWorker() func([]extJob) {
+	ext := s.cfg.Extender
+	if se, ok := ext.(align.SessionExtender); ok {
+		ext = se.Session()
+	}
+	chk, _ := ext.(*core.Checker)
+	max := s.cfg.Batch.MaxBatch
+	live := make([]extJob, 0, max)
+	reqs := make([]core.Request, 0, max)
+	jobs := make([]align.Job, 0, max)
+	resp := make([]core.Response, max)
+	results := make([]align.ExtendResult, max)
+	return func(batch []extJob) {
+		now := time.Now()
+		live, reqs = live[:0], reqs[:0]
+		for _, j := range batch {
+			s.met.QueueWait.observe(now.Sub(j.enq).Nanoseconds())
+			if j.ctx.Err() != nil {
+				// The client is gone (deadline or disconnect): skip the
+				// compute, but still complete the job so the request's
+				// pending resolves.
+				s.met.Expired.Add(1)
+				j.out.deliver(j.req.Tag, core.Response{Tag: j.req.Tag})
+				continue
+			}
+			live = append(live, j)
+			reqs = append(reqs, j.req)
+		}
+		if len(live) == 0 {
+			return
+		}
+		if chk != nil {
+			resp = chk.ExtendBatchInto(reqs, resp[:0])
+			for k, j := range live {
+				j.out.deliver(j.req.Tag, resp[k])
+			}
+		} else {
+			jobs = jobs[:0]
+			for _, r := range reqs {
+				jobs = append(jobs, align.Job{Q: r.Q, T: r.T, H0: r.H0})
+			}
+			results = extendJobsVia(ext, jobs, results[:0])
+			for k, j := range live {
+				j.out.deliver(j.req.Tag, core.Response{Tag: j.req.Tag, Res: results[k]})
+			}
+		}
+		s.met.Completed.Add(int64(len(live)))
+	}
+}
+
+// extendJobsVia dispatches through the extender's batch path when it has
+// one, degrading to a scalar loop otherwise.
+func extendJobsVia(ext align.Extender, jobs []align.Job, dst []align.ExtendResult) []align.ExtendResult {
+	if be, ok := ext.(align.BatchExtender); ok {
+		return be.ExtendJobs(jobs, dst)
+	}
+	if cap(dst) < len(jobs) {
+		dst = make([]align.ExtendResult, len(jobs))
+	}
+	dst = dst[:len(jobs)]
+	for i := range jobs {
+		dst[i] = ext.Extend(jobs[i].Q, jobs[i].T, jobs[i].H0)
+	}
+	return dst
+}
+
+// mapWorker returns one mapping worker's batch processor: a reentrant
+// bwamem.Mapper session applied to each read of the batch (the extensions
+// inside each read still run through the extender's packed batch path).
+func (s *Server) mapWorker() func([]mapJob) {
+	m := s.cfg.Aligner.NewMapper()
+	return func(batch []mapJob) {
+		now := time.Now()
+		for _, j := range batch {
+			s.met.QueueWait.observe(now.Sub(j.enq).Nanoseconds())
+			if j.ctx.Err() != nil {
+				s.met.Expired.Add(1)
+				j.out.deliver(j.i, MapResult{Name: j.name})
+				continue
+			}
+			rec, al := m.Map(j.name, j.seq, j.qual)
+			j.out.deliver(j.i, MapResult{
+				Name:   j.name,
+				Mapped: al.Mapped,
+				RName:  rec.RName,
+				Pos:    rec.Pos,
+				Rev:    al.Rev,
+				MapQ:   al.MapQ,
+				Score:  al.Score,
+				Cigar:  al.Cigar.String(),
+				Sam:    rec.String(),
+			})
+			s.met.Completed.Add(1)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seedex/internal/align"
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/readsim"
+)
+
+// testProblems builds n extension problems: a query plus a mutated target
+// with room to extend, the shape the aligner dispatches.
+func testProblems(n, qlen int, seed int64) []ExtendJob {
+	rng := rand.New(rand.NewSource(seed))
+	const bases = "ACGT"
+	out := make([]ExtendJob, n)
+	for i := range out {
+		q := make([]byte, qlen)
+		for j := range q {
+			q[j] = bases[rng.Intn(4)]
+		}
+		t := append([]byte(nil), q...)
+		for m := 0; m < qlen/25; m++ {
+			t[rng.Intn(len(t))] = bases[rng.Intn(4)]
+		}
+		for m := 0; m < qlen/5; m++ {
+			t = append(t, bases[rng.Intn(4)])
+		}
+		out[i] = ExtendJob{Query: string(q), Target: string(t), H0: 20 + rng.Intn(60)}
+	}
+	return out
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Extender == nil {
+		cfg.Extender = core.New(20)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestExtendMatchesKernel proves the batched service returns exactly the
+// full-band kernel's results (the SeedEx strict-mode guarantee carried
+// through admission, coalescing and the worker pool).
+func TestExtendMatchesKernel(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	jobs := testProblems(100, 150, 3)
+	resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: jobs})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out ExtendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(out.Results), len(jobs))
+	}
+	sc := align.DefaultScoring()
+	for i, j := range jobs {
+		want := align.Extend(genome.Encode(j.Query), genome.Encode(j.Target), j.H0, sc)
+		got := out.Results[i]
+		if got.Local != want.Local || got.LocalT != want.LocalT || got.LocalQ != want.LocalQ ||
+			got.Global != want.Global || got.GlobalT != want.GlobalT {
+			t.Fatalf("job %d: served %+v, kernel %+v", i, got, want)
+		}
+	}
+}
+
+// TestExtendCoalescing pins the tentpole behaviour: N concurrent
+// single-job requests share device batches — far fewer batches than jobs,
+// mean occupancy above one.
+func TestExtendCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Batch: BatcherConfig{MaxBatch: 64, FlushInterval: 20 * time.Millisecond, Workers: 2},
+	})
+	const n = 32
+	jobs := testProblems(n, 120, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: jobs[i : i+1]})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := s.Metrics().Snapshot(0, 0)
+	if snap.Batches >= n {
+		t.Fatalf("%d single-job requests produced %d batches; no coalescing happened", n, snap.Batches)
+	}
+	if snap.MeanOccupancy <= 1 {
+		t.Fatalf("mean occupancy %.2f, want > 1", snap.MeanOccupancy)
+	}
+	t.Logf("%d requests -> %d batches (mean occupancy %.1f)", n, snap.Batches, snap.MeanOccupancy)
+}
+
+// TestGracefulShutdown proves the drain contract: a request in flight
+// when the drain starts completes with its full results, later requests
+// are refused with 503, and Close computes every admitted job.
+func TestGracefulShutdown(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Batch: BatcherConfig{MaxBatch: 16, FlushInterval: time.Millisecond, Workers: 1},
+	})
+	jobs := testProblems(400, 400, 5) // heavy enough to still be in flight
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: jobs})
+		defer resp.Body.Close()
+		var out ExtendResponse
+		json.NewDecoder(resp.Body).Decode(&out)
+		if resp.StatusCode == http.StatusOK && len(out.Results) != len(jobs) {
+			t.Errorf("in-flight request returned %d/%d results", len(out.Results), len(jobs))
+		}
+		inflight <- resp.StatusCode
+	}()
+	// Wait until the request has passed admission before starting the
+	// drain, so it is genuinely in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().Accepted.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never passed admission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.StartDrain()
+
+	resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: jobs[:1]})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", resp.StatusCode)
+	}
+	if code := <-inflight; code != http.StatusOK {
+		t.Fatalf("in-flight request: status %d, want 200", code)
+	}
+	s.Close()
+	m := s.Metrics()
+	if acc, done := m.Accepted.Load(), m.Completed.Load()+m.Expired.Load(); acc != done {
+		t.Fatalf("accepted %d jobs but resolved %d after Close", acc, done)
+	}
+	// healthz reflects the drain.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", hz.StatusCode)
+	}
+}
+
+// TestBackpressure429 overloads a deliberately tiny server and checks the
+// refused requests carry 429 + Retry-After while at least one succeeds.
+func TestBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Batch:      BatcherConfig{MaxBatch: 4, FlushInterval: time.Millisecond, QueueCap: 2, Workers: 1},
+		RetryAfter: 2 * time.Second,
+	})
+	jobs := testProblems(2, 2000, 6) // ~multi-ms each: the worker saturates
+	const clients = 32
+	codes := make([]int, clients)
+	retryAfter := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: jobs})
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	ok, rejected := 0, 0
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			rejected++
+			if retryAfter[i] != "2" {
+				t.Fatalf("429 without Retry-After: %q", retryAfter[i])
+			}
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok == 0 || rejected == 0 {
+		t.Fatalf("want both successes and rejections, got %d ok / %d rejected", ok, rejected)
+	}
+	if s.Metrics().Rejected.Load() == 0 {
+		t.Fatal("rejection counter not incremented")
+	}
+}
+
+// TestExtendStream proves the NDJSON endpoint returns one result per
+// input line, in order, matching the batch endpoint.
+func TestExtendStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	jobs := testProblems(50, 130, 7)
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	for _, j := range jobs {
+		enc.Encode(j)
+	}
+	resp, err := http.Post(ts.URL+"/v1/extend/stream", "application/x-ndjson", &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got []ExtendResult
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var r ExtendResult
+		if err := dec.Decode(&r); err != nil {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("stream returned %d results for %d jobs", len(got), len(jobs))
+	}
+	sc := align.DefaultScoring()
+	for i, j := range jobs {
+		want := align.Extend(genome.Encode(j.Query), genome.Encode(j.Target), j.H0, sc)
+		if got[i].Local != want.Local || got[i].Global != want.Global {
+			t.Fatalf("line %d: served %+v, kernel %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestMapEndpoint proves /v1/map serves exactly the records the batch
+// pipeline produces for the same reads.
+func TestMapEndpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ref := genome.Simulate(genome.SimConfig{Length: 30_000}, rng)
+	reads := readsim.Simulate(ref, readsim.DefaultConfig(30), rng)
+	se := core.New(20)
+	a, err := bwamem.New("chrT", ref, se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := make([]bwamem.Read, len(reads))
+	req := MapRequest{}
+	for i, r := range reads {
+		pr[i] = bwamem.Read{Name: r.ID, Seq: r.Seq, Qual: r.Qual}
+		req.Reads = append(req.Reads, MapRead{Name: r.ID, Seq: genome.Decode(r.Seq), Qual: string(r.Qual)})
+	}
+	want, _ := a.Run(pr, 0)
+
+	_, ts := newTestServer(t, Config{Extender: se, Aligner: a})
+	resp := postJSON(t, ts.URL+"/v1/map", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out MapResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(reads) {
+		t.Fatalf("got %d results for %d reads", len(out.Results), len(reads))
+	}
+	for i, r := range out.Results {
+		if r.Sam != want[i].String() {
+			t.Fatalf("read %d: served SAM differs:\n  served:   %s\n  pipeline: %s", i, r.Sam, want[i].String())
+		}
+	}
+}
+
+// TestMapDisabled pins the 501 for servers started without a reference.
+func TestMapDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/map", MapRequest{Reads: []MapRead{{Name: "r", Seq: "ACGT"}}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestDeadline504 proves a request deadline shorter than the queue wait
+// returns 504 and the expired jobs are skipped, not computed.
+func TestDeadline504(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Batch: BatcherConfig{MaxBatch: 4, FlushInterval: time.Millisecond, QueueCap: 64, Workers: 1},
+	})
+	heavy := testProblems(32, 2000, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: heavy})
+		resp.Body.Close()
+	}()
+	time.Sleep(20 * time.Millisecond) // the worker is now busy for a while
+	resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: heavy[:4], DeadlineMs: 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	<-done
+}
+
+// TestBadInput pins the 400 surface.
+func TestBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSeqLen: 100})
+	cases := []any{
+		ExtendRequest{}, // no jobs
+		ExtendRequest{Jobs: []ExtendJob{{Query: "ACGT"}}},                                   // empty target
+		ExtendRequest{Jobs: []ExtendJob{{Query: strings.Repeat("A", 200), Target: "ACGT"}}}, // too long
+		ExtendRequest{Jobs: []ExtendJob{{Query: "ACGT", Target: "ACGT", H0: -1}}},           // negative h0
+	}
+	for i, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/extend", c)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/extend", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint checks the /metrics document exposes the check
+// statistics (shared core.StatsSnapshot path), batching figures and the
+// config echo.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: testProblems(20, 100, 9)})
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"jobs_accepted", "jobs_completed", "batches", "batch_occupancy_mean", "latency_p50_us", "queue_cap", "checks", "config"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("metrics missing %q: %v", key, m)
+		}
+	}
+	checks := m["checks"].(map[string]any)
+	if checks["total"].(float64) < 20 {
+		t.Fatalf("checks.total = %v, want >= 20", checks["total"])
+	}
+	if _, ok := checks["pass_rate"]; !ok {
+		t.Fatal("checks.pass_rate missing")
+	}
+	if m["batches"].(float64) < 1 {
+		t.Fatal("no batches recorded")
+	}
+	if fmt.Sprint(m["config"].(map[string]any)["max_batch"]) != "64" {
+		t.Fatalf("config echo wrong: %v", m["config"])
+	}
+}
