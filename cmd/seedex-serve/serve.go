@@ -32,7 +32,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	band := fs.Int("band", 20, "one-sided band (SeedEx and banded engines)")
 	mode := fs.String("mode", "strict", "seedex check workflow: strict (bit-identical to full-band) | paper (threshold passes skip the edit machine)")
 	maxBatch := fs.Int("max-batch", 64, "flush a micro-batch at this many jobs (1 disables coalescing)")
-	flush := fs.Duration("flush", 200*time.Microsecond, "flush a micro-batch this long after its first job arrives")
+	flush := fs.Duration("flush", 200*time.Microsecond, "flush a micro-batch this long after its first job arrives (0 = never wait: each batch takes whatever is queued)")
 	queueCap := fs.Int("queue", 1024, "admission queue bound; overflow answers 429")
 	workers := fs.Int("workers", 0, "batch workers (0 = GOMAXPROCS)")
 	refPath := fs.String("ref", "", "reference FASTA; enables the /v1/map endpoint")
@@ -66,12 +66,18 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		}
 	}
 
+	flushIv := *flush
+	if flushIv == 0 {
+		// The flag default is explicit, so a literal -flush 0 means
+		// "never wait", not "use the library default".
+		flushIv = server.FlushOpportunistic
+	}
 	s := server.New(server.Config{
 		Extender: ext,
 		Aligner:  aligner,
 		Batch: server.BatcherConfig{
 			MaxBatch:      *maxBatch,
-			FlushInterval: *flush,
+			FlushInterval: flushIv,
 			QueueCap:      *queueCap,
 			Workers:       *workers,
 		},

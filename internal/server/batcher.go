@@ -22,6 +22,12 @@ var (
 	ErrDraining  = errors.New("server: draining, not accepting work")
 )
 
+// FlushOpportunistic, as a FlushInterval, makes the collector never wait:
+// each batch takes whatever is queued the moment it is assembled — the
+// software analogue of a self-draining input FIFO. Any negative interval
+// means the same; zero selects the default interval.
+const FlushOpportunistic time.Duration = -1
+
 // BatcherConfig tunes one micro-batching pipeline.
 type BatcherConfig struct {
 	// MaxBatch flushes a batch when this many jobs are pending (the size
@@ -29,8 +35,8 @@ type BatcherConfig struct {
 	MaxBatch int
 	// FlushInterval flushes this long after the first job of a batch
 	// arrives (the deadline trigger), bounding the latency a lone request
-	// pays for coalescing. Default 200µs. Zero means flush opportunistically:
-	// take whatever is queued right now, never wait.
+	// pays for coalescing. Zero means the 200µs default; FlushOpportunistic
+	// (any negative value) disables the wait entirely.
 	FlushInterval time.Duration
 	// QueueCap bounds the admission queue; Submit refuses further work
 	// (ErrQueueFull) when it is full. Default 1024.
@@ -42,6 +48,9 @@ type BatcherConfig struct {
 func (c BatcherConfig) withDefaults() BatcherConfig {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 200 * time.Microsecond
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 1024

@@ -81,6 +81,47 @@ func TestBatcherSizeTrigger(t *testing.T) {
 	}
 }
 
+// TestBatcherOpportunistic proves FlushOpportunistic never waits: a lone
+// job flushes immediately with both triggers effectively off.
+func TestBatcherOpportunistic(t *testing.T) {
+	done := make(chan int, 1)
+	b := newBatcher(BatcherConfig{MaxBatch: 64, FlushInterval: FlushOpportunistic, QueueCap: 64, Workers: 1}, &Metrics{},
+		func() func([]int) {
+			return func(batch []int) { done <- len(batch) }
+		})
+	defer b.Close()
+	if err := b.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("batch size %d, want 1", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("opportunistic collector never flushed a lone job")
+	}
+}
+
+// TestFlushSentinel pins the FlushInterval sentinel scheme: zero selects
+// the 200µs default and FlushOpportunistic survives every defaults layer,
+// including the MapBatch inheritance in server.Config.
+func TestFlushSentinel(t *testing.T) {
+	if got := (BatcherConfig{}).withDefaults().FlushInterval; got != 200*time.Microsecond {
+		t.Fatalf("zero FlushInterval defaulted to %v, want 200µs", got)
+	}
+	if got := (BatcherConfig{FlushInterval: FlushOpportunistic}).withDefaults().FlushInterval; got >= 0 {
+		t.Fatalf("FlushOpportunistic rewritten to %v", got)
+	}
+	cfg := Config{Batch: BatcherConfig{FlushInterval: FlushOpportunistic}}.withDefaults()
+	if cfg.Batch.FlushInterval >= 0 {
+		t.Fatalf("Config rewrote opportunistic Batch flush to %v", cfg.Batch.FlushInterval)
+	}
+	if cfg.MapBatch.FlushInterval >= 0 {
+		t.Fatalf("MapBatch did not inherit the opportunistic flush: %v", cfg.MapBatch.FlushInterval)
+	}
+}
+
 // TestBatcherDeadlineTrigger proves a lone job flushes after the
 // interval, not after MaxBatch.
 func TestBatcherDeadlineTrigger(t *testing.T) {

@@ -122,6 +122,25 @@ func (s *Server) admitError(w http.ResponseWriter, err error) {
 	}
 }
 
+// decodeBody parses one JSON request body, bounded by MaxBodyBytes so an
+// oversized (or oversized-malformed) body is refused with 413 instead of
+// being allocated whole before validation. It writes the error reply
+// itself and reports whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.met.BadInput.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body larger than %d bytes", tooBig.Limit)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
 // requestContext applies the request's JSON deadline to its context.
 func requestContext(r *http.Request, deadlineMs int) (context.Context, context.CancelFunc) {
 	if deadlineMs > 0 {
@@ -168,9 +187,7 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ExtendRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.met.BadInput.Add(1)
-		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Jobs) == 0 || len(req.Jobs) > s.cfg.MaxJobsPerRequest {
@@ -206,10 +223,11 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		submitted++
 	}
 	if admit != nil {
-		// Wait out the jobs already in flight (they write into p), then
-		// refuse the request as a whole: partial results are never served.
-		p.remaining.Add(int32(submitted - len(req.Jobs)))
+		// Refuse the request as a whole: partial results are never served.
+		// Jobs already in flight still write into p, so wait them out;
+		// abandon closes done itself if they all landed before it ran.
 		if submitted > 0 {
+			p.abandon(submitted, len(req.Jobs))
 			<-p.done
 		}
 		s.admitError(w, admit)
@@ -217,6 +235,13 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-p.done:
+		// Expired jobs resolve as zero-valued placeholders; when the
+		// deadline and the last delivery race, this arm can win over
+		// ctx.Done(). Never serve those zeros as 200.
+		if n := p.expired.Load(); n > 0 {
+			s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %d of %d jobs expired before compute", n, len(req.Jobs))
+			return
+		}
 	case <-ctx.Done():
 		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded with jobs in flight")
 		return
@@ -242,6 +267,9 @@ func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	// Bound the stream like the batch endpoints; hitting the cap surfaces
+	// as a decode error on the trailing error line.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	out := bufio.NewWriter(w)
 	defer out.Flush()
@@ -305,6 +333,11 @@ func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 		case <-ctx.Done():
 			return
 		}
+		if p.expired.Load() > 0 {
+			// The job expired in queue: the stream context is gone, and the
+			// placeholder result must not be written as real scores.
+			return
+		}
 		if err := enc.Encode(wireResult(p.resp[0])); err != nil {
 			return
 		}
@@ -351,9 +384,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req MapRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.met.BadInput.Add(1)
-		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Reads) == 0 || len(req.Reads) > s.cfg.MaxJobsPerRequest {
@@ -393,8 +424,10 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		submitted++
 	}
 	if admit != nil {
-		p.remaining.Add(int32(submitted - len(req.Reads)))
+		// Mirrors handleExtend: wait out in-flight reads, with abandon
+		// closing done when they all landed before the adjustment.
 		if submitted > 0 {
+			p.abandon(submitted, len(req.Reads))
 			<-p.done
 		}
 		s.admitError(w, admit)
@@ -402,6 +435,10 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-p.done:
+		if n := p.expired.Load(); n > 0 {
+			s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %d of %d reads expired before compute", n, len(req.Reads))
+			return
+		}
 	case <-ctx.Done():
 		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded with reads in flight")
 		return

@@ -32,18 +32,22 @@ type Config struct {
 	MaxJobsPerRequest int
 	// MaxSeqLen bounds one query or target sequence (default 100_000).
 	MaxSeqLen int
+	// MaxBodyBytes bounds one request body (including a whole NDJSON
+	// stream); larger bodies answer 413 instead of being read without
+	// bound. Default: room for a maximal legitimate request —
+	// MaxJobsPerRequest jobs of two MaxSeqLen sequences plus JSON framing.
+	MaxBodyBytes int64
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
-	if c.Batch.FlushInterval == 0 {
-		c.Batch.FlushInterval = 200 * time.Microsecond
-	}
 	if c.MapBatch.MaxBatch <= 0 {
 		c.MapBatch.MaxBatch = 16
 	}
 	if c.MapBatch.FlushInterval == 0 {
+		// Inherit the extension flush setting, sentinel included: an
+		// opportunistic (negative) Batch interval carries over.
 		c.MapBatch.FlushInterval = c.Batch.FlushInterval
 	}
 	if c.MaxJobsPerRequest <= 0 {
@@ -51,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSeqLen <= 0 {
 		c.MaxSeqLen = 100_000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = int64(c.MaxJobsPerRequest) * int64(2*c.MaxSeqLen+512)
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
@@ -127,6 +134,7 @@ func (s *Server) Metrics() *Metrics { return s.met }
 type pending struct {
 	resp      []core.Response
 	remaining atomic.Int32
+	expired   atomic.Int32
 	done      chan struct{}
 }
 
@@ -139,6 +147,27 @@ func newPending(n int) *pending {
 func (p *pending) deliver(i int, r core.Response) {
 	p.resp[i] = r
 	if p.remaining.Add(-1) == 0 {
+		close(p.done)
+	}
+}
+
+// expire completes slot i without computing it: the job's deadline passed
+// (or its client left) before a worker reached it. The zero-valued result
+// must never be served — handlers check expired after done closes.
+func (p *pending) expire(i int) {
+	p.expired.Add(1)
+	p.deliver(i, core.Response{Tag: i})
+}
+
+// abandon discounts the never-submitted tail of a partially admitted
+// request (total jobs, only the first submitted entered the queue). If
+// the adjustment itself zeroes the counter — every submitted job was
+// delivered before it landed — abandon closes done, because no deliver
+// remains to do so. The close cannot race deliver: the counter crosses
+// zero exactly once across all atomic adds, and whichever add observes
+// zero owns the close.
+func (p *pending) abandon(submitted, total int) {
+	if p.remaining.Add(int32(submitted-total)) == 0 {
 		close(p.done)
 	}
 }
@@ -166,6 +195,7 @@ type mapJob struct {
 type mapPending struct {
 	res       []MapResult
 	remaining atomic.Int32
+	expired   atomic.Int32
 	done      chan struct{}
 }
 
@@ -178,6 +208,18 @@ func newMapPending(n int) *mapPending {
 func (p *mapPending) deliver(i int, r MapResult) {
 	p.res[i] = r
 	if p.remaining.Add(-1) == 0 {
+		close(p.done)
+	}
+}
+
+// expire and abandon mirror pending; see there for the invariants.
+func (p *mapPending) expire(i int, name string) {
+	p.expired.Add(1)
+	p.deliver(i, MapResult{Name: name})
+}
+
+func (p *mapPending) abandon(submitted, total int) {
+	if p.remaining.Add(int32(submitted-total)) == 0 {
 		close(p.done)
 	}
 }
@@ -209,7 +251,7 @@ func (s *Server) extWorker() func([]extJob) {
 				// compute, but still complete the job so the request's
 				// pending resolves.
 				s.met.Expired.Add(1)
-				j.out.deliver(j.req.Tag, core.Response{Tag: j.req.Tag})
+				j.out.expire(j.req.Tag)
 				continue
 			}
 			live = append(live, j)
@@ -264,7 +306,7 @@ func (s *Server) mapWorker() func([]mapJob) {
 			s.met.QueueWait.observe(now.Sub(j.enq).Nanoseconds())
 			if j.ctx.Err() != nil {
 				s.met.Expired.Add(1)
-				j.out.deliver(j.i, MapResult{Name: j.name})
+				j.out.expire(j.i, j.name)
 				continue
 			}
 			rec, al := m.Map(j.name, j.seq, j.qual)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -338,6 +339,98 @@ func TestDeadline504(t *testing.T) {
 		t.Fatalf("status %d, want 504", resp.StatusCode)
 	}
 	<-done
+}
+
+// TestAbandonPartialAdmission pins the partial-admission accounting: when
+// every submitted job has already been delivered before the handler
+// discounts the never-submitted tail, the discount itself must close done
+// — this deadlocked the handler goroutine before.
+func TestAbandonPartialAdmission(t *testing.T) {
+	// The racing order: both submitted jobs land before abandon runs.
+	p := newPending(3)
+	p.deliver(0, core.Response{})
+	p.deliver(1, core.Response{})
+	p.abandon(2, 3)
+	select {
+	case <-p.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandon after full delivery did not close done")
+	}
+
+	// The usual order: abandon first, the last delivery closes done.
+	p = newPending(3)
+	p.abandon(2, 3)
+	p.deliver(0, core.Response{})
+	select {
+	case <-p.done:
+		t.Fatal("done closed with a submitted job still in flight")
+	default:
+	}
+	p.deliver(1, core.Response{})
+	select {
+	case <-p.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("last delivery did not close done")
+	}
+
+	// mapPending mirrors the same arithmetic (expiry counts as delivery).
+	mp := newMapPending(2)
+	mp.expire(0, "r0")
+	mp.abandon(1, 2)
+	select {
+	case <-mp.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("map abandon after full delivery did not close done")
+	}
+	if mp.expired.Load() != 1 {
+		t.Fatalf("map expired = %d, want 1", mp.expired.Load())
+	}
+}
+
+// TestExpiredNeverServes200 pins the deadline race: when p.done and
+// ctx.Done() are both ready, whichever select arm wins, a request whose
+// jobs expired in queue must never be answered 200 with zeroed scores.
+// The pre-cancelled context makes every job expire; the opportunistic
+// flush resolves the pending quickly so both arms race.
+func TestExpiredNeverServes200(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		Batch: BatcherConfig{MaxBatch: 4, FlushInterval: FlushOpportunistic, Workers: 1},
+	})
+	body, err := json.Marshal(ExtendRequest{Jobs: testProblems(4, 100, 13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		req := httptest.NewRequest("POST", "/v1/extend", bytes.NewReader(body)).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code == http.StatusOK {
+			t.Fatalf("attempt %d: served 200 for a request whose jobs all expired:\n%s", i, rec.Body)
+		}
+	}
+}
+
+// TestBodyTooLarge pins the request body cap: an oversized body answers
+// 413 instead of being decoded whole.
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1 << 10})
+	resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{
+		Jobs: []ExtendJob{{Query: strings.Repeat("A", 2048), Target: "ACGT"}},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	// A body under the cap still validates normally.
+	resp = postJSON(t, ts.URL+"/v1/extend", ExtendRequest{
+		Jobs: []ExtendJob{{Query: "ACGT", Target: "ACGT", H0: 10}},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body: status %d, want 200", resp.StatusCode)
+	}
 }
 
 // TestBadInput pins the 400 surface.
