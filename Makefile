@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-extend serve-bench
+.PHONY: check vet build test race chaos bench bench-extend serve-bench
 
 check: vet build test race
 
@@ -17,7 +17,18 @@ test:
 # the aligner pipeline, the shared (atomic) check statistics, and the
 # micro-batching alignment service with its daemon.
 race:
-	$(GO) test -race ./internal/driver/... ./internal/bwamem/... ./internal/core/... ./internal/server/... ./cmd/seedex-serve/...
+	$(GO) test -race ./internal/faults/... ./internal/driver/... ./internal/bwamem/... ./internal/core/... ./internal/server/... ./cmd/seedex-serve/...
+
+# Fault-injection equivalence drill: the chaos and integrity tests under
+# the race detector. Pin the fault draws with CHAOS_SEED (default: the
+# tests' built-in seed matrix) and capture the end-of-run fault counters
+# with CHAOS_SNAPSHOT=path.json.
+chaos:
+	SEEDEX_CHAOS_SEED=$(CHAOS_SEED) SEEDEX_CHAOS_SNAPSHOT=$(CHAOS_SNAPSHOT) \
+		$(GO) test -race ./internal/faults/...
+	SEEDEX_CHAOS_SEED=$(CHAOS_SEED) SEEDEX_CHAOS_SNAPSHOT=$(CHAOS_SNAPSHOT) \
+		$(GO) test -race -run 'Chaos|Integrity|Corrupted|Adversarial|Wire|Sanity|Validate' \
+		./internal/driver/... ./internal/server/... ./internal/core/...
 
 # Full benchmark pass: every testing.B entry, then a refresh of the
 # extension perf trajectory (BENCH_extend.json).

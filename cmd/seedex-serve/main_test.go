@@ -93,6 +93,85 @@ func TestServeBadFlags(t *testing.T) {
 	}
 }
 
+// TestServeChaosFlag boots the daemon with -chaos: extensions serve
+// through the fault-injected device engine, /metrics exposes the faults
+// section, and the drain summary reports the chaos counters.
+func TestServeChaosFlag(t *testing.T) {
+	var stderr bytes.Buffer
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-chaos", "0.1", "-chaos-seed", "3", "-flush", "1ms"}, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited before ready: %v\nstderr: %s", err, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	var jobs strings.Builder
+	jobs.WriteString(`{"jobs":[`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			jobs.WriteByte(',')
+		}
+		jobs.WriteString(`{"query":"ACGTACGTACGTACGTACGT","target":"ACGTACGTACGTACGTACGTAA","h0":30}`)
+	}
+	jobs.WriteString(`]}`)
+	resp, err := http.Post(base+"/v1/extend", "application/json", strings.NewReader(jobs.String()))
+	if err != nil {
+		t.Fatalf("POST /v1/extend: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extend under chaos: status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var met struct {
+		Faults *struct {
+			Breaker string `json:"breaker"`
+		} `json:"faults"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&met); err != nil {
+		t.Fatalf("decoding metrics: %v", err)
+	}
+	mresp.Body.Close()
+	if met.Faults == nil || met.Faults.Breaker == "" {
+		t.Fatalf("chaos server /metrics has no faults section")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned error: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+	if log := stderr.String(); !strings.Contains(log, "chaos summary") || !strings.Contains(log, "chaos enabled") {
+		t.Errorf("stderr missing chaos reporting:\n%s", log)
+	}
+
+	// Flag validation: -chaos needs the device engine, which is strict-only.
+	if err := run([]string{"-chaos", "0.1", "-extender", "fullband"}, &stderr, nil); err == nil {
+		t.Fatal("-chaos with a software extender accepted")
+	}
+	if err := run([]string{"-chaos", "0.1", "-mode", "paper"}, &stderr, nil); err == nil {
+		t.Fatal("-chaos with paper mode accepted")
+	}
+}
+
 // TestServeMapFlow boots with a tiny on-disk reference and exercises
 // /v1/map end to end.
 func TestServeMapFlow(t *testing.T) {

@@ -15,7 +15,9 @@ import (
 	"seedex/internal/align"
 	"seedex/internal/bwamem"
 	"seedex/internal/core"
+	"seedex/internal/driver"
 	"seedex/internal/fastx"
+	"seedex/internal/faults"
 	"seedex/internal/genome"
 	"seedex/internal/server"
 )
@@ -39,20 +41,44 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	indexPath := fs.String("index", "", "index file for -ref: loaded if it exists, otherwise built and saved")
 	maxJobs := fs.Int("max-jobs", 4096, "maximum jobs or reads per request")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on shutdown")
+	chaos := fs.Float64("chaos", 0, "serve through the simulated FPGA platform with every fault class injecting at this rate (0 = software extender, no device)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	ext, err := core.NamedExtender(*extName, *band)
-	if err != nil {
-		return err
+	var ext align.Extender
+	var se *core.SeedEx
+	var eng *driver.Engine
+	if *chaos > 0 {
+		// Chaos drills run against the device-backed engine: results stay
+		// exact (integrity validation + host containment), while /metrics
+		// and /healthz expose the injected faults and breaker state.
+		if *extName != "seedex" {
+			return fmt.Errorf("-chaos requires the seedex extender (device engine), not %q", *extName)
+		}
+		dcfg := driver.DefaultConfig()
+		dcfg.Band = *band
+		dcfg.Faults = faults.Uniform(*chaosSeed, *chaos)
+		dcfg.DeviceTimeout = 10 * time.Millisecond
+		eng = driver.NewEngine(dcfg)
+		ext = eng
+	} else {
+		var err error
+		ext, err = core.NamedExtender(*extName, *band)
+		if err != nil {
+			return err
+		}
 	}
-	se, _ := ext.(*core.SeedEx)
+	se, _ = ext.(*core.SeedEx)
 	switch *mode {
 	case "strict":
 	case "paper":
 		if se != nil {
 			se.Config.Mode = core.ModePaper
+		}
+		if eng != nil {
+			return fmt.Errorf("-chaos runs the device engine, which is strict-mode only")
 		}
 	default:
 		return fmt.Errorf("unknown mode %q (valid: strict, paper)", *mode)
@@ -60,10 +86,11 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 
 	var aligner *bwamem.Aligner
 	if *refPath != "" {
-		aligner, err = loadAligner(*refPath, *indexPath, ext, stderr)
+		a, err := loadAligner(*refPath, *indexPath, ext, stderr)
 		if err != nil {
 			return err
 		}
+		aligner = a
 	}
 
 	flushIv := *flush
@@ -98,6 +125,10 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 
 	fmt.Fprintf(stderr, "seedex-serve: listening on %s (extender=%s band=%d batch=%d flush=%s queue=%d)\n",
 		ln.Addr(), *extName, *band, *maxBatch, *flush, *queueCap)
+	if eng != nil {
+		fmt.Fprintf(stderr, "seedex-serve: chaos enabled (rate=%g seed=%d): device-backed engine with fault injection\n",
+			*chaos, *chaosSeed)
+	}
 	if aligner != nil {
 		fmt.Fprintf(stderr, "seedex-serve: /v1/map enabled (%d contigs)\n", len(aligner.Contigs.Names))
 	}
@@ -126,6 +157,12 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		snap.Requests, snap.Completed, snap.Batches, snap.MeanOccupancy)
 	if se != nil {
 		fmt.Fprintln(stderr, se.Stats)
+	}
+	if eng != nil {
+		fmt.Fprintln(stderr, eng.Device().Stats)
+		h := eng.Health()
+		fmt.Fprintf(stderr, "seedex-serve: chaos summary: breaker=%s injected=%d detected=%d retries=%d trips=%d host-only=%d\n",
+			h.Breaker, h.Injected.Total(), h.Detected, h.Retries, h.Trips, h.HostOnly)
 	}
 	return nil
 }

@@ -13,7 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"seedex/internal/align"
 	"seedex/internal/core"
+	"seedex/internal/driver"
+	"seedex/internal/faults"
 	"seedex/internal/genome"
 	"seedex/internal/server"
 )
@@ -41,6 +44,14 @@ type ServeBenchConfig struct {
 	Concurrency []int
 	// Duration is the measurement window per point (default 1s).
 	Duration time.Duration
+	// ChaosRate, when positive, serves through the simulated FPGA device
+	// engine with every fault class injecting at this rate. Results stay
+	// exact (integrity validation routes faults into host reruns), so the
+	// bench then measures the throughput cost of fault tolerance. Chaos
+	// implies the strict workflow: the device engine has no paper mode.
+	ChaosRate float64
+	// ChaosSeed seeds the deterministic fault draws (default 1).
+	ChaosSeed int64
 }
 
 func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
@@ -62,6 +73,9 @@ func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
 	if c.Duration <= 0 {
 		c.Duration = time.Second
 	}
+	if c.ChaosRate > 0 && c.ChaosSeed == 0 {
+		c.ChaosSeed = 1
+	}
 	return c
 }
 
@@ -79,6 +93,10 @@ type ServePoint struct {
 	// Server-side batch shape.
 	Batches       int64   `json:"batches"`
 	MeanOccupancy float64 `json:"batch_occupancy_mean"`
+	// Faults carries the device fault-tolerance counters when the point
+	// ran under ChaosRate (each point boots a fresh engine, so the
+	// counters cover exactly this measurement).
+	Faults *faults.Health `json:"faults,omitempty"`
 }
 
 // ServeGain compares the two configurations at one concurrency.
@@ -100,6 +118,8 @@ type ServeBenchReport struct {
 	FlushUs        float64      `json:"flush_us"`
 	JobsPerRequest int          `json:"jobs_per_request"`
 	DurationMs     float64      `json:"duration_ms_per_point"`
+	ChaosRate      float64      `json:"chaos_rate,omitempty"`
+	ChaosSeed      int64        `json:"chaos_seed,omitempty"`
 	Points         []ServePoint `json:"points"`
 	Gains          []ServeGain  `json:"gains"`
 	// GainHighConc is the throughput gain at the highest measured
@@ -120,6 +140,12 @@ func (r ServeBenchReport) String() string {
 	for _, p := range r.Points {
 		fmt.Fprintf(&b, "%-10s %5d %10.0f %12d %10.0f %10.0f %9d %6.1f\n",
 			p.Config, p.Concurrency, p.JobsPerSec, p.Requests, p.P50Us, p.P99Us, p.Batches, p.MeanOccupancy)
+	}
+	for _, p := range r.Points {
+		if h := p.Faults; h != nil {
+			fmt.Fprintf(&b, "chaos %-10s @ %2d clients: breaker=%s injected=%d detected=%d retries=%d trips=%d host-only=%d\n",
+				p.Config, p.Concurrency, h.Breaker, h.Injected.Total(), h.Detected, h.Retries, h.Trips, h.HostOnly)
+		}
 	}
 	for _, g := range r.Gains {
 		fmt.Fprintf(&b, "batched vs unbatched @ %d clients: %.2fx jobs/s\n", g.Concurrency, g.Gain)
@@ -148,6 +174,12 @@ func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
 	}
 	if cfg.Strict {
 		rep.Mode = "strict"
+	}
+	if cfg.ChaosRate > 0 {
+		// The fault-injected device engine only runs the strict workflow.
+		rep.Mode = "strict"
+		rep.ChaosRate = cfg.ChaosRate
+		rep.ChaosSeed = cfg.ChaosSeed
 	}
 	if len(w.Problems) == 0 {
 		return rep
@@ -216,11 +248,24 @@ func serveBodies(probs []Problem, jobsPerReq int) [][]byte {
 // batch-shape metrics.
 func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]byte, conc int) ServePoint {
 	jobsPerReq, dur := cfg.JobsPerRequest, cfg.Duration
-	se := core.New(cfg.Band)
-	if !cfg.Strict {
-		se.Config.Mode = core.ModePaper
+	var ext align.Extender
+	var health func() faults.Health
+	if cfg.ChaosRate > 0 {
+		dcfg := driver.DefaultConfig()
+		dcfg.Band = cfg.Band
+		dcfg.Faults = faults.Uniform(cfg.ChaosSeed, cfg.ChaosRate)
+		dcfg.DeviceTimeout = 10 * time.Millisecond
+		eng := driver.NewEngine(dcfg)
+		ext = eng
+		health = eng.Health
+	} else {
+		se := core.New(cfg.Band)
+		if !cfg.Strict {
+			se.Config.Mode = core.ModePaper
+		}
+		ext = se
 	}
-	s := server.New(server.Config{Extender: se, Batch: bcfg})
+	s := server.New(server.Config{Extender: ext, Batch: bcfg})
 	ts := httptest.NewServer(s.Handler())
 	tr := &http.Transport{MaxIdleConns: 2 * conc, MaxIdleConnsPerHost: 2 * conc}
 	client := &http.Client{Transport: tr}
@@ -281,6 +326,10 @@ func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]b
 	if len(all) > 0 {
 		p.P50Us = float64(all[len(all)/2].Nanoseconds()) / 1e3
 		p.P99Us = float64(all[len(all)*99/100].Nanoseconds()) / 1e3
+	}
+	if health != nil {
+		h := health()
+		p.Faults = &h
 	}
 	return p
 }

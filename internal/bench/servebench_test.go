@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeBenchChaos runs a miniature chaos load test: the device-backed
+// engine serves under fault injection, the report carries the per-point
+// fault counters, and both renderings include them.
+func TestServeBenchChaos(t *testing.T) {
+	w := smallWorkload(t)
+	rep := ServeBench(w, ServeBenchConfig{
+		Concurrency: []int{2},
+		Duration:    50 * time.Millisecond,
+		ChaosRate:   0.05,
+		ChaosSeed:   9,
+	})
+	if rep.ChaosRate != 0.05 || rep.ChaosSeed != 9 || rep.Mode != "strict" {
+		t.Fatalf("chaos config not reflected: rate=%g seed=%d mode=%q", rep.ChaosRate, rep.ChaosSeed, rep.Mode)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points: %d, want batched+unbatched", len(rep.Points))
+	}
+	var injected int64
+	for _, p := range rep.Points {
+		if p.Faults == nil {
+			t.Fatalf("point %s/%d has no fault counters", p.Config, p.Concurrency)
+		}
+		if p.Jobs == 0 {
+			t.Fatalf("point %s/%d served no jobs", p.Config, p.Concurrency)
+		}
+		injected += p.Faults.Injected.Total()
+	}
+	if injected == 0 {
+		t.Fatal("chaos bench injected nothing")
+	}
+	if !strings.Contains(rep.String(), "chaos ") {
+		t.Fatalf("summary missing chaos lines:\n%s", rep)
+	}
+	if data, err := rep.JSON(); err != nil || !strings.Contains(string(data), `"detected_faults"`) {
+		t.Fatalf("JSON missing faults section (err=%v)", err)
+	}
+}

@@ -1,0 +1,194 @@
+// Response integrity: the wire format the simulated device returns and
+// the validation the driver applies before trusting it.
+//
+// The real device stamps every result line with an integrity word (a hash
+// over the tag, the payload fields and the verdict bit) as it writes the
+// coalesced output buffer. Transport faults — bit corruption in DRAM or
+// over PCIe, responses landing in the wrong DMA slot, missing lines —
+// happen after that stamp, so the host detects them by recomputing the
+// word and cross-checking tags and counts against the request metadata it
+// kept. Detection does not need to know which fault class struck: any
+// anomaly contains the affected extension into the host full-band rerun.
+package driver
+
+import (
+	"seedex/internal/faults"
+)
+
+// wireResp is one response line as it crosses the DMA boundary: the
+// payload plus the device-stamped integrity word.
+type wireResp struct {
+	resp Response
+	sum  uint64
+}
+
+// respSum is the integrity word: a SplitMix64 chain over the tag, every
+// payload field and the verdict bit. The device stamps it before the
+// transport can corrupt anything; the host recomputes it on retrieval.
+func respSum(r Response) uint64 {
+	h := faults.Mix64(uint64(int64(r.Tag)) ^ 0x1d3a5f7c9b8e6042)
+	h = faults.Mix64(h ^ uint64(int64(r.Res.Local)))
+	h = faults.Mix64(h ^ uint64(int64(r.Res.LocalT))<<1)
+	h = faults.Mix64(h ^ uint64(int64(r.Res.LocalQ))<<2)
+	h = faults.Mix64(h ^ uint64(int64(r.Res.Global))<<3)
+	h = faults.Mix64(h ^ uint64(int64(r.Res.GlobalT))<<4)
+	h = faults.Mix64(h ^ uint64(int64(r.Res.Rows))<<5)
+	h = faults.Mix64(h ^ uint64(r.Res.Cells)<<6)
+	if r.Rerun {
+		h = faults.Mix64(h ^ 0xf117)
+	}
+	return h
+}
+
+// stampWire rebuilds the in-flight copy of a batch's responses with fresh
+// integrity words, reusing dst's capacity. Each retry re-stamps from the
+// honest results, so a previous attempt's corruption never leaks forward.
+func stampWire(resps []Response, dst []wireResp) []wireResp {
+	if cap(dst) < len(resps) {
+		dst = make([]wireResp, len(resps))
+	}
+	dst = dst[:len(resps)]
+	for i, r := range resps {
+		dst[i] = wireResp{resp: r, sum: respSum(r)}
+	}
+	return dst
+}
+
+// applyPlan corrupts the in-flight copy per the fault plan. Corruptions
+// and verdict flips mutate payload fields under an already-stamped sum;
+// slot swaps exchange payloads while each slot keeps its own tag and sum
+// (the DMA wrote the right line to the wrong address), so both slots fail
+// validation. Drops are applied separately (applyDrops) because they
+// change the slice length.
+func applyPlan(p faults.Plan, wire []wireResp) {
+	for _, c := range p.Corrupt {
+		if c.Index < 0 || c.Index >= len(wire) {
+			continue
+		}
+		res := &wire[c.Index].resp.Res
+		switch c.Field {
+		case 0:
+			res.Local += c.Delta
+		case 1:
+			res.Global += c.Delta
+		case 2:
+			res.LocalT += c.Delta
+		case 3:
+			res.LocalQ += c.Delta
+		case 4:
+			res.GlobalT += c.Delta
+		}
+	}
+	for _, i := range p.Flip {
+		if i >= 0 && i < len(wire) {
+			wire[i].resp.Rerun = !wire[i].resp.Rerun
+		}
+	}
+	for _, sw := range p.Swap {
+		i, j := sw[0], sw[1]
+		if i < 0 || j < 0 || i >= len(wire) || j >= len(wire) || i == j {
+			continue
+		}
+		wire[i].resp.Res, wire[j].resp.Res = wire[j].resp.Res, wire[i].resp.Res
+		wire[i].resp.Rerun, wire[j].resp.Rerun = wire[j].resp.Rerun, wire[i].resp.Rerun
+	}
+}
+
+// applyDrops removes dropped slots from the return batch, compacting in
+// place (indices may repeat or be out of range; both are ignored).
+func applyDrops(p faults.Plan, wire []wireResp) []wireResp {
+	if len(p.Drop) == 0 {
+		return wire
+	}
+	dropped := make(map[int]bool, len(p.Drop))
+	for _, i := range p.Drop {
+		if i >= 0 && i < len(wire) {
+			dropped[i] = true
+		}
+	}
+	if len(dropped) == 0 {
+		return wire
+	}
+	out := wire[:0]
+	for i := range wire {
+		if !dropped[i] {
+			out = append(out, wire[i])
+		}
+	}
+	return out
+}
+
+// sane cross-checks a response payload against its request. Every bound
+// holds for any honest extension under any scoring scheme (scores are
+// floored at zero; coordinates count consumed bases; no alignment can
+// beat h0 plus a match per query base), so a sane() failure proves device
+// misbehaviour — a false positive here would send honest work back to the
+// host and pollute the breaker's fault window.
+func (d *Device) sane(req Request, r Response) bool {
+	res := r.Res
+	n, m := len(req.Q), len(req.T)
+	if res.Local < 0 || res.Global < 0 {
+		return false
+	}
+	if res.LocalQ < 0 || res.LocalQ > n || res.LocalT < 0 || res.LocalT > m {
+		return false
+	}
+	if res.GlobalT < 0 || res.GlobalT > m {
+		return false
+	}
+	if res.Rows < 0 || res.Rows > m {
+		return false
+	}
+	ceil := req.H0 + n*d.cfg.Scoring.Match
+	if res.Local > ceil || res.Global > ceil {
+		return false
+	}
+	return true
+}
+
+// validate checks one retrieved batch against the request metadata and
+// writes exactly one Response per request into dst (parallel to reqs).
+// A slot is accepted only if its tag belongs to this batch and is not a
+// duplicate, its integrity word matches, and its payload passes the
+// sanity cross-checks; everything else — including tags that never
+// arrived — lands in dst as a rerun sentinel the caller serves with the
+// host full-band kernel. Returns the number of faulted slots.
+func (s *session) validate(reqs []Request, dst []Response) int {
+	clear(s.tagIdx)
+	for i, r := range reqs {
+		s.tagIdx[r.Tag] = i
+	}
+	if cap(s.covered) < len(reqs) {
+		s.covered = make([]bool, len(reqs))
+	}
+	s.covered = s.covered[:len(reqs)]
+	for i := range s.covered {
+		s.covered[i] = false
+	}
+	// A request is faulted when no valid response covers it (dropped,
+	// corrupted, flipped or misplaced lines all leave their slot
+	// uncovered); entries with unknown or duplicate tags are additional
+	// anomalies on top. Each faulted extension counts exactly once.
+	extras := 0
+	for _, w := range s.wire {
+		pos, ok := s.tagIdx[w.resp.Tag]
+		if !ok || s.covered[pos] {
+			extras++ // unknown or duplicate ID
+			continue
+		}
+		if respSum(w.resp) != w.sum || !s.dev.sane(reqs[pos], w.resp) {
+			continue // uncovered: counted below
+		}
+		s.covered[pos] = true
+		dst[pos] = w.resp
+	}
+	bad := extras
+	for i := range reqs {
+		if !s.covered[i] {
+			// Missing or rejected responses degrade into host reruns.
+			dst[i] = Response{Tag: reqs[i].Tag, Rerun: true}
+			bad++
+		}
+	}
+	return bad
+}

@@ -1,0 +1,170 @@
+package driver
+
+import (
+	"testing"
+
+	"seedex/internal/align"
+	"seedex/internal/faults"
+)
+
+// TestCorruptedScoreNeverCertified is the driver half of the adversarial
+// rerun coverage: a device response whose narrow-band score was corrupted
+// up or down — by one point or far outside any sane range — must never
+// reach the caller. The integrity word catches every in-window
+// perturbation the optimality checks cannot see, the sanity cross-checks
+// catch out-of-range forgeries independently, and the contained slot
+// reruns into the full-band oracle.
+func TestCorruptedScoreNeverCertified(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 16
+	dev := NewDevice(cfg)
+	s := dev.newSession()
+	reqs := makeRequests(16, 11)
+
+	var jobs []align.Job // unused; compute wants fpga jobs
+	_ = jobs
+	s.resps, s.jobs = dev.compute(s.chk, reqs, s.resps, s.jobs)
+	honest := append([]Response(nil), s.resps...)
+	dst := make([]Response, len(reqs))
+
+	deltas := []int{-100000, -500, -7, -1, 1, 7, 500, 100000}
+	for slot := range reqs {
+		for _, delta := range deltas {
+			copy(s.resps, honest)
+			s.wire = stampWire(s.resps, s.wire)
+			s.wire[slot].resp.Res.Local += delta
+
+			bad := s.validate(reqs, dst)
+			if bad != 1 {
+				t.Fatalf("slot %d delta %+d: validate flagged %d faults, want 1", slot, delta, bad)
+			}
+			if !dst[slot].Rerun {
+				t.Fatalf("slot %d delta %+d: corrupted response certified (%+v)", slot, delta, dst[slot])
+			}
+			// The containment path restores the oracle.
+			dst[slot].Res = s.chk.Rerun(reqs[slot].Q, reqs[slot].T, reqs[slot].H0)
+			want := align.Extend(reqs[slot].Q, reqs[slot].T, reqs[slot].H0, cfg.Scoring)
+			if dst[slot].Res != want {
+				t.Fatalf("slot %d delta %+d: contained result %+v != oracle %+v", slot, delta, dst[slot].Res, want)
+			}
+		}
+	}
+}
+
+// TestSanityCatchesForgedIntegrity: even a device that forges a valid
+// integrity word (recomputing the hash over corrupted payloads) cannot
+// smuggle an out-of-range result past the sanity cross-checks.
+func TestSanityCatchesForgedIntegrity(t *testing.T) {
+	cfg := DefaultConfig()
+	dev := NewDevice(cfg)
+	s := dev.newSession()
+	reqs := makeRequests(8, 12)
+	s.resps, s.jobs = dev.compute(s.chk, reqs, s.resps, s.jobs)
+	dst := make([]Response, len(reqs))
+
+	forge := []func(r *Response, req Request){
+		func(r *Response, req Request) { r.Res.Local = -1 },
+		func(r *Response, req Request) { r.Res.Global = -5 },
+		func(r *Response, req Request) { r.Res.Local = req.H0 + len(req.Q)*cfg.Scoring.Match + 1 },
+		func(r *Response, req Request) { r.Res.Global = req.H0 + len(req.Q)*cfg.Scoring.Match + 1000 },
+		func(r *Response, req Request) { r.Res.LocalQ = len(req.Q) + 1 },
+		func(r *Response, req Request) { r.Res.LocalT = -1 },
+		func(r *Response, req Request) { r.Res.GlobalT = len(req.T) + 3 },
+		func(r *Response, req Request) { r.Res.Rows = len(req.T) + 1 },
+	}
+	for fi, mut := range forge {
+		s.wire = stampWire(s.resps, s.wire)
+		mut(&s.wire[0].resp, reqs[0])
+		s.wire[0].sum = respSum(s.wire[0].resp) // forged: hash matches payload
+		if bad := s.validate(reqs, dst); bad != 1 {
+			t.Fatalf("forgery %d: validate flagged %d faults, want 1", fi, bad)
+		}
+		if !dst[0].Rerun {
+			t.Fatalf("forgery %d: insane response accepted: %+v", fi, dst[0])
+		}
+	}
+}
+
+// TestValidateTagAnomalies: unknown and duplicate tags are counted as
+// anomalies and never displace a valid response.
+func TestValidateTagAnomalies(t *testing.T) {
+	cfg := DefaultConfig()
+	dev := NewDevice(cfg)
+	s := dev.newSession()
+	reqs := makeRequests(4, 13)
+	s.resps, s.jobs = dev.compute(s.chk, reqs, s.resps, s.jobs)
+	dst := make([]Response, len(reqs))
+
+	// Unknown tag: an extra line from some other batch.
+	s.wire = stampWire(s.resps, s.wire)
+	alien := s.wire[0]
+	alien.resp.Tag = 999
+	alien.sum = respSum(alien.resp)
+	s.wire = append(s.wire, alien)
+	if bad := s.validate(reqs, dst); bad != 1 {
+		t.Fatalf("unknown tag: %d faults, want 1", bad)
+	}
+	for i := range dst {
+		if dst[i].Rerun != s.resps[i].Rerun {
+			t.Fatalf("unknown tag displaced slot %d", i)
+		}
+	}
+
+	// Duplicate tag: the same line delivered twice.
+	s.wire = stampWire(s.resps, s.wire)
+	s.wire = append(s.wire, s.wire[2])
+	if bad := s.validate(reqs, dst); bad != 1 {
+		t.Fatalf("duplicate tag: %d faults, want 1", bad)
+	}
+}
+
+// TestWireFaultMechanics pins the wire-level behaviour of each fault
+// class: swaps leave both slots detectable, drops shrink the batch,
+// flips break the stamped word, and a retry re-stamps from the honest
+// results so corruption never leaks across attempts.
+func TestWireFaultMechanics(t *testing.T) {
+	cfg := DefaultConfig()
+	dev := NewDevice(cfg)
+	s := dev.newSession()
+	reqs := makeRequests(6, 14)
+	s.resps, s.jobs = dev.compute(s.chk, reqs, s.resps, s.jobs)
+	dst := make([]Response, len(reqs))
+
+	// Payload swap: tags and sums stay in their DMA slots, payloads move.
+	s.wire = stampWire(s.resps, s.wire)
+	applyPlan(faults.Plan{Swap: [][2]int{{1, 2}}}, s.wire)
+	if bad := s.validate(reqs, dst); bad != 2 {
+		t.Fatalf("swap: %d faults, want 2 (both slots)", bad)
+	}
+	if !dst[1].Rerun || !dst[2].Rerun {
+		t.Fatalf("swapped slots certified: %+v %+v", dst[1], dst[2])
+	}
+
+	// Drop: the batch comes back short; the missing tag reruns.
+	s.wire = stampWire(s.resps, s.wire)
+	s.wire = applyDrops(faults.Plan{Drop: []int{4}}, s.wire)
+	if len(s.wire) != len(reqs)-1 {
+		t.Fatalf("drop left %d lines", len(s.wire))
+	}
+	if bad := s.validate(reqs, dst); bad != 1 || !dst[4].Rerun {
+		t.Fatalf("drop: bad=%d dst[4]=%+v", bad, dst[4])
+	}
+
+	// Verdict flip under a stamped word.
+	s.wire = stampWire(s.resps, s.wire)
+	applyPlan(faults.Plan{Flip: []int{3}}, s.wire)
+	if bad := s.validate(reqs, dst); bad != 1 || !dst[3].Rerun {
+		t.Fatalf("flip: bad=%d dst[3]=%+v", bad, dst[3])
+	}
+
+	// Re-stamping restores a clean wire image: zero faults.
+	s.wire = stampWire(s.resps, s.wire)
+	if bad := s.validate(reqs, dst); bad != 0 {
+		t.Fatalf("clean re-stamped wire flagged %d faults", bad)
+	}
+	for i := range dst {
+		if dst[i] != s.resps[i] {
+			t.Fatalf("clean delivery mutated slot %d", i)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a circuit breaker position.
+type State int32
+
+// Breaker states.
+const (
+	// Closed: the device is in the path; outcomes feed the sliding window.
+	Closed State = iota
+	// Open: the device is out of the path; everything runs host-only
+	// until the cooldown elapses.
+	Open
+	// HalfOpen: probe batches are admitted; enough consecutive successes
+	// close the breaker, any failure reopens it.
+	HalfOpen
+)
+
+// String renders the state for health documents.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the degradation policy.
+type BreakerConfig struct {
+	// Window is the sliding window of recent device transactions
+	// (default 64).
+	Window int
+	// MinSamples is the minimum window fill before the trip ratio is
+	// evaluated (default 16).
+	MinSamples int
+	// TripRatio opens the breaker when the faulty fraction of the window
+	// reaches it (default 0.5).
+	TripRatio float64
+	// Cooldown is how long the breaker stays open before admitting
+	// half-open probes (default 50ms).
+	Cooldown time.Duration
+	// ProbeSuccesses is the consecutive successful probes required to
+	// close again (default 3).
+	ProbeSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 16
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.TripRatio <= 0 {
+		c.TripRatio = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 50 * time.Millisecond
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 3
+	}
+	return c
+}
+
+// Breaker is a sliding-window circuit breaker: Record feeds per-batch
+// device outcomes, Allow gates device access. It is safe for concurrent
+// use by every FPGA thread; the critical section is a few integer
+// operations per batch, far off the per-extension hot path.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	ring     []bool // true = faulty
+	pos      int
+	filled   int
+	faults   int
+	state    State
+	openedAt time.Time
+	probeOK  int
+
+	// Trips counts closed->open transitions; Reopens counts half-open
+	// probes that failed and reopened the breaker.
+	Trips   atomic.Int64
+	Reopens atomic.Int64
+}
+
+// NewBreaker builds a closed breaker with cfg (zero fields take the
+// documented defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// State reports the current position (Open lazily becomes HalfOpen once
+// the cooldown has elapsed, matching what Allow would admit).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && time.Since(b.openedAt) >= b.cfg.Cooldown {
+		b.state = HalfOpen
+		b.probeOK = 0
+	}
+	return b.state
+}
+
+// Allow reports whether the next device transaction may proceed. Closed
+// and half-open admit (half-open transactions are probes); open refuses
+// until the cooldown elapses, then flips to half-open and admits.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed, HalfOpen:
+		return true
+	default: // Open
+		if time.Since(b.openedAt) >= b.cfg.Cooldown {
+			b.state = HalfOpen
+			b.probeOK = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Record feeds one device transaction outcome (ok = the batch completed
+// with no detected faults). It returns true when this record tripped the
+// breaker closed->open, so the caller can count the trip.
+func (b *Breaker) Record(ok bool) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		if !ok {
+			b.reopenLocked()
+			b.Reopens.Add(1)
+			return false
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.ProbeSuccesses {
+			b.resetLocked()
+		}
+		return false
+	case Open:
+		// A transaction that was admitted just before the trip landed
+		// late; the window restarts when the breaker half-opens.
+		return false
+	default: // Closed
+		if b.filled == len(b.ring) {
+			if b.ring[b.pos] {
+				b.faults--
+			}
+		} else {
+			b.filled++
+		}
+		b.ring[b.pos] = !ok
+		if !ok {
+			b.faults++
+		}
+		b.pos = (b.pos + 1) % len(b.ring)
+		if b.filled >= b.cfg.MinSamples &&
+			float64(b.faults) >= b.cfg.TripRatio*float64(b.filled) {
+			b.reopenLocked()
+			return true
+		}
+		return false
+	}
+}
+
+// reopenLocked moves to Open and restarts the cooldown clock.
+func (b *Breaker) reopenLocked() {
+	b.state = Open
+	b.openedAt = time.Now()
+	b.probeOK = 0
+	b.clearLocked()
+}
+
+// resetLocked closes the breaker with an empty window.
+func (b *Breaker) resetLocked() {
+	b.state = Closed
+	b.probeOK = 0
+	b.clearLocked()
+}
+
+func (b *Breaker) clearLocked() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.pos, b.filled, b.faults = 0, 0, 0
+}

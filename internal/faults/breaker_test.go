@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testBreaker() *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window: 8, MinSamples: 4, TripRatio: 0.5,
+		Cooldown: 10 * time.Millisecond, ProbeSuccesses: 2,
+	})
+}
+
+// TestBreakerTripsOnFaultRate: sustained faults open the breaker exactly
+// once (the trip is reported to the recorder that caused it), and Allow
+// refuses while open.
+func TestBreakerTripsOnFaultRate(t *testing.T) {
+	b := testBreaker()
+	trips := 0
+	for i := 0; i < 6; i++ {
+		if !b.Allow() {
+			break
+		}
+		if b.Record(false) {
+			trips++
+		}
+	}
+	if trips != 1 {
+		t.Fatalf("recorded %d trips, want 1", trips)
+	}
+	if s := b.State(); s != Open {
+		t.Fatalf("state after trip: %v", s)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a transaction before cooldown")
+	}
+	if got := b.Trips.Load(); got != 0 {
+		// Trips is owned by the caller-side counter; the breaker's own
+		// counter is only advanced by callers that choose to.
+		t.Fatalf("breaker self-counted %d trips", got)
+	}
+}
+
+// TestBreakerHealthyStaysClosed: all-ok traffic never trips.
+func TestBreakerHealthyStaysClosed(t *testing.T) {
+	b := testBreaker()
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused at %d", i)
+		}
+		if b.Record(true) {
+			t.Fatalf("healthy record tripped at %d", i)
+		}
+	}
+	if s := b.State(); s != Closed {
+		t.Fatalf("state: %v", s)
+	}
+}
+
+// TestBreakerHalfOpenRecovery: after the cooldown the breaker admits
+// probes; enough successes close it again.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b := testBreaker()
+	for i := 0; i < 6; i++ {
+		b.Record(false)
+	}
+	if s := b.State(); s != Open {
+		t.Fatalf("state after faults: %v", s)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("post-cooldown probe refused")
+	}
+	if s := b.State(); s != HalfOpen {
+		t.Fatalf("state after cooldown: %v", s)
+	}
+	b.Record(true)
+	if s := b.State(); s != HalfOpen {
+		t.Fatalf("one probe closed the breaker early: %v", s)
+	}
+	b.Record(true)
+	if s := b.State(); s != Closed {
+		t.Fatalf("state after %d good probes: %v", 2, s)
+	}
+	// The window restarted: a single fault must not re-trip immediately.
+	if b.Record(false) {
+		t.Fatal("single fault tripped a freshly closed breaker")
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed half-open probe reopens the
+// breaker and counts a reopen.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := testBreaker()
+	for i := 0; i < 6; i++ {
+		b.Record(false)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(false)
+	if s := b.State(); s != Open {
+		t.Fatalf("failed probe left state %v", s)
+	}
+	if b.Reopens.Load() != 1 {
+		t.Fatalf("reopens = %d, want 1", b.Reopens.Load())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted before a fresh cooldown")
+	}
+}
+
+// TestBreakerConcurrency: hammered from many goroutines the breaker stays
+// internally consistent (run with -race).
+func TestBreakerConcurrency(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 32, MinSamples: 8, TripRatio: 0.5, Cooldown: time.Millisecond, ProbeSuccesses: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					b.Record(i%3 != 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.State(); s < Closed || s > HalfOpen {
+		t.Fatalf("invalid state %d", s)
+	}
+}

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlanDeterminism: the same (seed, key, attempt) tuple yields the same
+// plan on every draw — the replayability contract of chaos runs.
+func TestPlanDeterminism(t *testing.T) {
+	mk := func() *Injector { return NewInjector(Uniform(42, 0.3)) }
+	a, b := mk(), mk()
+	for key := int64(0); key < 50; key++ {
+		for attempt := int64(0); attempt < 3; attempt++ {
+			pa := a.BatchPlan(key, attempt, 16)
+			pb := b.BatchPlan(key, attempt, 16)
+			if pa.CoreFail != pb.CoreFail || pa.Stall != pb.Stall ||
+				len(pa.Corrupt) != len(pb.Corrupt) || len(pa.Flip) != len(pb.Flip) ||
+				len(pa.Swap) != len(pb.Swap) || len(pa.Drop) != len(pb.Drop) {
+				t.Fatalf("plans diverge at key=%d attempt=%d: %+v vs %+v", key, attempt, pa, pb)
+			}
+			for i := range pa.Corrupt {
+				if pa.Corrupt[i] != pb.Corrupt[i] {
+					t.Fatalf("corruption %d diverges: %+v vs %+v", i, pa.Corrupt[i], pb.Corrupt[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSeedsDiffer: different seeds draw different chaos.
+func TestSeedsDiffer(t *testing.T) {
+	a := NewInjector(Uniform(1, 0.3))
+	b := NewInjector(Uniform(2, 0.3))
+	same := 0
+	const n = 200
+	for key := int64(0); key < n; key++ {
+		pa, pb := a.BatchPlan(key, 0, 8), b.BatchPlan(key, 0, 8)
+		if pa.CoreFail == pb.CoreFail && len(pa.Corrupt) == len(pb.Corrupt) &&
+			len(pa.Drop) == len(pb.Drop) && len(pa.Flip) == len(pb.Flip) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("seeds 1 and 2 drew identical plans for all %d keys", n)
+	}
+}
+
+// TestRatesRoughlyHonored: per-response classes hit near their configured
+// rate over many draws, and a zero rate never hits.
+func TestRatesRoughlyHonored(t *testing.T) {
+	in := NewInjector(Config{Seed: 7, Corrupt: 0.25})
+	const batches, slots = 400, 16
+	for key := int64(0); key < batches; key++ {
+		in.BatchPlan(key, 0, slots)
+	}
+	c := in.Counters()
+	got := float64(c.Corrupt) / float64(batches*slots)
+	if got < 0.18 || got > 0.32 {
+		t.Fatalf("corrupt rate 0.25 produced %.3f over %d draws", got, batches*slots)
+	}
+	if c.Flip != 0 || c.Drop != 0 || c.Reorder != 0 || c.Stall != 0 || c.CoreFail != 0 {
+		t.Fatalf("zero-rate classes injected: %+v", c)
+	}
+}
+
+// TestCorruptionsNonZero: every corruption has a non-zero delta and a
+// valid field/slot, so applying a plan always changes the payload.
+func TestCorruptionsNonZero(t *testing.T) {
+	in := NewInjector(Config{Seed: 3, Corrupt: 1})
+	for key := int64(0); key < 20; key++ {
+		p := in.BatchPlan(key, 0, 8)
+		if len(p.Corrupt) != 8 {
+			t.Fatalf("rate-1 corrupt hit %d of 8 slots", len(p.Corrupt))
+		}
+		for _, c := range p.Corrupt {
+			if c.Delta == 0 {
+				t.Fatalf("zero delta at key %d: %+v", key, c)
+			}
+			if c.Index < 0 || c.Index >= 8 || c.Field < 0 || c.Field >= 5 {
+				t.Fatalf("out-of-range corruption: %+v", c)
+			}
+		}
+	}
+}
+
+// TestSetRateLive: rates can be changed while drawing (the breaker
+// recovery path) and Enabled tracks them.
+func TestSetRateLive(t *testing.T) {
+	in := NewInjector(Config{Seed: 1, CoreFail: 1})
+	if !in.Enabled() {
+		t.Fatal("rate-1 injector reports disabled")
+	}
+	if p := in.BatchPlan(1, 0, 4); !p.CoreFail {
+		t.Fatal("rate-1 core-fail did not hit")
+	}
+	in.SetRate(ClassCoreFail, 0)
+	if in.Enabled() {
+		t.Fatal("all-zero injector reports enabled")
+	}
+	for key := int64(0); key < 100; key++ {
+		if p := in.BatchPlan(key, 0, 4); !p.Empty() {
+			t.Fatalf("disabled injector produced %+v", p)
+		}
+	}
+}
+
+// TestNilAndDisabledInjector: nil receivers and zero configs are silent.
+func TestNilAndDisabledInjector(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.Enabled() {
+		t.Fatal("nil injector enabled")
+	}
+	if p := nilIn.BatchPlan(1, 0, 8); !p.Empty() {
+		t.Fatalf("nil injector produced %+v", p)
+	}
+	if c := nilIn.Counters(); c.Total() != 0 {
+		t.Fatalf("nil injector counted %+v", c)
+	}
+	in := NewInjector(Config{Seed: 9})
+	if p := in.BatchPlan(1, 0, 8); !p.Empty() {
+		t.Fatalf("zero-config injector produced %+v", p)
+	}
+}
+
+// TestStallDuration: stalls carry the configured (or default) duration.
+func TestStallDuration(t *testing.T) {
+	in := NewInjector(Config{Seed: 1, Stall: 1, StallFor: 123 * time.Millisecond})
+	if p := in.BatchPlan(5, 0, 1); p.Stall != 123*time.Millisecond {
+		t.Fatalf("stall carries %v, want 123ms", p.Stall)
+	}
+	in = NewInjector(Config{Seed: 1, Stall: 1})
+	if p := in.BatchPlan(5, 0, 1); p.Stall != 5*time.Millisecond {
+		t.Fatalf("default stall carries %v, want 5ms", p.Stall)
+	}
+}
+
+// TestRetryRedraws: a retried attempt draws fresh faults, so transient
+// core failures clear on some retry path for most batches.
+func TestRetryRedraws(t *testing.T) {
+	in := NewInjector(Config{Seed: 11, CoreFail: 0.5})
+	cleared := 0
+	const batches = 100
+	for key := int64(0); key < batches; key++ {
+		for attempt := int64(0); attempt < 4; attempt++ {
+			if !in.BatchPlan(key, attempt, 1).CoreFail {
+				cleared++
+				break
+			}
+		}
+	}
+	// P(all 4 attempts fail) = 1/16; nearly all batches should clear.
+	if cleared < batches*3/4 {
+		t.Fatalf("only %d/%d batches cleared within 4 attempts at rate 0.5", cleared, batches)
+	}
+}

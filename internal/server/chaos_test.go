@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"seedex/internal/align"
+	"seedex/internal/driver"
+	"seedex/internal/faults"
+	"seedex/internal/genome"
+)
+
+// chaosEngine builds a device-backed extender with the given chaos
+// config and a fast breaker, sized for the micro-batcher's batches.
+func chaosEngine(fc faults.Config) *driver.Engine {
+	cfg := driver.DefaultConfig()
+	cfg.BatchSize = 32
+	cfg.TimeScale = 0.01
+	cfg.MaxAttempts = 2
+	cfg.RetryBackoff = 20 * time.Microsecond
+	cfg.DeviceTimeout = 5 * time.Millisecond
+	cfg.Faults = fc
+	cfg.Faults.StallFor = 20 * time.Millisecond
+	cfg.Breaker = faults.BreakerConfig{
+		Window: 8, MinSamples: 2, TripRatio: 0.5,
+		Cooldown: 30 * time.Millisecond, ProbeSuccesses: 2,
+	}
+	return driver.NewEngine(cfg)
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+// TestServerBreakerVisibility drives the whole degradation story through
+// the HTTP surface: a device-backed server under sustained core failures
+// keeps serving exact results, trips its breaker into host-only mode —
+// observable in /metrics (faults section) and /healthz (degraded, still
+// 200) — and once the fault clears, half-open probing restores the
+// device and health returns to ok.
+func TestServerBreakerVisibility(t *testing.T) {
+	eng := chaosEngine(faults.Config{Seed: 5, CoreFail: 1})
+	s, ts := newTestServer(t, Config{
+		Extender: eng,
+		Batch:    BatcherConfig{MaxBatch: 32, FlushInterval: time.Millisecond, Workers: 2},
+	})
+
+	// Phase 1: every device attempt core-fails. Results must still match
+	// the full-band kernel (host containment), and the breaker must trip.
+	jobs := testProblems(96, 120, 6)
+	resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: jobs})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extend under chaos: status %d", resp.StatusCode)
+	}
+	var out ExtendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	sc := align.DefaultScoring()
+	for i, j := range jobs {
+		want := align.Extend(genome.Encode(j.Query), genome.Encode(j.Target), j.H0, sc)
+		got := out.Results[i]
+		if got.Local != want.Local || got.Global != want.Global {
+			t.Fatalf("job %d under chaos: served %+v, kernel %+v", i, got, want)
+		}
+	}
+
+	var met metricsBody
+	if code := getJSON(t, ts.URL+"/metrics", &met); code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if met.Faults == nil {
+		t.Fatal("/metrics has no faults section for a device-backed server")
+	}
+	if met.Faults.Trips == 0 || met.Faults.HostOnly == 0 {
+		t.Fatalf("breaker not visible in /metrics: %+v", met.Faults)
+	}
+	if met.Checks == nil || met.Checks.HostOnly == 0 {
+		t.Fatalf("check stats not picked up from the engine: %+v", met.Checks)
+	}
+
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("degraded healthz must stay 200 (traffic is still served), got %d", code)
+	}
+	if health["status"] != "degraded" {
+		t.Fatalf("healthz status %q, want degraded", health["status"])
+	}
+
+	// Phase 2: clear the fault, wait out the cooldown, push probe traffic.
+	eng.Device().Injector().SetRate(faults.ClassCoreFail, 0)
+	time.Sleep(35 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r2 := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: testProblems(64, 100, 7)})
+		r2.Body.Close()
+		if eng.Device().Breaker().State() == faults.Closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after recovery: %v", eng.Device().Breaker().State())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("recovered healthz: %d %q", code, health["status"])
+	}
+
+	// Draining outranks everything: 503 so the LB pulls the instance.
+	s.StartDrain()
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusServiceUnavailable || health["status"] != "draining" {
+		t.Fatalf("draining healthz: %d %q", code, health["status"])
+	}
+}
+
+// TestServerChaosEquivalence floods a device-backed server with mixed
+// fault classes (kept below the breaker threshold is not required —
+// containment must hold either way) and checks every served result
+// against the full-band kernel.
+func TestServerChaosEquivalence(t *testing.T) {
+	eng := chaosEngine(faults.Uniform(1234, 0.05))
+	_, ts := newTestServer(t, Config{
+		Extender: eng,
+		Batch:    BatcherConfig{MaxBatch: 32, FlushInterval: time.Millisecond, Workers: 4},
+	})
+	jobs := testProblems(256, 110, 8)
+	resp := postJSON(t, ts.URL+"/v1/extend", ExtendRequest{Jobs: jobs})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out ExtendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	sc := align.DefaultScoring()
+	for i, j := range jobs {
+		want := align.Extend(genome.Encode(j.Query), genome.Encode(j.Target), j.H0, sc)
+		got := out.Results[i]
+		if got.Local != want.Local || got.LocalT != want.LocalT || got.LocalQ != want.LocalQ ||
+			got.Global != want.Global || got.GlobalT != want.GlobalT {
+			t.Fatalf("job %d: served %+v, kernel %+v", i, got, want)
+		}
+	}
+	if eng.Device().Injector().Counters().Total() == 0 {
+		t.Fatal("chaos server run injected nothing")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"seedex/internal/core"
+	"seedex/internal/faults"
 	"seedex/internal/genome"
 )
 
@@ -453,6 +454,7 @@ type metricsBody struct {
 	MetricsSnapshot
 	UptimeSec float64           `json:"uptime_sec"`
 	Checks    *checksBody       `json:"checks,omitempty"`
+	Faults    *faults.Health    `json:"faults,omitempty"`
 	MapQueue  *queueBody        `json:"map_queue,omitempty"`
 	Config    metricsConfigEcho `json:"config"`
 }
@@ -498,16 +500,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Outcomes:          snap.OutcomeCounts(),
 		}
 	}
+	if s.cfg.Health != nil {
+		h := s.cfg.Health()
+		body.Faults = &h
+	}
 	if s.maps != nil {
 		body.MapQueue = &queueBody{Depth: s.maps.QueueDepth(), Cap: s.maps.QueueCap()}
 	}
 	writeJSON(w, http.StatusOK, body)
 }
 
+// handleHealthz reports the service's load-balancer view: "draining"
+// answers 503 (take the instance out of rotation — admission is closed),
+// while "degraded" answers 200 (the platform fell back to host-only
+// full-band mode; slower, but results stay exact and traffic is still
+// welcome). The breaker state rides along for operators.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
+	}
+	if s.cfg.Health != nil {
+		if h := s.cfg.Health(); h.Degraded {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "degraded", "breaker": h.Breaker})
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -9,6 +9,7 @@ import (
 	"seedex/internal/align"
 	"seedex/internal/bwamem"
 	"seedex/internal/core"
+	"seedex/internal/faults"
 )
 
 // Config assembles a Server.
@@ -39,6 +40,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// Health, when non-nil, feeds the fault-tolerance status into /metrics
+	// and /healthz (breaker state, fault/retry/degradation counters). It is
+	// picked up automatically when Extender exposes a
+	// `Health() faults.Health` method (the FPGA driver engine does).
+	Health func() faults.Health
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +96,15 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, met: &Metrics{}, mux: http.NewServeMux(), started: time.Now()}
 	if se, ok := cfg.Extender.(*core.SeedEx); ok {
 		s.stats = se.Stats
+	} else if cs, ok := cfg.Extender.(interface{ CheckStats() *core.Stats }); ok {
+		// Device-backed extenders (the FPGA driver engine) expose their
+		// check statistics behind this accessor.
+		s.stats = cs.CheckStats()
+	}
+	if s.cfg.Health == nil {
+		if h, ok := cfg.Extender.(interface{ Health() faults.Health }); ok {
+			s.cfg.Health = h.Health
+		}
 	}
 	s.ext = newBatcher(cfg.Batch, s.met, s.extWorker)
 	if cfg.Aligner != nil {
@@ -104,8 +119,8 @@ func New(cfg Config) *Server {
 //	POST /v1/extend         JSON batch of extension jobs
 //	POST /v1/extend/stream  NDJSON job stream, results in input order
 //	POST /v1/map            JSON batch of reads -> SAM records (with -ref)
-//	GET  /metrics           operational counters + check statistics
-//	GET  /healthz           ok / draining
+//	GET  /metrics           operational counters + check + fault statistics
+//	GET  /healthz           ok / degraded / draining
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // StartDrain stops admitting work: job endpoints answer 503 and healthz
