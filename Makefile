@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench bench-extend serve-bench
+.PHONY: check vet build test race chaos obs-smoke bench bench-extend serve-bench
 
 check: vet build test race
 
@@ -29,6 +29,12 @@ chaos:
 	SEEDEX_CHAOS_SEED=$(CHAOS_SEED) SEEDEX_CHAOS_SNAPSHOT=$(CHAOS_SNAPSHOT) \
 		$(GO) test -race -run 'Chaos|Integrity|Corrupted|Adversarial|Wire|Sanity|Validate' \
 		./internal/driver/... ./internal/server/... ./internal/core/...
+
+# Observability smoke: boot seedex-serve with tracing and pprof enabled,
+# drive traffic, then assert the Prometheus scrape and both trace export
+# formats are well-formed. Artifacts land in obs-smoke/ (override OUT).
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # Full benchmark pass: every testing.B entry, then a refresh of the
 # extension perf trajectory (BENCH_extend.json).

@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	serveStrict := fs.Bool("serve-strict", false, "serve ModeStrict (bit-identical checks) instead of the paper workflow for -fig serve")
 	serveBatch := fs.Int("serve-batch", 64, "micro-batch size for the batched -fig serve configuration")
 	serveFlush := fs.Duration("serve-flush", 100*time.Microsecond, "micro-batch flush interval for -fig serve")
+	serveTrace := fs.Int("serve-trace", 100, "trace sample rate for the batched-traced -fig serve configuration (1 in N requests; negative skips the traced configuration)")
 	chaos := fs.Float64("chaos", 0, "for -fig serve: serve through the simulated FPGA device with every fault class injecting at this rate (measures the throughput cost of fault tolerance)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -209,6 +210,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Duration:       *serveDur,
 			ChaosRate:      *chaos,
 			ChaosSeed:      *chaosSeed,
+			TraceSample:    *serveTrace,
 		})
 		fmt.Fprintln(stdout, rep)
 		data, err := rep.JSON()

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -19,6 +20,7 @@ import (
 	"seedex/internal/fastx"
 	"seedex/internal/faults"
 	"seedex/internal/genome"
+	"seedex/internal/obs"
 	"seedex/internal/server"
 )
 
@@ -43,6 +45,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on shutdown")
 	chaos := fs.Float64("chaos", 0, "serve through the simulated FPGA platform with every fault class injecting at this rate (0 = software extender, no device)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
+	traceSample := fs.Int("trace-sample", 0, "record pipeline spans for 1 in N requests and export them at /debug/traces (0 disables tracing)")
+	traceSlow := fs.Int("trace-slow", 64, "always retain the K slowest requests at /debug/traces/slow, regardless of sampling")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof profiling handlers on this separate address (empty disables them)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +98,13 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		aligner = a
 	}
 
+	tracer := obs.New(obs.Config{SampleEvery: *traceSample, SlowK: *traceSlow})
+	if eng != nil {
+		// Device-level spans (batch attempts, retry backoffs, host reruns)
+		// record under the batch key, always retained when tracing is on.
+		eng.Device().Trace = tracer
+	}
+
 	flushIv := *flush
 	if flushIv == 0 {
 		// The flag default is explicit, so a literal -flush 0 means
@@ -109,6 +121,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 			Workers:       *workers,
 		},
 		MaxJobsPerRequest: *maxJobs,
+		Trace:             tracer,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -119,12 +132,36 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		// Profiling stays off the service mux on purpose: the pprof
+		// handlers are opt-in and bind their own (typically loopback-only)
+		// address, so exposing the service never exposes the profiler.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			return derr
+		}
+		debugServer = &http.Server{Handler: dmux}
+		go debugServer.Serve(dln)
+		fmt.Fprintf(stderr, "seedex-serve: pprof profiling on http://%s/debug/pprof/\n", dln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 
 	fmt.Fprintf(stderr, "seedex-serve: listening on %s (extender=%s band=%d batch=%d flush=%s queue=%d)\n",
 		ln.Addr(), *extName, *band, *maxBatch, *flush, *queueCap)
+	if tracer != nil {
+		fmt.Fprintf(stderr, "seedex-serve: tracing 1/%d requests (exports at /debug/traces, slowest %d at /debug/traces/slow)\n",
+			*traceSample, *traceSlow)
+	}
 	if eng != nil {
 		fmt.Fprintf(stderr, "seedex-serve: chaos enabled (rate=%g seed=%d): device-backed engine with fault injection\n",
 			*chaos, *chaosSeed)
@@ -150,6 +187,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintf(stderr, "seedex-serve: drain budget exceeded, closing: %v\n", err)
 		hs.Close()
+	}
+	if debugServer != nil {
+		debugServer.Close()
 	}
 	s.Close()
 	snap := s.Metrics().Snapshot(0, 0)

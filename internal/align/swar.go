@@ -141,6 +141,8 @@ func extendBatchWS(ws *Workspace, jobs []Job, sc Scoring, w int, results []Exten
 
 func extendBatchChunk(ws *Workspace, jobs []Job, sc Scoring, w int, results []ExtendResult, bds []BandBoundary) {
 	scTier := swarScoringTier(sc)
+	var tally chunkTally
+	defer tally.flushWithCells(results)
 	keys := ws.batchKeys
 	if cap(keys) < len(jobs) {
 		keys = make([]uint64, 0, len(jobs))
@@ -152,12 +154,14 @@ func extendBatchChunk(ws *Workspace, jobs []Job, sc Scoring, w int, results []Ex
 			// Degenerate extension: the kernels report an empty result and
 			// an all-zero boundary (already cleared in the arena).
 			results[i] = ExtendResult{}
+			tally.degenerate++
 			continue
 		}
 		tier := tierScalar
 		if n <= swarMaxDim && m <= swarMaxDim {
 			tier = jobTier(n, jobs[i].H0, sc, scTier)
 		}
+		tally.jobs[tier]++
 		keys = append(keys,
 			uint64(tier)<<(swarKeyIdxBits+2*swarKeyDimBits)|
 				uint64(^n&swarKeyDimMask)<<(swarKeyIdxBits+swarKeyDimBits)|
@@ -213,6 +217,7 @@ func extendBatchChunk(ws *Workspace, jobs []Job, sc Scoring, w int, results []Ex
 				bd = bds[i].E
 			}
 			if 4*(n+1)*(m+1) < envelope {
+				tally.demoted++
 				results[i], _ = extendCoreWS(ws, jobs[i].Q, jobs[i].T, jobs[i].H0, sc, w, Options{}, bd)
 				continue
 			}
@@ -224,11 +229,16 @@ func extendBatchChunk(ws *Workspace, jobs []Job, sc Scoring, w int, results []Ex
 			// every candidate demoted; nothing packed to run
 		case nl == 1:
 			// A single lane gains nothing from packing; run it scalar.
+			tally.solo++
 			l := &lanes[0]
 			*l.res, _ = extendCoreWS(ws, l.q, l.t, l.h0, sc, w, Options{}, l.bd)
 		case tier == tierSWAR8:
+			tally.groups++
+			tally.lanes += int64(nl)
 			extendSWAR8(ws, lanes[:nl], sc, w)
 		default:
+			tally.groups++
+			tally.lanes += int64(nl)
 			extendSWAR16(ws, lanes[:nl], sc, w)
 		}
 		idx = gEnd

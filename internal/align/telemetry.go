@@ -1,0 +1,141 @@
+package align
+
+import "sync/atomic"
+
+// Kernel-level batch telemetry: process-wide atomic counters the batch
+// kernels bump once per chunk (a handful of uncontended adds per batch,
+// nothing per cell or per lane), surfaced through the server's metrics
+// registry as tier mix, demotion counts, lane occupancy and cells/s.
+
+// kernelCounters is the live counter set behind KernelSnapshot.
+type kernelCounters struct {
+	batches    atomic.Int64
+	jobs       [3]atomic.Int64 // assigned tier: swar8, swar16, scalar
+	degenerate atomic.Int64
+	demoted    atomic.Int64
+	solo       atomic.Int64
+	groups     atomic.Int64
+	lanes      atomic.Int64
+	cells      atomic.Int64
+}
+
+var ktel kernelCounters
+
+// KernelTelemetry is a plain snapshot of the batch kernels' counters.
+type KernelTelemetry struct {
+	// Batches counts batch-kernel invocations (chunks).
+	Batches int64 `json:"batches"`
+	// Jobs counts jobs per assigned tier (index TierSWAR8/16/Scalar).
+	Jobs [3]int64 `json:"jobs_per_tier"`
+	// Degenerate counts jobs that never entered the tier ladder (empty
+	// query or non-positive h0).
+	Degenerate int64 `json:"degenerate"`
+	// Demoted counts jobs assigned a SWAR tier but run scalar because
+	// their DP area diverged from their lane group's envelope.
+	Demoted int64 `json:"demoted"`
+	// Solo counts jobs run scalar because their group filled one lane.
+	Solo int64 `json:"solo"`
+	// Groups counts packed lane groups executed; Lanes the lanes filled
+	// across them, so Lanes/Groups is the realized lane occupancy.
+	Groups int64 `json:"groups"`
+	Lanes  int64 `json:"lanes"`
+	// Cells counts DP cells swept by the batch kernels.
+	Cells int64 `json:"cells"`
+}
+
+// LaneOccupancy returns the mean lanes filled per packed group.
+func (k KernelTelemetry) LaneOccupancy() float64 {
+	if k.Groups == 0 {
+		return 0
+	}
+	return float64(k.Lanes) / float64(k.Groups)
+}
+
+// KernelSnapshot reads the live batch-kernel counters.
+func KernelSnapshot() KernelTelemetry {
+	var out KernelTelemetry
+	out.Batches = ktel.batches.Load()
+	for i := range out.Jobs {
+		out.Jobs[i] = ktel.jobs[i].Load()
+	}
+	out.Degenerate = ktel.degenerate.Load()
+	out.Demoted = ktel.demoted.Load()
+	out.Solo = ktel.solo.Load()
+	out.Groups = ktel.groups.Load()
+	out.Lanes = ktel.lanes.Load()
+	out.Cells = ktel.cells.Load()
+	return out
+}
+
+// Tier indices, exported for telemetry consumers; they equal the
+// internal sort-key tiers.
+const (
+	TierSWAR8  = tierSWAR8
+	TierSWAR16 = tierSWAR16
+	TierScalar = tierScalar
+)
+
+// TierNames, indexed by tier.
+var TierNames = [3]string{"swar8", "swar16", "scalar"}
+
+// TierOf reports the batch tier the ladder assigns a job of query length
+// n with seed score h0 under sc — the lane width the packed kernels
+// select before any divergence demotion.
+func TierOf(n, h0 int, sc Scoring) int {
+	if h0 <= 0 || n == 0 {
+		return tierScalar
+	}
+	if n > swarMaxDim {
+		return tierScalar
+	}
+	return jobTier(n, h0, sc, swarScoringTier(sc))
+}
+
+// chunkTally accumulates one chunk's counters locally so the hot loop
+// performs plain adds and the chunk flushes as a few atomic adds.
+type chunkTally struct {
+	jobs       [3]int64
+	degenerate int64
+	demoted    int64
+	solo       int64
+	groups     int64
+	lanes      int64
+	cells      int64
+}
+
+// flushWithCells sums the chunk's swept cells from the filled results and
+// publishes the tally (deferred at the top of extendBatchChunk, so it
+// runs after every result landed).
+func (c *chunkTally) flushWithCells(results []ExtendResult) {
+	for i := range results {
+		c.cells += results[i].Cells
+	}
+	c.flush()
+}
+
+func (c *chunkTally) flush() {
+	ktel.batches.Add(1)
+	for i, n := range c.jobs {
+		if n != 0 {
+			ktel.jobs[i].Add(n)
+		}
+	}
+	if c.degenerate != 0 {
+		ktel.degenerate.Add(c.degenerate)
+	}
+	if c.demoted != 0 {
+		ktel.demoted.Add(c.demoted)
+	}
+	if c.solo != 0 {
+		ktel.solo.Add(c.solo)
+	}
+	if c.groups != 0 {
+		ktel.groups.Add(c.groups)
+	}
+	if c.lanes != 0 {
+		ktel.lanes.Add(c.lanes)
+	}
+	if c.cells != 0 {
+		ktel.cells.Add(c.cells)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"seedex/internal/driver"
 	"seedex/internal/faults"
 	"seedex/internal/genome"
+	"seedex/internal/obs"
 	"seedex/internal/server"
 )
 
@@ -52,6 +53,14 @@ type ServeBenchConfig struct {
 	ChaosRate float64
 	// ChaosSeed seeds the deterministic fault draws (default 1).
 	ChaosSeed int64
+	// TraceSample enables the trace-overhead mode: a third configuration
+	// ("batched-traced") reruns the batched settings with span tracing at
+	// this head-sampling rate (1 in N requests; default 100, i.e. 1%),
+	// so the report quantifies what tracing costs in served jobs/s.
+	// Negative disables the third configuration. Chaos runs skip it
+	// regardless: they measure the cost of fault tolerance, and fault
+	// draws would confound the tracing-overhead comparison.
+	TraceSample int
 }
 
 func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
@@ -76,12 +85,18 @@ func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
 	if c.ChaosRate > 0 && c.ChaosSeed == 0 {
 		c.ChaosSeed = 1
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 100
+	}
+	if c.ChaosRate > 0 {
+		c.TraceSample = -1
+	}
 	return c
 }
 
 // ServePoint is one (configuration, concurrency) measurement.
 type ServePoint struct {
-	Config      string  `json:"config"` // "batched" or "unbatched"
+	Config      string  `json:"config"` // "batched", "unbatched" or "batched-traced"
 	Concurrency int     `json:"concurrency"`
 	Requests    int64   `json:"requests"`
 	Jobs        int64   `json:"jobs"`
@@ -97,6 +112,9 @@ type ServePoint struct {
 	// ran under ChaosRate (each point boots a fresh engine, so the
 	// counters cover exactly this measurement).
 	Faults *faults.Health `json:"faults,omitempty"`
+	// Trace carries the tracer's own counters for "batched-traced" points
+	// (sampled requests, spans recorded, slow-ring retention).
+	Trace *obs.Stats `json:"trace,omitempty"`
 }
 
 // ServeGain compares the two configurations at one concurrency.
@@ -120,11 +138,16 @@ type ServeBenchReport struct {
 	DurationMs     float64      `json:"duration_ms_per_point"`
 	ChaosRate      float64      `json:"chaos_rate,omitempty"`
 	ChaosSeed      int64        `json:"chaos_seed,omitempty"`
+	TraceSample    int          `json:"trace_sample,omitempty"`
 	Points         []ServePoint `json:"points"`
 	Gains          []ServeGain  `json:"gains"`
 	// GainHighConc is the throughput gain at the highest measured
 	// concurrency — the headline micro-batching figure.
 	GainHighConc float64 `json:"throughput_gain_high_concurrency"`
+	// TraceOverheadPct is the jobs/s cost of sampled tracing at the
+	// highest measured concurrency: (batched - batched-traced) / batched,
+	// as a percentage. Present only when the traced configuration ran.
+	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
 }
 
 // JSON renders the report for BENCH_serve.json.
@@ -149,6 +172,9 @@ func (r ServeBenchReport) String() string {
 	}
 	for _, g := range r.Gains {
 		fmt.Fprintf(&b, "batched vs unbatched @ %d clients: %.2fx jobs/s\n", g.Concurrency, g.Gain)
+	}
+	if r.TraceSample > 0 {
+		fmt.Fprintf(&b, "tracing 1/%d overhead at high concurrency: %.1f%% jobs/s\n", r.TraceSample, r.TraceOverheadPct)
 	}
 	return strings.TrimRight(b.String(), "\n")
 }
@@ -181,23 +207,34 @@ func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
 		rep.ChaosRate = cfg.ChaosRate
 		rep.ChaosSeed = cfg.ChaosSeed
 	}
+	if cfg.TraceSample > 0 {
+		rep.TraceSample = cfg.TraceSample
+	}
 	if len(w.Problems) == 0 {
 		return rep
 	}
 	bodies := serveBodies(w.Problems, cfg.JobsPerRequest)
 
 	configs := []struct {
-		name  string
-		batch server.BatcherConfig
+		name   string
+		batch  server.BatcherConfig
+		sample int
 	}{
-		{"batched", server.BatcherConfig{MaxBatch: cfg.MaxBatch, FlushInterval: cfg.Flush}},
-		{"unbatched", server.BatcherConfig{MaxBatch: 1, FlushInterval: cfg.Flush}},
+		{"batched", server.BatcherConfig{MaxBatch: cfg.MaxBatch, FlushInterval: cfg.Flush}, 0},
+		{"unbatched", server.BatcherConfig{MaxBatch: 1, FlushInterval: cfg.Flush}, 0},
+	}
+	if cfg.TraceSample > 0 {
+		configs = append(configs, struct {
+			name   string
+			batch  server.BatcherConfig
+			sample int
+		}{"batched-traced", server.BatcherConfig{MaxBatch: cfg.MaxBatch, FlushInterval: cfg.Flush}, cfg.TraceSample})
 	}
 	byConfig := map[string]map[int]ServePoint{}
 	for _, c := range configs {
 		byConfig[c.name] = map[int]ServePoint{}
 		for _, conc := range cfg.Concurrency {
-			p := runServePoint(cfg, c.batch, bodies, conc)
+			p := runServePoint(cfg, c.batch, bodies, conc, c.sample)
 			p.Config = c.name
 			rep.Points = append(rep.Points, p)
 			byConfig[c.name][conc] = p
@@ -208,6 +245,11 @@ func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
 			g := ServeGain{Concurrency: conc, Gain: byConfig["batched"][conc].JobsPerSec / u}
 			rep.Gains = append(rep.Gains, g)
 			rep.GainHighConc = g.Gain
+		}
+		if b := byConfig["batched"][conc].JobsPerSec; b > 0 {
+			if t, ok := byConfig["batched-traced"][conc]; ok {
+				rep.TraceOverheadPct = 100 * (b - t.JobsPerSec) / b
+			}
 		}
 	}
 	return rep
@@ -246,7 +288,7 @@ func serveBodies(probs []Problem, jobsPerReq int) [][]byte {
 // runServePoint measures one (batch config, concurrency) cell: a fresh
 // server, closed-loop clients for the duration, then the server's own
 // batch-shape metrics.
-func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]byte, conc int) ServePoint {
+func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]byte, conc, sample int) ServePoint {
 	jobsPerReq, dur := cfg.JobsPerRequest, cfg.Duration
 	var ext align.Extender
 	var health func() faults.Health
@@ -265,7 +307,8 @@ func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]b
 		}
 		ext = se
 	}
-	s := server.New(server.Config{Extender: ext, Batch: bcfg})
+	tracer := obs.New(obs.Config{SampleEvery: sample})
+	s := server.New(server.Config{Extender: ext, Batch: bcfg, Trace: tracer})
 	ts := httptest.NewServer(s.Handler())
 	tr := &http.Transport{MaxIdleConns: 2 * conc, MaxIdleConnsPerHost: 2 * conc}
 	client := &http.Client{Transport: tr}
@@ -330,6 +373,10 @@ func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]b
 	if health != nil {
 		h := health()
 		p.Faults = &h
+	}
+	if tracer != nil {
+		tstats := tracer.TraceStats()
+		p.Trace = &tstats
 	}
 	return p
 }

@@ -9,6 +9,45 @@ import (
 // TestServeBenchChaos runs a miniature chaos load test: the device-backed
 // engine serves under fault injection, the report carries the per-point
 // fault counters, and both renderings include them.
+// TestServeBenchTraced runs the trace-overhead mode: the batched
+// settings rerun with span tracing sampled, the traced point carries the
+// tracer's own counters, and the report quantifies the overhead.
+func TestServeBenchTraced(t *testing.T) {
+	w := smallWorkload(t)
+	rep := ServeBench(w, ServeBenchConfig{
+		Concurrency: []int{2},
+		Duration:    50 * time.Millisecond,
+		TraceSample: 1,
+	})
+	if rep.TraceSample != 1 {
+		t.Fatalf("trace sample not reflected: %d", rep.TraceSample)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points: %d, want batched+unbatched+batched-traced", len(rep.Points))
+	}
+	var traced *ServePoint
+	for i := range rep.Points {
+		if rep.Points[i].Config == "batched-traced" {
+			traced = &rep.Points[i]
+		}
+	}
+	if traced == nil || traced.Jobs == 0 {
+		t.Fatalf("no traced point with work: %+v", traced)
+	}
+	if traced.Trace == nil || traced.Trace.SampledTotal == 0 || traced.Trace.SpansTotal == 0 {
+		t.Fatalf("traced point missing tracer counters: %+v", traced.Trace)
+	}
+	if rep.TraceOverheadPct == 0 {
+		t.Fatal("trace overhead not computed")
+	}
+	if !strings.Contains(rep.String(), "tracing 1/1 overhead") {
+		t.Fatalf("summary missing tracing line:\n%s", rep)
+	}
+	if data, err := rep.JSON(); err != nil || !strings.Contains(string(data), `"trace_overhead_pct"`) {
+		t.Fatalf("JSON missing trace overhead (err=%v)", err)
+	}
+}
+
 func TestServeBenchChaos(t *testing.T) {
 	w := smallWorkload(t)
 	rep := ServeBench(w, ServeBenchConfig{

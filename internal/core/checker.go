@@ -19,6 +19,11 @@ type Response struct {
 	Tag   int
 	Res   align.ExtendResult
 	Rerun bool // optimality was not proven; Res came from the fallback
+	// Outcome is the check verdict behind Rerun (informational — the
+	// observability layer exports it as the per-job span attribute).
+	// OutcomeUnknown marks responses whose verdict was not observable
+	// (device-faulted slots rebuilt by the host, host-only batches).
+	Outcome Outcome
 }
 
 // Checker runs the SeedEx check workflow with caller-owned scratch: one
@@ -149,7 +154,7 @@ func (c *Checker) ExtendBatchInto(reqs []Request, dst []Response) []Response {
 		if rerun {
 			res = c.Rerun(r.Q, r.T, r.H0)
 		}
-		dst[i] = Response{Tag: r.Tag, Res: res, Rerun: rerun}
+		dst[i] = Response{Tag: r.Tag, Res: res, Rerun: rerun, Outcome: reps[i].Outcome}
 	}
 	return dst
 }
@@ -174,7 +179,7 @@ func (c *Checker) CheckBatch(reqs []Request, dst []Response) ([]Response, []Repo
 	}
 	reps := c.checkJobs(c.bjobs)
 	for i, r := range reqs {
-		dst[i] = Response{Tag: r.Tag, Res: c.bres[i], Rerun: !reps[i].Pass}
+		dst[i] = Response{Tag: r.Tag, Res: c.bres[i], Rerun: !reps[i].Pass, Outcome: reps[i].Outcome}
 	}
 	return dst, reps
 }

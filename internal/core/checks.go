@@ -118,6 +118,11 @@ func MaxEScore(boundary align.BandBoundary, qlen int, sc align.Scoring) (int, bo
 // Outcome classifies one pass through the check workflow.
 type Outcome int
 
+// OutcomeUnknown marks a Response whose check verdict was not observable
+// by the consumer: device-faulted slots the host rebuilt, host-only
+// degraded batches. It is never recorded into Stats.
+const OutcomeUnknown Outcome = -1
+
 // Outcomes, in workflow order.
 const (
 	// PassFullCover: the band covers the whole DP matrix, so the banded
@@ -145,6 +150,8 @@ const (
 // String renders the outcome for reports.
 func (o Outcome) String() string {
 	switch o {
+	case OutcomeUnknown:
+		return "unknown"
 	case PassFullCover:
 		return "pass-full-cover"
 	case PassS2:

@@ -81,18 +81,33 @@ func (es *engineSession) ExtendJobs(jobs []align.Job, dst []align.ExtendResult) 
 	}
 	if cap(es.reqs) < len(jobs) {
 		es.reqs = make([]Request, len(jobs))
-		es.out = make([]Response, len(jobs))
 	}
 	es.reqs = es.reqs[:len(jobs)]
-	es.out = es.out[:len(jobs)]
 	for i, j := range jobs {
 		es.reqs[i] = Request{Q: j.Q, T: j.T, H0: j.H0, Tag: i}
 	}
-	key := es.dev.seq.Add(1)
-	es.s.process(context.Background(), key, es.reqs, es.out)
+	es.out = es.ExtendBatchInto(es.reqs, es.out)
 	for i := range es.out {
 		dst[i] = es.out[i].Res
 	}
+	return dst
+}
+
+// ExtendBatchInto drives one batch of Requests through the device and
+// returns full Responses (rerun flags and check outcomes included) in
+// request order, reusing dst when it is large enough. The alignment
+// service duck-types this method so its workers see verdicts from
+// device-backed engines the same way they do from software checkers.
+func (es *engineSession) ExtendBatchInto(reqs []Request, dst []Response) []Response {
+	if cap(dst) < len(reqs) {
+		dst = make([]Response, len(reqs))
+	}
+	dst = dst[:len(reqs)]
+	if len(reqs) == 0 {
+		return dst
+	}
+	key := es.dev.seq.Add(1)
+	es.s.process(context.Background(), key, reqs, dst)
 	return dst
 }
 

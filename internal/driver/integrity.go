@@ -12,6 +12,7 @@
 package driver
 
 import (
+	"seedex/internal/core"
 	"seedex/internal/faults"
 )
 
@@ -185,8 +186,10 @@ func (s *session) validate(reqs []Request, dst []Response) int {
 	bad := extras
 	for i := range reqs {
 		if !s.covered[i] {
-			// Missing or rejected responses degrade into host reruns.
-			dst[i] = Response{Tag: reqs[i].Tag, Rerun: true}
+			// Missing or rejected responses degrade into host reruns; their
+			// honest verdict is unknowable from the wire, so the outcome is
+			// the explicit sentinel, never a fabricated pass.
+			dst[i] = Response{Tag: reqs[i].Tag, Rerun: true, Outcome: core.OutcomeUnknown}
 			bad++
 		}
 	}

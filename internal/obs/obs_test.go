@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	ref := tr.Sample(42)
+	if ref.Sampled() {
+		t.Fatal("nil tracer sampled a request")
+	}
+	ref.Span(KindKernel, time.Now(), time.Millisecond, 0, 0)
+	tr.RequestDone(ref, 42, time.Now(), time.Millisecond, 1, 200)
+	tr.Batch(7).Span(KindDevice, time.Now(), time.Millisecond, 1, 8)
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v", got)
+	}
+	if got := tr.SlowSnapshot(); got != nil {
+		t.Fatalf("nil tracer slow snapshot = %v", got)
+	}
+	if s := tr.TraceStats(); s != (Stats{}) {
+		t.Fatalf("nil tracer stats = %+v", s)
+	}
+	if New(Config{SampleEvery: 0}) != nil {
+		t.Fatal("SampleEvery=0 should build a nil tracer")
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSpans: 64, Shards: 2})
+	ref := tr.Sample(99)
+	if !ref.Sampled() {
+		t.Fatal("SampleEvery=1 must sample every request")
+	}
+	start := time.Now()
+	ref.Span(KindKernel, start, 3*time.Millisecond, TierSWAR8, 16)
+	ref.Span(KindCheck, start.Add(3*time.Millisecond), 0, 2, 1)
+	tr.RequestDone(ref, 99, start, 5*time.Millisecond, 4, 200)
+
+	spans := tr.TraceSpans(99)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	byKind := map[Kind]SpanData{}
+	for _, s := range spans {
+		byKind[s.Kind] = s
+	}
+	k := byKind[KindKernel]
+	if k.Dur != int64(3*time.Millisecond) || k.V1 != TierSWAR8 || k.V2 != 16 {
+		t.Fatalf("kernel span %+v", k)
+	}
+	if r := byKind[KindRequest]; r.V1 != 4 || r.V2 != 200 {
+		t.Fatalf("request span %+v", r)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := New(Config{SampleEvery: 10})
+	sampled := 0
+	for i := 0; i < 1000; i++ {
+		if tr.Sample(uint64(i)).Sampled() {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("sampled %d of 1000 at 1/10", sampled)
+	}
+	if s := tr.TraceStats(); s.SampledTotal != 100 {
+		t.Fatalf("stats sampled = %d", s.SampledTotal)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSpans: 8, Shards: 1})
+	ref := tr.Sample(1)
+	for i := 0; i < 100; i++ {
+		ref.Span(KindKernel, time.Now(), time.Duration(i), int64(i), 0)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("ring of 8 held %d spans", len(spans))
+	}
+	// The survivors are the last 8 recorded.
+	for _, s := range spans {
+		if s.V1 < 92 {
+			t.Fatalf("old span survived overwrite: %+v", s)
+		}
+	}
+}
+
+func TestSlowRingTopK(t *testing.T) {
+	tr := New(Config{SampleEvery: 1 << 30, SlowK: 4})
+	start := time.Now()
+	for i := 1; i <= 20; i++ {
+		// Unsampled requests still compete for the slow ring.
+		ref := tr.Sample(uint64(i))
+		tr.RequestDone(ref, uint64(i), start, time.Duration(i)*time.Millisecond, 1, 200)
+	}
+	slow := tr.SlowSnapshot()
+	if len(slow) != 4 {
+		t.Fatalf("retained %d, want 4", len(slow))
+	}
+	for i, s := range slow {
+		want := time.Duration(20-i) * time.Millisecond
+		if s.Dur != int64(want) {
+			t.Fatalf("slow[%d] dur %d, want %d", i, s.Dur, want)
+		}
+	}
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	id, str := NewRequestID()
+	if id == 0 || len(str) != 16 {
+		t.Fatalf("minted id %d %q", id, str)
+	}
+	back, echoed := RequestID(str)
+	if back != id || echoed != str {
+		t.Fatalf("round trip: %d %q -> %d %q", id, str, back, echoed)
+	}
+	// Short hex parses exactly.
+	if v, s := RequestID("ff"); v != 0xff || s != "ff" {
+		t.Fatalf("hex parse: %d %q", v, s)
+	}
+	// Arbitrary client ids echo verbatim and hash deterministically.
+	v1, s1 := RequestID("client-abc-123")
+	v2, _ := RequestID("client-abc-123")
+	if s1 != "client-abc-123" || v1 != v2 || v1 == 0 {
+		t.Fatalf("hashed id: %d %q vs %d", v1, s1, v2)
+	}
+	// Distinct minted ids.
+	id2, _ := NewRequestID()
+	if id2 == id {
+		t.Fatal("minted ids collide")
+	}
+}
+
+func TestPow2Buckets(t *testing.T) {
+	counts := make([]int64, 12)
+	counts[3] = 5  // values 4..7
+	counts[5] = 2  // values 16..31
+	counts[10] = 1 // values 512..1023
+	bs := Pow2Buckets(counts, 1)
+	if len(bs) != 8 {
+		t.Fatalf("got %d buckets, want 8 (trimmed to [3,10])", len(bs))
+	}
+	if bs[0].LE != 7 || bs[0].Cum != 5 {
+		t.Fatalf("first bucket %+v", bs[0])
+	}
+	last := bs[len(bs)-1]
+	if last.LE != 1023 || last.Cum != 8 {
+		t.Fatalf("last bucket %+v", last)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].LE <= bs[i-1].LE || bs[i].Cum < bs[i-1].Cum {
+			t.Fatalf("buckets not monotone at %d: %+v then %+v", i, bs[i-1], bs[i])
+		}
+	}
+	if got := Pow2Buckets(make([]int64, 8), 1); got != nil {
+		t.Fatalf("empty histogram yields %v", got)
+	}
+	// Scaling applies to the bounds (the comparand repeats the runtime
+	// float product — a constant literal would fold exactly and differ by
+	// one ulp).
+	ns := Pow2Buckets(counts, 1e-9)
+	scale := 1e-9
+	if want := float64(7) * scale; ns[0].LE != want {
+		t.Fatalf("scaled le %v, want %v", ns[0].LE, want)
+	}
+}
+
+func TestChromeTraceExportIsValidJSON(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	ref := tr.Sample(7)
+	start := time.Now()
+	ref.Span(KindQueueWait, start, time.Millisecond, 4, 0)
+	ref.Span(KindKernel, start.Add(time.Millisecond), 2*time.Millisecond, TierSWAR16, 8)
+	ref.Span(KindCheck, start.Add(3*time.Millisecond), 0, 2, 1)
+	tr.RequestDone(ref, 7, start, 4*time.Millisecond, 1, 200)
+
+	_, epochWall := tr.Epoch()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, epochWall, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+		if e.Name == "kernel" && e.Args["tier"] != "swar16" {
+			t.Fatalf("kernel args %v", e.Args)
+		}
+		if e.Name == "check" {
+			if e.Args["outcome"] != "pass-checks" || e.Args["pass"] != true {
+				t.Fatalf("check args %v", e.Args)
+			}
+		}
+	}
+	for _, want := range []string{"queue_wait", "kernel", "check", "request"} {
+		if !names[want] {
+			t.Fatalf("missing %q event in %v", want, names)
+		}
+	}
+}
+
+func TestNDJSONExport(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	ref := tr.Sample(5)
+	ref.Span(KindRerun, time.Now(), time.Millisecond, 3, 1)
+	var buf bytes.Buffer
+	_, epochWall := tr.Epoch()
+	if err := WriteNDJSON(&buf, epochWall, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatalf("invalid NDJSON line: %v\n%s", err, lines[0])
+	}
+	if obj["span"] != "host_rerun" || obj["outcome"] != "fail-s1" {
+		t.Fatalf("line %v", obj)
+	}
+	if obj["trace"] != FormatID(5) {
+		t.Fatalf("trace arg %v", obj["trace"])
+	}
+}
+
+// TestConcurrentRecordAndSnapshot drives many writers against live
+// snapshot readers; under -race this proves the seqlock ring is clean.
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSpans: 256, Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ref := tr.Sample(uint64(w + 1))
+			for i := 0; i < 5000; i++ {
+				ref.Span(Kind(i%int(numKinds)), time.Now(), time.Duration(i), int64(i), int64(w))
+				tr.RequestDone(ref, uint64(w+1), time.Now(), time.Duration(i), 1, 200)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		tr.Snapshot()
+		tr.SlowSnapshot()
+		tr.TraceSpans(1)
+		select {
+		case <-done:
+			if tr.TraceStats().SpansTotal == 0 {
+				t.Error("no spans recorded")
+			}
+			return
+		default:
+		}
+	}
+}
+
+// BenchmarkSpanDisabled pins the disabled-tracer fast path: a zero Ref
+// span site must not allocate.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	ref := tr.Sample(1)
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref.Span(KindKernel, start, time.Millisecond, 0, 0)
+	}
+}
+
+// BenchmarkSpanEnabled measures the recording cost of one span.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New(Config{SampleEvery: 1})
+	ref := tr.Sample(1)
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref.Span(KindKernel, start, time.Millisecond, 0, 0)
+	}
+}

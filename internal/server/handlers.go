@@ -15,6 +15,7 @@ import (
 	"seedex/internal/core"
 	"seedex/internal/faults"
 	"seedex/internal/genome"
+	"seedex/internal/obs"
 )
 
 // ExtendJob is one extension problem in the request JSON: align query
@@ -86,6 +87,9 @@ type MapResponse struct {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's X-Request-Id, so a 429/504 line in a
+	// client log correlates with the server's trace of the same request.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (s *Server) routes() {
@@ -94,6 +98,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/map", s.handleMap)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/slow", s.handleTracesSlow)
+}
+
+// requestID resolves the request's id (client-supplied or minted) and
+// echoes it on the response before anything is written.
+func requestID(w http.ResponseWriter, r *http.Request) (uint64, string) {
+	rid, ridStr := obs.RequestID(r.Header.Get("X-Request-Id"))
+	w.Header().Set("X-Request-Id", ridStr)
+	return rid, ridStr
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -102,24 +116,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+func (s *Server) writeError(w http.ResponseWriter, status int, rid string, format string, args ...any) {
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	}
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), RequestID: rid})
 }
 
-// admitError maps a Submit error onto its HTTP reply and counters.
-func (s *Server) admitError(w http.ResponseWriter, err error) {
+// admitError maps a Submit error onto its HTTP reply and counters,
+// returning the status it wrote.
+func (s *Server) admitError(w http.ResponseWriter, rid string, err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.met.Rejected.Add(1)
-		s.writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+		s.writeError(w, http.StatusTooManyRequests, rid, "admission queue full, retry later")
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		s.met.Draining.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.writeError(w, http.StatusServiceUnavailable, rid, "server is draining")
+		return http.StatusServiceUnavailable
 	default:
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, rid, "%v", err)
+		return http.StatusInternalServerError
 	}
 }
 
@@ -127,19 +145,19 @@ func (s *Server) admitError(w http.ResponseWriter, err error) {
 // oversized (or oversized-malformed) body is refused with 413 instead of
 // being allocated whole before validation. It writes the error reply
 // itself and reports whether decoding succeeded.
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, rid string, v any) (bool, int) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		s.met.BadInput.Add(1)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "request body larger than %d bytes", tooBig.Limit)
-			return false
+			s.writeError(w, http.StatusRequestEntityTooLarge, rid, "request body larger than %d bytes", tooBig.Limit)
+			return false, http.StatusRequestEntityTooLarge
 		}
-		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return false
+		s.writeError(w, http.StatusBadRequest, rid, "bad request body: %v", err)
+		return false, http.StatusBadRequest
 	}
-	return true
+	return true, http.StatusOK
 }
 
 // requestContext applies the request's JSON deadline to its context.
@@ -182,24 +200,35 @@ func wireResult(r core.Response) ExtendResult {
 func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 	s.met.Requests.Add(1)
 	start := time.Now()
+	rid, ridStr := requestID(w, r)
+	tr := s.trace.Sample(rid)
+	status, njobs := http.StatusOK, 0
+	defer func() {
+		s.trace.RequestDone(tr, rid, start, time.Since(start), int64(njobs), int64(status))
+	}()
 	if s.draining.Load() {
 		s.met.Draining.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		status = http.StatusServiceUnavailable
+		s.writeError(w, status, ridStr, "server is draining")
 		return
 	}
 	var req ExtendRequest
-	if !s.decodeBody(w, r, &req) {
+	if ok, st := s.decodeBody(w, r, ridStr, &req); !ok {
+		status = st
 		return
 	}
+	njobs = len(req.Jobs)
 	if len(req.Jobs) == 0 || len(req.Jobs) > s.cfg.MaxJobsPerRequest {
 		s.met.BadInput.Add(1)
-		s.writeError(w, http.StatusBadRequest, "jobs must hold 1..%d entries", s.cfg.MaxJobsPerRequest)
+		status = http.StatusBadRequest
+		s.writeError(w, status, ridStr, "jobs must hold 1..%d entries", s.cfg.MaxJobsPerRequest)
 		return
 	}
 	for i, j := range req.Jobs {
 		if err := s.validateJob(j); err != nil {
 			s.met.BadInput.Add(1)
-			s.writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			status = http.StatusBadRequest
+			s.writeError(w, status, ridStr, "job %d: %v", i, err)
 			return
 		}
 	}
@@ -214,6 +243,7 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 			ctx: ctx,
 			req: core.Request{Q: genome.Encode(j.Query), T: genome.Encode(j.Target), H0: j.H0, Tag: i},
 			out: p,
+			tr:  tr,
 			enq: time.Now(),
 		}
 		if err := s.ext.Submit(job); err != nil {
@@ -231,7 +261,7 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 			p.abandon(submitted, len(req.Jobs))
 			<-p.done
 		}
-		s.admitError(w, admit)
+		status = s.admitError(w, ridStr, admit)
 		return
 	}
 	select {
@@ -240,11 +270,13 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		// deadline and the last delivery race, this arm can win over
 		// ctx.Done(). Never serve those zeros as 200.
 		if n := p.expired.Load(); n > 0 {
-			s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %d of %d jobs expired before compute", n, len(req.Jobs))
+			status = http.StatusGatewayTimeout
+			s.writeError(w, status, ridStr, "deadline exceeded: %d of %d jobs expired before compute", n, len(req.Jobs))
 			return
 		}
 	case <-ctx.Done():
-		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded with jobs in flight")
+		status = http.StatusGatewayTimeout
+		s.writeError(w, status, ridStr, "deadline exceeded with jobs in flight")
 		return
 	}
 	resp := ExtendResponse{Results: make([]ExtendResult, len(p.resp))}
@@ -262,9 +294,16 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 // batch pipeline without batching client-side.
 func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 	s.met.Requests.Add(1)
+	start := time.Now()
+	rid, ridStr := requestID(w, r)
+	tr := s.trace.Sample(rid)
+	var lines int64
+	defer func() {
+		s.trace.RequestDone(tr, rid, start, time.Since(start), lines, http.StatusOK)
+	}()
 	if s.draining.Load() {
 		s.met.Draining.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.writeError(w, http.StatusServiceUnavailable, ridStr, "server is draining")
 		return
 	}
 	ctx := r.Context()
@@ -308,6 +347,7 @@ func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 				ctx: ctx,
 				req: core.Request{Q: genome.Encode(j.Query), T: genome.Encode(j.Target), H0: j.H0},
 				out: p,
+				tr:  tr,
 				enq: time.Now(),
 			}
 			if err := s.submitWait(ctx, job); err != nil {
@@ -342,13 +382,14 @@ func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 		if err := enc.Encode(wireResult(p.resp[0])); err != nil {
 			return
 		}
+		lines++
 		if len(window) == 0 {
 			out.Flush()
 		}
 	}
 	select {
 	case err := <-errs:
-		enc.Encode(errorBody{Error: err.Error()})
+		enc.Encode(errorBody{Error: err.Error(), RequestID: ridStr})
 	default:
 	}
 }
@@ -375,33 +416,46 @@ func (s *Server) submitWait(ctx context.Context, job extJob) error {
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	s.met.Requests.Add(1)
 	start := time.Now()
+	rid, ridStr := requestID(w, r)
+	tr := s.trace.Sample(rid)
+	status, nreads := http.StatusOK, 0
+	defer func() {
+		s.trace.RequestDone(tr, rid, start, time.Since(start), int64(nreads), int64(status))
+	}()
 	if s.maps == nil {
-		s.writeError(w, http.StatusNotImplemented, "mapping endpoint disabled: server started without a reference")
+		status = http.StatusNotImplemented
+		s.writeError(w, status, ridStr, "mapping endpoint disabled: server started without a reference")
 		return
 	}
 	if s.draining.Load() {
 		s.met.Draining.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		status = http.StatusServiceUnavailable
+		s.writeError(w, status, ridStr, "server is draining")
 		return
 	}
 	var req MapRequest
-	if !s.decodeBody(w, r, &req) {
+	if ok, st := s.decodeBody(w, r, ridStr, &req); !ok {
+		status = st
 		return
 	}
+	nreads = len(req.Reads)
 	if len(req.Reads) == 0 || len(req.Reads) > s.cfg.MaxJobsPerRequest {
 		s.met.BadInput.Add(1)
-		s.writeError(w, http.StatusBadRequest, "reads must hold 1..%d entries", s.cfg.MaxJobsPerRequest)
+		status = http.StatusBadRequest
+		s.writeError(w, status, ridStr, "reads must hold 1..%d entries", s.cfg.MaxJobsPerRequest)
 		return
 	}
 	for i, rd := range req.Reads {
 		if rd.Seq == "" || len(rd.Seq) > s.cfg.MaxSeqLen {
 			s.met.BadInput.Add(1)
-			s.writeError(w, http.StatusBadRequest, "read %d: seq must hold 1..%d bases", i, s.cfg.MaxSeqLen)
+			status = http.StatusBadRequest
+			s.writeError(w, status, ridStr, "read %d: seq must hold 1..%d bases", i, s.cfg.MaxSeqLen)
 			return
 		}
 		if rd.Qual != "" && len(rd.Qual) != len(rd.Seq) {
 			s.met.BadInput.Add(1)
-			s.writeError(w, http.StatusBadRequest, "read %d: qual length %d != seq length %d", i, len(rd.Qual), len(rd.Seq))
+			status = http.StatusBadRequest
+			s.writeError(w, status, ridStr, "read %d: qual length %d != seq length %d", i, len(rd.Qual), len(rd.Seq))
 			return
 		}
 	}
@@ -416,7 +470,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		if rd.Qual != "" {
 			qual = []byte(rd.Qual)
 		}
-		job := mapJob{ctx: ctx, name: rd.Name, seq: genome.Encode(rd.Seq), qual: qual, out: p, i: i, enq: time.Now()}
+		job := mapJob{ctx: ctx, name: rd.Name, seq: genome.Encode(rd.Seq), qual: qual, out: p, tr: tr, i: i, enq: time.Now()}
 		if err := s.maps.Submit(job); err != nil {
 			admit = err
 			break
@@ -431,17 +485,19 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			p.abandon(submitted, len(req.Reads))
 			<-p.done
 		}
-		s.admitError(w, admit)
+		status = s.admitError(w, ridStr, admit)
 		return
 	}
 	select {
 	case <-p.done:
 		if n := p.expired.Load(); n > 0 {
-			s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %d of %d reads expired before compute", n, len(req.Reads))
+			status = http.StatusGatewayTimeout
+			s.writeError(w, status, ridStr, "deadline exceeded: %d of %d reads expired before compute", n, len(req.Reads))
 			return
 		}
 	case <-ctx.Done():
-		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded with reads in flight")
+		status = http.StatusGatewayTimeout
+		s.writeError(w, status, ridStr, "deadline exceeded with reads in flight")
 		return
 	}
 	s.met.observeLatency(time.Since(start))
@@ -456,6 +512,7 @@ type metricsBody struct {
 	Checks    *checksBody       `json:"checks,omitempty"`
 	Faults    *faults.Health    `json:"faults,omitempty"`
 	MapQueue  *queueBody        `json:"map_queue,omitempty"`
+	Trace     *obs.Stats        `json:"trace,omitempty"`
 	Config    metricsConfigEcho `json:"config"`
 }
 
@@ -480,6 +537,11 @@ type metricsConfigEcho struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obs.ContentType)
+		s.reg.WriteText(w)
+		return
+	}
 	body := metricsBody{
 		MetricsSnapshot: s.met.Snapshot(s.ext.QueueDepth(), s.ext.QueueCap()),
 		UptimeSec:       time.Since(s.started).Seconds(),
@@ -507,7 +569,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.maps != nil {
 		body.MapQueue = &queueBody{Depth: s.maps.QueueDepth(), Cap: s.maps.QueueCap()}
 	}
+	if s.trace != nil {
+		ts := s.trace.TraceStats()
+		body.Trace = &ts
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleTraces exports the span rings: Chrome trace_event JSON by default
+// (load into chrome://tracing or Perfetto), NDJSON with ?format=ndjson,
+// optionally filtered to one request with ?trace=<request id>.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.trace == nil {
+		s.writeError(w, http.StatusNotFound, "", "tracing disabled: restart with a positive trace sample rate")
+		return
+	}
+	var spans []obs.SpanData
+	if tid := r.URL.Query().Get("trace"); tid != "" {
+		id, _ := obs.RequestID(tid)
+		spans = s.trace.TraceSpans(id)
+	} else {
+		spans = s.trace.Snapshot()
+	}
+	s.writeTraceExport(w, r, spans)
+}
+
+// handleTracesSlow exports the always-retained top-K slowest request
+// spans, slowest first — the tail survives even aggressive sampling.
+func (s *Server) handleTracesSlow(w http.ResponseWriter, r *http.Request) {
+	if s.trace == nil {
+		s.writeError(w, http.StatusNotFound, "", "tracing disabled: restart with a positive trace sample rate")
+		return
+	}
+	s.writeTraceExport(w, r, s.trace.SlowSnapshot())
+}
+
+func (s *Server) writeTraceExport(w http.ResponseWriter, r *http.Request, spans []obs.SpanData) {
+	_, epochWall := s.trace.Epoch()
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		obs.WriteNDJSON(w, epochWall, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTrace(w, epochWall, spans)
 }
 
 // handleHealthz reports the service's load-balancer view: "draining"

@@ -59,6 +59,26 @@ func (s histSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.N)
 }
 
+// Quantiles bundles the standard p50/p90/p99 estimates of one histogram
+// (interpolated within the power-of-two buckets), the shape shared by the
+// JSON metrics document and the Prometheus exposition.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// Quantiles estimates p50/p90/p99 in one sweep-free bundle.
+func (s histSnapshot) Quantiles() Quantiles {
+	return Quantiles{P50: s.Quantile(0.50), P90: s.Quantile(0.90), P99: s.Quantile(0.99)}
+}
+
+// Scaled returns the quantile bundle with every estimate multiplied by
+// scale (ns -> µs or seconds for reporting).
+func (q Quantiles) Scaled(scale float64) Quantiles {
+	return Quantiles{P50: q.P50 * scale, P90: q.P90 * scale, P99: q.P99 * scale}
+}
+
 // Quantile estimates the q-quantile (0 < q <= 1) by interpolating within
 // the power-of-two bucket holding the q-th observation. The estimate is
 // exact to within a factor of two — ample for p50/p99 service latencies.
@@ -147,10 +167,13 @@ type MetricsSnapshot struct {
 	Batches        int64         `json:"batches"`
 	MeanOccupancy  float64       `json:"batch_occupancy_mean"`
 	OccupancyP50   float64       `json:"batch_occupancy_p50"`
+	OccupancyP90   float64       `json:"batch_occupancy_p90"`
+	OccupancyP99   float64       `json:"batch_occupancy_p99"`
 	OccupancyHist  []BucketCount `json:"batch_occupancy_hist"`
 	QueueDepth     int           `json:"queue_depth"`
 	QueueCap       int           `json:"queue_cap"`
 	QueueWaitP50Us float64       `json:"queue_wait_p50_us"`
+	QueueWaitP90Us float64       `json:"queue_wait_p90_us"`
 	QueueWaitP99Us float64       `json:"queue_wait_p99_us"`
 	LatencyP50Us   float64       `json:"latency_p50_us"`
 	LatencyP90Us   float64       `json:"latency_p90_us"`
@@ -164,6 +187,7 @@ func (m *Metrics) Snapshot(queueDepth, queueCap int) MetricsSnapshot {
 	occ := m.Occupancy.snapshot()
 	qw := m.QueueWait.snapshot()
 	lat := m.Latency.snapshot()
+	occQ, qwQ, latQ := occ.Quantiles(), qw.Quantiles().Scaled(1e-3), lat.Quantiles().Scaled(1e-3)
 	return MetricsSnapshot{
 		Accepted:  m.Accepted.Load(),
 		Rejected:  m.Rejected.Load(),
@@ -175,15 +199,18 @@ func (m *Metrics) Snapshot(queueDepth, queueCap int) MetricsSnapshot {
 
 		Batches:        m.Batches.Load(),
 		MeanOccupancy:  occ.Mean(),
-		OccupancyP50:   occ.Quantile(0.50),
+		OccupancyP50:   occQ.P50,
+		OccupancyP90:   occQ.P90,
+		OccupancyP99:   occQ.P99,
 		OccupancyHist:  occ.Buckets(),
 		QueueDepth:     queueDepth,
 		QueueCap:       queueCap,
-		QueueWaitP50Us: qw.Quantile(0.50) / 1e3,
-		QueueWaitP99Us: qw.Quantile(0.99) / 1e3,
-		LatencyP50Us:   lat.Quantile(0.50) / 1e3,
-		LatencyP90Us:   lat.Quantile(0.90) / 1e3,
-		LatencyP99Us:   lat.Quantile(0.99) / 1e3,
+		QueueWaitP50Us: qwQ.P50,
+		QueueWaitP90Us: qwQ.P90,
+		QueueWaitP99Us: qwQ.P99,
+		LatencyP50Us:   latQ.P50,
+		LatencyP90Us:   latQ.P90,
+		LatencyP99Us:   latQ.P99,
 		LatencyMeanUs:  lat.Mean() / 1e3,
 	}
 }

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"time"
+
+	"seedex/internal/align"
+	"seedex/internal/core"
+	"seedex/internal/obs"
+)
+
+// collectProm is the server's Prometheus collector: it adapts the
+// existing atomic counters, power-of-two histograms, check statistics,
+// fault-tolerance counters and kernel telemetry into text-exposition
+// families at scrape time. Nothing here touches the hot paths — a scrape
+// is atomic loads plus formatting.
+func (s *Server) collectProm(p *obs.Prom) {
+	m := s.met
+
+	// Admission and completion counters.
+	p.Counter("seedex_requests_total", "HTTP requests served on the job endpoints.", float64(m.Requests.Load()))
+	p.Counter("seedex_requests_bad_input_total", "Requests refused with 400.", float64(m.BadInput.Load()))
+	p.Counter("seedex_jobs_accepted_total", "Jobs admitted to the batching queue.", float64(m.Accepted.Load()))
+	p.Counter("seedex_jobs_rejected_total", "Jobs refused with 429 (queue full).", float64(m.Rejected.Load()))
+	p.Counter("seedex_jobs_rejected_draining_total", "Jobs refused with 503 (draining).", float64(m.Draining.Load()))
+	p.Counter("seedex_jobs_expired_total", "Jobs whose deadline passed before compute.", float64(m.Expired.Load()))
+	p.Counter("seedex_jobs_completed_total", "Jobs fully computed.", float64(m.Completed.Load()))
+	p.Counter("seedex_batches_total", "Micro-batches dispatched to workers.", float64(m.Batches.Load()))
+
+	// Queues.
+	p.Gauge("seedex_queue_depth", "Jobs waiting in the admission queue.", float64(s.ext.QueueDepth()), "queue", "extend")
+	p.Gauge("seedex_queue_cap", "Admission queue capacity.", float64(s.ext.QueueCap()), "queue", "extend")
+	if s.maps != nil {
+		p.Gauge("seedex_queue_depth", "Jobs waiting in the admission queue.", float64(s.maps.QueueDepth()), "queue", "map")
+		p.Gauge("seedex_queue_cap", "Admission queue capacity.", float64(s.maps.QueueCap()), "queue", "map")
+	}
+
+	// Histograms with interpolated quantile estimates alongside. The
+	// pow-2 nanosecond buckets convert to exact-le second buckets.
+	lat := m.Latency.snapshot()
+	p.Histogram("seedex_request_latency_seconds", "Request service time (admission to response ready).",
+		obs.Pow2Buckets(lat.Counts[:], 1e-9), float64(lat.Sum)/1e9, lat.N)
+	latQ := lat.Quantiles().Scaled(1e-9)
+	p.Quantiles("seedex_request_latency_quantile_seconds", "Interpolated request latency quantiles.",
+		map[float64]float64{0.5: latQ.P50, 0.9: latQ.P90, 0.99: latQ.P99})
+
+	qw := m.QueueWait.snapshot()
+	p.Histogram("seedex_queue_wait_seconds", "Per-job wait from admission to batch dispatch.",
+		obs.Pow2Buckets(qw.Counts[:], 1e-9), float64(qw.Sum)/1e9, qw.N)
+	qwQ := qw.Quantiles().Scaled(1e-9)
+	p.Quantiles("seedex_queue_wait_quantile_seconds", "Interpolated queue-wait quantiles.",
+		map[float64]float64{0.5: qwQ.P50, 0.9: qwQ.P90, 0.99: qwQ.P99})
+
+	occ := m.Occupancy.snapshot()
+	p.Histogram("seedex_batch_occupancy", "Jobs per dispatched micro-batch.",
+		obs.Pow2Buckets(occ.Counts[:], 1), float64(occ.Sum), occ.N)
+	occQ := occ.Quantiles()
+	p.Quantiles("seedex_batch_occupancy_quantile", "Interpolated batch-occupancy quantiles.",
+		map[float64]float64{0.5: occQ.P50, 0.9: occQ.P90, 0.99: occQ.P99})
+
+	// Check workflow outcomes and degraded-mode containment counters.
+	if s.stats != nil {
+		snap := s.stats.Snapshot()
+		p.Counter("seedex_check_total", "Extensions through the check workflow.", float64(snap.Total))
+		p.Counter("seedex_check_passed_total", "Extensions proven optimal.", float64(snap.Passed))
+		p.Counter("seedex_check_reruns_total", "Extensions rerun with the full band.", float64(snap.Reruns))
+		p.Counter("seedex_check_threshold_only_total", "Extensions proven optimal by thresholding alone.", float64(snap.ThresholdOnly))
+		for o, n := range snap.Outcomes {
+			p.Counter("seedex_check_outcome_total", "Check outcomes by verdict.", float64(n),
+				"outcome", core.Outcome(o).String())
+		}
+		p.Counter("seedex_device_faults_total", "Device responses that failed integrity validation.", float64(snap.DeviceFaults))
+		p.Counter("seedex_device_retries_total", "Device batch attempts retried.", float64(snap.DeviceRetries))
+		p.Counter("seedex_breaker_trips_total", "Circuit breaker closed->open transitions.", float64(snap.BreakerTrips))
+		p.Counter("seedex_host_only_total", "Extensions served entirely by the host full-band kernel.", float64(snap.HostOnly))
+	}
+	if s.cfg.Health != nil {
+		h := s.cfg.Health()
+		degraded := 0.0
+		if h.Degraded {
+			degraded = 1
+		}
+		p.Gauge("seedex_degraded", "1 while the breaker keeps the device out of the path.", degraded)
+		for _, state := range []string{"closed", "open", "half-open"} {
+			v := 0.0
+			if h.Breaker == state {
+				v = 1
+			}
+			p.Gauge("seedex_breaker_state", "Breaker state (exactly one series is 1).", v, "state", state)
+		}
+	}
+
+	// Kernel-level telemetry: tier mix, demotions, lane occupancy and
+	// sweep throughput of the packed batch kernels.
+	uptime := time.Since(s.started).Seconds()
+	kt := align.KernelSnapshot()
+	p.Counter("seedex_kernel_chunks_total", "Batch-kernel invocations (chunks).", float64(kt.Batches))
+	for tier, n := range kt.Jobs {
+		p.Counter("seedex_kernel_jobs_total", "Jobs per assigned SWAR tier.", float64(n),
+			"tier", align.TierNames[tier])
+	}
+	p.Counter("seedex_kernel_degenerate_total", "Jobs that bypassed the tier ladder.", float64(kt.Degenerate))
+	p.Counter("seedex_kernel_demoted_total", "SWAR-assigned jobs demoted to scalar by envelope divergence.", float64(kt.Demoted))
+	p.Counter("seedex_kernel_solo_total", "Jobs run scalar because their group filled one lane.", float64(kt.Solo))
+	p.Counter("seedex_kernel_groups_total", "Packed lane groups executed.", float64(kt.Groups))
+	p.Counter("seedex_kernel_lanes_total", "Lanes filled across packed groups.", float64(kt.Lanes))
+	p.Counter("seedex_kernel_cells_total", "DP cells swept by the batch kernels.", float64(kt.Cells))
+	p.Gauge("seedex_kernel_lane_occupancy", "Mean lanes filled per packed group.", kt.LaneOccupancy())
+	if uptime > 0 {
+		p.Gauge("seedex_kernel_cells_per_second", "Mean DP cell throughput since start.", float64(kt.Cells)/uptime)
+	}
+
+	// Tracer health.
+	if s.trace != nil {
+		ts := s.trace.TraceStats()
+		p.Gauge("seedex_trace_sample_every", "Head-sampling ratio (1 in N requests).", float64(ts.SampleEvery))
+		p.Counter("seedex_trace_sampled_requests_total", "Requests selected by head sampling.", float64(ts.SampledTotal))
+		p.Counter("seedex_trace_spans_total", "Spans recorded into the rings.", float64(ts.SpansTotal))
+		p.Gauge("seedex_trace_slow_retained", "Requests retained in the slow-trace ring.", float64(ts.SlowRetained))
+	}
+
+	p.Gauge("seedex_uptime_seconds", "Seconds since the server started.", uptime)
+}

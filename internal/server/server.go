@@ -10,6 +10,7 @@ import (
 	"seedex/internal/bwamem"
 	"seedex/internal/core"
 	"seedex/internal/faults"
+	"seedex/internal/obs"
 )
 
 // Config assembles a Server.
@@ -45,6 +46,11 @@ type Config struct {
 	// picked up automatically when Extender exposes a
 	// `Health() faults.Health` method (the FPGA driver engine does).
 	Health func() faults.Health
+	// Trace, when non-nil, records pipeline spans (admission, queue wait,
+	// batch flush, kernel tier, check outcome, host rerun) for sampled
+	// requests and exports them at /debug/traces. A nil tracer costs the
+	// job endpoints one pointer compare per instrumentation site.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +86,8 @@ type Server struct {
 	ext      *batcher[extJob]
 	maps     *batcher[mapJob]
 	stats    *core.Stats // check statistics, when the extender keeps them
+	trace    *obs.Tracer // nil when tracing is disabled
+	reg      *obs.Registry
 	mux      *http.ServeMux
 	draining atomic.Bool
 	started  time.Time
@@ -93,7 +101,7 @@ func New(cfg Config) *Server {
 	// final values through s.cfg before the pools start.
 	cfg.Batch = cfg.Batch.withDefaults()
 	cfg.MapBatch = cfg.MapBatch.withDefaults()
-	s := &Server{cfg: cfg, met: &Metrics{}, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{cfg: cfg, met: &Metrics{}, trace: cfg.Trace, reg: obs.NewRegistry(), mux: http.NewServeMux(), started: time.Now()}
 	if se, ok := cfg.Extender.(*core.SeedEx); ok {
 		s.stats = se.Stats
 	} else if cs, ok := cfg.Extender.(interface{ CheckStats() *core.Stats }); ok {
@@ -110,6 +118,7 @@ func New(cfg Config) *Server {
 	if cfg.Aligner != nil {
 		s.maps = newBatcher(cfg.MapBatch, s.met, s.mapWorker)
 	}
+	s.reg.Register(s.collectProm)
 	s.routes()
 	return s
 }
@@ -142,6 +151,13 @@ func (s *Server) Close() {
 
 // Metrics exposes the live counters (shared with the /metrics endpoint).
 func (s *Server) Metrics() *Metrics { return s.met }
+
+// Registry exposes the Prometheus collector registry, so embedders can
+// register additional collectors before the first scrape.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer exposes the span tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.trace }
 
 // pending collects one request's extension results as its jobs complete,
 // possibly across several device batches. done closes when the last job
@@ -192,6 +208,7 @@ type extJob struct {
 	ctx context.Context
 	req core.Request // Tag carries the job's slot in its pending
 	out *pending
+	tr  obs.Ref // sampled trace handle (zero: not sampled)
 	enq time.Time
 }
 
@@ -202,6 +219,7 @@ type mapJob struct {
 	seq  []byte // base codes
 	qual []byte // ASCII qualities or nil
 	out  *mapPending
+	tr   obs.Ref
 	i    int
 	enq  time.Time
 }
@@ -239,17 +257,28 @@ func (p *mapPending) abandon(submitted, total int) {
 	}
 }
 
+// batchResponder is the full-verdict batch path: responses carry rerun
+// flags and check outcomes. *core.Checker and the FPGA driver's engine
+// sessions both duck-type it.
+type batchResponder interface {
+	ExtendBatchInto(reqs []core.Request, dst []core.Response) []core.Response
+}
+
 // extWorker returns one extension worker's batch processor. The worker
 // owns a per-worker session of the configured extender (its scratch
 // memory lives as long as the worker), so a batch runs allocation-free
-// through the packed kernels: core.Checker.ExtendBatchInto for checked
-// engines, align.BatchExtender.ExtendJobs otherwise.
+// through the packed kernels: the speculate-check-rerun workflow for
+// checked engines (software checker or device driver), the plain batch
+// path otherwise. With tracing enabled, sampled jobs record queue-wait,
+// flush, kernel, check and rerun spans; with it disabled every span site
+// is a single nil compare.
 func (s *Server) extWorker() func([]extJob) {
 	ext := s.cfg.Extender
 	if se, ok := ext.(align.SessionExtender); ok {
 		ext = se.Session()
 	}
 	chk, _ := ext.(*core.Checker)
+	br, _ := ext.(batchResponder)
 	max := s.cfg.Batch.MaxBatch
 	live := make([]extJob, 0, max)
 	reqs := make([]core.Request, 0, max)
@@ -260,7 +289,9 @@ func (s *Server) extWorker() func([]extJob) {
 		now := time.Now()
 		live, reqs = live[:0], reqs[:0]
 		for _, j := range batch {
-			s.met.QueueWait.observe(now.Sub(j.enq).Nanoseconds())
+			wait := now.Sub(j.enq)
+			s.met.QueueWait.observe(wait.Nanoseconds())
+			j.tr.Span(obs.KindQueueWait, j.enq, wait, int64(len(batch)), 0)
 			if j.ctx.Err() != nil {
 				// The client is gone (deadline or disconnect): skip the
 				// compute, but still complete the job so the request's
@@ -275,19 +306,82 @@ func (s *Server) extWorker() func([]extJob) {
 		if len(live) == 0 {
 			return
 		}
-		if chk != nil {
-			resp = chk.ExtendBatchInto(reqs, resp[:0])
+		// Flush span: batch formation from the oldest job's admission to
+		// worker pickup, marked with whether the size threshold (vs the
+		// deadline timer) triggered the flush.
+		sized := int64(0)
+		if len(batch) >= max {
+			sized = 1
+		}
+		fStart := batch[0].enq
+		fDur := now.Sub(fStart)
+		for _, j := range live {
+			j.tr.Span(obs.KindFlush, fStart, fDur, int64(len(batch)), sized)
+		}
+		switch {
+		case chk != nil:
+			// Software checker: split the workflow at its phase boundaries
+			// (packed speculate+check, then per-job stats/rerun policy,
+			// replicating ExtendBatchInto) so kernel, check and rerun each
+			// get their own span.
+			k0 := time.Now()
+			var reps []core.Report
+			resp, reps = chk.CheckBatch(reqs, resp[:0])
+			kDur := time.Since(k0)
+			kEnd := k0.Add(kDur)
 			for k, j := range live {
-				j.out.deliver(j.req.Tag, resp[k])
+				rep := reps[k]
+				if chk.Stats != nil {
+					chk.Stats.Record(rep)
+				}
+				if j.tr.Sampled() {
+					tier := align.TierOf(len(reqs[k].Q), reqs[k].H0, chk.Config.Scoring)
+					j.tr.Span(obs.KindKernel, k0, kDur, int64(tier), int64(len(live)))
+					pass := int64(0)
+					if rep.Pass {
+						pass = 1
+					}
+					j.tr.Span(obs.KindCheck, kEnd, 0, int64(rep.Outcome), pass)
+				}
+				r := resp[k]
+				if r.Rerun {
+					r0 := time.Now()
+					r.Res = chk.Rerun(reqs[k].Q, reqs[k].T, reqs[k].H0)
+					j.tr.Span(obs.KindRerun, r0, time.Since(r0), int64(rep.Outcome), 1)
+				}
+				j.out.deliver(j.req.Tag, r)
 			}
-		} else {
+		case br != nil:
+			// Device-backed engines run the whole workflow (device compute,
+			// integrity checks, overlapped host reruns) behind one call; the
+			// driver records its own device/rerun spans under the batch key.
+			k0 := time.Now()
+			resp = br.ExtendBatchInto(reqs, resp[:0])
+			kDur := time.Since(k0)
+			kEnd := k0.Add(kDur)
+			for k, j := range live {
+				r := resp[k]
+				if j.tr.Sampled() {
+					j.tr.Span(obs.KindKernel, k0, kDur, obs.TierUnknown, int64(len(live)))
+					pass := int64(0)
+					if !r.Rerun {
+						pass = 1
+					}
+					j.tr.Span(obs.KindCheck, kEnd, 0, int64(r.Outcome), pass)
+				}
+				j.out.deliver(j.req.Tag, r)
+			}
+		default:
 			jobs = jobs[:0]
 			for _, r := range reqs {
 				jobs = append(jobs, align.Job{Q: r.Q, T: r.T, H0: r.H0})
 			}
+			k0 := time.Now()
 			results = extendJobsVia(ext, jobs, results[:0])
+			kDur := time.Since(k0)
 			for k, j := range live {
-				j.out.deliver(j.req.Tag, core.Response{Tag: j.req.Tag, Res: results[k]})
+				j.tr.Span(obs.KindKernel, k0, kDur, obs.TierUnknown, int64(len(live)))
+				j.out.deliver(j.req.Tag, core.Response{Tag: j.req.Tag, Res: results[k], Outcome: core.OutcomeUnknown})
 			}
 		}
 		s.met.Completed.Add(int64(len(live)))
@@ -318,13 +412,17 @@ func (s *Server) mapWorker() func([]mapJob) {
 	return func(batch []mapJob) {
 		now := time.Now()
 		for _, j := range batch {
-			s.met.QueueWait.observe(now.Sub(j.enq).Nanoseconds())
+			wait := now.Sub(j.enq)
+			s.met.QueueWait.observe(wait.Nanoseconds())
+			j.tr.Span(obs.KindQueueWait, j.enq, wait, int64(len(batch)), 0)
 			if j.ctx.Err() != nil {
 				s.met.Expired.Add(1)
 				j.out.expire(j.i, j.name)
 				continue
 			}
+			k0 := time.Now()
 			rec, al := m.Map(j.name, j.seq, j.qual)
+			j.tr.Span(obs.KindKernel, k0, time.Since(k0), obs.TierUnknown, 1)
 			j.out.deliver(j.i, MapResult{
 				Name:   j.name,
 				Mapped: al.Mapped,

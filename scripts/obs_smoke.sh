@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Observability smoke test: start seedex-serve with tracing on, drive a
+# little traffic, then assert the Prometheus exposition and both trace
+# export formats are live and well-formed. Artifacts (metrics scrape,
+# Chrome trace, NDJSON spans, slow ring) land in OUT (default
+# obs-smoke/) for CI upload.
+set -euo pipefail
+
+OUT="${OUT:-obs-smoke}"
+ADDR="${ADDR:-127.0.0.1:18844}"
+DEBUG_ADDR="${DEBUG_ADDR:-127.0.0.1:18845}"
+mkdir -p "$OUT"
+
+echo "== building seedex-serve =="
+go build -o "$OUT/seedex-serve" ./cmd/seedex-serve
+
+echo "== starting server on $ADDR (tracing 1/1, pprof on $DEBUG_ADDR) =="
+"$OUT/seedex-serve" -addr "$ADDR" -trace-sample 1 -trace-slow 16 \
+  -debug-addr "$DEBUG_ADDR" -max-batch 16 -flush 1ms \
+  >"$OUT/serve.log" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died during startup:" >&2
+    cat "$OUT/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== driving traffic =="
+BODY='{"jobs":[
+  {"query":"ACGTACGTACGTACGTACGTACGTACGTACGT","target":"ACGTACGTACGTACGTACGTACGTACGTACGT","h0":20},
+  {"query":"ACGTACGTACGTTCGTACGTACGAACGTACGT","target":"ACGTACGTACGTACGTACGTACGTACGTACGT","h0":20},
+  {"query":"TTTTACGTACGTACGTACGTACGTACGTACGT","target":"ACGTACGTACGTACGTACGTACGTACGTACGT","h0":20}
+]}'
+for i in $(seq 1 20); do
+  curl -fsS -X POST "http://$ADDR/v1/extend" \
+    -H 'Content-Type: application/json' \
+    -H "X-Request-Id: smoke-$i" \
+    -d "$BODY" >/dev/null
+done
+
+echo "== scraping =="
+curl -fsS "http://$ADDR/metrics?format=prometheus" >"$OUT/metrics.prom"
+curl -fsS "http://$ADDR/metrics" >"$OUT/metrics.json"
+curl -fsS "http://$ADDR/debug/traces" >"$OUT/traces-chrome.json"
+curl -fsS "http://$ADDR/debug/traces?format=ndjson" >"$OUT/traces.ndjson"
+curl -fsS "http://$ADDR/debug/traces/slow?format=ndjson" >"$OUT/traces-slow.ndjson"
+curl -fsS "http://$DEBUG_ADDR/debug/pprof/" >"$OUT/pprof-index.html"
+
+echo "== asserting =="
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Prometheus exposition carries the serving counters, histograms with
+# quantiles, and the trace self-metrics.
+for family in \
+  seedex_requests_total seedex_jobs_completed_total \
+  seedex_request_latency_seconds_bucket \
+  seedex_request_latency_quantile_seconds \
+  seedex_check_outcome_total seedex_trace_spans_total; do
+  grep -q "^$family" "$OUT/metrics.prom" || fail "$family missing from Prometheus scrape"
+done
+grep -q '^# TYPE seedex_request_latency_seconds histogram' "$OUT/metrics.prom" \
+  || fail "latency histogram TYPE line missing"
+
+# Trace exports are valid JSON and cover the pipeline stages.
+python3 -c "import json,sys; json.load(open('$OUT/traces-chrome.json'))" \
+  || fail "Chrome trace export is not valid JSON"
+python3 - "$OUT/traces.ndjson" <<'EOF'
+import json, sys
+kinds = set()
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if line:
+        kinds.add(json.loads(line)["span"])
+need = {"request", "queue_wait", "batch_flush", "kernel", "check"}
+missing = need - kinds
+if missing:
+    raise SystemExit(f"FAIL: NDJSON trace missing spans: {sorted(missing)} (got {sorted(kinds)})")
+EOF
+[ -s "$OUT/traces-slow.ndjson" ] || fail "slow-trace ring is empty"
+grep -q 'pprof' "$OUT/pprof-index.html" || fail "pprof index not served on debug address"
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+echo "OK: observability smoke passed; artifacts in $OUT/"
