@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos obs-smoke bench bench-extend serve-bench
+.PHONY: check vet build test race chaos obs-smoke bench bench-extend bench-regression serve-bench
 
 check: vet build test race
 
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # The concurrent subsystems get a dedicated race pass: the FPGA driver,
-# the aligner pipeline, the shared (atomic) check statistics, and the
-# micro-batching alignment service with its daemon.
+# the aligner pipeline, the shared (atomic) check statistics, the packed
+# kernels' telemetry counters, and the micro-batching alignment service
+# (including the shape-binned collector) with its daemon.
 race:
-	$(GO) test -race ./internal/faults/... ./internal/driver/... ./internal/bwamem/... ./internal/core/... ./internal/server/... ./cmd/seedex-serve/...
+	$(GO) test -race ./internal/align/... ./internal/faults/... ./internal/driver/... ./internal/bwamem/... ./internal/core/... ./internal/server/... ./cmd/seedex-serve/...
 
 # Fault-injection equivalence drill: the chaos and integrity tests under
 # the race detector. Pin the fault draws with CHAOS_SEED (default: the
@@ -47,6 +48,17 @@ bench:
 # profile the kernels, e.g. EXTENDFLAGS='-cpuprofile cpu.out'.
 bench-extend:
 	$(GO) run ./cmd/seedex-bench -fig extend $(EXTENDFLAGS)
+
+# Bench-regression smoke (the CI advisory check, runnable locally): a
+# short measurement of the packed banded batch kernel on the 100 bp
+# workload, compared against the committed BENCH_extend.json history.
+# Exits non-zero when banded/batch cells/s drops >10% below the latest
+# committed same-read-length run. Writes the smoke run to a scratch file
+# so the committed trajectory stays untouched.
+bench-regression:
+	$(GO) run ./cmd/seedex-bench -fig extend -reads 600 -extend-rounds 2 \
+		-extend-readlen 100 -extend-json bench-regression-smoke.json \
+		-extend-pr smoke -extend-baseline BENCH_extend.json -extend-tolerance 0.10
 
 # Alignment-service load test: micro-batched vs unbatched throughput over
 # the 150 bp workload (writes BENCH_serve.json). Override knobs through

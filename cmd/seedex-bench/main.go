@@ -40,6 +40,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	extendBand := fs.Int("extend-band", 21, "one-sided band for the checked paths of -fig extend")
 	extendRounds := fs.Int("extend-rounds", 3, "timing rounds per kernel for -fig extend")
 	extendReadLen := fs.Int("extend-readlen", 150, "read length for -fig extend: 150 (standard trajectory) or 100 (8-bit SWAR tier dominates)")
+	extendPR := fs.String("extend-pr", "dev", "label recorded with the appended -fig extend run (the PR it measures)")
+	extendBaseline := fs.String("extend-baseline", "", "history file to regression-check the -fig extend run against: error when banded/batch cells/s drops more than -extend-tolerance below the baseline's latest same-read-length run")
+	extendTolerance := fs.Float64("extend-tolerance", 0.10, "fractional banded/batch throughput drop tolerated by -extend-baseline")
 	serveJSON := fs.String("serve-json", "BENCH_serve.json", "output path for the alignment-service benchmark (-fig serve)")
 	serveDur := fs.Duration("serve-dur", time.Second, "measurement window per concurrency point for -fig serve")
 	serveConc := fs.String("serve-conc", "4,16,32,64", "comma-separated client concurrencies for -fig serve")
@@ -177,14 +180,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		rep := bench.ExtendBench(wext, *extendBand, *extendRounds)
 		fmt.Fprintln(stdout, rep)
-		data, err := rep.JSON()
+		// BENCH_extend.json is an append-only history: each invocation adds
+		// one labeled run, so the file carries the perf trajectory across
+		// PRs instead of only the most recent snapshot.
+		hist, err := bench.ReadExtendHistory(*extendJSON)
+		if err != nil {
+			return err
+		}
+		hist.Runs = append(hist.Runs, bench.ExtendRun{PR: *extendPR, ExtendBenchReport: rep})
+		data, err := hist.JSON()
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(*extendJSON, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "wrote %s\n", *extendJSON)
+		fmt.Fprintf(stderr, "wrote %s (%d runs)\n", *extendJSON, len(hist.Runs))
+		if *extendBaseline != "" {
+			if err := regressCheck(rep, *extendBaseline, *extendTolerance, stderr); err != nil {
+				return err
+			}
+		}
 	}
 	if want["serve"] { // not part of 'all': it writes a file and load-tests for seconds
 		section("Alignment service: micro-batched vs unbatched throughput")
@@ -232,5 +248,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		section("Ablation: BSW cores per edit machine (paper: 3)")
 		fmt.Fprintln(stdout, bench.AblationBSWEditRatio(w))
 	}
+	return nil
+}
+
+// regressCheck compares the fresh run's banded/batch throughput against
+// the latest same-read-length run of the baseline history (the committed
+// BENCH_extend.json in CI) and errors when it dropped by more than the
+// tolerated fraction. The hot-path batch kernel is the one row whose
+// regressions matter release-to-release; everything else in the report is
+// context.
+func regressCheck(rep bench.ExtendBenchReport, baselinePath string, tolerance float64, stderr io.Writer) error {
+	base, err := bench.ReadExtendHistory(baselinePath)
+	if err != nil {
+		return fmt.Errorf("regression baseline: %w", err)
+	}
+	prev := base.LatestFor(rep.ReadLen)
+	if prev == nil {
+		fmt.Fprintf(stderr, "regression check: no %d bp baseline run in %s, skipping\n", rep.ReadLen, baselinePath)
+		return nil
+	}
+	const row = "banded/batch"
+	got, want := rep.Kernel(row), prev.Kernel(row)
+	if got == nil || want == nil {
+		return fmt.Errorf("regression check: kernel %q missing (run has it: %v, baseline %s/%s has it: %v)",
+			row, got != nil, baselinePath, prev.PR, want != nil)
+	}
+	floor := want.CellsPerSec * (1 - tolerance)
+	if got.CellsPerSec < floor {
+		return fmt.Errorf("regression: %s %.3e cells/s is %.1f%% below baseline %.3e (run %q), tolerance %.0f%%",
+			row, got.CellsPerSec, 100*(1-got.CellsPerSec/want.CellsPerSec), want.CellsPerSec, prev.PR, 100*tolerance)
+	}
+	fmt.Fprintf(stderr, "regression check: %s %.3e cells/s vs baseline %.3e (run %q): ok\n",
+		row, got.CellsPerSec, want.CellsPerSec, prev.PR)
 	return nil
 }

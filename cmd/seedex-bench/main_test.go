@@ -45,7 +45,7 @@ func TestBenchExtendJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_extend.json")
 	var out, stderr bytes.Buffer
 	err := run([]string{"-fig", "extend", "-reads", "40", "-ref", "30000",
-		"-extend-rounds", "1", "-extend-json", path}, &out, &stderr)
+		"-extend-rounds", "1", "-extend-json", path, "-extend-pr", "test-run"}, &out, &stderr)
 	if err != nil {
 		t.Fatalf("%v (%s)", err, stderr.String())
 	}
@@ -53,17 +53,27 @@ func TestBenchExtendJSON(t *testing.T) {
 	if err != nil {
 		t.Fatalf("benchmark JSON not written: %v", err)
 	}
-	var rep struct {
-		ReadLen int `json:"read_len"`
-		Kernels []struct {
-			Kernel      string  `json:"kernel"`
-			NsPerOp     float64 `json:"ns_per_op"`
-			CellsPerSec float64 `json:"cells_per_sec"`
-			AllocsPerOp float64 `json:"allocs_per_op"`
-		} `json:"kernels"`
+	var hist struct {
+		Runs []struct {
+			PR      string `json:"pr"`
+			ReadLen int    `json:"read_len"`
+			Kernels []struct {
+				Kernel      string  `json:"kernel"`
+				NsPerOp     float64 `json:"ns_per_op"`
+				CellsPerSec float64 `json:"cells_per_sec"`
+				AllocsPerOp float64 `json:"allocs_per_op"`
+			} `json:"kernels"`
+		} `json:"runs"`
 	}
-	if err := json.Unmarshal(data, &rep); err != nil {
+	if err := json.Unmarshal(data, &hist); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(hist.Runs) != 1 {
+		t.Fatalf("history has %d runs, want 1", len(hist.Runs))
+	}
+	rep := hist.Runs[0]
+	if rep.PR != "test-run" {
+		t.Fatalf("run labeled %q, want test-run", rep.PR)
 	}
 	if rep.ReadLen != 150 {
 		t.Fatalf("read length %d, want 150", rep.ReadLen)
@@ -80,6 +90,104 @@ func TestBenchExtendJSON(t *testing.T) {
 		if !seen[want] {
 			t.Fatalf("kernel %q missing from report (have %v)", want, seen)
 		}
+	}
+
+	// Append-only: a second run with a new label grows the history.
+	err = run([]string{"-fig", "extend", "-reads", "40", "-ref", "30000",
+		"-extend-rounds", "1", "-extend-json", path, "-extend-pr", "second"}, &out, &stderr)
+	if err != nil {
+		t.Fatalf("second run: %v (%s)", err, stderr.String())
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatalf("invalid JSON after append: %v", err)
+	}
+	if len(hist.Runs) != 2 || hist.Runs[0].PR != "test-run" || hist.Runs[1].PR != "second" {
+		t.Fatalf("history after append: %d runs (%v), want [test-run second]",
+			len(hist.Runs), hist.Runs)
+	}
+
+	// Regression check against the just-written history passes: the same
+	// machine measuring the same workload cannot be 10x slower... but it
+	// can be noisy, so use a generous tolerance.
+	err = run([]string{"-fig", "extend", "-reads", "40", "-ref", "30000",
+		"-extend-rounds", "1", "-extend-json", path, "-extend-pr", "third",
+		"-extend-baseline", path, "-extend-tolerance", "0.95"}, &out, &stderr)
+	if err != nil {
+		t.Fatalf("regression check: %v (%s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "regression check:") {
+		t.Fatalf("regression check did not report: %s", stderr.String())
+	}
+
+	// An impossible baseline trips the regression error.
+	err = run([]string{"-fig", "extend", "-reads", "40", "-ref", "30000",
+		"-extend-rounds", "1", "-extend-json", filepath.Join(t.TempDir(), "new.json"),
+		"-extend-baseline", writeInflatedBaseline(t, data), "-extend-tolerance", "0.10"}, &out, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("inflated baseline must trip the regression check, got %v", err)
+	}
+}
+
+// writeInflatedBaseline rewrites a history with a 1000x banded/batch
+// baseline so any real measurement regresses against it.
+func writeInflatedBaseline(t *testing.T, data []byte) string {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range doc["runs"].([]any) {
+		for _, k := range run.(map[string]any)["kernels"].([]any) {
+			km := k.(map[string]any)
+			if km["kernel"] == "banded/batch" {
+				km["cells_per_sec"] = km["cells_per_sec"].(float64) * 1000
+			}
+		}
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExtendHistoryLegacy converts a pre-history single-object file into
+// runs[0] labeled "legacy" on the first append.
+func TestExtendHistoryLegacy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_extend.json")
+	legacy := `{"read_len": 150, "problems": 10, "band": 21, "kernels": [{"kernel": "banded/batch", "ns_per_op": 1, "cells_per_sec": 2, "allocs_per_op": 0}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, stderr bytes.Buffer
+	err := run([]string{"-fig", "extend", "-reads", "40", "-ref", "30000",
+		"-extend-rounds", "1", "-extend-json", path, "-extend-pr", "next"}, &out, &stderr)
+	if err != nil {
+		t.Fatalf("%v (%s)", err, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist struct {
+		Runs []struct {
+			PR      string `json:"pr"`
+			ReadLen int    `json:"read_len"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Runs) != 2 || hist.Runs[0].PR != "legacy" || hist.Runs[1].PR != "next" {
+		t.Fatalf("legacy conversion: got %+v, want [legacy next]", hist.Runs)
 	}
 }
 

@@ -3,7 +3,7 @@ package align
 import "slices"
 
 // Inter-sequence batch extension: tiering and lane-packing orchestration
-// for the SWAR kernels (swar8.go, swar16.go).
+// for the SWAR kernels (swar8x2.go, swar8.go, swar16.go).
 //
 // A batch is bucketed by shape (sort by tier, then query length, then
 // target length, all descending within the tier) so that the problems
@@ -11,7 +11,10 @@ import "slices"
 // wastes little work on padding. The tier ladder picks the widest lane
 // that provably cannot overflow, per job:
 //
-//	8 × int8   score ceiling h0 + n*Match <= 127 (and penalties <= 127)
+//	16 × int8  score ceiling h0 + n*Match <= 127 (and penalties <= 127)
+//	           AND a short-read shape (n <= swar8x2MaxQ, m <= swar8x2MaxT)
+//	           whose doubled column records stay cache-resident
+//	8 × int8   score ceiling <= 127, any shape
 //	4 × int16  score ceiling <= 32767 (and penalties <= 32767)
 //	scalar     the int32 workspace kernel (which itself delegates to the
 //	           int reference kernel when int32 could overflow)
@@ -20,7 +23,9 @@ import "slices"
 // path: a job whose DP area is a small fraction of its group leader's
 // would spend most of the lockstep sweep in padding, so it runs scalar
 // instead and the lane is left to the next job. Degenerate jobs (empty
-// query, non-positive h0) never enter a lane group.
+// query, non-positive h0) never enter a lane group. A 16-lane group left
+// with 8 or fewer survivors runs through the 8-lane kernel instead — the
+// second word would carry only padding.
 
 // swarLane couples one lane's problem with its result destination.
 // res is fully overwritten; bd, when non-nil, must be a pre-zeroed
@@ -34,10 +39,16 @@ type swarLane struct {
 
 // Batch tier ladder, in sort-key order (widest first).
 const (
-	tierSWAR8 = iota
+	tierSWAR8x2 = iota
+	tierSWAR8
 	tierSWAR16
 	tierScalar
+
+	numTiers
 )
+
+// tierLaneWidth, indexed by tier (the scalar tier never forms groups).
+var tierLaneWidth = [numTiers]int{16, 8, 4, 1}
 
 // scoringFits reports whether every penalty magnitude fits a lane of the
 // given capacity. Negative magnitudes (no Scoring constructor produces
@@ -55,7 +66,7 @@ func scoringFits(sc Scoring, cap int) bool {
 func swarScoringTier(sc Scoring) int {
 	switch {
 	case scoringFits(sc, swarCap8):
-		return tierSWAR8
+		return tierSWAR8x2
 	case scoringFits(sc, swarCap16):
 		return tierSWAR16
 	default:
@@ -66,10 +77,16 @@ func swarScoringTier(sc Scoring) int {
 // jobTier picks a job's lane tier from its score ceiling: h0 + n*Match
 // bounds every H value the DP can produce (each diagonal step gains at
 // most Match, and row 0 starts at h0), and E/F never exceed H's bound.
-func jobTier(n, h0 int, sc Scoring, scTier int) int {
+// Within the int8 ceiling the shape decides the width: short-read
+// problems take the 16-lane two-word kernel, longer ones the 8-lane
+// kernel whose single-word columns stream better.
+func jobTier(n, m, h0 int, sc Scoring, scTier int) int {
 	c := int64(h0) + int64(n)*int64(sc.Match)
 	switch {
-	case scTier <= tierSWAR8 && c <= swarCap8:
+	case scTier == tierSWAR8x2 && c <= swarCap8:
+		if n <= swar8x2MaxQ && m <= swar8x2MaxT {
+			return tierSWAR8x2
+		}
 		return tierSWAR8
 	case scTier <= tierSWAR16 && c <= swarCap16:
 		return tierSWAR16
@@ -159,7 +176,7 @@ func extendBatchChunk(ws *Workspace, jobs []Job, sc Scoring, w int, results []Ex
 		}
 		tier := tierScalar
 		if n <= swarMaxDim && m <= swarMaxDim {
-			tier = jobTier(n, jobs[i].H0, sc, scTier)
+			tier = jobTier(n, m, jobs[i].H0, sc, scTier)
 		}
 		tally.jobs[tier]++
 		keys = append(keys,
@@ -184,10 +201,7 @@ func extendBatchChunk(ws *Workspace, jobs []Job, sc Scoring, w int, results []Ex
 			idx++
 			continue
 		}
-		laneWidth := 8
-		if tier == tierSWAR16 {
-			laneWidth = 4
-		}
+		laneWidth := tierLaneWidth[tier]
 		gEnd := idx + 1
 		for gEnd < idx+laneWidth && gEnd < len(keys) &&
 			int(keys[gEnd]>>(swarKeyIdxBits+2*swarKeyDimBits)) == tier {
@@ -207,7 +221,7 @@ func extendBatchChunk(ws *Workspace, jobs []Job, sc Scoring, w int, results []Ex
 			}
 		}
 		envelope := (nMax + 1) * (mMax + 1)
-		var lanes [8]swarLane
+		var lanes [16]swarLane
 		nl := 0
 		for _, key := range keys[idx:gEnd] {
 			i := int(key & swarKeyIdxMask)
@@ -217,7 +231,7 @@ func extendBatchChunk(ws *Workspace, jobs []Job, sc Scoring, w int, results []Ex
 				bd = bds[i].E
 			}
 			if 4*(n+1)*(m+1) < envelope {
-				tally.demoted++
+				tally.demoted[tier]++
 				results[i], _ = extendCoreWS(ws, jobs[i].Q, jobs[i].T, jobs[i].H0, sc, w, Options{}, bd)
 				continue
 			}
@@ -232,14 +246,23 @@ func extendBatchChunk(ws *Workspace, jobs []Job, sc Scoring, w int, results []Ex
 			tally.solo++
 			l := &lanes[0]
 			*l.res, _ = extendCoreWS(ws, l.q, l.t, l.h0, sc, w, Options{}, l.bd)
-		case tier == tierSWAR8:
-			tally.groups++
-			tally.lanes += int64(nl)
-			extendSWAR8(ws, lanes[:nl], sc, w)
 		default:
-			tally.groups++
-			tally.lanes += int64(nl)
-			extendSWAR16(ws, lanes[:nl], sc, w)
+			run := tier
+			if tier == tierSWAR8x2 && nl <= 8 {
+				// Too few survivors to fill the second word; the 8-lane
+				// kernel covers them with half the per-column traffic.
+				run = tierSWAR8
+			}
+			tally.groups[run]++
+			tally.lanes[run] += int64(nl)
+			switch run {
+			case tierSWAR8x2:
+				extendSWAR8x2(ws, lanes[:nl], sc, w)
+			case tierSWAR8:
+				extendSWAR8(ws, lanes[:nl], sc, w)
+			default:
+				extendSWAR16(ws, lanes[:nl], sc, w)
+			}
 		}
 		idx = gEnd
 	}

@@ -4,14 +4,19 @@ import "math/bits"
 
 // 4-lane SWAR banded extension kernel: the 16-bit mirror of swar8.go for
 // problems whose score ceiling exceeds an int8 lane but fits 15 bits
-// (h0 + n*Match <= swarCap16). Same layout invariants, same masks, lane
-// stride 16 instead of 8. See swar8.go for the full commentary; only the
-// constants differ here.
+// (h0 + n*Match <= swarCap16). Same interleaved column records, same
+// striped qm packing (code in bits 0-2, edge flag one bit below the lane
+// top, valid flag in the lane top bit), lane stride 16 instead of 8. See
+// swar8.go for the full commentary; only the constants differ here.
 
 const (
-	swarL16 uint64 = 0x0001000100010001 // 1 in every 16-bit lane
-	swarH16 uint64 = swarL16 << 15      // lane high bits
-	swarM15 uint64 = ^swarH16           // 15-bit payload mask per lane
+	swarL16    uint64 = 0x0001000100010001 // 1 in every 16-bit lane
+	swarH16    uint64 = swarL16 << 15      // lane high bits
+	swarM15    uint64 = ^swarH16           // 15-bit payload mask per lane
+	swarCode16 uint64 = swarL16 * 7        // 3-bit base-code field per lane
+
+	swarColHi16  uint64 = 0x8000 // qm column-valid flag (per lane)
+	swarEdgeHi16 uint64 = 0x4000 // qm right-edge flag (per lane)
 )
 
 // swarCap16 is the largest value a 16-bit lane may hold.
@@ -28,6 +33,22 @@ func satsub16(a, b uint64) uint64 {
 
 // max16 computes the per-lane maximum as b + max(a-b, 0).
 func max16(a, b uint64) uint64 { return b + satsub16(a, b) }
+
+// swarQM16 builds one lane's striped query halfword for column j.
+func swarQM16(q []byte, n, j int) uint64 {
+	if j > n {
+		return 5
+	}
+	c := uint64(5)
+	if b := q[j-1]; b < 4 {
+		c = uint64(b)
+	}
+	c |= swarColHi16
+	if j == n {
+		c |= swarEdgeHi16
+	}
+	return c
+}
 
 // extendSWAR16 sweeps up to 4 lanes in lockstep; preconditions as in
 // extendSWAR8 with the swarCap16 tier test.
@@ -51,29 +72,15 @@ func extendSWAR16(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 		effW = nMax + mMax + 1
 	}
 
-	ws.preparePacked(nMax, mMax)
-	hw, ew := ws.pk.hw, ws.pk.ew
-	qw, tw := ws.pk.qw, ws.pk.tw
-	colHi, edgeHi := ws.pk.colHi, ws.pk.edgeHi
+	ws.preparePacked(nMax, mMax, 1)
+	cols, tw := ws.pk.cols, ws.pk.tw
 
 	for j := 1; j <= nMax; j++ {
-		var qv, cv, ev uint64
-		hi := uint64(0x8000)
+		var qv uint64
 		for k := 0; k < nl; k++ {
-			c := uint64(5)
-			if j <= nk[k] {
-				if b := lanes[k].q[j-1]; b < 4 {
-					c = uint64(b)
-				}
-				cv |= hi
-				if j == nk[k] {
-					ev |= hi
-				}
-			}
-			qv |= c << (16 * k)
-			hi <<= 16
+			qv |= swarQM16(lanes[k].q, nk[k], j) << (16 * k)
 		}
-		qw[j], colHi[j], edgeHi[j] = qv, cv, ev
+		cols[j] = swarCol{qm: qv}
 	}
 	for i := 1; i <= mMax; i++ {
 		var tv uint64
@@ -98,23 +105,23 @@ func extendSWAR16(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 	for k := 0; k < nl; k++ {
 		h0W |= uint64(lanes[k].h0) << (16 * k)
 	}
-	hw[0] = h0W
+	cols[0] = swarCol{h: h0W}
 	lim := nMax
 	if banded && w < lim {
 		lim = w
 	}
 	v := satsub16(h0W, oeW)
 	for j := 1; j <= lim; j++ {
-		hw[j] = v
+		cols[j].h = v
 		v = satsub16(v, geW)
 	}
 	for j := lim + 1; j <= nMax; j++ {
-		hw[j] = 0
+		cols[j].h = 0
 	}
 
 	var gBest, gT [4]int
 	for k := 0; k < nl; k++ {
-		if g := int(hw[nk[k]]>>(16*k)) & 0xffff; g > 0 {
+		if g := int(cols[nk[k]].h>>(16*k)) & 0xffff; g > 0 {
 			gBest[k] = g
 		}
 	}
@@ -156,17 +163,17 @@ func extendSWAR16(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 		col0W = satsub16(col0W, geW)
 		var hDiag uint64
 		if jmin == 1 {
-			hDiag = hw[0]
+			hDiag = cols[0].h
 			if !banded || i <= w {
-				hw[0] = col0W
+				cols[0].h = col0W
 			} else {
-				hw[0] = 0
+				cols[0].h = 0
 			}
 		} else {
-			hDiag = hw[jmin-1]
+			hDiag = cols[jmin-1].h
 		}
 		if banded && jmax < nMax {
-			ew[jmax] = 0
+			cols[jmax].e = 0
 		}
 
 		var rowHi uint64
@@ -187,19 +194,22 @@ func extendSWAR16(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 		}
 		var f, live uint64
 		for j := jmin; j <= jmax; j++ {
-			hUp := hw[j]
-			ev := ew[j]
-			x := qw[j] ^ twI
-			nzb := ((x & swarM15) + swarM15) | x
+			col := &cols[j]
+			hUp := col.h
+			ev := col.e
+			qm := col.qm
+			x := (qm ^ twI) & swarCode16
+			nzb := (x + swarM15) | x
 			eqm := ^nzb & swarH16
 			eqm -= eqm >> 15
 			u := (hDiag + swarM15) & swarH16
 			nzm := u - u>>15
 			mv := ((hDiag + maW) & eqm & nzm) | (satsub16(hDiag, miW) &^ eqm)
 			hv := max16(max16(mv, ev), f)
-			hw[j] = hv
+			col.h = hv
 
-			if gt := ((hv | swarH16) - bestW - swarL16) & colHi[j] & rowHi; gt != 0 {
+			colHi := qm & swarH16
+			if gt := ((hv | swarH16) - bestW - swarL16) & colHi & rowHi; gt != 0 {
 				fm := (gt >> 15) * 0xffff
 				bestW = (hv & fm) | (bestW &^ fm)
 				for g := gt; g != 0; g &= g - 1 {
@@ -214,17 +224,17 @@ func extendSWAR16(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 			live |= (hv | ne | f) & rowFull
 
 			if j == bj0 {
-				if cb := colHi[j] & rowHi & capHi; cb != 0 {
+				if cb := colHi & rowHi & capHi; cb != 0 {
 					for g := cb; g != 0; g &= g - 1 {
 						k := bits.TrailingZeros64(g) >> 4
 						lanes[k].bd[j] = int(ne>>(16*k)) & 0xffff
 					}
 				}
 			} else {
-				ew[j] = ne
+				col.e = ne
 			}
 
-			if eh := edgeHi[j] & rowHi; eh != 0 {
+			if eh := (qm << 1) & swarH16 & rowHi; eh != 0 {
 				for g := eh; g != 0; g &= g - 1 {
 					k := bits.TrailingZeros64(g) >> 4
 					if v := int(hv>>(16*k)) & 0xffff; v > gBest[k] {

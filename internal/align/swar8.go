@@ -5,10 +5,11 @@ import "math/bits"
 // 8-lane SWAR banded extension kernel.
 //
 // Eight independent extension problems ride in the eight 8-bit lanes of a
-// uint64. One packed word per DP column holds the H (and E) values of all
-// eight problems at that column, and a single row sweep advances all eight
-// DP matrices in lockstep over a shared band schedule — the software
-// mirror of the paper's systolic array filling its cores from a batch.
+// uint64. One interleaved column record (swarCol) per DP column holds the
+// H and E values of all eight problems at that column plus the striped
+// query word, and a single row sweep advances all eight DP matrices in
+// lockstep over a shared band schedule — the software mirror of the
+// paper's systolic array filling its cores from a batch.
 //
 // Layout invariants (enforced by the tiering in swar.go):
 //
@@ -25,6 +26,12 @@ import "math/bits"
 //     get sentinel 5 and target positions sentinel 6, so a padded or
 //     ambiguous cell can never take the match path and its value only ever
 //     decays — padding stays harmless without per-cell branches.
+//   - The striped query word qm packs, per lane, the base code in bits
+//     0-2, the right-edge flag (j == lane query length) in bit 6, and the
+//     column-valid flag in bit 7. The lane comparison masks the XOR to the
+//     code field ((qm ^ tw) & swarCode8); colHi is qm & swarH8 and edgeHi
+//     is (qm << 1) & swarH8 — the <<1 bleeds each lane's valid bit into
+//     its neighbour's bit 0, which the & swarH8 discards.
 //   - Lanes whose query (column) or target (row) is exhausted keep
 //     sweeping dead padded cells; colHi/edgeHi/rowHi masks exclude them
 //     from every capture (local best, global edge, boundary E) and from
@@ -36,9 +43,13 @@ import "math/bits"
 // termination), which no consumer of batch results reads for correctness.
 
 const (
-	swarL8 uint64 = 0x0101010101010101 // 1 in every 8-bit lane
-	swarH8 uint64 = swarL8 << 7        // lane high bits
-	swarM7 uint64 = ^swarH8            // 7-bit payload mask per lane
+	swarL8    uint64 = 0x0101010101010101 // 1 in every 8-bit lane
+	swarH8    uint64 = swarL8 << 7        // lane high bits
+	swarM7    uint64 = ^swarH8            // 7-bit payload mask per lane
+	swarCode8 uint64 = swarL8 * 7         // 3-bit base-code field per lane
+
+	swarColHi8  uint64 = 0x80 // qm column-valid flag (per lane)
+	swarEdgeHi8 uint64 = 0x40 // qm right-edge flag (per lane)
 )
 
 // swarCap8 is the largest value (score or penalty) an 8-bit lane may hold.
@@ -58,6 +69,23 @@ func satsub8(a, b uint64) uint64 {
 // max8 computes the per-lane maximum as b + max(a-b, 0); the sum cannot
 // carry because the result is again <= swarCap8.
 func max8(a, b uint64) uint64 { return b + satsub8(a, b) }
+
+// swarQM8 builds one lane's striped query byte for column j (1-based):
+// code | valid flag | edge flag, or the bare pad sentinel past the end.
+func swarQM8(q []byte, n, j int) uint64 {
+	if j > n {
+		return 5 // query pad/ambiguity sentinel, no flags
+	}
+	c := uint64(5)
+	if b := q[j-1]; b < 4 {
+		c = uint64(b)
+	}
+	c |= swarColHi8
+	if j == n {
+		c |= swarEdgeHi8
+	}
+	return c
+}
 
 // extendSWAR8 sweeps up to 8 lanes in lockstep. Preconditions (guaranteed
 // by the batch orchestration in swar.go): 1 <= len(lanes) <= 8, every
@@ -85,30 +113,17 @@ func extendSWAR8(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 		effW = nMax + mMax + 1 // band that never clips: identical to full width
 	}
 
-	ws.preparePacked(nMax, mMax)
-	hw, ew := ws.pk.hw, ws.pk.ew
-	qw, tw := ws.pk.qw, ws.pk.tw
-	colHi, edgeHi := ws.pk.colHi, ws.pk.edgeHi
+	ws.preparePacked(nMax, mMax, 1)
+	cols, tw := ws.pk.cols, ws.pk.tw
 
-	// Lane-transpose the sequences and build the per-column lane masks.
+	// Lane-transpose the sequences into the striped column records (E
+	// starts all-dead) and the target words.
 	for j := 1; j <= nMax; j++ {
-		var qv, cv, ev uint64
-		hi := uint64(0x80)
+		var qv uint64
 		for k := 0; k < nl; k++ {
-			c := uint64(5) // query pad/ambiguity sentinel
-			if j <= nk[k] {
-				if b := lanes[k].q[j-1]; b < 4 {
-					c = uint64(b)
-				}
-				cv |= hi
-				if j == nk[k] {
-					ev |= hi
-				}
-			}
-			qv |= c << (8 * k)
-			hi <<= 8
+			qv |= swarQM8(lanes[k].q, nk[k], j) << (8 * k)
 		}
-		qw[j], colHi[j], edgeHi[j] = qv, cv, ev
+		cols[j] = swarCol{qm: qv}
 	}
 	for i := 1; i <= mMax; i++ {
 		var tv uint64
@@ -129,31 +144,31 @@ func extendSWAR8(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 	geW := splat8(sc.GapExtend)
 	oeW := splat8(sc.GapOpen + sc.GapExtend)
 
-	// Row 0: hw[j] = max(h0 - GapOpen - j*GapExtend, 0), dead above the
+	// Row 0: H(0, j) = max(h0 - GapOpen - j*GapExtend, 0), dead above the
 	// band. The satsub chain is the clamped recurrence of that formula.
 	var h0W uint64
 	for k := 0; k < nl; k++ {
 		h0W |= uint64(lanes[k].h0) << (8 * k)
 	}
-	hw[0] = h0W
+	cols[0] = swarCol{h: h0W}
 	lim := nMax
 	if banded && w < lim {
 		lim = w
 	}
 	v := satsub8(h0W, oeW)
 	for j := 1; j <= lim; j++ {
-		hw[j] = v
+		cols[j].h = v
 		v = satsub8(v, geW)
 	}
 	for j := lim + 1; j <= nMax; j++ {
-		hw[j] = 0
+		cols[j].h = 0
 	}
 
 	// Row 0's right edge contributes each lane's initial global score
 	// (pure insertion of the whole query).
 	var gBest, gT [8]int
 	for k := 0; k < nl; k++ {
-		if g := int(hw[nk[k]]>>(8*k)) & 0xff; g > 0 {
+		if g := int(cols[nk[k]].h>>(8*k)) & 0xff; g > 0 {
 			gBest[k] = g
 		}
 	}
@@ -195,19 +210,19 @@ func extendSWAR8(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 		col0W = satsub8(col0W, geW) // col0(i) = max(h0 - GapOpen - i*GapExtend, 0)
 		var hDiag uint64
 		if jmin == 1 {
-			hDiag = hw[0]
+			hDiag = cols[0].h
 			if !banded || i <= w {
-				hw[0] = col0W
+				cols[0].h = col0W
 			} else {
-				hw[0] = 0 // column 0 is below the band: dead
+				cols[0].h = 0 // column 0 is below the band: dead
 			}
 		} else {
-			hDiag = hw[jmin-1]
+			hDiag = cols[jmin-1].h
 		}
 		if banded && jmax < nMax {
 			// The rightmost in-band column is new this row; its E input is
 			// out-of-band and dead.
-			ew[jmax] = 0
+			cols[jmax].e = 0
 		}
 
 		// Lanes whose target is exhausted keep sweeping padded rows;
@@ -230,11 +245,14 @@ func extendSWAR8(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 		}
 		var f, live uint64
 		for j := jmin; j <= jmax; j++ {
-			hUp := hw[j]
-			ev := ew[j]
-			// eqm: 0x7f in lanes whose query base matches the target base.
-			x := qw[j] ^ twI
-			nzb := ((x & swarM7) + swarM7) | x
+			col := &cols[j]
+			hUp := col.h
+			ev := col.e
+			qm := col.qm
+			// eqm: 0x7f in lanes whose query base matches the target base
+			// (the flag bits are masked out of the XOR with the codes).
+			x := (qm ^ twI) & swarCode8
+			nzb := (x + swarM7) | x
 			eqm := ^nzb & swarH8
 			eqm -= eqm >> 7
 			// nzm: 0x7f in lanes whose diagonal is live (dead cells give no
@@ -243,9 +261,10 @@ func extendSWAR8(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 			nzm := u - u>>7
 			mv := ((hDiag + maW) & eqm & nzm) | (satsub8(hDiag, miW) &^ eqm)
 			hv := max8(max8(mv, ev), f)
-			hw[j] = hv
+			col.h = hv
 
-			if gt := ((hv | swarH8) - bestW - swarL8) & colHi[j] & rowHi; gt != 0 {
+			colHi := qm & swarH8
+			if gt := ((hv | swarH8) - bestW - swarL8) & colHi & rowHi; gt != 0 {
 				// Some lane strictly improved its local best (rare; first
 				// position in scan order wins, same as the scalar kernels).
 				fm := (gt >> 7) * 0xff
@@ -267,17 +286,17 @@ func extendSWAR8(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
 				// store is skipped entirely — the band's left edge moves
 				// right every row, so this column is never read again,
 				// which doubles as the scalar kernels' e[j] = 0 kill.
-				if cb := colHi[j] & rowHi & capHi; cb != 0 {
+				if cb := colHi & rowHi & capHi; cb != 0 {
 					for g := cb; g != 0; g &= g - 1 {
 						k := bits.TrailingZeros64(g) >> 3
 						lanes[k].bd[j] = int(ne>>(8*k)) & 0xff
 					}
 				}
 			} else {
-				ew[j] = ne
+				col.e = ne
 			}
 
-			if eh := edgeHi[j] & rowHi; eh != 0 {
+			if eh := (qm << 1) & swarH8 & rowHi; eh != 0 {
 				// Right-edge cells (query fully consumed): global scores.
 				for g := eh; g != 0; g &= g - 1 {
 					k := bits.TrailingZeros64(g) >> 3

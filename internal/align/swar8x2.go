@@ -1,0 +1,340 @@
+package align
+
+import "math/bits"
+
+// 16-lane two-word SWAR banded extension kernel: sixteen independent
+// int8-tier extension problems in two uint64 lane words per DP column
+// (the software analogue of a uint128 register). Column j's word w lives
+// at cols[2j+w]; target row i's word w at tw[2i+w]. Lanes 0-7 ride word
+// 0, lanes 8-15 word 1.
+//
+// The point is instruction-level parallelism, not wider arithmetic: the
+// single-word kernel's inner loop is one serial dependency chain
+// (hDiag -> match -> H -> E/F), so on a superscalar core most issue
+// slots idle. Two independent chains interleave and roughly double the
+// retired ops per cycle, at the cost of doubling the per-column working
+// set — which is why swar.go gates this tier to short-read shapes
+// (swar8x2MaxQ x swar8x2MaxT) whose interleaved records stay in L1.
+//
+// Semantics, masks, sentinels and the striped qm packing are exactly
+// those of extendSWAR8 (see swar8.go), applied per word; the shared
+// early exit requires every lane of both words to be dead.
+
+// Shape gate for the 16-lane tier: beyond these extents the doubled
+// column working set starts missing L1 and the single-word kernel's
+// streaming behaviour wins, so the ladder assigns tierSWAR8 instead.
+const (
+	swar8x2MaxQ = 192
+	swar8x2MaxT = 512
+)
+
+// extendSWAR8x2 sweeps up to 16 lanes in lockstep. Preconditions as in
+// extendSWAR8 (every lane passes the swarCap8 tier test); the batch
+// orchestration only dispatches here with 9..16 lanes, but any 1..16
+// works.
+func extendSWAR8x2(ws *Workspace, lanes []swarLane, sc Scoring, w int) {
+	nl := len(lanes)
+	var nk, mk [16]int
+	nMax, mMax := 0, 0
+	for k := 0; k < nl; k++ {
+		nk[k] = len(lanes[k].q)
+		mk[k] = len(lanes[k].t)
+		if nk[k] > nMax {
+			nMax = nk[k]
+		}
+		if mk[k] > mMax {
+			mMax = mk[k]
+		}
+	}
+	banded := w >= 0
+	effW := w
+	if !banded {
+		effW = nMax + mMax + 1
+	}
+
+	ws.preparePacked(nMax, mMax, 2)
+	cols, tw := ws.pk.cols, ws.pk.tw
+
+	nl0 := nl
+	if nl0 > 8 {
+		nl0 = 8
+	}
+	for j := 1; j <= nMax; j++ {
+		var q0, q1 uint64
+		for k := 0; k < nl0; k++ {
+			q0 |= swarQM8(lanes[k].q, nk[k], j) << (8 * k)
+		}
+		for k := 8; k < nl; k++ {
+			q1 |= swarQM8(lanes[k].q, nk[k], j) << (8 * (k - 8))
+		}
+		cols[2*j] = swarCol{qm: q0}
+		cols[2*j+1] = swarCol{qm: q1}
+	}
+	for i := 1; i <= mMax; i++ {
+		var t0, t1 uint64
+		for k := 0; k < nl; k++ {
+			c := uint64(6)
+			if i <= mk[k] {
+				if b := lanes[k].t[i-1]; b < 4 {
+					c = uint64(b)
+				}
+			}
+			if k < 8 {
+				t0 |= c << (8 * k)
+			} else {
+				t1 |= c << (8 * (k - 8))
+			}
+		}
+		tw[2*i], tw[2*i+1] = t0, t1
+	}
+
+	maW := splat8(sc.Match)
+	miW := splat8(sc.Mismatch)
+	geW := splat8(sc.GapExtend)
+	oeW := splat8(sc.GapOpen + sc.GapExtend)
+
+	var h0W0, h0W1 uint64
+	for k := 0; k < nl; k++ {
+		if k < 8 {
+			h0W0 |= uint64(lanes[k].h0) << (8 * k)
+		} else {
+			h0W1 |= uint64(lanes[k].h0) << (8 * (k - 8))
+		}
+	}
+	cols[0] = swarCol{h: h0W0}
+	cols[1] = swarCol{h: h0W1}
+	lim := nMax
+	if banded && w < lim {
+		lim = w
+	}
+	v0 := satsub8(h0W0, oeW)
+	v1 := satsub8(h0W1, oeW)
+	for j := 1; j <= lim; j++ {
+		cols[2*j].h = v0
+		cols[2*j+1].h = v1
+		v0 = satsub8(v0, geW)
+		v1 = satsub8(v1, geW)
+	}
+	for j := lim + 1; j <= nMax; j++ {
+		cols[2*j].h = 0
+		cols[2*j+1].h = 0
+	}
+
+	var gBest, gT [16]int
+	for k := 0; k < nl; k++ {
+		h := cols[2*nk[k]+k/8].h
+		if g := int(h>>(8*(k&7))) & 0xff; g > 0 {
+			gBest[k] = g
+		}
+	}
+
+	var capHi0, capHi1 uint64
+	for k := 0; k < nl; k++ {
+		if lanes[k].bd == nil {
+			continue
+		}
+		if k < 8 {
+			capHi0 |= 0x80 << (8 * k)
+		} else {
+			capHi1 |= 0x80 << (8 * (k - 8))
+		}
+	}
+
+	rows := mMax
+	if r := nMax + effW; r < rows {
+		rows = r
+	}
+
+	var bestW0, bestW1 uint64
+	var bi, bj [16]int
+	col0W0 := satsub8(h0W0, splat8(sc.GapOpen))
+	col0W1 := satsub8(h0W1, splat8(sc.GapOpen))
+
+	for i := 1; i <= rows; i++ {
+		jmin, jmax := 1, nMax
+		if banded {
+			if lo := i - w; lo > jmin {
+				jmin = lo
+			}
+			if hi := i + w; hi < jmax {
+				jmax = hi
+			}
+			if jmin > nMax {
+				break
+			}
+		}
+
+		col0W0 = satsub8(col0W0, geW)
+		col0W1 = satsub8(col0W1, geW)
+		var hDiag0, hDiag1 uint64
+		if jmin == 1 {
+			hDiag0, hDiag1 = cols[0].h, cols[1].h
+			if !banded || i <= w {
+				cols[0].h, cols[1].h = col0W0, col0W1
+			} else {
+				cols[0].h, cols[1].h = 0, 0
+			}
+		} else {
+			hDiag0, hDiag1 = cols[2*(jmin-1)].h, cols[2*(jmin-1)+1].h
+		}
+		if banded && jmax < nMax {
+			cols[2*jmax].e, cols[2*jmax+1].e = 0, 0
+		}
+
+		var rowHi0, rowHi1 uint64
+		{
+			hi := uint64(0x80)
+			for k := 0; k < 8; k++ {
+				if i <= mk[k] {
+					rowHi0 |= hi
+				}
+				if i <= mk[k+8] {
+					rowHi1 |= hi
+				}
+				hi <<= 8
+			}
+		}
+		rowFull0 := (rowHi0 >> 7) * 0xff
+		rowFull1 := (rowHi1 >> 7) * 0xff
+		tw0, tw1 := tw[2*i], tw[2*i+1]
+		bj0 := -1
+		if banded && i > w {
+			bj0 = i - w
+		}
+		var f0, f1, live uint64
+		for j := jmin; j <= jmax; j++ {
+			c0 := &cols[2*j]
+			c1 := &cols[2*j+1]
+			hUp0, hUp1 := c0.h, c1.h
+			ev0, ev1 := c0.e, c1.e
+			qm0, qm1 := c0.qm, c1.qm
+			x0 := (qm0 ^ tw0) & swarCode8
+			x1 := (qm1 ^ tw1) & swarCode8
+			nzb0 := (x0 + swarM7) | x0
+			nzb1 := (x1 + swarM7) | x1
+			eqm0 := ^nzb0 & swarH8
+			eqm1 := ^nzb1 & swarH8
+			eqm0 -= eqm0 >> 7
+			eqm1 -= eqm1 >> 7
+			u0 := (hDiag0 + swarM7) & swarH8
+			u1 := (hDiag1 + swarM7) & swarH8
+			nzm0 := u0 - u0>>7
+			nzm1 := u1 - u1>>7
+			mv0 := ((hDiag0 + maW) & eqm0 & nzm0) | (satsub8(hDiag0, miW) &^ eqm0)
+			mv1 := ((hDiag1 + maW) & eqm1 & nzm1) | (satsub8(hDiag1, miW) &^ eqm1)
+			hv0 := max8(max8(mv0, ev0), f0)
+			hv1 := max8(max8(mv1, ev1), f1)
+			c0.h = hv0
+			c1.h = hv1
+
+			colHi0 := qm0 & swarH8
+			colHi1 := qm1 & swarH8
+			if gt := ((hv0 | swarH8) - bestW0 - swarL8) & colHi0 & rowHi0; gt != 0 {
+				fm := (gt >> 7) * 0xff
+				bestW0 = (hv0 & fm) | (bestW0 &^ fm)
+				for g := gt; g != 0; g &= g - 1 {
+					k := bits.TrailingZeros64(g) >> 3
+					bi[k], bj[k] = i, j
+				}
+			}
+			if gt := ((hv1 | swarH8) - bestW1 - swarL8) & colHi1 & rowHi1; gt != 0 {
+				fm := (gt >> 7) * 0xff
+				bestW1 = (hv1 & fm) | (bestW1 &^ fm)
+				for g := gt; g != 0; g &= g - 1 {
+					k := 8 + bits.TrailingZeros64(g)>>3
+					bi[k], bj[k] = i, j
+				}
+			}
+
+			t10 := satsub8(hv0, oeW)
+			t11 := satsub8(hv1, oeW)
+			ne0 := max8(t10, satsub8(ev0, geW))
+			ne1 := max8(t11, satsub8(ev1, geW))
+			f0 = max8(t10, satsub8(f0, geW))
+			f1 = max8(t11, satsub8(f1, geW))
+			live |= ((hv0 | ne0 | f0) & rowFull0) | ((hv1 | ne1 | f1) & rowFull1)
+
+			if j == bj0 {
+				if cb := colHi0 & rowHi0 & capHi0; cb != 0 {
+					for g := cb; g != 0; g &= g - 1 {
+						k := bits.TrailingZeros64(g) >> 3
+						lanes[k].bd[j] = int(ne0>>(8*k)) & 0xff
+					}
+				}
+				if cb := colHi1 & rowHi1 & capHi1; cb != 0 {
+					for g := cb; g != 0; g &= g - 1 {
+						k := bits.TrailingZeros64(g) >> 3
+						lanes[8+k].bd[j] = int(ne1>>(8*k)) & 0xff
+					}
+				}
+			} else {
+				c0.e = ne0
+				c1.e = ne1
+			}
+
+			if eh := (qm0 << 1) & swarH8 & rowHi0; eh != 0 {
+				for g := eh; g != 0; g &= g - 1 {
+					k := bits.TrailingZeros64(g) >> 3
+					if v := int(hv0>>(8*k)) & 0xff; v > gBest[k] {
+						gBest[k], gT[k] = v, i
+					}
+				}
+			}
+			if eh := (qm1 << 1) & swarH8 & rowHi1; eh != 0 {
+				for g := eh; g != 0; g &= g - 1 {
+					k := bits.TrailingZeros64(g) >> 3
+					if v := int(hv1>>(8*k)) & 0xff; v > gBest[8+k] {
+						gBest[8+k], gT[8+k] = v, i
+					}
+				}
+			}
+			hDiag0, hDiag1 = hUp0, hUp1
+		}
+
+		rowLiveW := live
+		if !banded || i <= w {
+			rowLiveW |= (col0W0 & rowFull0) | (col0W1 & rowFull1)
+		}
+		if rowLiveW == 0 {
+			if banded && i > w {
+				break
+			}
+			if (satsub8(col0W0, geW)&rowFull0)|(satsub8(col0W1, geW)&rowFull1) == 0 {
+				break
+			}
+		}
+	}
+
+	for k := 0; k < nl; k++ {
+		r := lanes[k].res
+		rk := mk[k]
+		if lim := nk[k] + effW; lim < rk {
+			rk = lim
+		}
+		var cells int64
+		for i := 1; i <= rk; i++ {
+			lo, hi := 1, nk[k]
+			if banded {
+				if l := i - w; l > lo {
+					lo = l
+				}
+				if h := i + w; h < hi {
+					hi = h
+				}
+			}
+			if lo > hi {
+				break
+			}
+			cells += int64(hi - lo + 1)
+		}
+		bestW := bestW0
+		if k >= 8 {
+			bestW = bestW1
+		}
+		r.Local = int(bestW>>(8*(k&7))) & 0xff
+		r.LocalT, r.LocalQ = bi[k], bj[k]
+		r.Global, r.GlobalT = gBest[k], gT[k]
+		r.Rows = rk
+		r.Cells = cells
+	}
+}

@@ -1,0 +1,45 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSWAR8Words contrasts the two int8 kernels head-to-head on an
+// identical 16-job short-read group: the two-word kernel in one call vs
+// the single-word kernel in two calls. The delta is pure ILP (same op
+// count, same per-lane work), and is what justifies the 16-lane tier.
+func BenchmarkSWAR8Words(b *testing.B) {
+	rng := rand.New(rand.NewSource(900))
+	jobs := batchJobs(rng, 16, "tier8")
+	sc := DefaultScoring()
+	const w = 21
+	ws := NewWorkspace()
+	res := make([]ExtendResult, len(jobs))
+	lanes := make([]swarLane, len(jobs))
+	for i := range jobs {
+		lanes[i] = swarLane{q: jobs[i].Q, t: jobs[i].T, h0: jobs[i].H0, res: &res[i]}
+	}
+	var cells int64
+	report := func(b *testing.B) {
+		cells = 0
+		for i := range res {
+			cells += res[i].Cells
+		}
+		b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+	}
+
+	b.Run("two-word-x1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			extendSWAR8x2(ws, lanes, sc, w)
+		}
+		report(b)
+	})
+	b.Run("one-word-x2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			extendSWAR8(ws, lanes[:8], sc, w)
+			extendSWAR8(ws, lanes[8:], sc, w)
+		}
+		report(b)
+	})
+}

@@ -1,11 +1,13 @@
 package align
 
 // FuzzExtendSWAR drives the batch orchestration (and through it the
-// 8-lane and 4-lane SWAR kernels, the tier ladder and lane demotion)
-// against the int reference kernel on fuzzer-chosen sequences, scoring,
-// band and h0 values. The raw byte stream is chopped into up to 8 jobs so
-// single batches mix shapes, including the degenerate ones (empty query,
-// empty target, band wider than the target, h0 at tier boundaries).
+// 16-lane two-word, 8-lane and 4-lane SWAR kernels, the tier ladder and
+// lane demotion) against the int reference kernel on fuzzer-chosen
+// sequences, scoring, band and h0 values. The raw byte stream is chopped
+// into up to 24 jobs so single batches mix shapes and overfill the widest
+// tier (a 16-lane group plus leftovers), including the degenerate ones
+// (empty query, empty target, band wider than the target, h0 at tier
+// boundaries).
 
 import (
 	"testing"
@@ -36,12 +38,16 @@ func FuzzExtendSWAR(f *testing.F) {
 		if w < -1 {
 			w = -1
 		}
-		// Chop the streams into up to 8 jobs of varying lengths so one
-		// batch mixes shapes (and tiers, via the per-job h0 perturbation).
+		// Chop the streams into up to 24 jobs of varying lengths so one
+		// batch mixes shapes (and tiers, via the per-job h0 perturbation)
+		// and can fill a 16-lane group with more than a word to spare.
 		var jobs []Job
-		for k, qo, to := 0, 0, 0; k < 8 && (qo < len(qraw) || to < len(traw)); k++ {
-			qn := (k*k + 1) * 16
-			tn := (k + 1) * 24
+		for k, qo, to := 0, 0, 0; k < 24 && (qo < len(qraw) || to < len(traw)); k++ {
+			qn := (k%5 + 1) * 8
+			tn := (k%7 + 1) * 12
+			if k >= 16 { // a few deliberately larger shapes in the mix
+				qn, tn = (k-14)*32, (k-14)*48
+			}
 			qe, te := qo+qn, to+tn
 			if qe > len(qraw) {
 				qe = len(qraw)

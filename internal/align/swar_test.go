@@ -213,3 +213,66 @@ func BenchmarkBatchKernels(b *testing.B) {
 		b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
 	})
 }
+
+// TestBatch16LaneScoreCeiling pins the 16-lane tier's admission
+// boundaries: a job exactly at the int8 score ceiling (h0 + n*Match =
+// 127) still runs in the two-word 16-lane tier, one point past it drops
+// to the 16-bit tier, past the int16 ceiling to scalar, and a shape
+// outside the two-word window (target longer than swar8x2MaxT) runs in
+// the single-word 8-lane tier — in every case with results bit-identical
+// to the scalar reference.
+func TestBatch16LaneScoreCeiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sc := DefaultScoring()
+	const n = 24
+	mkJobs := func(h0, m int) []Job {
+		jobs := make([]Job, 16)
+		for i := range jobs {
+			q := make([]byte, n)
+			tg := make([]byte, m)
+			for j := range q {
+				q[j] = byte(rng.Intn(4))
+			}
+			for j := range tg {
+				tg[j] = byte(rng.Intn(4))
+			}
+			jobs[i] = Job{Q: q, T: tg, H0: h0}
+		}
+		return jobs
+	}
+	atCap8 := swarCap8 - n*sc.Match
+	atCap16 := swarCap16 - n*sc.Match
+	cases := []struct {
+		name string
+		h0   int
+		m    int
+		want int
+	}{
+		{"at-int8-cap", atCap8, 60, tierSWAR8x2},
+		{"over-int8-cap", atCap8 + 1, 60, tierSWAR16},
+		{"at-int16-cap", atCap16, 60, tierSWAR16},
+		{"over-int16-cap", atCap16 + 1, 60, tierScalar},
+		{"target-over-16lane-window", atCap8, swar8x2MaxT + 1, tierSWAR8},
+	}
+	scTier := swarScoringTier(sc)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jobs := mkJobs(tc.h0, tc.m)
+			for i := range jobs {
+				got := jobTier(len(jobs[i].Q), len(jobs[i].T), jobs[i].H0, sc, scTier)
+				if got != tc.want {
+					t.Fatalf("jobTier(n=%d m=%d h0=%d) = %s, want %s",
+						len(jobs[i].Q), len(jobs[i].T), jobs[i].H0, TierNames[got], TierNames[tc.want])
+				}
+			}
+			before := KernelSnapshot()
+			checkBatchMatchesScalar(t, jobs, sc, 21)
+			checkBatchMatchesScalar(t, jobs, sc, -1)
+			after := KernelSnapshot()
+			if got := after.Jobs[tc.want] - before.Jobs[tc.want]; got < int64(2*len(jobs)) {
+				t.Fatalf("tier %s job counter advanced by %d, want >= %d",
+					TierNames[tc.want], got, 2*len(jobs))
+			}
+		})
+	}
+}

@@ -10,12 +10,12 @@ import "sync/atomic"
 // kernelCounters is the live counter set behind KernelSnapshot.
 type kernelCounters struct {
 	batches    atomic.Int64
-	jobs       [3]atomic.Int64 // assigned tier: swar8, swar16, scalar
+	jobs       [numTiers]atomic.Int64 // assigned tier: swar8x2, swar8, swar16, scalar
 	degenerate atomic.Int64
-	demoted    atomic.Int64
+	demoted    [numTiers]atomic.Int64 // demotions per assigned tier
 	solo       atomic.Int64
-	groups     atomic.Int64
-	lanes      atomic.Int64
+	groups     [numTiers]atomic.Int64 // executed groups per kernel tier
+	lanes      [numTiers]atomic.Int64 // lanes filled per kernel tier
 	cells      atomic.Int64
 }
 
@@ -25,30 +25,83 @@ var ktel kernelCounters
 type KernelTelemetry struct {
 	// Batches counts batch-kernel invocations (chunks).
 	Batches int64 `json:"batches"`
-	// Jobs counts jobs per assigned tier (index TierSWAR8/16/Scalar).
-	Jobs [3]int64 `json:"jobs_per_tier"`
+	// Jobs counts jobs per assigned tier (index TierSWAR8x2/8/16/Scalar).
+	Jobs [numTiers]int64 `json:"jobs_per_tier"`
 	// Degenerate counts jobs that never entered the tier ladder (empty
 	// query or non-positive h0).
 	Degenerate int64 `json:"degenerate"`
 	// Demoted counts jobs assigned a SWAR tier but run scalar because
-	// their DP area diverged from their lane group's envelope.
-	Demoted int64 `json:"demoted"`
+	// their DP area diverged from their lane group's envelope, indexed by
+	// the tier they were assigned (the scalar slot stays zero).
+	Demoted [numTiers]int64 `json:"demoted_per_tier"`
 	// Solo counts jobs run scalar because their group filled one lane.
 	Solo int64 `json:"solo"`
-	// Groups counts packed lane groups executed; Lanes the lanes filled
-	// across them, so Lanes/Groups is the realized lane occupancy.
-	Groups int64 `json:"groups"`
-	Lanes  int64 `json:"lanes"`
+	// Groups counts packed lane groups per executed kernel tier; Lanes the
+	// lanes filled across them. A group assigned the 16-lane tier but run
+	// through the 8-lane kernel (too few survivors to pay for two words)
+	// counts under the kernel that actually ran.
+	Groups [numTiers]int64 `json:"groups_per_tier"`
+	Lanes  [numTiers]int64 `json:"lanes_per_tier"`
 	// Cells counts DP cells swept by the batch kernels.
 	Cells int64 `json:"cells"`
 }
 
+// TotalGroups sums executed packed groups across tiers.
+func (k KernelTelemetry) TotalGroups() int64 {
+	var g int64
+	for _, v := range k.Groups {
+		g += v
+	}
+	return g
+}
+
+// TotalLanes sums filled lanes across tiers.
+func (k KernelTelemetry) TotalLanes() int64 {
+	var l int64
+	for _, v := range k.Lanes {
+		l += v
+	}
+	return l
+}
+
+// TotalDemoted sums envelope demotions across assigned tiers.
+func (k KernelTelemetry) TotalDemoted() int64 {
+	var d int64
+	for _, v := range k.Demoted {
+		d += v
+	}
+	return d
+}
+
 // LaneOccupancy returns the mean lanes filled per packed group.
 func (k KernelTelemetry) LaneOccupancy() float64 {
-	if k.Groups == 0 {
+	g := k.TotalGroups()
+	if g == 0 {
 		return 0
 	}
-	return float64(k.Lanes) / float64(k.Groups)
+	return float64(k.TotalLanes()) / float64(g)
+}
+
+// LaneUtilization returns filled lanes over lane capacity across every
+// executed packed group (1.0 = every lane of every group carried a job).
+func (k KernelTelemetry) LaneUtilization() float64 {
+	var lanes, capacity int64
+	for t := 0; t < numTiers; t++ {
+		lanes += k.Lanes[t]
+		capacity += k.Groups[t] * int64(LaneWidth(t))
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(lanes) / float64(capacity)
+}
+
+// TierLaneUtilization is LaneUtilization restricted to one kernel tier.
+func (k KernelTelemetry) TierLaneUtilization(tier int) float64 {
+	if tier < 0 || tier >= numTiers || k.Groups[tier] == 0 {
+		return 0
+	}
+	return float64(k.Lanes[tier]) / float64(k.Groups[tier]*int64(LaneWidth(tier)))
 }
 
 // KernelSnapshot reads the live batch-kernel counters.
@@ -57,12 +110,12 @@ func KernelSnapshot() KernelTelemetry {
 	out.Batches = ktel.batches.Load()
 	for i := range out.Jobs {
 		out.Jobs[i] = ktel.jobs[i].Load()
+		out.Demoted[i] = ktel.demoted[i].Load()
+		out.Groups[i] = ktel.groups[i].Load()
+		out.Lanes[i] = ktel.lanes[i].Load()
 	}
 	out.Degenerate = ktel.degenerate.Load()
-	out.Demoted = ktel.demoted.Load()
 	out.Solo = ktel.solo.Load()
-	out.Groups = ktel.groups.Load()
-	out.Lanes = ktel.lanes.Load()
 	out.Cells = ktel.cells.Load()
 	return out
 }
@@ -70,36 +123,89 @@ func KernelSnapshot() KernelTelemetry {
 // Tier indices, exported for telemetry consumers; they equal the
 // internal sort-key tiers.
 const (
-	TierSWAR8  = tierSWAR8
-	TierSWAR16 = tierSWAR16
-	TierScalar = tierScalar
+	TierSWAR8x2 = tierSWAR8x2
+	TierSWAR8   = tierSWAR8
+	TierSWAR16  = tierSWAR16
+	TierScalar  = tierScalar
+
+	// NumTiers is the tier-ladder length (for telemetry arrays).
+	NumTiers = numTiers
 )
 
 // TierNames, indexed by tier.
-var TierNames = [3]string{"swar8", "swar16", "scalar"}
+var TierNames = [numTiers]string{"swar8x2", "swar8", "swar16", "scalar"}
+
+// LaneWidth reports the lane count of a tier's packed kernel (1 for the
+// scalar tier).
+func LaneWidth(tier int) int {
+	switch tier {
+	case tierSWAR8x2:
+		return 16
+	case tierSWAR8:
+		return 8
+	case tierSWAR16:
+		return 4
+	default:
+		return 1
+	}
+}
 
 // TierOf reports the batch tier the ladder assigns a job of query length
-// n with seed score h0 under sc — the lane width the packed kernels
-// select before any divergence demotion.
-func TierOf(n, h0 int, sc Scoring) int {
+// n, target length m and seed score h0 under sc — the lane width the
+// packed kernels select before any divergence demotion.
+func TierOf(n, m, h0 int, sc Scoring) int {
 	if h0 <= 0 || n == 0 {
 		return tierScalar
 	}
-	if n > swarMaxDim {
+	if n > swarMaxDim || m > swarMaxDim {
 		return tierScalar
 	}
-	return jobTier(n, h0, sc, swarScoringTier(sc))
+	return jobTier(n, m, h0, sc, swarScoringTier(sc))
+}
+
+// Shape-bin scheduling: callers that form batches over time (the server
+// micro-batcher, the FPGA driver's batch producer) key jobs by ShapeBin
+// so each flushed batch packs near-homogeneous lanes — length-binned
+// workload balance *across* batches, per SaLoBa, rather than hoping one
+// batch's internal sort finds enough same-shape neighbours.
+
+// shapeLenClasses are the upper bounds of the scheduling length classes
+// (max of query and target length); the last class is open-ended.
+var shapeLenClasses = [...]int{96, 160, 256}
+
+// NumShapeBins is the number of distinct values ShapeBin returns.
+const NumShapeBins = numTiers * (len(shapeLenClasses) + 1)
+
+// ShapeBin buckets one extension problem for cross-batch scheduling:
+// the tier the ladder would assign (the lane width it can share) crossed
+// with a coarse length class (the sweep envelope it would impose on its
+// lane group). Jobs sharing a bin pack into dense lane groups with
+// little padding; jobs from different bins would demote each other.
+func ShapeBin(n, m, h0 int, sc Scoring) int {
+	tier := TierOf(n, m, h0, sc)
+	d := n
+	if m > d {
+		d = m
+	}
+	class := len(shapeLenClasses)
+	for i, ub := range shapeLenClasses {
+		if d <= ub {
+			class = i
+			break
+		}
+	}
+	return tier*(len(shapeLenClasses)+1) + class
 }
 
 // chunkTally accumulates one chunk's counters locally so the hot loop
 // performs plain adds and the chunk flushes as a few atomic adds.
 type chunkTally struct {
-	jobs       [3]int64
+	jobs       [numTiers]int64
 	degenerate int64
-	demoted    int64
+	demoted    [numTiers]int64
 	solo       int64
-	groups     int64
-	lanes      int64
+	groups     [numTiers]int64
+	lanes      [numTiers]int64
 	cells      int64
 }
 
@@ -115,25 +221,25 @@ func (c *chunkTally) flushWithCells(results []ExtendResult) {
 
 func (c *chunkTally) flush() {
 	ktel.batches.Add(1)
-	for i, n := range c.jobs {
-		if n != 0 {
-			ktel.jobs[i].Add(n)
+	for i := range c.jobs {
+		if c.jobs[i] != 0 {
+			ktel.jobs[i].Add(c.jobs[i])
+		}
+		if c.demoted[i] != 0 {
+			ktel.demoted[i].Add(c.demoted[i])
+		}
+		if c.groups[i] != 0 {
+			ktel.groups[i].Add(c.groups[i])
+		}
+		if c.lanes[i] != 0 {
+			ktel.lanes[i].Add(c.lanes[i])
 		}
 	}
 	if c.degenerate != 0 {
 		ktel.degenerate.Add(c.degenerate)
 	}
-	if c.demoted != 0 {
-		ktel.demoted.Add(c.demoted)
-	}
 	if c.solo != 0 {
 		ktel.solo.Add(c.solo)
-	}
-	if c.groups != 0 {
-		ktel.groups.Add(c.groups)
-	}
-	if c.lanes != 0 {
-		ktel.lanes.Add(c.lanes)
 	}
 	if c.cells != 0 {
 		ktel.cells.Add(c.cells)

@@ -35,14 +35,26 @@ type Workspace struct {
 	boundArena []int
 }
 
-// packedScratch holds the lane-packed state of the SWAR kernels: one
-// uint64 word per DP column (8×int8 or 4×int16 lanes), plus per-column
-// lane masks. See swar8.go for the layout invariants.
+// swarCol is one DP column of the SWAR kernels as an interleaved record:
+// the packed H word, the packed E word, and the striped query word qm
+// carrying, per lane, the query base code (bits 0-2), the right-edge flag
+// (j == lane query length) one bit below the lane top, and the
+// column-valid flag in the lane's top bit. The striping puts a column's
+// entire inner-loop read set — operands and masks — in 24 contiguous
+// bytes, so the per-row sweep is one forward streaming pass instead of
+// five parallel array gathers (SSW's query-profile locality argument,
+// transposed to inter-sequence lanes). See swar8.go for the bit layout.
+type swarCol struct {
+	h, e, qm uint64
+}
+
+// packedScratch holds the lane-packed state of the SWAR kernels: the
+// interleaved column records (one per DP column per lane word — the
+// two-word 16-lane kernel stores word w of column j at cols[2j+w]) and
+// the lane-transposed target codes, strided the same way.
 type packedScratch struct {
-	hw, ew []uint64 // packed H and E rows, one word per query column
-	qw, tw []uint64 // lane-transposed query / target base codes
-	colHi  []uint64 // per-column lane-validity masks (high bit per lane)
-	edgeHi []uint64 // per-column right-edge masks (j == lane query length)
+	cols []swarCol
+	tw   []uint64
 }
 
 // NewWorkspace returns an empty Workspace; buffers are sized lazily on
@@ -81,27 +93,21 @@ func (ws *Workspace) prepare(query []byte, match, mis int32) {
 }
 
 // preparePacked sizes the packed scratch for a lane group whose longest
-// query is nMax and longest target is mMax, clearing the E row (the
-// kernels require an all-dead initial E row; every other buffer is fully
-// written by the kernel's own setup).
-func (ws *Workspace) preparePacked(nMax, mMax int) {
-	if cap(ws.pk.hw) < nMax+1 {
-		ws.pk.hw = make([]uint64, nMax+1)
-		ws.pk.ew = make([]uint64, nMax+1)
-		ws.pk.qw = make([]uint64, nMax+1)
-		ws.pk.colHi = make([]uint64, nMax+1)
-		ws.pk.edgeHi = make([]uint64, nMax+1)
+// query is nMax and longest target is mMax, using `words` uint64 lane
+// words per column (1 for the 8- and 4-lane kernels, 2 for the 16-lane
+// kernel). Nothing is cleared: each kernel's transpose and row-0 setup
+// fully initializes every record it will read.
+func (ws *Workspace) preparePacked(nMax, mMax, words int) {
+	nw := words * (nMax + 1)
+	if cap(ws.pk.cols) < nw {
+		ws.pk.cols = make([]swarCol, nw)
 	}
-	ws.pk.hw = ws.pk.hw[:nMax+1]
-	ws.pk.ew = ws.pk.ew[:nMax+1]
-	ws.pk.qw = ws.pk.qw[:nMax+1]
-	ws.pk.colHi = ws.pk.colHi[:nMax+1]
-	ws.pk.edgeHi = ws.pk.edgeHi[:nMax+1]
-	clear(ws.pk.ew)
-	if cap(ws.pk.tw) < mMax+1 {
-		ws.pk.tw = make([]uint64, mMax+1)
+	ws.pk.cols = ws.pk.cols[:nw]
+	mw := words * (mMax + 1)
+	if cap(ws.pk.tw) < mw {
+		ws.pk.tw = make([]uint64, mw)
 	}
-	ws.pk.tw = ws.pk.tw[:mMax+1]
+	ws.pk.tw = ws.pk.tw[:mw]
 }
 
 // boundaryArena returns a zeroed arena of total ints, carved by the batch

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"seedex/internal/core"
+)
+
+// The checked/pooled and checked/workspace rows of BENCH_extend.json
+// differ only by a sync.Pool Get/Put pair per extension (single-threaded,
+// the pool hands back the same Checker every time), yet recorded runs
+// have shown either row up to ~12% ahead of the other. Profiling shows
+// the delta spread uniformly across every callee — the whole process runs
+// faster or slower, not one path doing more work — i.e. per-process heap
+// layout plus single-vCPU VM timing noise, not a code difference. These
+// two benchmarks are the controlled A/B probe: run them alternately in
+// fresh processes (go test -bench 'CheckedPooled$|CheckedWorkspace$')
+// when the trajectory file shows the rows diverging again.
+func BenchmarkCheckedPooled(b *testing.B) {
+	w, err := Workload150(200_000, 500, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := w.Problems
+	ccfg := core.Config{Band: 21, Scoring: w.Scoring, Kind: core.SemiGlobal, Mode: core.ModeStrict}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probs[i%len(probs)]
+		core.Check(p.Q, p.T, p.H0, ccfg)
+	}
+}
+
+func BenchmarkCheckedWorkspace(b *testing.B) {
+	w, err := Workload150(200_000, 500, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := w.Problems
+	chk := core.NewChecker(core.Config{Band: 21, Scoring: w.Scoring, Kind: core.SemiGlobal, Mode: core.ModeStrict})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probs[i%len(probs)]
+		chk.Check(p.Q, p.T, p.H0)
+	}
+}

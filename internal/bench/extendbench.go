@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -74,6 +77,95 @@ type ExtendBenchReport struct {
 // JSON renders the report for BENCH_extend.json.
 func (r ExtendBenchReport) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
+}
+
+// Kernel returns the named kernel row, or nil when the report lacks it.
+func (r *ExtendBenchReport) Kernel(name string) *ExtendKernelResult {
+	for i := range r.Kernels {
+		if r.Kernels[i].Kernel == name {
+			return &r.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// ExtendRun is one recorded run in the BENCH_extend.json history: the
+// report plus the PR (or other label) that produced it.
+type ExtendRun struct {
+	PR string `json:"pr"`
+	ExtendBenchReport
+}
+
+// ExtendHistory is the BENCH_extend.json schema: an append-only array of
+// runs, oldest first — the perf trajectory across PRs. Consumers wanting
+// "the current numbers" read the latest entry (usually constrained to
+// their workload's read length).
+type ExtendHistory struct {
+	Runs []ExtendRun `json:"runs"`
+}
+
+// Latest returns the newest run, or nil for an empty history.
+func (h *ExtendHistory) Latest() *ExtendRun {
+	if len(h.Runs) == 0 {
+		return nil
+	}
+	return &h.Runs[len(h.Runs)-1]
+}
+
+// LatestFor returns the newest run measured at the given read length
+// (runs at different read lengths are not comparable), or nil.
+func (h *ExtendHistory) LatestFor(readLen int) *ExtendRun {
+	for i := len(h.Runs) - 1; i >= 0; i-- {
+		if h.Runs[i].ReadLen == readLen {
+			return &h.Runs[i]
+		}
+	}
+	return nil
+}
+
+// JSON renders the history for BENCH_extend.json.
+func (h ExtendHistory) JSON() ([]byte, error) {
+	return json.MarshalIndent(h, "", "  ")
+}
+
+// ParseExtendHistory decodes a BENCH_extend.json document. The legacy
+// schema — a single bare ExtendBenchReport object — converts to a
+// one-run history labeled "legacy", so appending to a pre-history file
+// preserves its measurement as the first trajectory point.
+func ParseExtendHistory(data []byte) (ExtendHistory, error) {
+	var h ExtendHistory
+	if len(bytes.TrimSpace(data)) == 0 {
+		return h, nil
+	}
+	var probe struct {
+		Runs *[]ExtendRun `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return h, fmt.Errorf("bench: parsing extend history: %w", err)
+	}
+	if probe.Runs == nil {
+		var legacy ExtendBenchReport
+		if err := json.Unmarshal(data, &legacy); err != nil {
+			return h, fmt.Errorf("bench: parsing legacy extend report: %w", err)
+		}
+		h.Runs = []ExtendRun{{PR: "legacy", ExtendBenchReport: legacy}}
+		return h, nil
+	}
+	h.Runs = *probe.Runs
+	return h, nil
+}
+
+// ReadExtendHistory loads the history file at path; a missing file is an
+// empty history (the first run creates it).
+func ReadExtendHistory(path string) (ExtendHistory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ExtendHistory{}, nil
+	}
+	if err != nil {
+		return ExtendHistory{}, err
+	}
+	return ParseExtendHistory(data)
 }
 
 // String renders a human-readable summary table.

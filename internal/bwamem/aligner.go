@@ -210,9 +210,22 @@ func (a *Aligner) AlignRead(read []byte) Alignment {
 	return a.finish(read, best, sub, ext)
 }
 
+// chainWork is one chain queued for the read-level extension batch: the
+// strand-oriented query it extends against plus its range [lo,hi) in the
+// flattened per-seed candidate slice.
+type chainWork struct {
+	q      []byte
+	c      chain.Chain
+	lo, hi int
+}
+
 // candidates seeds, chains and extends the read on both strands,
 // returning the surviving candidates sorted best-first plus the number
-// of extensions performed.
+// of extensions performed. Against a batch-capable extender, extension is
+// two-phase across the WHOLE read — every chain of both strands
+// contributes its seeds to one left-extension batch and one
+// right-extension batch — so the downstream shape bins see the read's
+// full mix of subproblems at once instead of per-chain trickles.
 func (a *Aligner) candidates(read []byte) ([]candidate, int) {
 	var cands []candidate
 	ext := 0
@@ -221,6 +234,8 @@ func (a *Aligner) candidates(read []byte) ([]candidate, int) {
 	if isDual {
 		dualSeeds = ds.SeedsBoth(read)
 	}
+	be, isBatch := a.Extender.(align.BatchExtender)
+	var work []chainWork
 	for _, rev := range []bool{false, true} {
 		q := read
 		if rev {
@@ -244,11 +259,20 @@ func (a *Aligner) candidates(read []byte) ([]candidate, int) {
 			if a.Opts.MaxChains > 0 && ci >= a.Opts.MaxChains {
 				break
 			}
+			if isBatch {
+				work = append(work, chainWork{q: q, c: c})
+				continue
+			}
 			cand, n := a.alignChain(q, c)
 			ext += n
 			cand.weight = c.Weight
 			cands = append(cands, cand)
 		}
+	}
+	if len(work) > 0 {
+		batched, n := a.alignChainsBatch(work, be)
+		ext += n
+		cands = append(cands, batched...)
 	}
 	// Drop candidates whose alignment span would leave its contig (it
 	// would overlap the inter-contig padding).
@@ -312,11 +336,10 @@ func (a *Aligner) finish(read []byte, best candidate, sub, ext int) Alignment {
 	}
 }
 
-// alignChain extends every seed of the chain (up to MaxSeedsPerChain,
-// longest first) and keeps the best-scoring result — the all-seeds
-// batching model BWA-MEM2 and the SeedEx FPGA integration use. Returns
-// the winning candidate and the number of extensions performed.
-func (a *Aligner) alignChain(q []byte, c chain.Chain) (candidate, int) {
+// chainSeeds returns the chain's seeds sorted longest-first (position
+// tie-broken) and truncated to MaxSeedsPerChain — the extension order both
+// the sequential and the batched paths share.
+func (a *Aligner) chainSeeds(c chain.Chain) []chain.Seed {
 	seeds := append([]chain.Seed(nil), c.Seeds...)
 	sort.Slice(seeds, func(i, j int) bool {
 		if seeds[i].Len != seeds[j].Len {
@@ -330,12 +353,19 @@ func (a *Aligner) alignChain(q []byte, c chain.Chain) (candidate, int) {
 	if a.Opts.MaxSeedsPerChain > 0 && len(seeds) > a.Opts.MaxSeedsPerChain {
 		seeds = seeds[:a.Opts.MaxSeedsPerChain]
 	}
-	if be, ok := a.Extender.(align.BatchExtender); ok && len(seeds) > 1 {
-		return a.alignChainBatch(q, c, seeds, be)
-	}
+	return seeds
+}
+
+// alignChain extends every seed of the chain (up to MaxSeedsPerChain,
+// longest first) and keeps the best-scoring result — the all-seeds
+// batching model BWA-MEM2 and the SeedEx FPGA integration use. Returns
+// the winning candidate and the number of extensions performed. This is
+// the sequential path; batch-capable extenders go through
+// alignChainsBatch, which extends all chains of a read at once.
+func (a *Aligner) alignChain(q []byte, c chain.Chain) (candidate, int) {
 	var best candidate
 	total := 0
-	for i, s := range seeds {
+	for i, s := range a.chainSeeds(c) {
 		cand, n := a.alignSeed(q, c, s)
 		total += n
 		if i == 0 || cand.score > best.score ||
@@ -346,85 +376,121 @@ func (a *Aligner) alignChain(q []byte, c chain.Chain) (candidate, int) {
 	return best, total
 }
 
-// alignChainBatch is alignChain against a batch-capable extender: all the
-// chain's left extensions run as one batch, then — because each right
-// extension is seeded by its left side's resolved score — all the right
-// extensions as a second batch. Results (and the winning candidate) are
-// identical to the sequential path; the batches exist so the SWAR lanes
-// (or the FPGA's cores) fill across a chain's seeds, per §V-B's "the FPGA
-// processes all seeds in a chain" integration.
-func (a *Aligner) alignChainBatch(q []byte, c chain.Chain, seeds []chain.Seed, be align.BatchExtender) (candidate, int) {
+// alignChainsBatch extends every chain of the read (both strands) against
+// a batch-capable extender in two phases: all left extensions of all
+// chains as one batch, then — because each right extension is seeded by
+// its own left side's resolved score — all right extensions as a second
+// batch. Per-chain winners and scores are identical to the sequential
+// path; the read-level batches exist so SWAR lanes (or the FPGA's cores)
+// fill across every seed the read produces, per §V-B's "the FPGA
+// processes all seeds in a chain" integration, and so the shape-binned
+// schedulers downstream see whole mixed sets rather than per-chain
+// trickles. Returns one candidate per chain, in chain order.
+func (a *Aligner) alignChainsBatch(work []chainWork, be align.BatchExtender) ([]candidate, int) {
 	sc := a.Scoring
-	band := sc.EstimateBand(len(q), 0, a.Opts.BandCap)
-	cands := make([]candidate, len(seeds))
-	scoreL := make([]int, len(seeds))
-	jobs := make([]align.Job, 0, len(seeds))
+	var flat []candidate
+	for wi := range work {
+		w := &work[wi]
+		w.lo = len(flat)
+		for _, s := range a.chainSeeds(w.c) {
+			flat = append(flat, candidate{rev: w.c.Rev, anchor: s})
+		}
+		w.hi = len(flat)
+	}
+	scoreL := make([]int, len(flat))
+	jobs := make([]align.Job, 0, len(flat))
 	total := 0
 
-	for si, s := range seeds {
-		cand := &cands[si]
-		*cand = candidate{rev: c.Rev, anchor: s}
-		h0 := s.Len * sc.Match
-		scoreL[si] = h0
-		if s.QBeg > 0 {
-			cand.lq = reversed(q[:s.QBeg])
-			lo := s.RBeg - s.QBeg - band
-			if lo < 0 {
-				lo = 0
+	// Phase 1: left extensions of every seed of every chain.
+	for wi := range work {
+		w := &work[wi]
+		band := sc.EstimateBand(len(w.q), 0, a.Opts.BandCap)
+		for fi := w.lo; fi < w.hi; fi++ {
+			cand := &flat[fi]
+			s := cand.anchor
+			h0 := s.Len * sc.Match
+			scoreL[fi] = h0
+			if s.QBeg > 0 {
+				cand.lq = reversed(w.q[:s.QBeg])
+				lo := s.RBeg - s.QBeg - band
+				if lo < 0 {
+					lo = 0
+				}
+				cand.lt = reversed(a.Ref[lo:s.RBeg])
+				cand.lh0 = h0
+				jobs = append(jobs, align.Job{Q: cand.lq, T: cand.lt, H0: h0})
 			}
-			cand.lt = reversed(a.Ref[lo:s.RBeg])
-			cand.lh0 = h0
-			jobs = append(jobs, align.Job{Q: cand.lq, T: cand.lt, H0: h0})
 		}
 	}
 	results := be.ExtendJobs(jobs, nil)
 	ji := 0
-	for si, s := range seeds {
-		if s.QBeg > 0 {
+	for fi := range flat {
+		cand := &flat[fi]
+		if s := cand.anchor; s.QBeg > 0 {
 			h0 := s.Len * sc.Match
-			scoreL[si], cands[si].clipL, cands[si].lQ, cands[si].lT =
+			scoreL[fi], cand.clipL, cand.lQ, cand.lT =
 				resolveSide(results[ji], s.QBeg, h0, a.Opts.ClipPenalty)
 			ji++
 			total++
 		}
 	}
 
+	// Phase 2: right extensions, seeded by the resolved left scores.
 	jobs = jobs[:0]
-	for si, s := range seeds {
-		cand := &cands[si]
-		cand.score = scoreL[si]
-		if qe := s.QEnd(); qe < len(q) {
-			cand.rq = append([]byte(nil), q[qe:]...)
-			re := s.REnd()
-			hi := re + (len(q) - qe) + band
-			if hi > len(a.Ref) {
-				hi = len(a.Ref)
+	for wi := range work {
+		w := &work[wi]
+		band := sc.EstimateBand(len(w.q), 0, a.Opts.BandCap)
+		for fi := w.lo; fi < w.hi; fi++ {
+			cand := &flat[fi]
+			s := cand.anchor
+			cand.score = scoreL[fi]
+			if qe := s.QEnd(); qe < len(w.q) {
+				cand.rq = append([]byte(nil), w.q[qe:]...)
+				re := s.REnd()
+				hi := re + (len(w.q) - qe) + band
+				if hi > len(a.Ref) {
+					hi = len(a.Ref)
+				}
+				cand.rt = append([]byte(nil), a.Ref[re:hi]...)
+				cand.rh0 = scoreL[fi]
+				jobs = append(jobs, align.Job{Q: cand.rq, T: cand.rt, H0: scoreL[fi]})
 			}
-			cand.rt = append([]byte(nil), a.Ref[re:hi]...)
-			cand.rh0 = scoreL[si]
-			jobs = append(jobs, align.Job{Q: cand.rq, T: cand.rt, H0: scoreL[si]})
 		}
 	}
 	results = be.ExtendJobs(jobs, results[:0])
 	ji = 0
-	for si, s := range seeds {
-		cand := &cands[si]
-		if qe := s.QEnd(); qe < len(q) {
-			cand.score, cand.clipR, cand.rQ, cand.rT =
-				resolveSide(results[ji], len(q)-qe, scoreL[si], a.Opts.ClipPenalty)
-			ji++
-			total++
+	for wi := range work {
+		w := &work[wi]
+		for fi := w.lo; fi < w.hi; fi++ {
+			cand := &flat[fi]
+			s := cand.anchor
+			if qe := s.QEnd(); qe < len(w.q) {
+				cand.score, cand.clipR, cand.rQ, cand.rT =
+					resolveSide(results[ji], len(w.q)-qe, scoreL[fi], a.Opts.ClipPenalty)
+				ji++
+				total++
+			}
+			cand.pos = s.RBeg - cand.lT
 		}
-		cand.pos = s.RBeg - cand.lT
 	}
 
-	best := cands[0]
-	for _, cand := range cands[1:] {
-		if cand.score > best.score || (cand.score == best.score && cand.pos < best.pos) {
-			best = cand
+	// Per-chain winner selection, identical to alignChain's rule.
+	out := make([]candidate, 0, len(work))
+	for wi := range work {
+		w := &work[wi]
+		if w.lo == w.hi {
+			continue
 		}
+		best := flat[w.lo]
+		for _, cand := range flat[w.lo+1 : w.hi] {
+			if cand.score > best.score || (cand.score == best.score && cand.pos < best.pos) {
+				best = cand
+			}
+		}
+		best.weight = w.c.Weight
+		out = append(out, best)
 	}
-	return best, total
+	return out, total
 }
 
 // alignSeed extends one seed left and right, resolving BWA-MEM's

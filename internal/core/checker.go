@@ -60,6 +60,17 @@ func NewChecker(cfg Config) *Checker {
 
 var _ align.Extender = (*Checker)(nil)
 
+// KernelScoring exposes the scoring scheme the batch kernels run under;
+// shape-binned schedulers (the server micro-batcher, the driver's batch
+// producer) duck-type this accessor to key jobs by align.ShapeBin.
+func (c *Checker) KernelScoring() align.Scoring { return c.Config.Scoring }
+
+// ShapeBin buckets one request for cross-batch shape scheduling: requests
+// sharing a bin pack into dense SWAR lane groups (see align.ShapeBin).
+func (c *Checker) ShapeBin(r Request) int {
+	return align.ShapeBin(len(r.Q), len(r.T), r.H0, c.Config.Scoring)
+}
+
 func (c *Checker) init() {
 	if c.ews == nil {
 		c.ews = align.NewWorkspace()

@@ -433,6 +433,7 @@ func (d *Device) Run(ctx context.Context, reqs []Request) ([]Response, error) {
 // partial output is returned but unfinished entries are zero-valued).
 func RunContext(ctx context.Context, cfg Config, dev *Device, reqs []Request) ([]Response, error) {
 	cfg = cfg.withDefaults()
+	reqs = binSorted(reqs, cfg)
 	type batch struct {
 		key  int
 		reqs []Request
@@ -480,6 +481,40 @@ func RunContext(ctx context.Context, cfg Config, dev *Device, reqs []Request) ([
 	}
 	wg.Wait()
 	return out, ctx.Err()
+}
+
+// binSorted returns the requests reordered by kernel shape bin so that
+// each fixed-size batch cut by the producer packs near-homogeneous SWAR
+// lane groups (cross-batch scheduling): without it, a mixed workload
+// scatters short and long problems across every batch and each batch pays
+// for its longest shapes. The sort is stable on the input order (batch
+// composition, and therefore fault-injection replay, stays deterministic)
+// and works on a copy — responses find their output slot through Tag, so
+// the feeding order is free. A single batch is left untouched: binning
+// inside one batch is the kernel sort's job.
+func binSorted(reqs []Request, cfg Config) []Request {
+	if len(reqs) <= cfg.BatchSize {
+		return reqs
+	}
+	// Stable counting sort over the (small) bin alphabet: one ShapeBin
+	// call per request, O(n) placement.
+	keys := make([]uint8, len(reqs))
+	var count [align.NumShapeBins + 1]int
+	for i := range reqs {
+		r := &reqs[i]
+		k := align.ShapeBin(len(r.Q), len(r.T), r.H0, cfg.Scoring)
+		keys[i] = uint8(k)
+		count[k+1]++
+	}
+	for k := 1; k <= align.NumShapeBins; k++ {
+		count[k] += count[k-1]
+	}
+	binned := make([]Request, len(reqs))
+	for i := range reqs {
+		binned[count[keys[i]]] = reqs[i]
+		count[keys[i]]++
+	}
+	return binned
 }
 
 // scaled converts modeled nanoseconds into a wall-clock duration.

@@ -138,3 +138,70 @@ func TestEmptyRun(t *testing.T) {
 		t.Fatalf("empty run returned %d responses", len(resps))
 	}
 }
+
+// TestBinSortedGroupsShapes pins the cross-batch scheduling reorder:
+// binSorted groups requests by kernel shape bin (non-decreasing bin key),
+// keeps input order within a bin (stable, so batch composition is
+// deterministic), preserves the request multiset, and leaves single-batch
+// runs untouched.
+func TestBinSortedGroupsShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 64
+	reqs := makeRequests(500, 7)
+	// Widen the shape mix: every third request becomes a long/high-score
+	// problem so several tiers and length classes appear.
+	rng := rand.New(rand.NewSource(8))
+	for i := 2; i < len(reqs); i += 3 {
+		tl := 250 + rng.Intn(200)
+		tg := make([]byte, tl)
+		for k := range tg {
+			tg[k] = byte(rng.Intn(4))
+		}
+		reqs[i].T = tg
+		reqs[i].Q = append([]byte(nil), tg[:200+rng.Intn(40)]...)
+		reqs[i].H0 = 150 + rng.Intn(400)
+	}
+	bin := func(r Request) int {
+		return align.ShapeBin(len(r.Q), len(r.T), r.H0, cfg.Scoring)
+	}
+
+	sorted := binSorted(reqs, cfg)
+	if len(sorted) != len(reqs) {
+		t.Fatalf("binSorted changed length: %d -> %d", len(reqs), len(sorted))
+	}
+	seenTags := make(map[int]bool, len(sorted))
+	lastBin, lastTag := -1, map[int]int{}
+	bins := 0
+	for _, r := range sorted {
+		if seenTags[r.Tag] {
+			t.Fatalf("tag %d duplicated", r.Tag)
+		}
+		seenTags[r.Tag] = true
+		b := bin(r)
+		if b < lastBin {
+			t.Fatalf("bins not grouped: %d after %d", b, lastBin)
+		}
+		if b > lastBin {
+			lastBin = b
+			bins++
+		}
+		if prev, ok := lastTag[b]; ok && r.Tag < prev {
+			t.Fatalf("bin %d not stable: tag %d after %d", b, r.Tag, prev)
+		}
+		lastTag[b] = r.Tag
+	}
+	if bins < 2 {
+		t.Fatalf("workload produced %d shape bins; the test needs a mix", bins)
+	}
+	for i := range reqs {
+		if reqs[i].Tag != i {
+			t.Fatalf("binSorted mutated its input at %d", i)
+		}
+	}
+
+	// At or under one batch the input is passed through untouched.
+	small := makeRequests(cfg.BatchSize, 9)
+	if got := binSorted(small, cfg); &got[0] != &small[0] {
+		t.Fatal("single-batch run was copied/reordered")
+	}
+}

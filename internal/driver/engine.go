@@ -31,6 +31,10 @@ func (e *Engine) CheckStats() *core.Stats { return e.dev.Stats }
 // Health snapshots the platform's fault-tolerance status.
 func (e *Engine) Health() faults.Health { return e.dev.Health() }
 
+// KernelScoring exposes the device's scoring scheme, so the server's
+// micro-batcher can shape-bin jobs headed for the device batch path.
+func (e *Engine) KernelScoring() align.Scoring { return e.dev.cfg.Scoring }
+
 // Extend serves one extension through a throwaway session.
 func (e *Engine) Extend(query, target []byte, h0 int) align.ExtendResult {
 	return e.Session().Extend(query, target, h0)

@@ -76,15 +76,18 @@ func (k Kind) String() string {
 // SWAR tier ladder; TierUnknown marks extenders whose tiering the server
 // cannot see (device engines, third-party extenders).
 const (
-	TierSWAR8   = 0
-	TierSWAR16  = 1
-	TierScalar  = 2
+	TierSWAR8x2 = 0
+	TierSWAR8   = 1
+	TierSWAR16  = 2
+	TierScalar  = 3
 	TierUnknown = -1
 )
 
 // TierName renders a KindKernel span's v1 for exports.
 func TierName(v int64) string {
 	switch v {
+	case TierSWAR8x2:
+		return "swar8x2"
 	case TierSWAR8:
 		return "swar8"
 	case TierSWAR16:

@@ -76,6 +76,11 @@ type batcher[T any] struct {
 	batches chan []T
 	free    chan []T // recycled batch backing arrays
 
+	// binOf, when non-nil, keys each job into one of numBins shape bins
+	// and the collector runs in binned mode (see collectBinned).
+	binOf   func(T) int
+	numBins int
+
 	collectorDone sync.WaitGroup
 	workersDone   sync.WaitGroup
 	closeOnce     sync.Once
@@ -93,9 +98,38 @@ func newBatcher[T any](cfg BatcherConfig, met *Metrics, work func() func([]T)) *
 		batches: make(chan []T, cfg.Workers),
 		free:    make(chan []T, cfg.Workers*2),
 	}
+	b.start(work)
+	return b
+}
+
+// newBinnedBatcher is newBatcher with shape-aware collection: binOf keys
+// every job into one of numBins bins, and the collector packs batches
+// bin-first, so jobs of like kernel shape share a batch (and therefore
+// SWAR lane groups) even when they arrived interleaved with other shapes.
+// The deadline trigger still bounds every job's wait to one FlushInterval.
+func newBinnedBatcher[T any](cfg BatcherConfig, met *Metrics, numBins int, binOf func(T) int, work func() func([]T)) *batcher[T] {
+	cfg = cfg.withDefaults()
+	b := &batcher[T]{
+		cfg:     cfg,
+		met:     met,
+		in:      make(chan T, cfg.QueueCap),
+		batches: make(chan []T, cfg.Workers),
+		free:    make(chan []T, cfg.Workers*2+numBins),
+		binOf:   binOf,
+		numBins: numBins,
+	}
+	b.start(work)
+	return b
+}
+
+func (b *batcher[T]) start(work func() func([]T)) {
 	b.collectorDone.Add(1)
-	go b.collect()
-	for w := 0; w < cfg.Workers; w++ {
+	if b.binOf != nil {
+		go b.collectBinned()
+	} else {
+		go b.collect()
+	}
+	for w := 0; w < b.cfg.Workers; w++ {
 		b.workersDone.Add(1)
 		go func() {
 			defer b.workersDone.Done()
@@ -109,7 +143,6 @@ func newBatcher[T any](cfg BatcherConfig, met *Metrics, work func() func([]T)) *
 			}
 		}()
 	}
-	return b
 }
 
 // Submit offers one job to the admission queue without blocking: the
@@ -207,6 +240,139 @@ func (b *batcher[T]) collect() {
 	}
 }
 
+// collectBinned is the shape-aware collector: pending jobs accumulate in
+// per-bin slices keyed by binOf, so every dispatch is as shape-homogeneous
+// as the arrival mix allows. Three triggers flush work:
+//
+//   - a bin reaching MaxBatch dispatches that bin alone (a perfectly
+//     homogeneous batch);
+//   - total pending reaching 2x MaxBatch dispatches the fullest bin,
+//     bounding buffered work under a mixed load that fills no single bin
+//     while still letting one busy bin fill completely;
+//   - the deadline (FlushInterval after the first job of an idle period)
+//     flushes everything, concatenated in bin order into MaxBatch-sized
+//     batches — still bin-sorted, so lane groups stay dense.
+//
+// Every job therefore waits at most one FlushInterval, the same bound the
+// plain collector gives.
+func (b *batcher[T]) collectBinned() {
+	defer b.collectorDone.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+	bins := make([][]T, b.numBins)
+	total := 0
+
+	flushBin := func(k int) {
+		total -= len(bins[k])
+		b.dispatch(bins[k])
+		bins[k] = nil
+	}
+	fullest := func() int {
+		best, n := 0, -1
+		for k := range bins {
+			if len(bins[k]) > n {
+				best, n = k, len(bins[k])
+			}
+		}
+		return best
+	}
+	flushAll := func() {
+		out := b.getBatch()
+		for k := range bins {
+			if bins[k] == nil {
+				continue
+			}
+			for _, job := range bins[k] {
+				out = append(out, job)
+				if len(out) == b.cfg.MaxBatch {
+					b.dispatch(out)
+					out = b.getBatch()
+				}
+			}
+			b.putBatch(bins[k][:0])
+			bins[k] = nil
+		}
+		if len(out) > 0 {
+			b.dispatch(out)
+		} else {
+			b.putBatch(out)
+		}
+		total = 0
+	}
+	add := func(job T) {
+		k := b.binOf(job)
+		if k < 0 || k >= len(bins) {
+			k = len(bins) - 1
+		}
+		if bins[k] == nil {
+			bins[k] = b.getBatch()
+		}
+		bins[k] = append(bins[k], job)
+		total++
+		if len(bins[k]) >= b.cfg.MaxBatch {
+			flushBin(k)
+		} else if total >= 2*b.cfg.MaxBatch {
+			flushBin(fullest())
+		}
+	}
+
+	for {
+		first, ok := <-b.in
+		if !ok {
+			return
+		}
+		add(first)
+		if b.cfg.FlushInterval > 0 {
+			if total > 0 {
+				timer.Reset(b.cfg.FlushInterval)
+				for total > 0 {
+					select {
+					case job, more := <-b.in:
+						if !more {
+							flushAll()
+							return
+						}
+						add(job)
+					case <-timer.C:
+						flushAll()
+					}
+				}
+				// total hit zero — via the timer or a size flush that
+				// drained everything. Disarm before blocking again (the
+				// timer may have fired concurrently with a size flush).
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+			}
+		} else {
+			// Opportunistic mode: drain whatever is queued, then flush
+			// everything bin-sorted. With more than MaxBatch queued this
+			// still yields shape-grouped batches — the cross-batch win.
+		greedy:
+			for total < b.cfg.QueueCap {
+				select {
+				case job, more := <-b.in:
+					if !more {
+						flushAll()
+						return
+					}
+					add(job)
+				default:
+					break greedy
+				}
+			}
+			flushAll()
+		}
+	}
+}
+
 // dispatch hands one assembled batch to the worker pool and records the
 // occupancy metrics.
 func (b *batcher[T]) dispatch(batch []T) {
@@ -226,5 +392,15 @@ func (b *batcher[T]) getBatch() []T {
 		return batch
 	default:
 		return make([]T, 0, b.cfg.MaxBatch)
+	}
+}
+
+// putBatch returns an undispatched backing array to the free list (the
+// binned collector recycles emptied bins here; dispatched batches come
+// back through the workers).
+func (b *batcher[T]) putBatch(batch []T) {
+	select {
+	case b.free <- batch:
+	default:
 	}
 }

@@ -381,6 +381,8 @@ func TestPrometheusRoundTrip(t *testing.T) {
 		"seedex_request_latency_seconds", "seedex_queue_wait_seconds", "seedex_batch_occupancy",
 		"seedex_request_latency_quantile_seconds",
 		"seedex_kernel_jobs_total", "seedex_kernel_lane_occupancy",
+		"seedex_kernel_lane_utilization", "seedex_kernel_tier_lane_utilization",
+		"seedex_kernel_demoted_total",
 		"seedex_trace_spans_total",
 	} {
 		if _, ok := first.types[want]; !ok {
@@ -389,6 +391,22 @@ func TestPrometheusRoundTrip(t *testing.T) {
 	}
 	if _, ok := first.samples[`seedex_check_outcome_total{outcome="pass-s2"}`]; !ok {
 		t.Error("scrape missing seedex_check_outcome_total{outcome=\"pass-s2\"}")
+	}
+	// The per-tier kernel families carry one series per SWAR tier (scalar
+	// has no lanes or demotions, so it is skipped), labeled with the tier
+	// names the tracer uses.
+	for _, tier := range []string{"swar8x2", "swar8", "swar16"} {
+		for _, family := range []string{
+			"seedex_kernel_demoted_total", "seedex_kernel_tier_lane_utilization",
+		} {
+			if _, ok := first.samples[family+`{tier="`+tier+`"}`]; !ok {
+				t.Errorf("scrape missing %s{tier=%q}", family, tier)
+			}
+		}
+	}
+	// Lane utilization is a ratio; a driven server reports it in (0, 1].
+	if u := first.samples["seedex_kernel_lane_utilization"]; u <= 0 || u > 1 {
+		t.Errorf("seedex_kernel_lane_utilization = %v, want in (0, 1]", u)
 	}
 	if _, ok := first.samples[`seedex_request_latency_quantile_seconds{quantile="0.99"}`]; !ok {
 		t.Error("scrape missing p99 latency quantile")

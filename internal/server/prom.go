@@ -99,12 +99,33 @@ func (s *Server) collectProm(p *obs.Prom) {
 			"tier", align.TierNames[tier])
 	}
 	p.Counter("seedex_kernel_degenerate_total", "Jobs that bypassed the tier ladder.", float64(kt.Degenerate))
-	p.Counter("seedex_kernel_demoted_total", "SWAR-assigned jobs demoted to scalar by envelope divergence.", float64(kt.Demoted))
+	for tier, n := range kt.Demoted {
+		if tier == align.TierScalar {
+			continue // scalar jobs are never demoted; skip the dead series
+		}
+		p.Counter("seedex_kernel_demoted_total", "SWAR-assigned jobs demoted to scalar by envelope divergence, by assigned tier.", float64(n),
+			"tier", align.TierNames[tier])
+	}
 	p.Counter("seedex_kernel_solo_total", "Jobs run scalar because their group filled one lane.", float64(kt.Solo))
-	p.Counter("seedex_kernel_groups_total", "Packed lane groups executed.", float64(kt.Groups))
-	p.Counter("seedex_kernel_lanes_total", "Lanes filled across packed groups.", float64(kt.Lanes))
+	for tier, n := range kt.Groups {
+		if tier == align.TierScalar {
+			continue
+		}
+		p.Counter("seedex_kernel_groups_total", "Packed lane groups executed, by kernel tier.", float64(n),
+			"tier", align.TierNames[tier])
+		p.Counter("seedex_kernel_lanes_total", "Lanes filled across packed groups, by kernel tier.", float64(kt.Lanes[tier]),
+			"tier", align.TierNames[tier])
+	}
 	p.Counter("seedex_kernel_cells_total", "DP cells swept by the batch kernels.", float64(kt.Cells))
 	p.Gauge("seedex_kernel_lane_occupancy", "Mean lanes filled per packed group.", kt.LaneOccupancy())
+	p.Gauge("seedex_kernel_lane_utilization", "Filled lanes over lane capacity across packed groups.", kt.LaneUtilization())
+	for tier := range kt.Groups {
+		if tier == align.TierScalar {
+			continue
+		}
+		p.Gauge("seedex_kernel_tier_lane_utilization", "Per-tier filled lanes over lane capacity.", kt.TierLaneUtilization(tier),
+			"tier", align.TierNames[tier])
+	}
 	if uptime > 0 {
 		p.Gauge("seedex_kernel_cells_per_second", "Mean DP cell throughput since start.", float64(kt.Cells)/uptime)
 	}

@@ -114,7 +114,20 @@ func New(cfg Config) *Server {
 			s.cfg.Health = h.Health
 		}
 	}
-	s.ext = newBatcher(cfg.Batch, s.met, s.extWorker)
+	// Extension batching is shape-binned when the extender's scoring is
+	// discoverable: jobs of like SWAR tier and length class coalesce into
+	// the same micro-batch, so the packed kernels see dense lane groups
+	// even under interleaved mixed-shape traffic (cross-batch scheduling,
+	// paper §V-B).
+	if sp, ok := cfg.Extender.(interface{ KernelScoring() align.Scoring }); ok {
+		sc := sp.KernelScoring()
+		binOf := func(j extJob) int {
+			return align.ShapeBin(len(j.req.Q), len(j.req.T), j.req.H0, sc)
+		}
+		s.ext = newBinnedBatcher(cfg.Batch, s.met, align.NumShapeBins, binOf, s.extWorker)
+	} else {
+		s.ext = newBatcher(cfg.Batch, s.met, s.extWorker)
+	}
 	if cfg.Aligner != nil {
 		s.maps = newBatcher(cfg.MapBatch, s.met, s.mapWorker)
 	}
@@ -335,7 +348,7 @@ func (s *Server) extWorker() func([]extJob) {
 					chk.Stats.Record(rep)
 				}
 				if j.tr.Sampled() {
-					tier := align.TierOf(len(reqs[k].Q), reqs[k].H0, chk.Config.Scoring)
+					tier := align.TierOf(len(reqs[k].Q), len(reqs[k].T), reqs[k].H0, chk.Config.Scoring)
 					j.tr.Span(obs.KindKernel, k0, kDur, int64(tier), int64(len(live)))
 					pass := int64(0)
 					if rep.Pass {
