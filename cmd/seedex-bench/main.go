@@ -51,6 +51,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	serveBatch := fs.Int("serve-batch", 64, "micro-batch size for the batched -fig serve configuration")
 	serveFlush := fs.Duration("serve-flush", 100*time.Microsecond, "micro-batch flush interval for -fig serve")
 	serveTrace := fs.Int("serve-trace", 100, "trace sample rate for the batched-traced -fig serve configuration (1 in N requests; negative skips the traced configuration)")
+	servePR := fs.String("serve-pr", "dev", "label recorded with the appended -fig serve run (the PR it measures)")
+	serveShards := fs.String("serve-shards", "2,4,8", "comma-separated shard counts for the sharded -fig serve configurations ('batched' is the 1-shard point; empty skips the curve)")
+	servePolicy := fs.String("serve-policy", "least-loaded", "routing policy for the sharded -fig serve configurations")
 	chaos := fs.Float64("chaos", 0, "for -fig serve: serve through the simulated FPGA device with every fault class injecting at this rate (measures the throughput cost of fault tolerance)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -217,6 +220,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			concs = append(concs, c)
 		}
+		var shardCounts []int
+		for _, f := range strings.Split(*serveShards, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			var n int
+			if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n <= 0 {
+				return fmt.Errorf("bad -serve-shards entry %q", f)
+			}
+			if n > 1 {
+				shardCounts = append(shardCounts, n)
+			}
+		}
 		rep := bench.ServeBench(wsrv, bench.ServeBenchConfig{
 			MaxBatch:       *serveBatch,
 			Flush:          *serveFlush,
@@ -227,16 +244,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 			ChaosRate:      *chaos,
 			ChaosSeed:      *chaosSeed,
 			TraceSample:    *serveTrace,
+			Shards:         shardCounts,
+			RoutePolicy:    *servePolicy,
 		})
 		fmt.Fprintln(stdout, rep)
-		data, err := rep.JSON()
+		// BENCH_serve.json is an append-only history like BENCH_extend.json:
+		// each invocation adds one labeled run (a legacy single-report file
+		// converts in place, keeping its measurement as the first point).
+		hist, err := bench.ReadServeHistory(*serveJSON)
+		if err != nil {
+			return err
+		}
+		hist.Runs = append(hist.Runs, bench.ServeRun{PR: *servePR, ServeBenchReport: rep})
+		data, err := hist.JSON()
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(*serveJSON, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "wrote %s\n", *serveJSON)
+		fmt.Fprintf(stderr, "wrote %s (%d runs)\n", *serveJSON, len(hist.Runs))
 	}
 	if all || want["ablations"] {
 		section("Ablation: edit-machine seeding strategy")

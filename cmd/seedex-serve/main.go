@@ -7,6 +7,13 @@
 //
 //	seedex-serve -addr :8844 -extender seedex -band 20
 //	seedex-serve -addr :8844 -ref genome.fa            # enables /v1/map
+//	seedex-serve -addr :8844 -shards 4 -route-policy hash
+//
+// With -shards N the service runs N independent shard units — each its
+// own extension engine, micro-batcher, worker pool and circuit breaker —
+// behind a routing tier (-route-policy: least-loaded, occupancy, or
+// consistent hashing by reference region) with health-aware routing and
+// bounded work stealing between shards.
 //
 // Endpoints: POST /v1/extend, POST /v1/extend/stream (NDJSON),
 // POST /v1/map (with -ref), GET /metrics, GET /healthz. SIGINT/SIGTERM

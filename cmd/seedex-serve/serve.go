@@ -10,6 +10,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +47,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on shutdown")
 	chaos := fs.Float64("chaos", 0, "serve through the simulated FPGA platform with every fault class injecting at this rate (0 = software extender, no device)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
+	shards := fs.Int("shards", 1, "serving shards: each gets its own extension engine, micro-batcher and worker pool behind the routing tier (1 = the unsharded pipeline)")
+	routePolicy := fs.String("route-policy", "least-loaded", "routing policy for -shards > 1: least-loaded | occupancy | hash")
 	traceSample := fs.Int("trace-sample", 0, "record pipeline spans for 1 in N requests and export them at /debug/traces (0 disables tracing)")
 	traceSlow := fs.Int("trace-slow", 64, "always retain the K slowest requests at /debug/traces/slow, regardless of sampling")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof profiling handlers on this separate address (empty disables them)")
@@ -52,37 +56,55 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		return err
 	}
 
-	var ext align.Extender
-	var se *core.SeedEx
-	var eng *driver.Engine
-	if *chaos > 0 {
-		// Chaos drills run against the device-backed engine: results stay
-		// exact (integrity validation + host containment), while /metrics
-		// and /healthz expose the injected faults and breaker state.
-		if *extName != "seedex" {
-			return fmt.Errorf("-chaos requires the seedex extender (device engine), not %q", *extName)
-		}
-		dcfg := driver.DefaultConfig()
-		dcfg.Band = *band
-		dcfg.Faults = faults.Uniform(*chaosSeed, *chaos)
-		dcfg.DeviceTimeout = 10 * time.Millisecond
-		eng = driver.NewEngine(dcfg)
-		ext = eng
-	} else {
-		var err error
-		ext, err = core.NamedExtender(*extName, *band)
-		if err != nil {
-			return err
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
+	// server.New panics on an unknown policy; flag input is validated here.
+	if !slices.Contains(server.RoutingPolicies(), *routePolicy) {
+		return fmt.Errorf("unknown -route-policy %q (valid: %s)", *routePolicy, strings.Join(server.RoutingPolicies(), ", "))
+	}
+
+	// Every shard gets its own extension engine, built eagerly so flag
+	// errors surface before the listener binds and so the exit summary can
+	// walk the per-shard engines. Under -chaos each shard's fault draws
+	// decorrelate via seed+i while staying deterministic.
+	exts := make([]align.Extender, *shards)
+	var ses []*core.SeedEx
+	var engines []*driver.Engine
+	for i := range exts {
+		if *chaos > 0 {
+			// Chaos drills run against the device-backed engine: results stay
+			// exact (integrity validation + host containment), while /metrics
+			// and /healthz expose the injected faults and breaker state.
+			if *extName != "seedex" {
+				return fmt.Errorf("-chaos requires the seedex extender (device engine), not %q", *extName)
+			}
+			dcfg := driver.DefaultConfig()
+			dcfg.Band = *band
+			dcfg.Faults = faults.Uniform(*chaosSeed+int64(i), *chaos)
+			dcfg.DeviceTimeout = 10 * time.Millisecond
+			eng := driver.NewEngine(dcfg)
+			engines = append(engines, eng)
+			exts[i] = eng
+		} else {
+			e, err := core.NamedExtender(*extName, *band)
+			if err != nil {
+				return err
+			}
+			if se, ok := e.(*core.SeedEx); ok {
+				ses = append(ses, se)
+			}
+			exts[i] = e
 		}
 	}
-	se, _ = ext.(*core.SeedEx)
+	ext := exts[0]
 	switch *mode {
 	case "strict":
 	case "paper":
-		if se != nil {
+		for _, se := range ses {
 			se.Config.Mode = core.ModePaper
 		}
-		if eng != nil {
+		if len(engines) > 0 {
 			return fmt.Errorf("-chaos runs the device engine, which is strict-mode only")
 		}
 	default:
@@ -99,7 +121,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 
 	tracer := obs.New(obs.Config{SampleEvery: *traceSample, SlowK: *traceSlow})
-	if eng != nil {
+	for _, eng := range engines {
 		// Device-level spans (batch attempts, retry backoffs, host reruns)
 		// record under the batch key, always retained when tracing is on.
 		eng.Device().Trace = tracer
@@ -111,9 +133,11 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		// "never wait", not "use the library default".
 		flushIv = server.FlushOpportunistic
 	}
-	s := server.New(server.Config{
-		Extender: ext,
-		Aligner:  aligner,
+	scfg := server.Config{
+		Extender:    ext,
+		Aligner:     aligner,
+		Shards:      *shards,
+		RoutePolicy: *routePolicy,
 		Batch: server.BatcherConfig{
 			MaxBatch:      *maxBatch,
 			FlushInterval: flushIv,
@@ -122,7 +146,11 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		},
 		MaxJobsPerRequest: *maxJobs,
 		Trace:             tracer,
-	})
+	}
+	if *shards > 1 {
+		scfg.NewExtender = func(i int) align.Extender { return exts[i] }
+	}
+	s := server.New(scfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -158,11 +186,15 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 
 	fmt.Fprintf(stderr, "seedex-serve: listening on %s (extender=%s band=%d batch=%d flush=%s queue=%d)\n",
 		ln.Addr(), *extName, *band, *maxBatch, *flush, *queueCap)
+	if *shards > 1 {
+		fmt.Fprintf(stderr, "seedex-serve: %d shards behind the %s routing policy (per-shard engines, breakers and queues)\n",
+			*shards, *routePolicy)
+	}
 	if tracer != nil {
 		fmt.Fprintf(stderr, "seedex-serve: tracing 1/%d requests (exports at /debug/traces, slowest %d at /debug/traces/slow)\n",
 			*traceSample, *traceSlow)
 	}
-	if eng != nil {
+	if len(engines) > 0 {
 		fmt.Fprintf(stderr, "seedex-serve: chaos enabled (rate=%g seed=%d): device-backed engine with fault injection\n",
 			*chaos, *chaosSeed)
 	}
@@ -195,10 +227,22 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	snap := s.Metrics().Snapshot(0, 0)
 	fmt.Fprintf(stderr, "seedex-serve: served %d requests, %d jobs in %d batches (mean occupancy %.1f)\n",
 		snap.Requests, snap.Completed, snap.Batches, snap.MeanOccupancy)
-	if se != nil {
+	if *shards > 1 {
+		for _, sh := range s.ShardSnapshots() {
+			fmt.Fprintf(stderr, "seedex-serve: shard %d: %d jobs in %d batches, routed=%d rerouted=%d stolen-from-peers=%d\n",
+				sh.ID, sh.Completed, sh.Batches, sh.Routed, sh.Rerouted, sh.Steals)
+		}
+	}
+	for i, se := range ses {
+		if len(ses) > 1 {
+			fmt.Fprintf(stderr, "seedex-serve: shard %d: ", i)
+		}
 		fmt.Fprintln(stderr, se.Stats)
 	}
-	if eng != nil {
+	for i, eng := range engines {
+		if len(engines) > 1 {
+			fmt.Fprintf(stderr, "seedex-serve: shard %d:\n", i)
+		}
 		fmt.Fprintln(stderr, eng.Device().Stats)
 		h := eng.Health()
 		fmt.Fprintf(stderr, "seedex-serve: chaos summary: breaker=%s injected=%d detected=%d retries=%d trips=%d host-only=%d\n",

@@ -3,10 +3,12 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -61,6 +63,15 @@ type ServeBenchConfig struct {
 	// regardless: they measure the cost of fault tolerance, and fault
 	// draws would confound the tracing-overhead comparison.
 	TraceSample int
+	// Shards lists shard counts to sweep as extra "sharded-N"
+	// configurations: the batched settings behind the routing tier, each
+	// shard with its own extender. "batched" is the 1-shard point of the
+	// curve. Empty (the default) skips the sharded column — opt in from
+	// the CLI with -serve-shards.
+	Shards []int
+	// RoutePolicy names the routing policy for the sharded points
+	// (default "least-loaded").
+	RoutePolicy string
 }
 
 func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
@@ -90,6 +101,9 @@ func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
 	}
 	if c.ChaosRate > 0 {
 		c.TraceSample = -1
+	}
+	if c.RoutePolicy == "" {
+		c.RoutePolicy = "least-loaded"
 	}
 	return c
 }
@@ -124,6 +138,19 @@ type ServeGain struct {
 	Gain float64 `json:"throughput_gain"`
 }
 
+// ShardScale is one point of the shard scaling curve: a sharded
+// configuration's throughput against the 1-shard ("batched") baseline at
+// the same concurrency.
+type ShardScale struct {
+	Shards      int     `json:"shards"`
+	Concurrency int     `json:"concurrency"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P99Us       float64 `json:"latency_p99_us"`
+	// Speedup is this point's jobs/s over the 1-shard point at the same
+	// concurrency.
+	Speedup float64 `json:"speedup_vs_single"`
+}
+
 // ServeBenchReport is the machine-readable snapshot emitted as
 // BENCH_serve.json: micro-batched service throughput vs the no-batching
 // control over the standard 150 bp workload.
@@ -139,8 +166,16 @@ type ServeBenchReport struct {
 	ChaosRate      float64      `json:"chaos_rate,omitempty"`
 	ChaosSeed      int64        `json:"chaos_seed,omitempty"`
 	TraceSample    int          `json:"trace_sample,omitempty"`
+	Shards         []int        `json:"shards,omitempty"`
+	RoutePolicy    string       `json:"route_policy,omitempty"`
 	Points         []ServePoint `json:"points"`
 	Gains          []ServeGain  `json:"gains"`
+	// ShardScaling is the shard scaling curve (every sharded point vs the
+	// 1-shard baseline), present when Shards were swept.
+	ShardScaling []ShardScale `json:"shard_scaling,omitempty"`
+	// ShardGainHighConc is the widest sharded configuration's speedup
+	// over 1 shard at the highest measured concurrency.
+	ShardGainHighConc float64 `json:"shard_gain_high_concurrency,omitempty"`
 	// GainHighConc is the throughput gain at the highest measured
 	// concurrency — the headline micro-batching figure.
 	GainHighConc float64 `json:"throughput_gain_high_concurrency"`
@@ -173,10 +208,81 @@ func (r ServeBenchReport) String() string {
 	for _, g := range r.Gains {
 		fmt.Fprintf(&b, "batched vs unbatched @ %d clients: %.2fx jobs/s\n", g.Concurrency, g.Gain)
 	}
+	for _, sc := range r.ShardScaling {
+		fmt.Fprintf(&b, "%d shards (%s) vs 1 @ %d clients: %.2fx jobs/s, p99 %.0fus\n",
+			sc.Shards, r.RoutePolicy, sc.Concurrency, sc.Speedup, sc.P99Us)
+	}
 	if r.TraceSample > 0 {
 		fmt.Fprintf(&b, "tracing 1/%d overhead at high concurrency: %.1f%% jobs/s\n", r.TraceSample, r.TraceOverheadPct)
 	}
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// ServeRun is one recorded run in the BENCH_serve.json history: the
+// report plus the PR (or other label) that produced it.
+type ServeRun struct {
+	PR string `json:"pr"`
+	ServeBenchReport
+}
+
+// ServeHistory is the BENCH_serve.json schema: an append-only array of
+// runs, oldest first — the service-throughput trajectory across PRs.
+// Consumers wanting "the current numbers" read the latest entry.
+type ServeHistory struct {
+	Runs []ServeRun `json:"runs"`
+}
+
+// Latest returns the newest run, or nil for an empty history.
+func (h *ServeHistory) Latest() *ServeRun {
+	if len(h.Runs) == 0 {
+		return nil
+	}
+	return &h.Runs[len(h.Runs)-1]
+}
+
+// JSON renders the history for BENCH_serve.json.
+func (h ServeHistory) JSON() ([]byte, error) {
+	return json.MarshalIndent(h, "", "  ")
+}
+
+// ParseServeHistory decodes a BENCH_serve.json document. The legacy
+// schema — a single bare ServeBenchReport object — converts to a one-run
+// history labeled "legacy", so appending to a pre-history file preserves
+// its measurement as the first trajectory point.
+func ParseServeHistory(data []byte) (ServeHistory, error) {
+	var h ServeHistory
+	if len(bytes.TrimSpace(data)) == 0 {
+		return h, nil
+	}
+	var probe struct {
+		Runs *[]ServeRun `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return h, fmt.Errorf("bench: parsing serve history: %w", err)
+	}
+	if probe.Runs == nil {
+		var legacy ServeBenchReport
+		if err := json.Unmarshal(data, &legacy); err != nil {
+			return h, fmt.Errorf("bench: parsing legacy serve report: %w", err)
+		}
+		h.Runs = []ServeRun{{PR: "legacy", ServeBenchReport: legacy}}
+		return h, nil
+	}
+	h.Runs = *probe.Runs
+	return h, nil
+}
+
+// ReadServeHistory loads the history file at path; a missing file is an
+// empty history (the first run creates it).
+func ReadServeHistory(path string) (ServeHistory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ServeHistory{}, nil
+	}
+	if err != nil {
+		return ServeHistory{}, err
+	}
+	return ParseServeHistory(data)
 }
 
 // ServeBench load-tests the alignment service over the workload's
@@ -215,41 +321,63 @@ func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
 	}
 	bodies := serveBodies(w.Problems, cfg.JobsPerRequest)
 
-	configs := []struct {
+	type serveConfig struct {
 		name   string
 		batch  server.BatcherConfig
 		sample int
-	}{
-		{"batched", server.BatcherConfig{MaxBatch: cfg.MaxBatch, FlushInterval: cfg.Flush}, 0},
-		{"unbatched", server.BatcherConfig{MaxBatch: 1, FlushInterval: cfg.Flush}, 0},
+		shards int
+	}
+	batched := server.BatcherConfig{MaxBatch: cfg.MaxBatch, FlushInterval: cfg.Flush}
+	configs := []serveConfig{
+		{name: "batched", batch: batched, shards: 1},
+		{name: "unbatched", batch: server.BatcherConfig{MaxBatch: 1, FlushInterval: cfg.Flush}, shards: 1},
 	}
 	if cfg.TraceSample > 0 {
-		configs = append(configs, struct {
-			name   string
-			batch  server.BatcherConfig
-			sample int
-		}{"batched-traced", server.BatcherConfig{MaxBatch: cfg.MaxBatch, FlushInterval: cfg.Flush}, cfg.TraceSample})
+		configs = append(configs, serveConfig{name: "batched-traced", batch: batched, sample: cfg.TraceSample, shards: 1})
+	}
+	for _, n := range cfg.Shards {
+		if n > 1 {
+			configs = append(configs, serveConfig{name: fmt.Sprintf("sharded-%d", n), batch: batched, shards: n})
+		}
+	}
+	if len(cfg.Shards) > 0 {
+		rep.Shards = cfg.Shards
+		rep.RoutePolicy = cfg.RoutePolicy
 	}
 	byConfig := map[string]map[int]ServePoint{}
 	for _, c := range configs {
 		byConfig[c.name] = map[int]ServePoint{}
 		for _, conc := range cfg.Concurrency {
-			p := runServePoint(cfg, c.batch, bodies, conc, c.sample)
+			p := runServePoint(cfg, c.batch, bodies, conc, c.sample, c.shards)
 			p.Config = c.name
 			rep.Points = append(rep.Points, p)
 			byConfig[c.name][conc] = p
 		}
 	}
 	for _, conc := range cfg.Concurrency {
+		base := byConfig["batched"][conc].JobsPerSec
 		if u := byConfig["unbatched"][conc].JobsPerSec; u > 0 {
-			g := ServeGain{Concurrency: conc, Gain: byConfig["batched"][conc].JobsPerSec / u}
+			g := ServeGain{Concurrency: conc, Gain: base / u}
 			rep.Gains = append(rep.Gains, g)
 			rep.GainHighConc = g.Gain
 		}
-		if b := byConfig["batched"][conc].JobsPerSec; b > 0 {
+		if base > 0 {
 			if t, ok := byConfig["batched-traced"][conc]; ok {
-				rep.TraceOverheadPct = 100 * (b - t.JobsPerSec) / b
+				rep.TraceOverheadPct = 100 * (base - t.JobsPerSec) / base
 			}
+		}
+		// Shard scaling curve: "batched" is the curve's 1-shard point.
+		for _, n := range cfg.Shards {
+			p, ok := byConfig[fmt.Sprintf("sharded-%d", n)][conc]
+			if !ok {
+				continue
+			}
+			sc := ShardScale{Shards: n, Concurrency: conc, JobsPerSec: p.JobsPerSec, P99Us: p.P99Us}
+			if base > 0 {
+				sc.Speedup = p.JobsPerSec / base
+			}
+			rep.ShardScaling = append(rep.ShardScaling, sc)
+			rep.ShardGainHighConc = sc.Speedup
 		}
 	}
 	return rep
@@ -285,30 +413,45 @@ func serveBodies(probs []Problem, jobsPerReq int) [][]byte {
 	return bodies
 }
 
-// runServePoint measures one (batch config, concurrency) cell: a fresh
-// server, closed-loop clients for the duration, then the server's own
-// batch-shape metrics.
-func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]byte, conc, sample int) ServePoint {
+// runServePoint measures one (batch config, concurrency, shard count)
+// cell: a fresh server, closed-loop clients for the duration, then the
+// server's own batch-shape metrics.
+func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]byte, conc, sample, shards int) ServePoint {
 	jobsPerReq, dur := cfg.JobsPerRequest, cfg.Duration
-	var ext align.Extender
 	var health func() faults.Health
-	if cfg.ChaosRate > 0 {
-		dcfg := driver.DefaultConfig()
-		dcfg.Band = cfg.Band
-		dcfg.Faults = faults.Uniform(cfg.ChaosSeed, cfg.ChaosRate)
-		dcfg.DeviceTimeout = 10 * time.Millisecond
-		eng := driver.NewEngine(dcfg)
-		ext = eng
-		health = eng.Health
-	} else {
+	// Each shard gets its own extender (its own engine, breaker and
+	// session pool) — the fault and perf isolation the routing tier is
+	// built around.
+	newExt := func(shard int) align.Extender {
+		if cfg.ChaosRate > 0 {
+			dcfg := driver.DefaultConfig()
+			dcfg.Band = cfg.Band
+			// Decorrelate the per-shard fault draws without losing
+			// determinism: shard i draws from seed+i.
+			dcfg.Faults = faults.Uniform(cfg.ChaosSeed+int64(shard), cfg.ChaosRate)
+			dcfg.DeviceTimeout = 10 * time.Millisecond
+			return driver.NewEngine(dcfg)
+		}
 		se := core.New(cfg.Band)
 		if !cfg.Strict {
 			se.Config.Mode = core.ModePaper
 		}
-		ext = se
+		return se
+	}
+	var ext align.Extender
+	scfg := server.Config{Batch: bcfg, Shards: shards, RoutePolicy: cfg.RoutePolicy}
+	if shards > 1 {
+		scfg.NewExtender = newExt
+	} else {
+		ext = newExt(0)
+		scfg.Extender = ext
+		if eng, ok := ext.(*driver.Engine); ok {
+			health = eng.Health
+		}
 	}
 	tracer := obs.New(obs.Config{SampleEvery: sample})
-	s := server.New(server.Config{Extender: ext, Batch: bcfg, Trace: tracer})
+	scfg.Trace = tracer
+	s := server.New(scfg)
 	ts := httptest.NewServer(s.Handler())
 	tr := &http.Transport{MaxIdleConns: 2 * conc, MaxIdleConnsPerHost: 2 * conc}
 	client := &http.Client{Transport: tr}

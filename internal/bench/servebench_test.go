@@ -82,3 +82,77 @@ func TestServeBenchChaos(t *testing.T) {
 		t.Fatalf("JSON missing faults section (err=%v)", err)
 	}
 }
+
+// TestServeBenchShardCurve runs the sharded column: the batched settings
+// rerun behind the routing tier at each requested shard count, and the
+// report carries the scaling curve against the 1-shard baseline.
+func TestServeBenchShardCurve(t *testing.T) {
+	w := smallWorkload(t)
+	rep := ServeBench(w, ServeBenchConfig{
+		Concurrency: []int{4},
+		Duration:    50 * time.Millisecond,
+		TraceSample: -1,
+		Shards:      []int{2},
+	})
+	if len(rep.Points) != 3 {
+		t.Fatalf("points: %d, want batched+unbatched+sharded-2", len(rep.Points))
+	}
+	var sharded *ServePoint
+	for i := range rep.Points {
+		if rep.Points[i].Config == "sharded-2" {
+			sharded = &rep.Points[i]
+		}
+	}
+	if sharded == nil || sharded.Jobs == 0 {
+		t.Fatalf("no sharded point with work: %+v", sharded)
+	}
+	if rep.RoutePolicy != "least-loaded" {
+		t.Fatalf("route policy not defaulted: %q", rep.RoutePolicy)
+	}
+	if len(rep.ShardScaling) != 1 || rep.ShardScaling[0].Shards != 2 || rep.ShardScaling[0].Speedup <= 0 {
+		t.Fatalf("shard scaling curve: %+v", rep.ShardScaling)
+	}
+	if rep.ShardGainHighConc != rep.ShardScaling[0].Speedup {
+		t.Fatalf("headline shard gain %.3f != curve point %.3f", rep.ShardGainHighConc, rep.ShardScaling[0].Speedup)
+	}
+	if !strings.Contains(rep.String(), "2 shards (least-loaded)") {
+		t.Fatalf("summary missing shard scaling line:\n%s", rep)
+	}
+	if data, err := rep.JSON(); err != nil || !strings.Contains(string(data), `"shard_scaling"`) {
+		t.Fatalf("JSON missing shard scaling (err=%v)", err)
+	}
+}
+
+// TestServeHistoryRoundTrip pins the BENCH_serve.json schema: histories
+// append and re-parse, and a legacy bare-report file auto-converts to a
+// one-run history labeled "legacy".
+func TestServeHistoryRoundTrip(t *testing.T) {
+	legacy, err := ServeBenchReport{Band: 21, Mode: "paper", GainHighConc: 2.5}.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseServeHistory(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Runs) != 1 || h.Runs[0].PR != "legacy" || h.Runs[0].GainHighConc != 2.5 {
+		t.Fatalf("legacy conversion: %+v", h.Runs)
+	}
+
+	h.Runs = append(h.Runs, ServeRun{PR: "pr7", ServeBenchReport: ServeBenchReport{Band: 21, ShardGainHighConc: 1.2}})
+	data, err := h.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseServeHistory(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Runs) != 2 || again.Latest().PR != "pr7" || again.Latest().ShardGainHighConc != 1.2 {
+		t.Fatalf("history round trip: %+v", again.Runs)
+	}
+
+	if empty, err := ParseServeHistory(nil); err != nil || len(empty.Runs) != 0 || empty.Latest() != nil {
+		t.Fatalf("empty history: %+v err=%v", empty, err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -61,13 +62,25 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	return c
 }
 
+// stealGroup links the batchers of peer shards so an idle shard's workers
+// can drain a straggler's already-assembled batches — SaLoBa's workload
+// balancing applied one level up, to whole batches across engines instead
+// of lanes within a batch. The peer slice is published once, after every
+// shard's batcher exists; until then workers see nil and never steal.
+type stealGroup[T any] struct {
+	peers atomic.Pointer[[]*batcher[T]]
+}
+
+func (g *stealGroup[T]) set(peers []*batcher[T]) { g.peers.Store(&peers) }
+
 // batcher coalesces individually submitted jobs into micro-batches: a
 // collector goroutine assembles batches (size- or deadline-triggered) and
 // a worker pool executes them. One batcher instance serves one job type —
-// the server runs one for extension jobs and one for mapping jobs.
+// each shard runs one for extension jobs and one for mapping jobs.
 type batcher[T any] struct {
 	cfg BatcherConfig
 	met *Metrics
+	sm  *shardMetrics // owning shard's counters; nil outside sharded servers
 
 	mu     sync.RWMutex // guards closed vs. the in-channel close
 	closed bool
@@ -81,6 +94,12 @@ type batcher[T any] struct {
 	binOf   func(T) int
 	numBins int
 
+	// group and self enable bounded work stealing between peer shards'
+	// batchers. A nil group (single shard, or the plain constructors)
+	// keeps the worker loop identical to the unsharded server.
+	group *stealGroup[T]
+	self  int
+
 	collectorDone sync.WaitGroup
 	workersDone   sync.WaitGroup
 	closeOnce     sync.Once
@@ -90,10 +109,21 @@ type batcher[T any] struct {
 // worker and returns that worker's batch processor — the closure owns the
 // worker's session state (extension scratch, mapper) for its lifetime.
 func newBatcher[T any](cfg BatcherConfig, met *Metrics, work func() func([]T)) *batcher[T] {
+	return newShardBatcher(cfg, met, nil, nil, 0, work)
+}
+
+// newShardBatcher is newBatcher bound to one shard of a sharded server:
+// dispatches are mirrored into the shard's counters, and with a non-nil
+// steal group the workers drain backlogged peers when their own queue is
+// empty.
+func newShardBatcher[T any](cfg BatcherConfig, met *Metrics, sm *shardMetrics, group *stealGroup[T], self int, work func() func([]T)) *batcher[T] {
 	cfg = cfg.withDefaults()
 	b := &batcher[T]{
 		cfg:     cfg,
 		met:     met,
+		sm:      sm,
+		group:   group,
+		self:    self,
 		in:      make(chan T, cfg.QueueCap),
 		batches: make(chan []T, cfg.Workers),
 		free:    make(chan []T, cfg.Workers*2),
@@ -108,10 +138,19 @@ func newBatcher[T any](cfg BatcherConfig, met *Metrics, work func() func([]T)) *
 // SWAR lane groups) even when they arrived interleaved with other shapes.
 // The deadline trigger still bounds every job's wait to one FlushInterval.
 func newBinnedBatcher[T any](cfg BatcherConfig, met *Metrics, numBins int, binOf func(T) int, work func() func([]T)) *batcher[T] {
+	return newShardBinnedBatcher(cfg, met, nil, nil, 0, numBins, binOf, work)
+}
+
+// newShardBinnedBatcher is newBinnedBatcher with the shard hooks of
+// newShardBatcher.
+func newShardBinnedBatcher[T any](cfg BatcherConfig, met *Metrics, sm *shardMetrics, group *stealGroup[T], self int, numBins int, binOf func(T) int, work func() func([]T)) *batcher[T] {
 	cfg = cfg.withDefaults()
 	b := &batcher[T]{
 		cfg:     cfg,
 		met:     met,
+		sm:      sm,
+		group:   group,
+		self:    self,
 		in:      make(chan T, cfg.QueueCap),
 		batches: make(chan []T, cfg.Workers),
 		free:    make(chan []T, cfg.Workers*2+numBins),
@@ -134,14 +173,124 @@ func (b *batcher[T]) start(work func() func([]T)) {
 		go func() {
 			defer b.workersDone.Done()
 			proc := work()
-			for batch := range b.batches {
-				proc(batch)
-				select {
-				case b.free <- batch[:0]:
-				default:
+			if b.group == nil {
+				// Unsharded (or single-shard) path: identical to the
+				// pre-sharding worker loop.
+				for batch := range b.batches {
+					proc(batch)
+					select {
+					case b.free <- batch[:0]:
+					default:
+					}
 				}
+				return
 			}
+			b.stealLoop(proc)
 		}()
+	}
+}
+
+// stealPoll bounds how long an idle worker waits on its own (empty)
+// dispatch channel before re-scanning peers for stealable batches. It is
+// the straggler-drain latency floor, deliberately coarse next to the
+// microsecond flush intervals: stealing is a rescue path, not the common
+// one.
+const stealPoll = time.Millisecond
+
+// stealLoop is the worker body under work stealing. Own work always wins;
+// only with an empty dispatch channel does the worker look at peers, and
+// then it takes at most one already-assembled batch per scan from the
+// most backlogged peer, processing it with this worker's own session. The
+// results are bit-identical wherever the batch runs, so stealing moves
+// latency, never answers.
+func (b *batcher[T]) stealLoop(proc func([]T)) {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		// Fast path: the shard's own assembled batches.
+		select {
+		case batch, ok := <-b.batches:
+			if !ok {
+				return
+			}
+			b.runBatch(proc, batch)
+			continue
+		default:
+		}
+		if b.trySteal(proc) {
+			continue
+		}
+		// Idle: block on the own channel, waking periodically so a peer
+		// backlog that formed meanwhile is noticed.
+		timer.Reset(stealPoll)
+		select {
+		case batch, ok := <-b.batches:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			if !ok {
+				return
+			}
+			b.runBatch(proc, batch)
+		case <-timer.C:
+		}
+	}
+}
+
+func (b *batcher[T]) runBatch(proc func([]T), batch []T) {
+	proc(batch)
+	select {
+	case b.free <- batch[:0]:
+	default:
+	}
+}
+
+// trySteal drains at most one assembled batch from the most backlogged
+// peer. Non-blocking throughout: a peer whose backlog vanished between
+// the scan and the receive simply yields nothing, and a closed peer
+// channel reads as empty.
+func (b *batcher[T]) trySteal(proc func([]T)) bool {
+	peersp := b.group.peers.Load()
+	if peersp == nil {
+		return false
+	}
+	peers := *peersp
+	victim, backlog := -1, 0
+	for i, p := range peers {
+		if i == b.self || p == nil {
+			continue
+		}
+		if d := len(p.batches); d > backlog {
+			victim, backlog = i, d
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	v := peers[victim]
+	select {
+	case batch, ok := <-v.batches:
+		if !ok {
+			return false
+		}
+		if b.sm != nil {
+			b.sm.steals.Add(1)
+		}
+		if v.sm != nil {
+			v.sm.stolen.Add(1)
+		}
+		proc(batch)
+		// The backing array belongs to the victim's free list.
+		select {
+		case v.free <- batch[:0]:
+		default:
+		}
+		return true
+	default:
+		return false
 	}
 }
 
@@ -382,6 +531,10 @@ func (b *batcher[T]) dispatch(batch []T) {
 	if b.met != nil {
 		b.met.Batches.Add(1)
 		b.met.Occupancy.observe(int64(len(batch)))
+	}
+	if b.sm != nil {
+		b.sm.batches.Add(1)
+		b.sm.occupancy.observe(int64(len(batch)))
 	}
 	b.batches <- batch
 }

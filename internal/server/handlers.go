@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"io"
@@ -236,6 +237,10 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	p := newPending(len(req.Jobs))
+	// One routing decision per request: all its jobs share a shard (and so
+	// a flush deadline), keyed by the first job's reference region. A full
+	// shard queue fails individual jobs over to peers inside submitExt.
+	sh := s.router.pick(routeKey(req.Jobs[0].Target))
 	var admit error
 	submitted := 0
 	for i, j := range req.Jobs {
@@ -246,7 +251,7 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 			tr:  tr,
 			enq: time.Now(),
 		}
-		if err := s.ext.Submit(job); err != nil {
+		if err := s.router.submitExt(sh, job); err != nil {
 			admit = err
 			break
 		}
@@ -350,7 +355,10 @@ func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 				tr:  tr,
 				enq: time.Now(),
 			}
-			if err := s.submitWait(ctx, job); err != nil {
+			// Streamed jobs route individually: a long stream spreads over
+			// the pool under load-based policies, and sticks to its region's
+			// shard under consistent hashing.
+			if err := s.router.submitWaitExt(ctx, routeKey(j.Target), job); err != nil {
 				select {
 				case errs <- err:
 				default:
@@ -394,24 +402,6 @@ func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// submitWait is Submit with flow control for streaming clients: a full
-// queue blocks the reader (bounded by the request context) instead of
-// failing the stream, which is exactly the backpressure a pipelined
-// producer wants.
-func (s *Server) submitWait(ctx context.Context, job extJob) error {
-	for {
-		err := s.ext.Submit(job)
-		if err == nil || !errors.Is(err, ErrQueueFull) {
-			return err
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(50 * time.Microsecond):
-		}
-	}
-}
-
 // handleMap runs one JSON batch of reads through the mapping pipeline.
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	s.met.Requests.Add(1)
@@ -422,7 +412,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		s.trace.RequestDone(tr, rid, start, time.Since(start), int64(nreads), int64(status))
 	}()
-	if s.maps == nil {
+	if !s.mapEnabled() {
 		status = http.StatusNotImplemented
 		s.writeError(w, status, ridStr, "mapping endpoint disabled: server started without a reference")
 		return
@@ -463,6 +453,10 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	p := newMapPending(len(req.Reads))
+	// Mapping requests route like extension requests: one decision per
+	// request, keyed by the first read (the read sequence stands in for
+	// the region it will map to).
+	sh := s.router.pick(routeKey(req.Reads[0].Seq))
 	var admit error
 	submitted := 0
 	for i, rd := range req.Reads {
@@ -471,7 +465,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			qual = []byte(rd.Qual)
 		}
 		job := mapJob{ctx: ctx, name: rd.Name, seq: genome.Encode(rd.Seq), qual: qual, out: p, tr: tr, i: i, enq: time.Now()}
-		if err := s.maps.Submit(job); err != nil {
+		if err := s.router.submitMap(sh, job); err != nil {
 			admit = err
 			break
 		}
@@ -512,8 +506,23 @@ type metricsBody struct {
 	Checks    *checksBody       `json:"checks,omitempty"`
 	Faults    *faults.Health    `json:"faults,omitempty"`
 	MapQueue  *queueBody        `json:"map_queue,omitempty"`
+	Cluster   *clusterBody      `json:"cluster,omitempty"`
+	Shards    []ShardSnapshot   `json:"shards,omitempty"`
 	Trace     *obs.Stats        `json:"trace,omitempty"`
 	Config    metricsConfigEcho `json:"config"`
+}
+
+// clusterBody summarizes the routing tier: shard pool shape plus the
+// decision and steal counters summed over shards (the per-shard split is
+// in the shards array).
+type clusterBody struct {
+	Shards   int    `json:"shards"`
+	Policy   string `json:"route_policy"`
+	Degraded int    `json:"shards_degraded"`
+	Routed   int64  `json:"routed"`
+	Rerouted int64  `json:"rerouted"`
+	Avoided  int64  `json:"avoided"`
+	Steals   int64  `json:"batches_stolen"`
 }
 
 type checksBody struct {
@@ -529,11 +538,13 @@ type queueBody struct {
 }
 
 type metricsConfigEcho struct {
-	MaxBatch   int     `json:"max_batch"`
-	FlushUs    float64 `json:"flush_us"`
-	Workers    int     `json:"workers"`
-	QueueCap   int     `json:"queue_cap"`
-	MapEnabled bool    `json:"map_enabled"`
+	MaxBatch    int     `json:"max_batch"`
+	FlushUs     float64 `json:"flush_us"`
+	Workers     int     `json:"workers"`
+	QueueCap    int     `json:"queue_cap"`
+	Shards      int     `json:"shards"`
+	RoutePolicy string  `json:"route_policy"`
+	MapEnabled  bool    `json:"map_enabled"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -542,19 +553,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.reg.WriteText(w)
 		return
 	}
+	extDepth, extCap := s.extQueue()
 	body := metricsBody{
-		MetricsSnapshot: s.met.Snapshot(s.ext.QueueDepth(), s.ext.QueueCap()),
+		MetricsSnapshot: s.met.Snapshot(extDepth, extCap),
 		UptimeSec:       time.Since(s.started).Seconds(),
+		Shards:          s.ShardSnapshots(),
 		Config: metricsConfigEcho{
-			MaxBatch:   s.cfg.Batch.MaxBatch,
-			FlushUs:    float64(s.cfg.Batch.FlushInterval.Nanoseconds()) / 1e3,
-			Workers:    s.cfg.Batch.Workers,
-			QueueCap:   s.cfg.Batch.QueueCap,
-			MapEnabled: s.maps != nil,
+			MaxBatch:    s.cfg.Batch.MaxBatch,
+			FlushUs:     float64(s.cfg.Batch.FlushInterval.Nanoseconds()) / 1e3,
+			Workers:     s.cfg.Batch.Workers,
+			QueueCap:    s.cfg.Batch.QueueCap,
+			Shards:      len(s.shards),
+			RoutePolicy: s.router.policy.Name(),
+			MapEnabled:  s.mapEnabled(),
 		},
 	}
-	if s.stats != nil {
-		snap := s.stats.Snapshot()
+	cluster := clusterBody{Shards: len(s.shards), Policy: s.router.policy.Name()}
+	for _, snap := range body.Shards {
+		if snap.Degraded {
+			cluster.Degraded++
+		}
+		cluster.Routed += snap.Routed
+		cluster.Rerouted += snap.Rerouted
+		cluster.Avoided += snap.Avoided
+		cluster.Steals += snap.Steals
+	}
+	body.Cluster = &cluster
+	if snap, ok := s.checksSnapshot(); ok {
 		body.Checks = &checksBody{
 			StatsSnapshot:     snap,
 			PassRate:          snap.PassRate(),
@@ -563,11 +588,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if s.cfg.Health != nil {
+		// All shards share one health source (shared extender); the
+		// per-engine view of a multi-engine cluster is in the shards array.
 		h := s.cfg.Health()
 		body.Faults = &h
 	}
-	if s.maps != nil {
-		body.MapQueue = &queueBody{Depth: s.maps.QueueDepth(), Cap: s.maps.QueueCap()}
+	if s.mapEnabled() {
+		depth, capacity := s.mapQueue()
+		body.MapQueue = &queueBody{Depth: depth, Cap: capacity}
 	}
 	if s.trace != nil {
 		ts := s.trace.TraceStats()
@@ -615,21 +643,45 @@ func (s *Server) writeTraceExport(w http.ResponseWriter, r *http.Request, spans 
 	obs.WriteChromeTrace(w, epochWall, spans)
 }
 
-// handleHealthz reports the service's load-balancer view: "draining"
-// answers 503 (take the instance out of rotation — admission is closed),
-// while "degraded" answers 200 (the platform fell back to host-only
-// full-band mode; slower, but results stay exact and traffic is still
-// welcome). The breaker state rides along for operators.
+// handleHealthz reports the cluster's load-balancer view: "draining"
+// answers 503 (admission is closed on every shard — nothing can serve;
+// take the instance out of rotation), while "degraded" answers 200 (one
+// or more shards fell back to host-only full-band mode; the router sends
+// traffic around them, and even an all-degraded pool still serves exact
+// results — slower, never wrong, so the LB must not evict it). The shard
+// tally and per-shard breaker states ride along for operators; every
+// value is a string so minimal clients can decode the body uniformly.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	if s.cfg.Health != nil {
-		if h := s.cfg.Health(); h.Degraded {
-			writeJSON(w, http.StatusOK, map[string]string{"status": "degraded", "breaker": h.Breaker})
-			return
+	degraded := 0
+	breakers := make([]string, 0, len(s.shards))
+	for _, sh := range s.shards {
+		if sh.health == nil {
+			continue
 		}
+		h := sh.health()
+		if h.Degraded {
+			degraded++
+		}
+		breakers = append(breakers, h.Breaker)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]string{
+		"shards":          strconv.Itoa(len(s.shards)),
+		"shards_degraded": strconv.Itoa(degraded),
+	}
+	if degraded > 0 {
+		body["status"] = "degraded"
+		if len(s.shards) == 1 {
+			body["breaker"] = breakers[0]
+		} else {
+			body["breakers"] = strings.Join(breakers, ",")
+		}
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	body["status"] = "ok"
+	writeJSON(w, http.StatusOK, body)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strconv"
 	"time"
 
 	"seedex/internal/align"
@@ -26,12 +27,14 @@ func (s *Server) collectProm(p *obs.Prom) {
 	p.Counter("seedex_jobs_completed_total", "Jobs fully computed.", float64(m.Completed.Load()))
 	p.Counter("seedex_batches_total", "Micro-batches dispatched to workers.", float64(m.Batches.Load()))
 
-	// Queues.
-	p.Gauge("seedex_queue_depth", "Jobs waiting in the admission queue.", float64(s.ext.QueueDepth()), "queue", "extend")
-	p.Gauge("seedex_queue_cap", "Admission queue capacity.", float64(s.ext.QueueCap()), "queue", "extend")
-	if s.maps != nil {
-		p.Gauge("seedex_queue_depth", "Jobs waiting in the admission queue.", float64(s.maps.QueueDepth()), "queue", "map")
-		p.Gauge("seedex_queue_cap", "Admission queue capacity.", float64(s.maps.QueueCap()), "queue", "map")
+	// Queues (summed over shards, keeping the pre-sharding meaning).
+	extDepth, extCap := s.extQueue()
+	p.Gauge("seedex_queue_depth", "Jobs waiting in the admission queue.", float64(extDepth), "queue", "extend")
+	p.Gauge("seedex_queue_cap", "Admission queue capacity.", float64(extCap), "queue", "extend")
+	if s.mapEnabled() {
+		mapDepth, mapCap := s.mapQueue()
+		p.Gauge("seedex_queue_depth", "Jobs waiting in the admission queue.", float64(mapDepth), "queue", "map")
+		p.Gauge("seedex_queue_cap", "Admission queue capacity.", float64(mapCap), "queue", "map")
 	}
 
 	// Histograms with interpolated quantile estimates alongside. The
@@ -57,9 +60,9 @@ func (s *Server) collectProm(p *obs.Prom) {
 	p.Quantiles("seedex_batch_occupancy_quantile", "Interpolated batch-occupancy quantiles.",
 		map[float64]float64{0.5: occQ.P50, 0.9: occQ.P90, 0.99: occQ.P99})
 
-	// Check workflow outcomes and degraded-mode containment counters.
-	if s.stats != nil {
-		snap := s.stats.Snapshot()
+	// Check workflow outcomes and degraded-mode containment counters,
+	// merged over every distinct stats source in the shard pool.
+	if snap, ok := s.checksSnapshot(); ok {
 		p.Counter("seedex_check_total", "Extensions through the check workflow.", float64(snap.Total))
 		p.Counter("seedex_check_passed_total", "Extensions proven optimal.", float64(snap.Passed))
 		p.Counter("seedex_check_reruns_total", "Extensions rerun with the full band.", float64(snap.Reruns))
@@ -73,19 +76,65 @@ func (s *Server) collectProm(p *obs.Prom) {
 		p.Counter("seedex_breaker_trips_total", "Circuit breaker closed->open transitions.", float64(snap.BreakerTrips))
 		p.Counter("seedex_host_only_total", "Extensions served entirely by the host full-band kernel.", float64(snap.HostOnly))
 	}
-	if s.cfg.Health != nil {
-		h := s.cfg.Health()
+	degradedShards := 0
+	for _, sh := range s.shards {
+		if sh.degraded() {
+			degradedShards++
+		}
+	}
+	if s.cfg.Health != nil || degradedShards > 0 {
 		degraded := 0.0
-		if h.Degraded {
+		if degradedShards > 0 {
 			degraded = 1
 		}
-		p.Gauge("seedex_degraded", "1 while the breaker keeps the device out of the path.", degraded)
+		p.Gauge("seedex_degraded", "1 while a breaker keeps any shard's device out of the path.", degraded)
+	}
+	if s.cfg.Health != nil {
+		h := s.cfg.Health()
 		for _, state := range []string{"closed", "open", "half-open"} {
 			v := 0.0
 			if h.Breaker == state {
 				v = 1
 			}
 			p.Gauge("seedex_breaker_state", "Breaker state (exactly one series is 1).", v, "state", state)
+		}
+	}
+
+	// Shard pool and routing tier: per-shard jobs, occupancy and breaker
+	// state, plus the router's decision and steal counters. These families
+	// split the aggregates above by shard; they never replace them.
+	p.Gauge("seedex_shards", "Shard units in the serving pool.", float64(len(s.shards)))
+	p.Gauge("seedex_shards_degraded", "Shards currently in host-only (degraded) mode.", float64(degradedShards))
+	for _, sh := range s.shards {
+		lbl := strconv.Itoa(sh.id)
+		occ := sh.sm.occupancy.snapshot()
+		p.Counter("seedex_shard_jobs_accepted_total", "Jobs admitted to this shard's queue.", float64(sh.sm.accepted.Load()), "shard", lbl)
+		p.Counter("seedex_shard_jobs_completed_total", "Jobs computed for this shard.", float64(sh.sm.completed.Load()), "shard", lbl)
+		p.Counter("seedex_shard_jobs_rejected_total", "Submits refused by this shard's full queue.", float64(sh.sm.rejected.Load()), "shard", lbl)
+		p.Counter("seedex_shard_jobs_expired_total", "Admitted jobs that expired before compute.", float64(sh.sm.expired.Load()), "shard", lbl)
+		p.Counter("seedex_shard_batches_total", "Micro-batches dispatched by this shard's collector.", float64(sh.sm.batches.Load()), "shard", lbl)
+		p.Gauge("seedex_shard_batch_occupancy_mean", "Mean jobs per dispatched batch on this shard.", occ.Mean(), "shard", lbl)
+		p.Gauge("seedex_shard_queue_depth", "Jobs waiting in this shard's admission queue.", float64(sh.ext.QueueDepth()), "shard", lbl)
+		p.Gauge("seedex_shard_inflight", "Admitted-but-unfinished jobs on this shard.", float64(sh.inflight.Load()), "shard", lbl)
+		p.Counter("seedex_router_routed_total", "Routing decisions that picked this shard.", float64(sh.sm.routed.Load()), "shard", lbl)
+		p.Counter("seedex_router_avoided_total", "Routing decisions that skipped this shard while degraded.", float64(sh.sm.avoided.Load()), "shard", lbl)
+		p.Counter("seedex_router_rerouted_total", "Jobs failed over to this shard after another queue refused them.", float64(sh.sm.rerouted.Load()), "shard", lbl)
+		p.Counter("seedex_router_steals_total", "Batches this shard's workers stole from peers.", float64(sh.sm.steals.Load()), "shard", lbl)
+		p.Counter("seedex_router_stolen_total", "Batches peers stole from this shard.", float64(sh.sm.stolen.Load()), "shard", lbl)
+		if sh.health != nil {
+			h := sh.health()
+			deg := 0.0
+			if h.Degraded {
+				deg = 1
+			}
+			p.Gauge("seedex_shard_degraded", "1 while this shard is in host-only mode.", deg, "shard", lbl)
+			for _, state := range []string{"closed", "open", "half-open"} {
+				v := 0.0
+				if h.Breaker == state {
+					v = 1
+				}
+				p.Gauge("seedex_shard_breaker_state", "This shard's breaker state (exactly one series is 1).", v, "shard", lbl, "state", state)
+			}
 		}
 	}
 

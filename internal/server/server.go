@@ -23,6 +23,25 @@ type Config struct {
 	Extender align.Extender
 	// Aligner, when non-nil, enables /v1/map (full read mapping).
 	Aligner *bwamem.Aligner
+	// Shards splits the service into that many independent shard units —
+	// each its own micro-batcher, worker pool, extender (see NewExtender)
+	// and, for engine-backed extenders, circuit breaker — behind the
+	// routing tier. Default 1, which preserves the unsharded pipeline
+	// (same worker loop, same one-FlushInterval latency bound).
+	Shards int
+	// RoutePolicy names the routing policy for Shards > 1:
+	// "least-loaded" (default; fewest in-flight jobs), "occupancy"
+	// (prefer the shard about to flush a non-full batch), or "hash"
+	// (consistent hashing by reference region). See RegisterRoutingPolicy
+	// for custom policies. New panics on an unknown name — validate
+	// user-supplied names against RoutingPolicies first.
+	RoutePolicy string
+	// NewExtender, when non-nil, builds shard i's extender, so every
+	// shard gets its own engine (and so its own breaker and fault
+	// domain). When nil, all shards share Extender — safe because
+	// sessions are per-worker either way, but then all shards share one
+	// health/breaker view too.
+	NewExtender func(shard int) align.Extender
 	// Batch tunes the extension micro-batcher; see BatcherConfig for the
 	// defaults (flush at 64 jobs or 200µs).
 	Batch BatcherConfig
@@ -54,6 +73,12 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.RoutePolicy == "" {
+		c.RoutePolicy = "least-loaded"
+	}
 	if c.MapBatch.MaxBatch <= 0 {
 		c.MapBatch.MaxBatch = 16
 	}
@@ -83,18 +108,20 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	met      *Metrics
-	ext      *batcher[extJob]
-	maps     *batcher[mapJob]
-	stats    *core.Stats // check statistics, when the extender keeps them
-	trace    *obs.Tracer // nil when tracing is disabled
+	shards   []*shard
+	router   *router
+	stats    []*core.Stats // distinct check-statistics sources across shards
+	trace    *obs.Tracer   // nil when tracing is disabled
 	reg      *obs.Registry
 	mux      *http.ServeMux
 	draining atomic.Bool
 	started  time.Time
 }
 
-// New builds the pipelines and the HTTP mux. The caller owns cfg.Extender
-// (and cfg.Aligner); the server owns everything it starts.
+// New builds the shard pool, the routing tier and the HTTP mux. The
+// caller owns cfg.Extender / cfg.NewExtender's engines (and cfg.Aligner);
+// the server owns everything it starts. New panics on an unknown
+// cfg.RoutePolicy — check names from flags against RoutingPolicies.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	// Resolve the batcher defaults up front: the worker factories read the
@@ -102,35 +129,83 @@ func New(cfg Config) *Server {
 	cfg.Batch = cfg.Batch.withDefaults()
 	cfg.MapBatch = cfg.MapBatch.withDefaults()
 	s := &Server{cfg: cfg, met: &Metrics{}, trace: cfg.Trace, reg: obs.NewRegistry(), mux: http.NewServeMux(), started: time.Now()}
-	if se, ok := cfg.Extender.(*core.SeedEx); ok {
-		s.stats = se.Stats
-	} else if cs, ok := cfg.Extender.(interface{ CheckStats() *core.Stats }); ok {
-		// Device-backed extenders (the FPGA driver engine) expose their
-		// check statistics behind this accessor.
-		s.stats = cs.CheckStats()
-	}
-	if s.cfg.Health == nil {
+	if s.cfg.Health == nil && cfg.NewExtender == nil {
 		if h, ok := cfg.Extender.(interface{ Health() faults.Health }); ok {
 			s.cfg.Health = h.Health
 		}
 	}
-	// Extension batching is shape-binned when the extender's scoring is
-	// discoverable: jobs of like SWAR tier and length class coalesce into
-	// the same micro-batch, so the packed kernels see dense lane groups
-	// even under interleaved mixed-shape traffic (cross-batch scheduling,
-	// paper §V-B).
-	if sp, ok := cfg.Extender.(interface{ KernelScoring() align.Scoring }); ok {
-		sc := sp.KernelScoring()
-		binOf := func(j extJob) int {
-			return align.ShapeBin(len(j.req.Q), len(j.req.T), j.req.H0, sc)
+	// Steal groups link the per-shard batchers once all exist; with one
+	// shard they stay nil and the worker loops match the unsharded server.
+	var extGroup *stealGroup[extJob]
+	var mapGroup *stealGroup[mapJob]
+	if cfg.Shards > 1 {
+		extGroup = &stealGroup[extJob]{}
+		if cfg.Aligner != nil {
+			mapGroup = &stealGroup[mapJob]{}
 		}
-		s.ext = newBinnedBatcher(cfg.Batch, s.met, align.NumShapeBins, binOf, s.extWorker)
-	} else {
-		s.ext = newBatcher(cfg.Batch, s.met, s.extWorker)
 	}
-	if cfg.Aligner != nil {
-		s.maps = newBatcher(cfg.MapBatch, s.met, s.mapWorker)
+	seenStats := make(map[*core.Stats]bool)
+	for i := 0; i < cfg.Shards; i++ {
+		ext := cfg.Extender
+		if cfg.NewExtender != nil {
+			ext = cfg.NewExtender(i)
+		}
+		sh := &shard{id: i, extender: ext, sm: &shardMetrics{}}
+		if se, ok := ext.(*core.SeedEx); ok {
+			sh.stats = se.Stats
+		} else if cs, ok := ext.(interface{ CheckStats() *core.Stats }); ok {
+			// Device-backed extenders (the FPGA driver engine) expose their
+			// check statistics behind this accessor.
+			sh.stats = cs.CheckStats()
+		}
+		if sh.stats != nil && !seenStats[sh.stats] {
+			seenStats[sh.stats] = true
+			s.stats = append(s.stats, sh.stats)
+		}
+		if s.cfg.Health != nil {
+			sh.health = s.cfg.Health
+		} else if h, ok := ext.(interface{ Health() faults.Health }); ok {
+			sh.health = h.Health
+		}
+		extWork := func() func([]extJob) { return s.extWorker(sh) }
+		// Extension batching is shape-binned when the extender's scoring is
+		// discoverable: jobs of like SWAR tier and length class coalesce into
+		// the same micro-batch, so the packed kernels see dense lane groups
+		// even under interleaved mixed-shape traffic (cross-batch scheduling,
+		// paper §V-B).
+		if sp, ok := ext.(interface{ KernelScoring() align.Scoring }); ok {
+			sc := sp.KernelScoring()
+			binOf := func(j extJob) int {
+				return align.ShapeBin(len(j.req.Q), len(j.req.T), j.req.H0, sc)
+			}
+			sh.ext = newShardBinnedBatcher(cfg.Batch, s.met, sh.sm, extGroup, i, align.NumShapeBins, binOf, extWork)
+		} else {
+			sh.ext = newShardBatcher(cfg.Batch, s.met, sh.sm, extGroup, i, extWork)
+		}
+		if cfg.Aligner != nil {
+			sh.maps = newShardBatcher(cfg.MapBatch, s.met, sh.sm, mapGroup, i, func() func([]mapJob) { return s.mapWorker(sh) })
+		}
+		s.shards = append(s.shards, sh)
 	}
+	if extGroup != nil {
+		exts := make([]*batcher[extJob], len(s.shards))
+		for i, sh := range s.shards {
+			exts[i] = sh.ext
+		}
+		extGroup.set(exts)
+	}
+	if mapGroup != nil {
+		maps := make([]*batcher[mapJob], len(s.shards))
+		for i, sh := range s.shards {
+			maps[i] = sh.maps
+		}
+		mapGroup.set(maps)
+	}
+	rt, err := newRouter(s.shards, cfg.RoutePolicy)
+	if err != nil {
+		panic(err)
+	}
+	s.router = rt
 	s.reg.Register(s.collectProm)
 	s.routes()
 	return s
@@ -156,14 +231,83 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // HTTP server has stopped accepting requests.
 func (s *Server) Close() {
 	s.StartDrain()
-	s.ext.Close()
-	if s.maps != nil {
-		s.maps.Close()
+	// Closing shard by shard is safe under work stealing: a peer still
+	// draining may steal from a closing shard (helping it finish), and a
+	// closing shard's workers finish any stolen batch before exiting on
+	// their own closed channel.
+	for _, sh := range s.shards {
+		sh.ext.Close()
+	}
+	for _, sh := range s.shards {
+		if sh.maps != nil {
+			sh.maps.Close()
+		}
 	}
 }
 
 // Metrics exposes the live counters (shared with the /metrics endpoint).
+// They aggregate over all shards; ShardSnapshots has the per-shard view.
 func (s *Server) Metrics() *Metrics { return s.met }
+
+// ShardSnapshots reads every shard's counters (the /metrics "shards"
+// section).
+func (s *Server) ShardSnapshots() []ShardSnapshot {
+	out := make([]ShardSnapshot, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.snapshot()
+	}
+	return out
+}
+
+// extQueue sums queue depth and capacity across the shards' extension
+// batchers — the aggregate the pre-sharding /metrics reported.
+func (s *Server) extQueue() (depth, capacity int) {
+	for _, sh := range s.shards {
+		depth += sh.ext.QueueDepth()
+		capacity += sh.ext.QueueCap()
+	}
+	return depth, capacity
+}
+
+// mapQueue mirrors extQueue for the mapping batchers.
+func (s *Server) mapQueue() (depth, capacity int) {
+	for _, sh := range s.shards {
+		if sh.maps != nil {
+			depth += sh.maps.QueueDepth()
+			capacity += sh.maps.QueueCap()
+		}
+	}
+	return depth, capacity
+}
+
+// mapEnabled reports whether the mapping pipeline exists (Config.Aligner
+// was set).
+func (s *Server) mapEnabled() bool { return s.cfg.Aligner != nil }
+
+// checksSnapshot merges the check statistics of every distinct stats
+// source across the shards (shards sharing one extender share one
+// source). ok is false when no shard keeps statistics.
+func (s *Server) checksSnapshot() (core.StatsSnapshot, bool) {
+	if len(s.stats) == 0 {
+		return core.StatsSnapshot{}, false
+	}
+	out := s.stats[0].Snapshot()
+	for _, st := range s.stats[1:] {
+		snap := st.Snapshot()
+		out.Total += snap.Total
+		out.Passed += snap.Passed
+		out.Reruns += snap.Reruns
+		out.ThresholdOnly += snap.ThresholdOnly
+		for i := range out.Outcomes {
+			out.Outcomes[i] += snap.Outcomes[i]
+		}
+		out.DeviceFaults += snap.DeviceFaults
+		out.DeviceRetries += snap.DeviceRetries
+		out.BreakerTrips += snap.BreakerTrips
+		out.HostOnly += snap.HostOnly
+	}
+	return out, true
+}
 
 // Registry exposes the Prometheus collector registry, so embedders can
 // register additional collectors before the first scrape.
@@ -216,11 +360,14 @@ func (p *pending) abandon(submitted, total int) {
 	}
 }
 
-// extJob is one extension queued for micro-batching.
+// extJob is one extension queued for micro-batching. sh is the shard
+// that admitted the job (set by the router on submit): its accounting
+// follows the job even when a peer's worker steals the batch.
 type extJob struct {
 	ctx context.Context
 	req core.Request // Tag carries the job's slot in its pending
 	out *pending
+	sh  *shard
 	tr  obs.Ref // sampled trace handle (zero: not sampled)
 	enq time.Time
 }
@@ -232,6 +379,7 @@ type mapJob struct {
 	seq  []byte // base codes
 	qual []byte // ASCII qualities or nil
 	out  *mapPending
+	sh   *shard
 	tr   obs.Ref
 	i    int
 	enq  time.Time
@@ -277,16 +425,19 @@ type batchResponder interface {
 	ExtendBatchInto(reqs []core.Request, dst []core.Response) []core.Response
 }
 
-// extWorker returns one extension worker's batch processor. The worker
-// owns a per-worker session of the configured extender (its scratch
+// extWorker returns one extension worker's batch processor for sh. The
+// worker owns a per-worker session of the shard's extender (its scratch
 // memory lives as long as the worker), so a batch runs allocation-free
 // through the packed kernels: the speculate-check-rerun workflow for
 // checked engines (software checker or device driver), the plain batch
-// path otherwise. With tracing enabled, sampled jobs record queue-wait,
-// flush, kernel, check and rerun spans; with it disabled every span site
-// is a single nil compare.
-func (s *Server) extWorker() func([]extJob) {
-	ext := s.cfg.Extender
+// path otherwise. Stolen peer batches run through this worker's session
+// too — the kernels are deterministic, so where a batch runs never shows
+// in its results — while each job's admission accounting stays with the
+// shard that admitted it (j.sh). With tracing enabled, sampled jobs
+// record queue-wait, flush, kernel, check and rerun spans; with it
+// disabled every span site is a single nil compare.
+func (s *Server) extWorker(sh *shard) func([]extJob) {
+	ext := sh.extender
 	if se, ok := ext.(align.SessionExtender); ok {
 		ext = se.Session()
 	}
@@ -304,12 +455,14 @@ func (s *Server) extWorker() func([]extJob) {
 		for _, j := range batch {
 			wait := now.Sub(j.enq)
 			s.met.QueueWait.observe(wait.Nanoseconds())
+			j.sh.sm.queueWait.observe(wait.Nanoseconds())
 			j.tr.Span(obs.KindQueueWait, j.enq, wait, int64(len(batch)), 0)
 			if j.ctx.Err() != nil {
 				// The client is gone (deadline or disconnect): skip the
 				// compute, but still complete the job so the request's
 				// pending resolves.
 				s.met.Expired.Add(1)
+				j.sh.settleExpired()
 				j.out.expire(j.req.Tag)
 				continue
 			}
@@ -362,6 +515,7 @@ func (s *Server) extWorker() func([]extJob) {
 					r.Res = chk.Rerun(reqs[k].Q, reqs[k].T, reqs[k].H0)
 					j.tr.Span(obs.KindRerun, r0, time.Since(r0), int64(rep.Outcome), 1)
 				}
+				j.sh.settleDone()
 				j.out.deliver(j.req.Tag, r)
 			}
 		case br != nil:
@@ -382,6 +536,7 @@ func (s *Server) extWorker() func([]extJob) {
 					}
 					j.tr.Span(obs.KindCheck, kEnd, 0, int64(r.Outcome), pass)
 				}
+				j.sh.settleDone()
 				j.out.deliver(j.req.Tag, r)
 			}
 		default:
@@ -394,6 +549,7 @@ func (s *Server) extWorker() func([]extJob) {
 			kDur := time.Since(k0)
 			for k, j := range live {
 				j.tr.Span(obs.KindKernel, k0, kDur, obs.TierUnknown, int64(len(live)))
+				j.sh.settleDone()
 				j.out.deliver(j.req.Tag, core.Response{Tag: j.req.Tag, Res: results[k], Outcome: core.OutcomeUnknown})
 			}
 		}
@@ -417,25 +573,29 @@ func extendJobsVia(ext align.Extender, jobs []align.Job, dst []align.ExtendResul
 	return dst
 }
 
-// mapWorker returns one mapping worker's batch processor: a reentrant
-// bwamem.Mapper session applied to each read of the batch (the extensions
-// inside each read still run through the extender's packed batch path).
-func (s *Server) mapWorker() func([]mapJob) {
+// mapWorker returns one mapping worker's batch processor for sh: a
+// reentrant bwamem.Mapper session applied to each read of the batch (the
+// extensions inside each read still run through the extender's packed
+// batch path).
+func (s *Server) mapWorker(sh *shard) func([]mapJob) {
 	m := s.cfg.Aligner.NewMapper()
 	return func(batch []mapJob) {
 		now := time.Now()
 		for _, j := range batch {
 			wait := now.Sub(j.enq)
 			s.met.QueueWait.observe(wait.Nanoseconds())
+			j.sh.sm.queueWait.observe(wait.Nanoseconds())
 			j.tr.Span(obs.KindQueueWait, j.enq, wait, int64(len(batch)), 0)
 			if j.ctx.Err() != nil {
 				s.met.Expired.Add(1)
+				j.sh.settleExpired()
 				j.out.expire(j.i, j.name)
 				continue
 			}
 			k0 := time.Now()
 			rec, al := m.Map(j.name, j.seq, j.qual)
 			j.tr.Span(obs.KindKernel, k0, time.Since(k0), obs.TierUnknown, 1)
+			j.sh.settleDone()
 			j.out.deliver(j.i, MapResult{
 				Name:   j.name,
 				Mapped: al.Mapped,
