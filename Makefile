@@ -14,11 +14,12 @@ test:
 	$(GO) test ./...
 
 # The concurrent subsystems get a dedicated race pass: the FPGA driver,
-# the aligner pipeline, the shared (atomic) check statistics, the packed
-# kernels' telemetry counters, and the micro-batching alignment service
-# (including the shape-binned collector) with its daemon.
+# the aligner pipeline (including mixed filter-on/off mapping), the
+# pre-alignment filter tier, the shared (atomic) check statistics, the
+# packed kernels' telemetry counters, and the micro-batching alignment
+# service (including the shape-binned collector) with its daemon.
 race:
-	$(GO) test -race ./internal/align/... ./internal/faults/... ./internal/driver/... ./internal/bwamem/... ./internal/core/... ./internal/server/... ./cmd/seedex-serve/...
+	$(GO) test -race ./internal/align/... ./internal/faults/... ./internal/driver/... ./internal/bwamem/... ./internal/prefilter/... ./internal/core/... ./internal/server/... ./cmd/seedex-serve/...
 
 # Fault-injection equivalence drill: the chaos and integrity tests under
 # the race detector. Pin the fault draws with CHAOS_SEED (default: the
@@ -29,7 +30,7 @@ chaos:
 		$(GO) test -race ./internal/faults/...
 	SEEDEX_CHAOS_SEED=$(CHAOS_SEED) SEEDEX_CHAOS_SNAPSHOT=$(CHAOS_SNAPSHOT) \
 		$(GO) test -race -run 'Chaos|Integrity|Corrupted|Adversarial|Wire|Sanity|Validate' \
-		./internal/driver/... ./internal/server/... ./internal/core/...
+		./internal/driver/... ./internal/server/... ./internal/core/... ./internal/bwamem/...
 
 # Observability smoke: boot seedex-serve with tracing and pprof enabled,
 # drive traffic, then assert the Prometheus scrape and both trace export

@@ -54,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	servePR := fs.String("serve-pr", "dev", "label recorded with the appended -fig serve run (the PR it measures)")
 	serveShards := fs.String("serve-shards", "2,4,8", "comma-separated shard counts for the sharded -fig serve configurations ('batched' is the 1-shard point; empty skips the curve)")
 	servePolicy := fs.String("serve-policy", "least-loaded", "routing policy for the sharded -fig serve configurations")
+	prefilter := fs.Bool("prefilter", false, "for -fig serve: also benchmark the /v1/map path with the pre-alignment filter tier on vs off (equivalence-checked; recorded under 'prefilter' in the run entry)")
+	prefilterTh := fs.Float64("prefilter-threshold", 0, "prefilter edit threshold as a fraction of read length for -prefilter (0 = default)")
 	chaos := fs.Float64("chaos", 0, "for -fig serve: serve through the simulated FPGA device with every fault class injecting at this rate (measures the throughput cost of fault tolerance)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -248,6 +250,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 			RoutePolicy:    *servePolicy,
 		})
 		fmt.Fprintln(stdout, rep)
+		if *prefilter {
+			section("Pre-alignment filter tier: /v1/map throughput, filter on vs off")
+			fmt.Fprintln(stderr, "building repeat+decoy mapping workload and equivalence corpus...")
+			mrep, err := bench.MapServeBench(bench.MapBenchConfig{
+				Threshold:   *prefilterTh,
+				Concurrency: concs,
+				Duration:    *serveDur,
+				Seed:        *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, mrep)
+			rep.Prefilter = &mrep
+		}
 		// BENCH_serve.json is an append-only history like BENCH_extend.json:
 		// each invocation adds one labeled run (a legacy single-report file
 		// converts in place, keeping its measurement as the first point).

@@ -43,6 +43,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	workers := fs.Int("workers", 0, "batch workers (0 = GOMAXPROCS)")
 	refPath := fs.String("ref", "", "reference FASTA; enables the /v1/map endpoint")
 	indexPath := fs.String("index", "", "index file for -ref: loaded if it exists, otherwise built and saved")
+	prefilter := fs.Bool("prefilter", false, "screen chains with the bit-parallel pre-alignment filter before extension (mappings stay bit-identical; needs -ref)")
+	prefilterTh := fs.Float64("prefilter-threshold", 0, "prefilter edit threshold as a fraction of read length (0 = default)")
 	maxJobs := fs.Int("max-jobs", 4096, "maximum jobs or reads per request")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on shutdown")
 	chaos := fs.Float64("chaos", 0, "serve through the simulated FPGA platform with every fault class injecting at this rate (0 = software extender, no device)")
@@ -117,7 +119,14 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		if err != nil {
 			return err
 		}
+		if *prefilter {
+			a.Opts.Prefilter = true
+			a.Opts.PrefilterThreshold = *prefilterTh
+			a.Stats = core.NewStats()
+		}
 		aligner = a
+	} else if *prefilter {
+		return fmt.Errorf("-prefilter needs the mapping pipeline; set -ref")
 	}
 
 	tracer := obs.New(obs.Config{SampleEvery: *traceSample, SlowK: *traceSlow})
@@ -200,6 +209,13 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 	if aligner != nil {
 		fmt.Fprintf(stderr, "seedex-serve: /v1/map enabled (%d contigs)\n", len(aligner.Contigs.Names))
+		if aligner.Opts.Prefilter {
+			th := aligner.Opts.PrefilterThreshold
+			if th <= 0 {
+				th = bwamem.DefaultPrefilterThreshold
+			}
+			fmt.Fprintf(stderr, "seedex-serve: prefilter tier on (threshold=%g of read length; mappings bit-identical to filter-off)\n", th)
+		}
 	}
 	if ready != nil {
 		ready <- ln.Addr().String()
@@ -238,6 +254,13 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 			fmt.Fprintf(stderr, "seedex-serve: shard %d: ", i)
 		}
 		fmt.Fprintln(stderr, se.Stats)
+	}
+	if aligner != nil && aligner.Stats != nil {
+		psn := aligner.Stats.Snapshot()
+		fmt.Fprintf(stderr, "seedex-serve: prefilter summary: enabled=%v pass=%d reject=%d rescued=%d false-pass=%d\n",
+			aligner.Opts.Prefilter, psn.PrefilterPass, psn.PrefilterReject, psn.PrefilterRescued, psn.PrefilterFalsePass)
+	} else if aligner != nil {
+		fmt.Fprintln(stderr, "seedex-serve: prefilter summary: enabled=false")
 	}
 	for i, eng := range engines {
 		if len(engines) > 1 {

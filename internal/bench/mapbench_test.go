@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMapServeBench runs a miniature prefilter service benchmark:
+// the equivalence sweep must be clean, the workload must actually drive
+// rejects (a decoy world where the filter never fires measures nothing),
+// and both configurations must serve traffic.
+func TestMapServeBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	rep, err := MapServeBench(MapBenchConfig{
+		Concurrency: []int{4},
+		Duration:    200 * time.Millisecond,
+		Templates:   12,
+		EquivReads:  60,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EquivMismatches != 0 {
+		t.Fatalf("equivalence mismatches: %d", rep.EquivMismatches)
+	}
+	if rep.EquivReads < 72 {
+		t.Fatalf("equivalence corpus too small: %d", rep.EquivReads)
+	}
+	if rep.Reject == 0 {
+		t.Fatal("decoy workload produced no prefilter rejects")
+	}
+	if rep.Reject <= rep.Rescued {
+		t.Fatalf("all rejects rescued (reject=%d rescued=%d): filter saved no work", rep.Reject, rep.Rescued)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.ReadsPerSec <= 0 {
+			t.Fatalf("config %s served nothing", p.Config)
+		}
+	}
+	if len(rep.Gains) != 1 || rep.GainHighConc <= 0 {
+		t.Fatalf("gain missing: %+v", rep.Gains)
+	}
+	t.Logf("gain=%.2fx pass=%d reject=%d rescued=%d false-pass=%d",
+		rep.GainHighConc, rep.Pass, rep.Reject, rep.Rescued, rep.FalsePass)
+}

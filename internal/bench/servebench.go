@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -155,9 +156,14 @@ type ShardScale struct {
 // BENCH_serve.json: micro-batched service throughput vs the no-batching
 // control over the standard 150 bp workload.
 type ServeBenchReport struct {
-	ReadLen        int          `json:"read_len"`
-	Problems       int          `json:"problems"`
-	Band           int          `json:"band"`
+	ReadLen  int `json:"read_len"`
+	Problems int `json:"problems"`
+	Band     int `json:"band"`
+	// GoMaxProcs and NumCPU pin the parallelism the run measured under —
+	// jobs/s comparisons across machines or cgroup limits are otherwise
+	// meaningless.
+	GoMaxProcs     int          `json:"gomaxprocs"`
+	NumCPU         int          `json:"num_cpu"`
 	Mode           string       `json:"mode"`
 	MaxBatch       int          `json:"max_batch"`
 	FlushUs        float64      `json:"flush_us"`
@@ -183,6 +189,9 @@ type ServeBenchReport struct {
 	// highest measured concurrency: (batched - batched-traced) / batched,
 	// as a percentage. Present only when the traced configuration ran.
 	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
+	// Prefilter carries the pre-alignment filter tier's /v1/map
+	// benchmark when the run swept it (seedex-bench -fig serve -prefilter).
+	Prefilter *PrefilterServeReport `json:"prefilter,omitempty"`
 }
 
 // JSON renders the report for BENCH_serve.json.
@@ -295,6 +304,8 @@ func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
 	rep := ServeBenchReport{
 		Problems:       len(w.Problems),
 		Band:           cfg.Band,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
 		Mode:           "paper",
 		MaxBatch:       cfg.MaxBatch,
 		FlushUs:        float64(cfg.Flush.Nanoseconds()) / 1e3,

@@ -17,9 +17,11 @@ import (
 
 	"seedex/internal/align"
 	"seedex/internal/chain"
+	"seedex/internal/core"
 	"seedex/internal/ert"
 	"seedex/internal/fmindex"
 	"seedex/internal/genome"
+	"seedex/internal/prefilter"
 	"seedex/internal/sam"
 )
 
@@ -32,11 +34,14 @@ type Seeder interface {
 type FMSeeder struct {
 	Index *fmindex.Index
 	Cfg   fmindex.SMEMConfig
+	// Select prunes repeat-dense MEM sets to the least-frequent
+	// non-overlapping subset before position expansion (see seedselect.go).
+	Select SeedSelection
 }
 
 // Seeds implements Seeder.
 func (s FMSeeder) Seeds(q []byte) []chain.Seed {
-	mems := s.Index.SMEMs(q, s.Cfg)
+	mems := selectMEMs(s.Index.SMEMs(q, s.Cfg), s.Select)
 	var out []chain.Seed
 	for _, m := range mems {
 		for _, p := range m.Positions {
@@ -69,6 +74,8 @@ type DualSeeder interface {
 type FMDSeeder struct {
 	Index *fmindex.FMD
 	Cfg   fmindex.SMEMConfig
+	// Select prunes repeat-dense MEM sets (see seedselect.go).
+	Select SeedSelection
 }
 
 var _ DualSeeder = FMDSeeder{}
@@ -76,7 +83,7 @@ var _ DualSeeder = FMDSeeder{}
 // Seeds implements Seeder for the forward strand only (prefer SeedsBoth).
 func (s FMDSeeder) Seeds(q []byte) []chain.Seed {
 	var out []chain.Seed
-	for _, m := range s.Index.SMEMsBi(q, s.Cfg) {
+	for _, m := range selectMEMs(s.Index.SMEMsBi(q, s.Cfg), s.Select) {
 		for _, p := range m.Positions {
 			out = append(out, chain.Seed{QBeg: m.QBeg, RBeg: p, Len: m.Len})
 		}
@@ -90,7 +97,7 @@ func (s FMDSeeder) Seeds(q []byte) []chain.Seed {
 func (s FMDSeeder) SeedsBoth(read []byte) []chain.Seed {
 	var out []chain.Seed
 	n := len(read)
-	for _, m := range s.Index.SMEMsBi(read, s.Cfg) {
+	for _, m := range selectMEMs(s.Index.SMEMsBi(read, s.Cfg), s.Select) {
 		for _, p := range m.Positions {
 			out = append(out, chain.Seed{QBeg: m.QBeg, RBeg: p, Len: m.Len})
 		}
@@ -121,11 +128,35 @@ type Options struct {
 	// seeds in a chain and filters out needless results"), every seed is
 	// extended and the best result kept.
 	MaxSeedsPerChain int
+	// Prefilter enables the bit-parallel pre-alignment filter tier:
+	// chains are screened with a GateKeeper-style shifted-hamming mask
+	// before extension, and rejected chains are only extended if their
+	// certified score bound could still influence the final mapping.
+	// Final mappings are bit-identical with the filter on or off; only
+	// the Extensions cost counter differs.
+	Prefilter bool
+	// PrefilterThreshold is the filter's edit threshold as a fraction of
+	// the read length (<=0 uses DefaultPrefilterThreshold).
+	PrefilterThreshold float64
 }
+
+// DefaultPrefilterThreshold is the edit threshold fraction used when
+// Options.PrefilterThreshold is unset: ~2 edits on a 101 bp read, sized
+// to the variant + sequencing-error budget of a true alignment.
+const DefaultPrefilterThreshold = 0.02
 
 // DefaultOptions mirrors BWA-MEM-flavoured settings.
 func DefaultOptions() Options {
 	return Options{ClipPenalty: 5, MaxChains: 5, BandCap: 100, TraceBand: -1, MaxSeedsPerChain: 8}
+}
+
+// prefilterEdits resolves the edit threshold for a read length.
+func (o Options) prefilterEdits(readLen int) int {
+	th := o.PrefilterThreshold
+	if th <= 0 {
+		th = DefaultPrefilterThreshold
+	}
+	return max(1, int(th*float64(readLen)))
 }
 
 // Aligner aligns reads against a (possibly multi-contig) reference.
@@ -138,6 +169,14 @@ type Aligner struct {
 	Scoring  align.Scoring
 	Opts     Options
 	ChainCfg chain.Config
+	// Filter optionally overrides the pre-alignment filter used when
+	// Opts.Prefilter is set. Leave nil to get a fresh prefilter.SHD per
+	// read (safe under concurrent AlignRead calls); a non-nil Filter is
+	// shared as-is and must be goroutine-safe if the Aligner is.
+	Filter prefilter.Filter
+	// Stats, when set, receives the prefilter pass/reject/rescue/false-
+	// pass counters (lock-free atomics, shared across workers).
+	Stats *core.Stats
 }
 
 // New assembles an aligner over a single reference sequence with an
@@ -162,7 +201,7 @@ func NewMulti(contigs []Contig, ext align.Extender) (*Aligner, error) {
 		RefName:  r.Names[0],
 		Ref:      r.Cat,
 		Contigs:  r,
-		Seeder:   FMSeeder{Index: ix, Cfg: fmindex.DefaultSMEMConfig()},
+		Seeder:   FMSeeder{Index: ix, Cfg: fmindex.DefaultSMEMConfig(), Select: DefaultSeedSelection()},
 		Extender: ext,
 		Scoring:  align.DefaultScoring(),
 		Opts:     DefaultOptions(),
@@ -182,8 +221,15 @@ type Alignment struct {
 	MapQ     int
 	Cigar    align.Cigar
 	// Extensions counts extender invocations for this read (~10 per read
-	// in the paper's workload characterization).
+	// in the paper's workload characterization). With the prefilter tier
+	// on it counts only the extensions actually performed, so it is the
+	// one Alignment field allowed to differ between filter on and off.
 	Extensions int
+	// PrefilterPass/PrefilterReject/PrefilterRescued tally the filter
+	// tier's verdicts for this read (zero when the tier is off).
+	PrefilterPass    int
+	PrefilterReject  int
+	PrefilterRescued int
 }
 
 type candidate struct {
@@ -197,17 +243,69 @@ type candidate struct {
 	lq, lt, rq, rt []byte // extension subproblems (left ones reversed)
 	lh0, rh0       int
 	weight         int
+	// ord is the chain's position in the unfiltered extension order
+	// (strand-major, then chain rank); the final sort tie-break, so the
+	// candidate ranking is identical whether a chain was extended up
+	// front or rescued later.
+	ord int
+	// rescued marks candidates extended by the prefilter rescue pass.
+	rescued bool
 }
 
 // AlignRead aligns one read (base codes; ambiguous bases allowed).
 func (a *Aligner) AlignRead(read []byte) Alignment {
-	cands, ext := a.candidates(read)
+	cands, ext, tally := a.candidates(read)
+	var al Alignment
 	if len(cands) == 0 {
-		return Alignment{Extensions: ext}
+		al = Alignment{Extensions: ext}
+	} else {
+		best := cands[0]
+		sub := competingScore(cands, best, len(read))
+		al = a.finish(read, best, sub, ext)
+		tally.countFalsePasses(cands, sub, len(read))
 	}
+	al.PrefilterPass = tally.pass
+	al.PrefilterReject = tally.reject
+	al.PrefilterRescued = tally.rescued
+	tally.record(a.Stats)
+	return al
+}
+
+// filterTally accumulates one read's prefilter activity.
+type filterTally struct {
+	pass, reject, rescued, falsePass int
+}
+
+// countFalsePasses counts the passed candidates that contributed nothing
+// to the final mapping: not the winner, and not a competing (distant)
+// score at or above the reported SubScore. These are the extensions a
+// sharper filter would also have avoided.
+func (t *filterTally) countFalsePasses(cands []candidate, sub, readLen int) {
+	if t.pass == 0 {
+		return
+	}
+	useful := 0
 	best := cands[0]
-	sub := competingScore(cands, best, len(read))
-	return a.finish(read, best, sub, ext)
+	for i, c := range cands {
+		if c.rescued {
+			continue
+		}
+		distant := c.pos > best.pos+readLen || c.pos < best.pos-readLen || c.rev != best.rev
+		if i == 0 || (distant && sub > 0 && c.score >= sub) {
+			useful++
+		}
+	}
+	t.falsePass = max(t.pass-useful, 0)
+}
+
+func (t *filterTally) record(st *core.Stats) {
+	if st == nil || t.pass+t.reject == 0 {
+		return
+	}
+	st.PrefilterPass.Add(int64(t.pass))
+	st.PrefilterReject.Add(int64(t.reject))
+	st.PrefilterRescued.Add(int64(t.rescued))
+	st.PrefilterFalsePass.Add(int64(t.falsePass))
 }
 
 // chainWork is one chain queued for the read-level extension batch: the
@@ -216,6 +314,7 @@ func (a *Aligner) AlignRead(read []byte) Alignment {
 type chainWork struct {
 	q      []byte
 	c      chain.Chain
+	ord    int
 	lo, hi int
 }
 
@@ -226,7 +325,14 @@ type chainWork struct {
 // contributes its seeds to one left-extension batch and one
 // right-extension batch — so the downstream shape bins see the read's
 // full mix of subproblems at once instead of per-chain trickles.
-func (a *Aligner) candidates(read []byte) ([]candidate, int) {
+func (a *Aligner) candidates(read []byte) ([]candidate, int, filterTally) {
+	return a.candidatesFiltered(read, true)
+}
+
+// candidatesFiltered is candidates with the prefilter tier gated: the
+// paired-end path passes allowFilter=false (see AlignPair).
+func (a *Aligner) candidatesFiltered(read []byte, allowFilter bool) ([]candidate, int, filterTally) {
+	var tally filterTally
 	var cands []candidate
 	ext := 0
 	var dualSeeds []chain.Seed
@@ -235,7 +341,13 @@ func (a *Aligner) candidates(read []byte) ([]candidate, int) {
 		dualSeeds = ds.SeedsBoth(read)
 	}
 	be, isBatch := a.Extender.(align.BatchExtender)
+	var fc *filterCtx
+	if allowFilter {
+		fc = a.newFilterCtx(read)
+	}
 	var work []chainWork
+	var rej []rejChain
+	ord := 0
 	for _, rev := range []bool{false, true} {
 		q := read
 		if rev {
@@ -259,13 +371,23 @@ func (a *Aligner) candidates(read []byte) ([]candidate, int) {
 			if a.Opts.MaxChains > 0 && ci >= a.Opts.MaxChains {
 				break
 			}
+			ord++
+			if fc != nil {
+				if ub, rejected := fc.screen(q, c); rejected {
+					rej = append(rej, rejChain{q: q, c: c, ord: ord, ub: ub})
+					tally.reject++
+					continue
+				}
+				tally.pass++
+			}
 			if isBatch {
-				work = append(work, chainWork{q: q, c: c})
+				work = append(work, chainWork{q: q, c: c, ord: ord})
 				continue
 			}
 			cand, n := a.alignChain(q, c)
 			ext += n
 			cand.weight = c.Weight
+			cand.ord = ord
 			cands = append(cands, cand)
 		}
 	}
@@ -274,28 +396,95 @@ func (a *Aligner) candidates(read []byte) ([]candidate, int) {
 		ext += n
 		cands = append(cands, batched...)
 	}
-	// Drop candidates whose alignment span would leave its contig (it
-	// would overlap the inter-contig padding).
-	if a.Contigs != nil {
-		kept := cands[:0]
-		for _, c := range cands {
-			span := c.lT + c.anchor.Len + c.rT
-			if _, _, ok := a.Contigs.Contains(c.pos, span); ok {
-				kept = append(kept, c)
+	cands = a.dropCrossContig(cands)
+	sortCandidates(cands)
+
+	// Score-bound rescue, iterated to a fixpoint: a rejected chain whose
+	// certified upper bound could still reach the final Score or SubScore
+	// is extended after all, so the reported mapping (and its quality)
+	// never depends on what the filter skipped. A rescue can move the
+	// floors — e.g. install a new best at a shifted position, exposing a
+	// previously-safe reject to the SubScore comparison — so the
+	// remaining rejects are re-examined until no bound clears them.
+	for len(rej) > 0 {
+		floorBest, floorSub := -1, -1
+		if len(cands) > 0 {
+			floorBest = cands[0].score
+			floorSub = competingScore(cands, cands[0], len(read))
+		}
+		var rescue []rejChain
+		keep := rej[:0]
+		for _, r := range rej {
+			if floorBest < 0 || r.ub >= floorBest || r.ub > floorSub {
+				rescue = append(rescue, r)
+			} else {
+				keep = append(keep, r)
 			}
 		}
-		cands = kept
+		rej = keep
+		if len(rescue) == 0 {
+			break
+		}
+		tally.rescued += len(rescue)
+		var rcands []candidate
+		if isBatch {
+			rwork := make([]chainWork, len(rescue))
+			for i, r := range rescue {
+				rwork[i] = chainWork{q: r.q, c: r.c, ord: r.ord}
+			}
+			var n int
+			rcands, n = a.alignChainsBatch(rwork, be)
+			ext += n
+		} else {
+			for _, r := range rescue {
+				cand, n := a.alignChain(r.q, r.c)
+				ext += n
+				cand.weight = r.c.Weight
+				cand.ord = r.ord
+				rcands = append(rcands, cand)
+			}
+		}
+		for i := range rcands {
+			rcands[i].rescued = true
+		}
+		cands = append(cands, a.dropCrossContig(rcands)...)
+		sortCandidates(cands)
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
+	return cands, ext, tally
+}
+
+// dropCrossContig removes candidates whose alignment span would leave
+// its contig (it would overlap the inter-contig padding).
+func (a *Aligner) dropCrossContig(cands []candidate) []candidate {
+	if a.Contigs == nil {
+		return cands
+	}
+	kept := cands[:0]
+	for _, c := range cands {
+		span := c.lT + c.anchor.Len + c.rT
+		if _, _, ok := a.Contigs.Contains(c.pos, span); ok {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// sortCandidates ranks candidates best-first with a total order (ord, the
+// unfiltered extension order, breaks every remaining tie), so the ranking
+// does not depend on whether some candidates joined via the rescue pass.
+func sortCandidates(cands []candidate) {
+	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
 			return cands[i].score > cands[j].score
 		}
 		if cands[i].pos != cands[j].pos {
 			return cands[i].pos < cands[j].pos
 		}
-		return !cands[i].rev && cands[j].rev
+		if cands[i].rev != cands[j].rev {
+			return !cands[i].rev
+		}
+		return cands[i].ord < cands[j].ord
 	})
-	return cands, ext
 }
 
 // competingScore finds the best score at a clearly different locus than
@@ -488,6 +677,7 @@ func (a *Aligner) alignChainsBatch(work []chainWork, be align.BatchExtender) ([]
 			}
 		}
 		best.weight = w.c.Weight
+		best.ord = w.ord
 		out = append(out, best)
 	}
 	return out, total

@@ -1,0 +1,235 @@
+package bwamem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"seedex/internal/align"
+	"seedex/internal/core"
+	"seedex/internal/genome"
+	"seedex/internal/prefilter"
+	"seedex/internal/readsim"
+)
+
+// repeatWorld builds the workload the filter tier is for: a genome with
+// a long exact repeat (reads inside it have a distant competing copy at
+// full score, so the rescue floors sit high) plus short decoy windows —
+// exact copies of repeat stretches scattered through unique background.
+// A read with a sequencing error seeds from its error-split SMEM
+// segments; a segment's exact copy inside a decoy window grows a heavy
+// chain there whose full extension can only reach a mediocre score: the
+// work the filter should reject. (Pure-SMEM seeding never produces such
+// chains from sub-maximal matches — the decoys must contain whole
+// segments — hence the window tiling.)
+func repeatWorld(tb testing.TB, nReads int, seed int64) ([]byte, []readsim.Read) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	unit := genome.Simulate(genome.SimConfig{Length: 4_000}, rng)
+	bg := genome.Simulate(genome.SimConfig{Length: 18_000}, rng)
+	bgPos := 0
+	take := func(n int) []byte { s := bg[bgPos : bgPos+n]; bgPos += n; return s }
+	var ref []byte
+	ref = append(ref, take(2_000)...)
+	ref = append(ref, unit...)
+	ref = append(ref, take(2_000)...)
+	// Decoy windows tile the unit densely enough that any >=51 bp SMEM
+	// segment of an in-repeat read is wholly contained in one of them.
+	for w := 0; w+240 <= len(unit); w += 100 {
+		ref = append(ref, unit[w:w+240]...)
+		ref = append(ref, take(300)...)
+	}
+	ref = append(ref, unit...)
+	ref = append(ref, take(2_000)...)
+	cfg := readsim.DefaultConfig(nReads)
+	cfg.ErrRate = 0.012 // most reads carry 1-2 errors, splitting their SMEMs
+	reads := readsim.Simulate(ref, cfg, rng)
+	return ref, reads
+}
+
+// sameMapping compares every Alignment field the mapping output depends
+// on — everything except the cost counters the filter is allowed to
+// change (Extensions, Prefilter*).
+func sameMapping(a, b Alignment) bool {
+	return a.Mapped == b.Mapped && a.RName == b.RName && a.Pos == b.Pos &&
+		a.Rev == b.Rev && a.Score == b.Score && a.SubScore == b.SubScore &&
+		a.MapQ == b.MapQ && a.Cigar.String() == b.Cigar.String()
+}
+
+func newTestAligner(tb testing.TB, ref []byte, ext align.Extender, on bool) *Aligner {
+	tb.Helper()
+	a, err := New("chrSim", ref, ext)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a.Opts.Prefilter = on
+	if on {
+		a.Stats = core.NewStats()
+	}
+	return a
+}
+
+// TestPrefilterBitEquivalence is the tier's core guarantee: final SAM is
+// byte-identical with the filter on or off, while the filter-on run
+// performs strictly fewer extensions (the rejects are real, not all
+// rescued back).
+func TestPrefilterBitEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ext  func() align.Extender
+	}{
+		{"fullband-sequential", func() align.Extender { return core.FullBand{Scoring: align.DefaultScoring()} }},
+		{"seedex-batch", func() align.Extender { return core.New(20) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, reads := repeatWorld(t, 400, 21)
+			off := newTestAligner(t, ref, tc.ext(), false)
+			on := newTestAligner(t, ref, tc.ext(), true)
+			wantRecs, wantStats := off.Run(toPipelineReads(reads), 4)
+			gotRecs, gotStats := on.Run(toPipelineReads(reads), 4)
+			for i := range wantRecs {
+				if gotRecs[i].String() != wantRecs[i].String() {
+					t.Fatalf("read %d: SAM differs with prefilter on\n on:  %s\n off: %s",
+						i, gotRecs[i], wantRecs[i])
+				}
+			}
+			sn := on.Stats.Snapshot()
+			if sn.PrefilterReject == 0 || sn.PrefilterPass == 0 {
+				t.Fatalf("workload exercised no filtering: %+v", sn)
+			}
+			if sn.PrefilterReject <= sn.PrefilterRescued {
+				t.Fatalf("every reject was rescued (no savings): %+v", sn)
+			}
+			if gotStats.Extensions >= wantStats.Extensions {
+				t.Fatalf("prefilter saved nothing: %d extensions on vs %d off",
+					gotStats.Extensions, wantStats.Extensions)
+			}
+			t.Logf("extensions %d -> %d; %s", wantStats.Extensions, gotStats.Extensions, sn)
+		})
+	}
+}
+
+// rejectAll drives every chain through the rescue pass: it rejects all
+// candidates with the weakest possible bound, so the fixpoint loop must
+// rescue everything and reproduce the unfiltered result exactly.
+type rejectAll struct{}
+
+func (rejectAll) Name() string        { return "reject-all" }
+func (rejectAll) Margin(e, s int) int { return e + s }
+func (rejectAll) Check(_, _ *prefilter.Packed, _, _ int, _ prefilter.Costs) prefilter.Verdict {
+	return prefilter.Verdict{}
+}
+
+// TestPrefilterRescueAll pins the rescue machinery itself: with a filter
+// that rejects every chain at an unbounded score ceiling, all chains are
+// rescued, the extension count matches the unfiltered pipeline, and the
+// output is still bit-identical.
+func TestPrefilterRescueAll(t *testing.T) {
+	ref, reads := repeatWorld(t, 150, 22)
+	for _, batch := range []bool{false, true} {
+		var mk func() align.Extender
+		if batch {
+			mk = func() align.Extender { return core.New(20) }
+		} else {
+			mk = func() align.Extender { return core.FullBand{Scoring: align.DefaultScoring()} }
+		}
+		off := newTestAligner(t, ref, mk(), false)
+		on := newTestAligner(t, ref, mk(), true)
+		on.Filter = rejectAll{}
+		for _, r := range reads {
+			want := off.AlignRead(r.Seq)
+			got := on.AlignRead(r.Seq)
+			if !sameMapping(want, got) {
+				t.Fatalf("batch=%v read %s: mapping differs under reject-all filter", batch, r.ID)
+			}
+			if got.Extensions != want.Extensions {
+				t.Fatalf("batch=%v read %s: rescue-all did %d extensions, unfiltered %d",
+					batch, r.ID, got.Extensions, want.Extensions)
+			}
+			if got.PrefilterReject != got.PrefilterRescued {
+				t.Fatalf("batch=%v read %s: %d rejects but %d rescues",
+					batch, r.ID, got.PrefilterReject, got.PrefilterRescued)
+			}
+		}
+		sn := on.Stats.Snapshot()
+		if sn.PrefilterReject == 0 || sn.PrefilterReject != sn.PrefilterRescued {
+			t.Fatalf("batch=%v stats: %+v", batch, sn)
+		}
+	}
+}
+
+// TestPrefilterChaosEquivalence feeds the adversarial read shapes the
+// chaos suite cares about — all-N, N-runs, empty, sub-seed-length, pure
+// motif, boundary-hugging — through both filter modes and demands
+// identical mappings (and sane unmapped handling) for each.
+func TestPrefilterChaosEquivalence(t *testing.T) {
+	ref, _ := repeatWorld(t, 1, 23)
+	rng := rand.New(rand.NewSource(23))
+	allN := make([]byte, 80)
+	for i := range allN {
+		allN[i] = genome.N
+	}
+	nRun := append([]byte(nil), ref[5_000:5_101]...)
+	for i := 30; i < 70; i++ {
+		nRun[i] = genome.N
+	}
+	motifOnly := append([]byte(nil), ref[3_000:3_064]...)
+	head := append([]byte(nil), ref[:40]...)
+	tail := append([]byte(nil), ref[len(ref)-40:]...)
+	junk := make([]byte, 101)
+	for i := range junk {
+		junk[i] = byte(rng.Intn(4))
+	}
+	cases := [][]byte{nil, {}, {1}, allN, nRun, motifOnly, head, tail, junk,
+		genome.RevComp(append([]byte(nil), ref[12_500:12_601]...))}
+	for _, mkBatch := range []bool{false, true} {
+		var off, on *Aligner
+		if mkBatch {
+			off = newTestAligner(t, ref, core.New(10), false)
+			on = newTestAligner(t, ref, core.New(10), true)
+		} else {
+			off = newTestAligner(t, ref, core.FullBand{Scoring: align.DefaultScoring()}, false)
+			on = newTestAligner(t, ref, core.FullBand{Scoring: align.DefaultScoring()}, true)
+		}
+		for i, seq := range cases {
+			want := off.AlignRead(seq)
+			got := on.AlignRead(seq)
+			if !sameMapping(want, got) {
+				t.Fatalf("batch=%v chaos case %d: mapping differs with prefilter on", mkBatch, i)
+			}
+		}
+	}
+}
+
+// TestPrefilterRaceMixed runs filter-on and filter-off aligners
+// concurrently against a shared Stats sink — the race-detector coverage
+// for the tier (wired into `make race`) — and checks per-read equality.
+func TestPrefilterRaceMixed(t *testing.T) {
+	ref, reads := repeatWorld(t, 80, 24)
+	off := newTestAligner(t, ref, core.New(20), false)
+	on := newTestAligner(t, ref, core.New(20), true)
+	off.Stats = on.Stats // shared sink: off records nothing, on records concurrently
+	var wg sync.WaitGroup
+	errs := make(chan string, len(reads))
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(reads); i += 4 {
+				want := off.AlignRead(reads[i].Seq)
+				got := on.AlignRead(reads[i].Seq)
+				if !sameMapping(want, got) {
+					errs <- reads[i].ID
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for id := range errs {
+		t.Errorf("read %s: mapping differs under concurrent mixed-mode alignment", id)
+	}
+	if on.Stats.Snapshot().PrefilterPass == 0 {
+		t.Fatal("no filter activity recorded")
+	}
+}

@@ -110,7 +110,7 @@ func NewWithIndex(r *Reference, ix *fmindex.Index, ext align.Extender) *Aligner 
 		RefName:  r.Names[0],
 		Ref:      r.Cat,
 		Contigs:  r,
-		Seeder:   FMSeeder{Index: ix, Cfg: fmindex.DefaultSMEMConfig()},
+		Seeder:   FMSeeder{Index: ix, Cfg: fmindex.DefaultSMEMConfig(), Select: DefaultSeedSelection()},
 		Extender: ext,
 		Scoring:  align.DefaultScoring(),
 		Opts:     DefaultOptions(),

@@ -52,8 +52,11 @@ const pairCandLimit = 5
 
 // AlignPair aligns both ends and selects the best joint placement.
 func (a *Aligner) AlignPair(p ReadPair, ins InsertStats) (Alignment, Alignment, bool) {
-	c1, e1 := a.candidates(p.Seq1)
-	c2, e2 := a.candidates(p.Seq2)
+	// The paired path bypasses the prefilter tier: the joint objective can
+	// promote candidates below the single-end Score/SubScore floors the
+	// rescue pass guards, so filtering here could change pairing choices.
+	c1, e1, _ := a.candidatesFiltered(p.Seq1, false)
+	c2, e2, _ := a.candidatesFiltered(p.Seq2, false)
 	if len(c1) > pairCandLimit {
 		c1 = c1[:pairCandLimit]
 	}

@@ -38,6 +38,8 @@ func argNames(k Kind) (string, string) {
 		return "attempt", "batch"
 	case KindRetry:
 		return "attempt", ""
+	case KindPrefilter:
+		return "pass", "reject"
 	}
 	return "v1", "v2"
 }

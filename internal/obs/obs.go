@@ -56,12 +56,15 @@ const (
 	KindDevice
 	// KindRetry covers one retry backoff wait between device attempts.
 	KindRetry
+	// KindPrefilter is an instant span carrying one read's pre-alignment
+	// filter activity (v1 = chains passed, v2 = chains rejected).
+	KindPrefilter
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"request", "queue_wait", "batch_flush", "kernel", "check", "host_rerun",
-	"device", "retry_backoff",
+	"device", "retry_backoff", "prefilter",
 }
 
 // String names the stage for exports.

@@ -1,0 +1,385 @@
+// Package prefilter implements GateKeeper-style bit-parallel
+// pre-alignment filtering: a cheap SWAR pass over 2-bit packed sequences
+// that rejects hopeless extension candidates before they reach the banded
+// kernels, one pipeline stage ahead of where SeedEx's own speculate-and-
+// test tier sits.
+//
+// The core operation is the shifted-hamming mask. For a query q placed at
+// a nominal diagonal inside a reference window t, the per-shift mask
+//
+//	m_j[i] = 1  iff  q[i] != t[i+j]
+//
+// is computed for every shift |j| <= e with word-parallel XORs over the
+// packed codes, and the masks are AND-combined. A bit that survives the
+// AND certifies that query position i matches the reference at NO shift
+// within the band — so in any alignment with at most e edits that stays
+// within diagonal band e of the nominal placement, position i must itself
+// be an edit. Hence
+//
+//	popcount(AND of masks) <= edit distance
+//
+// and rejecting when the popcount exceeds e can never reject a true
+// candidate at threshold e (the filter's conservative guarantee: false
+// passes allowed, false rejects never).
+//
+// GateKeeper additionally amends each mask before combining: an isolated
+// zero (a single matching base between two mismatches) is speculative
+// noise, so it is flipped to 1, sharpening rejection of random sequence.
+// Amendment breaks the popcount<=d identity but keeps a provable bound:
+// along a true alignment with d edits the matched positions form at most
+// d+1 runs, only length-1 runs can be flipped, so
+//
+//	popcount(AND of amended masks) <= 2d + 1
+//
+// and the amended rejection threshold 2e+1 stays conservative.
+//
+// Beyond the boolean verdict, Check certifies a lower bound on the score
+// loss (vs. an all-match read) of ANY alignment of q inside t — clipped,
+// drifted beyond the band, anything the downstream aligner could produce.
+// Callers use n*Match - LossLB as a score upper bound to decide whether a
+// rejected candidate could still influence final results (the rescue rule
+// that makes filtering bit-safe end to end).
+package prefilter
+
+import "math/bits"
+
+// basesPerWord is the 2-bit packing density.
+const basesPerWord = 32
+
+// evenMask selects the low bit of every 2-bit base slot.
+const evenMask = 0x5555555555555555
+
+// Costs mirrors the aligner's scoring model (positive penalties), used to
+// turn certified mask bits into a certified score-loss bound.
+type Costs struct {
+	Match, Mismatch, GapOpen, GapExtend int
+}
+
+// DefaultCosts matches align.DefaultScoring.
+func DefaultCosts() Costs { return Costs{Match: 1, Mismatch: 4, GapOpen: 6, GapExtend: 1} }
+
+// perBit is the minimum score loss of one certified-unmatchable query
+// position that is not clipped: it forgoes its match and pays at least
+// the cheaper of a mismatch or a gap-extension step.
+func (c Costs) perBit() int { return c.Match + min(c.Mismatch, c.GapExtend) }
+
+// Verdict is the filter's answer for one candidate placement.
+type Verdict struct {
+	// Accept is the conservative pass/reject decision: if the query
+	// aligns within the window at <= maxEdits edits (drift within the
+	// shift band), Accept is guaranteed true.
+	Accept bool
+	// Bits is the unamended AND-mask popcount: a certified lower bound on
+	// the edit distance of any full-query alignment whose diagonal drift
+	// stays within maxEdits of the nominal placement.
+	Bits int
+	// LossLB is a certified lower bound on the score loss (relative to
+	// len(q)*Match) of ANY alignment of the query inside the window —
+	// including clipped alignments and alignments that drift beyond the
+	// shift band. len(q)*Match - LossLB upper-bounds every score the
+	// aligner could produce for this candidate.
+	LossLB int
+}
+
+// Filter is the pluggable pre-alignment filter contract. Implementations
+// may pass false candidates freely but must never reject a candidate that
+// aligns within the configured edit threshold; LossLB must be sound for
+// every alignment shape. Implementations may keep scratch state and are
+// not goroutine-safe unless documented otherwise.
+type Filter interface {
+	Name() string
+	// Margin returns how many reference bases beyond each end of the
+	// query span the window passed to Check must include for threshold
+	// maxEdits and free-drift allowance freeDrift.
+	Margin(maxEdits, freeDrift int) int
+	// Check screens the query against the window. freeDrift widens the
+	// certified drift range without charging gap costs: callers pass the
+	// diagonal spread of the seed group anchoring the candidate, since
+	// an alignment may pass through any of those diagonals for free.
+	Check(q, t *Packed, maxEdits, freeDrift int, costs Costs) Verdict
+}
+
+// Packed is a sequence in 2-bit SWAR form: base codes packed 32 per
+// uint64, plus parallel 1-bit-per-slot planes marking ambiguous bases (N,
+// which compares equal only to N) and void positions (outside the
+// underlying sequence, which compare equal to nothing). The planes use
+// the same 2-bit slot layout as the codes so shifted extraction is
+// uniform across all three.
+type Packed struct {
+	n     int
+	code  []uint64
+	ambig []uint64
+	void  []uint64
+}
+
+// Len returns the number of packed positions.
+func (p *Packed) Len() int { return p.n }
+
+// words returns the word count needed for n bases.
+func words(n int) int { return (n + basesPerWord - 1) / basesPerWord }
+
+func (p *Packed) reset(n int) {
+	w := words(n)
+	if cap(p.code) < w {
+		p.code = make([]uint64, w)
+		p.ambig = make([]uint64, w)
+		p.void = make([]uint64, w)
+	}
+	p.code = p.code[:w]
+	p.ambig = p.ambig[:w]
+	p.void = p.void[:w]
+	for i := 0; i < w; i++ {
+		p.code[i], p.ambig[i], p.void[i] = 0, 0, 0
+	}
+	p.n = n
+}
+
+// Load packs seq (2-bit base codes; values >= 4 are ambiguous) into p,
+// reusing p's buffers.
+func (p *Packed) Load(seq []byte) { p.LoadWindow(seq, 0, len(seq)) }
+
+// LoadWindow packs seq[lo:hi) into p, reusing p's buffers. The bounds may
+// exceed the sequence: positions outside [0,len(seq)) are packed as void
+// (matching nothing), so callers can take fixed-size windows at sequence
+// edges without bounds bookkeeping.
+func (p *Packed) LoadWindow(seq []byte, lo, hi int) {
+	if hi < lo {
+		hi = lo
+	}
+	p.reset(hi - lo)
+	for i := 0; i < p.n; i++ {
+		pos := lo + i
+		w, sh := i/basesPerWord, uint(i%basesPerWord)*2
+		if pos < 0 || pos >= len(seq) {
+			p.void[w] |= 1 << sh
+			continue
+		}
+		if c := seq[pos]; c < 4 {
+			p.code[w] |= uint64(c) << sh
+		} else {
+			p.ambig[w] |= 1 << sh
+		}
+	}
+}
+
+// Pack allocates a new Packed holding seq.
+func Pack(seq []byte) *Packed {
+	p := &Packed{}
+	p.Load(seq)
+	return p
+}
+
+// extract returns 64 bits of ws starting at bit offset b >= 0, zero-
+// filling past the end of the slice.
+func extract(ws []uint64, b int) uint64 {
+	w, s := b>>6, uint(b&63)
+	var v uint64
+	if w < len(ws) {
+		v = ws[w] >> s
+		if s != 0 && w+1 < len(ws) {
+			v |= ws[w+1] << (64 - s)
+		}
+	}
+	return v
+}
+
+// SHD is the shifted-hamming filter. MaxEdits-threshold verdicts use the
+// amended masks at threshold 2e+1; the loss bound additionally AND-folds
+// shifts out to e+Extra, trading a slightly wider window for certified
+// gap costs on band-escaping alignments. An SHD keeps scratch buffers and
+// is not goroutine-safe; give each worker its own.
+type SHD struct {
+	// Extra widens the certified shift range beyond the edit threshold
+	// for the loss bound (default 6 when zero).
+	Extra int
+	// NoAmend disables GateKeeper's amendment pass (verdicts then use the
+	// raw AND popcount against threshold e).
+	NoAmend bool
+
+	and, am, cur []uint64
+}
+
+// DefaultExtra is the shift-range extension used when SHD.Extra is zero.
+const DefaultExtra = 6
+
+func (f *SHD) extra() int {
+	if f.Extra > 0 {
+		return f.Extra
+	}
+	return DefaultExtra
+}
+
+// Name implements Filter.
+func (f *SHD) Name() string { return "shd" }
+
+// Margin implements Filter.
+func (f *SHD) Margin(maxEdits, freeDrift int) int {
+	return max(maxEdits, 1) + max(freeDrift, 0) + f.extra()
+}
+
+func (f *SHD) scratch(w int) {
+	if cap(f.and) < w {
+		f.and = make([]uint64, w)
+		f.am = make([]uint64, w)
+		f.cur = make([]uint64, w)
+	}
+	f.and, f.am, f.cur = f.and[:w], f.am[:w], f.cur[:w]
+}
+
+// maskShift fills f.cur with the shift-j mismatch mask: bit i set iff
+// q[i] does not match t[i+margin+j] under N-equals-N semantics, with void
+// positions mismatching everything and bits past q's length cleared.
+func (f *SHD) maskShift(q, t *Packed, margin, j int) {
+	for w := range f.cur {
+		b := 2 * (w*basesPerWord + margin + j)
+		x := q.code[w] ^ extract(t.code, b)
+		m := (x | x>>1) & evenMask
+		m |= q.ambig[w] ^ extract(t.ambig, b)
+		m |= extract(t.void, b)
+		f.cur[w] = m & evenMask
+	}
+	// Clear slots past the query length in the last word.
+	if r := q.n % basesPerWord; r != 0 {
+		f.cur[len(f.cur)-1] &= (1 << (uint(r) * 2)) - 1
+	}
+}
+
+// amend flips isolated zeros (a single match squeezed between two
+// mismatches) to ones, GateKeeper's amendment of speculative short
+// matches. Word-local: runs spanning word boundaries are left alone,
+// which only under-amends and so stays conservative.
+func amend(m uint64) uint64 { return m | ((m << 2) & (m >> 2) & evenMask) }
+
+func popcount(ws []uint64) int {
+	n := 0
+	for _, w := range ws {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// clipLoss lower-bounds the score loss of any alignment whose drift stays
+// within the current AND-mask's shift range, accounting for free end
+// clipping: every certified bit loses perBit unless a clip covers it, and
+// a clip of c bases loses c*Match outright. The two end discounts are
+// computed by exact prefix/suffix scans over the bit positions (the loss
+// function only decreases at bits, so scanning set bits suffices).
+func clipLoss(and []uint64, n int, c Costs) int {
+	p := popcount(and)
+	if p == 0 {
+		return 0
+	}
+	pb := c.perBit()
+	loss := p*pb + clipDiscountL(and, c.Match, pb) + clipDiscountR(and, n, c.Match, pb)
+	return max(loss, 0)
+}
+
+func clipDiscountL(ws []uint64, match, perBit int) int {
+	best, cum := 0, 0
+	for w, word := range ws {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			pos := w*basesPerWord + b/2
+			cum += perBit
+			if v := (pos+1)*match - cum; v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func clipDiscountR(ws []uint64, n, match, perBit int) int {
+	best, cum := 0, 0
+	for w := len(ws) - 1; w >= 0; w-- {
+		word := ws[w]
+		for word != 0 {
+			b := 63 - bits.LeadingZeros64(word)
+			word &^= 1 << uint(b)
+			pos := w*basesPerWord + b/2
+			cum += perBit
+			if v := (n-pos)*match - cum; v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// Check implements Filter. The window t must have been taken with
+// Margin(maxEdits, freeDrift) bases of overhang on each side of the
+// query's nominal placement (LoadWindow pads with void at sequence
+// edges, so fixed-size windows are always safe). Alignments may sit up
+// to freeDrift diagonals off-nominal without incurring gap charges in
+// the loss bound.
+func (f *SHD) Check(q, t *Packed, maxEdits, freeDrift int, costs Costs) Verdict {
+	e := max(maxEdits, 1)
+	s := max(freeDrift, 0)
+	ring := s + e // drift certified without gap charges
+	margin := ring + f.extra()
+	w := len(q.code)
+	f.scratch(w)
+	for i := range f.and {
+		f.and[i] = ^uint64(0)
+		f.am[i] = ^uint64(0)
+	}
+
+	// Drift escaping every certified shift needs at least margin+1-s gap
+	// bases beyond the free allowance.
+	lossLB := costs.GapOpen + (margin+1-s)*costs.GapExtend
+	var v Verdict
+	// Fold shifts outward by |j| ring; after each completed ring J the
+	// running AND certifies all alignments with drift <= J.
+	for j := 0; j <= margin; j++ {
+		f.maskShift(q, t, margin, j)
+		for i := range f.and {
+			f.and[i] &= f.cur[i]
+		}
+		if j <= ring {
+			for i := range f.am {
+				f.am[i] &= amend(f.cur[i])
+			}
+		}
+		if j > 0 {
+			f.maskShift(q, t, margin, -j)
+			for i := range f.and {
+				f.and[i] &= f.cur[i]
+			}
+			if j <= ring {
+				for i := range f.am {
+					f.am[i] &= amend(f.cur[i])
+				}
+			}
+		}
+		if j == ring {
+			v.Bits = popcount(f.and)
+			if f.NoAmend {
+				v.Accept = v.Bits <= e
+			} else {
+				v.Accept = popcount(f.am) <= 2*e+1 || v.Bits <= e
+			}
+			lossLB = min(lossLB, clipLoss(f.and, q.n, costs))
+		} else if j > ring {
+			// Alignments with max drift exactly j also pay the gap cost
+			// of reaching that drift beyond the free allowance.
+			lossLB = min(lossLB, costs.GapOpen+(j-s)*costs.GapExtend+clipLoss(f.and, q.n, costs))
+		}
+	}
+	v.LossLB = lossLB
+	return v
+}
+
+// AcceptAll is the no-op Filter: every candidate passes and no loss is
+// certified. It stands in where filtering is disabled but a Filter value
+// is required.
+type AcceptAll struct{}
+
+// Name implements Filter.
+func (AcceptAll) Name() string { return "none" }
+
+// Margin implements Filter.
+func (AcceptAll) Margin(int, int) int { return 0 }
+
+// Check implements Filter.
+func (AcceptAll) Check(_, _ *Packed, _, _ int, _ Costs) Verdict { return Verdict{Accept: true} }

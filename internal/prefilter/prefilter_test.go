@@ -1,0 +1,460 @@
+package prefilter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bandedEdit is the exact-oracle counterpart of the filter's mask bound:
+// the minimum number of edits aligning ALL of q inside t with the query
+// cursor starting at t offset margin (start drift free within the band)
+// and every position's diagonal drift staying within [-e, e]. Equality
+// follows the filter's semantics (codes compare by value, so N matches
+// only N; positions outside t match nothing).
+func bandedEdit(q, t []byte, margin, e int) int {
+	const inf = 1 << 29
+	n := len(q)
+	w := 2*e + 1
+	dp := make([]int, w)
+	nx := make([]int, w)
+	for k := range dp {
+		dp[k] = 0
+	}
+	for i := 0; ; i++ {
+		// Deletions propagate within the row (drift ascending).
+		for k := 1; k < w; k++ {
+			pos := margin + i + (k - 1 - e)
+			if pos >= 0 && pos < len(t) && dp[k-1]+1 < dp[k] {
+				dp[k] = dp[k-1] + 1
+			}
+		}
+		if i == n {
+			break
+		}
+		for k := range nx {
+			nx[k] = inf
+		}
+		for k := 0; k < w; k++ {
+			if dp[k] >= inf {
+				continue
+			}
+			pos := margin + i + (k - e)
+			if pos >= 0 && pos < len(t) {
+				cost := 1
+				if q[i] == t[pos] {
+					cost = 0
+				}
+				if v := dp[k] + cost; v < nx[k] {
+					nx[k] = v
+				}
+			}
+			if k > 0 {
+				if v := dp[k] + 1; v < nx[k-1] {
+					nx[k-1] = v
+				}
+			}
+		}
+		dp, nx = nx, dp
+	}
+	best := inf
+	for k := range dp {
+		if dp[k] < best {
+			best = dp[k]
+		}
+	}
+	return best
+}
+
+// extScore is the affine-gap extension oracle: the best score of any
+// monotone path starting at the (q[0], t[0]) corner, with the unconsumed
+// remainder of both sequences free (the aligner's clip semantics). No
+// zero floor — paths may dip, matching the extension kernels.
+func extScore(q, t []byte, c Costs) int {
+	const neg = -(1 << 29)
+	m, n := len(q), len(t)
+	H := make([][]int, m+1)
+	E := make([][]int, m+1)
+	F := make([][]int, m+1)
+	for i := 0; i <= m; i++ {
+		H[i] = make([]int, n+1)
+		E[i] = make([]int, n+1)
+		F[i] = make([]int, n+1)
+	}
+	best := 0
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= n; j++ {
+			E[i][j], F[i][j] = neg, neg
+			if j > 0 {
+				E[i][j] = max(H[i][j-1]-c.GapOpen, E[i][j-1]) - c.GapExtend
+			}
+			if i > 0 {
+				F[i][j] = max(H[i-1][j]-c.GapOpen, F[i-1][j]) - c.GapExtend
+			}
+			h := neg
+			if i == 0 && j == 0 {
+				h = 0
+			}
+			if i > 0 && j > 0 {
+				s := -c.Mismatch
+				if q[i-1] == t[j-1] {
+					s = c.Match
+				}
+				h = max(h, H[i-1][j-1]+s)
+			}
+			h = max(h, E[i][j], F[i][j])
+			H[i][j] = h
+			if h > best {
+				best = h
+			}
+		}
+	}
+	return best
+}
+
+func reverseBytes(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b
+	}
+	return out
+}
+
+// bestThroughDiag is the oracle for LossLB: the best affine score of any
+// clipped alignment of q in t that passes through the nominal diagonal
+// with at least one exact match (the shape of every anchored extension
+// candidate the aligner can produce).
+func bestThroughDiag(q, t []byte, margin int, c Costs) (int, bool) {
+	best, any := 0, false
+	for i := 0; i < len(q); i++ {
+		p := margin + i
+		if p < 0 || p >= len(t) || q[i] != t[p] {
+			continue
+		}
+		any = true
+		left := extScore(reverseBytes(q[:i]), reverseBytes(t[:p]), c)
+		right := extScore(q[i+1:], t[p+1:], c)
+		if s := left + c.Match + right; s > best {
+			best = s
+		}
+	}
+	return best, any
+}
+
+// checkInvariants asserts the filter's three certified claims against the
+// oracles for one (q, window, e) instance.
+func checkInvariants(t *testing.T, q, win []byte, e int) Verdict {
+	t.Helper()
+	c := DefaultCosts()
+	f := &SHD{}
+	margin := f.Margin(e, 0)
+	if len(win) != len(q)+2*margin {
+		t.Fatalf("window sized %d, want %d", len(win), len(q)+2*margin)
+	}
+	qp, tp := Pack(q), Pack(win)
+	v := f.Check(qp, tp, e, 0, c)
+	if v2 := f.Check(qp, tp, e, 0, c); v2 != v {
+		t.Fatalf("non-deterministic verdict: %+v vs %+v", v, v2)
+	}
+	if v.Bits < 0 || v.LossLB < 0 {
+		t.Fatalf("negative certificates: %+v", v)
+	}
+	d := bandedEdit(q, win, margin, e)
+	if d <= e {
+		if !v.Accept {
+			t.Fatalf("conservativeness violated: edit distance %d <= e=%d but rejected (%+v) q=%v win=%v",
+				d, e, v, q, win)
+		}
+		if v.Bits > d {
+			t.Fatalf("Bits=%d exceeds exact banded edit distance %d (e=%d) q=%v win=%v",
+				v.Bits, d, e, q, win)
+		}
+	}
+	if ub, any := bestThroughDiag(q, win, margin, c); any {
+		if got := len(q)*c.Match - v.LossLB; got < ub {
+			t.Fatalf("score upper bound %d below achievable anchored score %d (LossLB=%d) q=%v win=%v",
+				got, ub, v.LossLB, q, win)
+		}
+	}
+	return v
+}
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+// plantWindow builds a window holding q at offset margin+shift with the
+// given number of random edits applied to the copy.
+func plantWindow(rng *rand.Rand, q []byte, margin, shift, edits int) []byte {
+	win := randSeq(rng, len(q)+2*margin)
+	copy(win[margin+shift:], q)
+	for k := 0; k < edits; k++ {
+		i := margin + shift + rng.Intn(len(q))
+		if i < len(win) {
+			win[i] = byte(rng.Intn(4))
+		}
+	}
+	return win
+}
+
+func TestIdenticalSequenceAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{5, 31, 32, 33, 64, 101, 150} {
+		q := randSeq(rng, n)
+		f := &SHD{}
+		e := 2
+		margin := f.Margin(e, 0)
+		win := append(append(randSeq(rng, margin), q...), randSeq(rng, margin)...)
+		v := checkInvariants(t, q, win, e)
+		if !v.Accept || v.Bits != 0 {
+			t.Fatalf("n=%d: identical copy not cleanly accepted: %+v", n, v)
+		}
+		if v.LossLB != 0 {
+			t.Fatalf("n=%d: identical copy certifies loss %d, want 0", n, v.LossLB)
+		}
+	}
+}
+
+func TestSubstitutionsWithinThresholdAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		e := 1 + rng.Intn(4)
+		q := randSeq(rng, 20+rng.Intn(120))
+		f := &SHD{}
+		win := plantWindow(rng, q, f.Margin(e, 0), 0, rng.Intn(e+1))
+		checkInvariants(t, q, win, e)
+	}
+}
+
+func TestShiftedCopyAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		e := 1 + rng.Intn(3)
+		q := randSeq(rng, 30+rng.Intn(90))
+		f := &SHD{}
+		shift := rng.Intn(2*e+1) - e
+		win := plantWindow(rng, q, f.Margin(e, 0), shift, 0)
+		v := checkInvariants(t, q, win, e)
+		if !v.Accept {
+			t.Fatalf("exact copy at shift %d rejected at e=%d: %+v", shift, e, v)
+		}
+	}
+}
+
+func TestRandomJunkRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rejected := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		e := 2
+		q := randSeq(rng, 101)
+		f := &SHD{}
+		win := randSeq(rng, 101+2*f.Margin(e, 0))
+		v := checkInvariants(t, q, win, e)
+		if !v.Accept {
+			rejected++
+		}
+		// Junk must also carry a meaningful score bound: far below a
+		// full-length match.
+		if ub := 101 - v.LossLB; ub > 95 {
+			t.Fatalf("junk window certifies score bound %d, suspiciously close to perfect", ub)
+		}
+	}
+	if rejected < trials*9/10 {
+		t.Fatalf("only %d/%d random windows rejected; filter has no teeth", rejected, trials)
+	}
+}
+
+func TestHalfJunkScoreBound(t *testing.T) {
+	// A read whose right half matches exactly and whose left half is
+	// random junk: the bound must sit clearly below perfect, but at or
+	// above what clipping the junk half achieves (~n/2).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		e := 2
+		f := &SHD{}
+		margin := f.Margin(e, 0)
+		q := randSeq(rng, 100)
+		win := randSeq(rng, 100+2*margin)
+		copy(win[margin+50:], q[50:])
+		v := checkInvariants(t, q, win, e)
+		ub := 100 - v.LossLB
+		if ub < 50 {
+			t.Fatalf("upper bound %d below the achievable clipped score ~50", ub)
+		}
+	}
+}
+
+func TestAmbiguousBases(t *testing.T) {
+	e := 1
+	f := &SHD{}
+	margin := f.Margin(e, 0)
+	// N matches N but nothing else, mirroring the aligner's code-equality
+	// scoring.
+	q := []byte{0, 1, 4, 2, 3, 0, 1, 2}
+	winExact := make([]byte, len(q)+2*margin)
+	for i := range winExact {
+		winExact[i] = byte((i * 7) % 4)
+	}
+	copy(winExact[margin:], q)
+	v := checkInvariants(t, q, winExact, e)
+	if !v.Accept || v.Bits != 0 {
+		t.Fatalf("N-vs-N copy not accepted cleanly: %+v", v)
+	}
+	winSub := append([]byte(nil), winExact...)
+	winSub[margin+2] = 0 // N in query vs A in window: a mismatch
+	v = checkInvariants(t, q, winSub, e)
+	if v.Accept && v.Bits > 1 {
+		t.Fatalf("unexpected certificate for single N mismatch: %+v", v)
+	}
+}
+
+func TestWindowEdgesAreVoid(t *testing.T) {
+	// A window loaded at the very start of a sequence pads with void;
+	// a copy placed flush at the sequence start must still be accepted.
+	e := 2
+	f := &SHD{}
+	margin := f.Margin(e, 0)
+	rng := rand.New(rand.NewSource(6))
+	ref := randSeq(rng, 200)
+	q := append([]byte(nil), ref[:60]...)
+	var tp Packed
+	tp.LoadWindow(ref, -margin, 60+margin)
+	qp := Pack(q)
+	v := (&SHD{}).Check(qp, &tp, e, 0, DefaultCosts())
+	if !v.Accept || v.Bits != 0 {
+		t.Fatalf("copy at sequence start rejected: %+v", v)
+	}
+}
+
+// TestFreeDrift checks the diagonal-spread allowance: a copy planted
+// |shift| <= freeDrift off-nominal must be accepted with no gap charge
+// in the loss bound, and the verdict must never be harsher than the
+// freeDrift=0 verdict of the same geometry (widening the free range
+// only relaxes the filter).
+func TestFreeDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := DefaultCosts()
+	e := 2
+	for _, s := range []int{1, 3, 7, maxLegalDriftForTest} {
+		f := &SHD{}
+		margin := f.Margin(e, s)
+		for _, shift := range []int{-s, -1, 0, 1, s} {
+			q := randSeq(rng, 101)
+			win := plantWindow(rng, q, margin, shift, 0)
+			v := f.Check(Pack(q), Pack(win), e, s, c)
+			if !v.Accept || v.Bits != 0 {
+				t.Fatalf("shift %d within freeDrift %d rejected: %+v", shift, s, v)
+			}
+			if v.LossLB != 0 {
+				t.Fatalf("shift %d within freeDrift %d charged loss %d", shift, s, v.LossLB)
+			}
+		}
+		// Junk still gets a real loss bound at small drift. (Wide free
+		// ranges legitimately weaken the filter: with many gap-free
+		// shifts, random junk matches somewhere at most positions.)
+		if s == 1 {
+			q := randSeq(rng, 101)
+			win := randSeq(rng, 101+2*margin)
+			v := f.Check(Pack(q), Pack(win), e, s, c)
+			if v.LossLB <= 0 {
+				t.Fatalf("freeDrift %d: junk window certified no loss: %+v", s, v)
+			}
+		}
+	}
+}
+
+const maxLegalDriftForTest = 12
+
+func TestAcceptAll(t *testing.T) {
+	var f AcceptAll
+	v := f.Check(nil, nil, 2, 0, DefaultCosts())
+	if !v.Accept || v.Bits != 0 || v.LossLB != 0 {
+		t.Fatalf("AcceptAll verdict %+v", v)
+	}
+	if f.Margin(5, 0) != 0 || f.Name() != "none" {
+		t.Fatal("AcceptAll metadata wrong")
+	}
+}
+
+// TestConservativeSweep is the deterministic companion of
+// FuzzPrefilterConservative: a seeded sweep over mutation structures
+// (substitutions, indels, shifts, junk, half-junk) re-checking all three
+// certified invariants against the oracles.
+func TestConservativeSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		e := 1 + rng.Intn(4)
+		n := 10 + rng.Intn(100)
+		q := randSeq(rng, n)
+		f := &SHD{}
+		margin := f.Margin(e, 0)
+		var win []byte
+		switch trial % 4 {
+		case 0: // substituted copy, around the threshold
+			win = plantWindow(rng, q, margin, rng.Intn(2*e+1)-e, rng.Intn(2*e+2))
+		case 1: // copy with small indels
+			win = randSeq(rng, n+2*margin)
+			mut := append([]byte(nil), q...)
+			for k := rng.Intn(e + 1); k > 0 && len(mut) > 2; k-- {
+				i := rng.Intn(len(mut))
+				if rng.Intn(2) == 0 {
+					mut = append(mut[:i], mut[i+1:]...)
+				} else {
+					mut = append(mut[:i], append([]byte{byte(rng.Intn(4))}, mut[i:]...)...)
+				}
+			}
+			copy(win[margin:], mut)
+		case 2: // pure junk
+			win = randSeq(rng, n+2*margin)
+		case 3: // junk with an embedded exact fragment
+			win = randSeq(rng, n+2*margin)
+			frag := n / 2
+			off := rng.Intn(n - frag + 1)
+			copy(win[margin+off:], q[off:off+frag])
+		}
+		checkInvariants(t, q, win, e)
+	}
+}
+
+// FuzzPrefilterConservative fuzzes the never-rejects-a-true-positive
+// guarantee: whenever the exact banded edit distance of the query inside
+// the window is within the threshold, the filter must accept; its Bits
+// certificate must lower-bound that distance; and its LossLB certificate
+// must upper-bound every anchored alignment score the aligner could find.
+func FuzzPrefilterConservative(f *testing.F) {
+	f.Add([]byte{2, 20, 1, 0}, int64(1))
+	f.Add([]byte{3, 40, 3, 2, 0xFF, 0x10, 0x22}, int64(2))
+	f.Add([]byte{1, 48, 5, 7, 1, 2, 3, 4, 5, 6, 7, 8}, int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		if len(data) < 4 {
+			return
+		}
+		e := 1 + int(data[0])%4
+		n := 8 + int(data[1])%41 // 8..48
+		shift := int(data[2])%(2*e+1) - e
+		edits := int(data[3]) % (2*e + 3)
+		rng := rand.New(rand.NewSource(seed))
+		q := randSeq(rng, n)
+		// Fold remaining fuzz bytes into the query so the corpus explores
+		// structured sequences too.
+		for i, b := range data[4:] {
+			if i >= n {
+				break
+			}
+			q[i] = b % 4
+		}
+		sh := &SHD{}
+		margin := sh.Margin(e, 0)
+		var win []byte
+		if edits > 2*e+1 {
+			win = randSeq(rng, n+2*margin) // junk case
+		} else {
+			win = plantWindow(rng, q, margin, shift, edits)
+		}
+		checkInvariants(t, q, win, e)
+	})
+}

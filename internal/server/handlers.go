@@ -545,6 +545,8 @@ type metricsConfigEcho struct {
 	Shards      int     `json:"shards"`
 	RoutePolicy string  `json:"route_policy"`
 	MapEnabled  bool    `json:"map_enabled"`
+	Prefilter   bool    `json:"prefilter"`
+	PrefilterTh float64 `json:"prefilter_threshold,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -566,6 +568,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Shards:      len(s.shards),
 			RoutePolicy: s.router.policy.Name(),
 			MapEnabled:  s.mapEnabled(),
+			Prefilter:   s.prefilterOn(),
+			PrefilterTh: s.prefilterThreshold(),
 		},
 	}
 	cluster := clusterBody{Shards: len(s.shards), Policy: s.router.policy.Name()}
@@ -671,6 +675,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]string{
 		"shards":          strconv.Itoa(len(s.shards)),
 		"shards_degraded": strconv.Itoa(degraded),
+	}
+	if s.mapEnabled() {
+		if s.prefilterOn() {
+			body["prefilter"] = "on"
+		} else {
+			body["prefilter"] = "off"
+		}
 	}
 	if degraded > 0 {
 		body["status"] = "degraded"

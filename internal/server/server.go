@@ -201,6 +201,12 @@ func New(cfg Config) *Server {
 		}
 		mapGroup.set(maps)
 	}
+	// The mapping aligner's stats (prefilter counters) merge into the same
+	// snapshot the extender sources feed, unless it shares one of theirs.
+	if cfg.Aligner != nil && cfg.Aligner.Stats != nil && !seenStats[cfg.Aligner.Stats] {
+		seenStats[cfg.Aligner.Stats] = true
+		s.stats = append(s.stats, cfg.Aligner.Stats)
+	}
 	rt, err := newRouter(s.shards, cfg.RoutePolicy)
 	if err != nil {
 		panic(err)
@@ -284,6 +290,24 @@ func (s *Server) mapQueue() (depth, capacity int) {
 // was set).
 func (s *Server) mapEnabled() bool { return s.cfg.Aligner != nil }
 
+// prefilterOn reports whether the mapping pipeline screens chains with
+// the pre-alignment filter tier.
+func (s *Server) prefilterOn() bool {
+	return s.cfg.Aligner != nil && s.cfg.Aligner.Opts.Prefilter
+}
+
+// prefilterThreshold returns the active edit-threshold fraction (0 when
+// the tier is off).
+func (s *Server) prefilterThreshold() float64 {
+	if !s.prefilterOn() {
+		return 0
+	}
+	if th := s.cfg.Aligner.Opts.PrefilterThreshold; th > 0 {
+		return th
+	}
+	return bwamem.DefaultPrefilterThreshold
+}
+
 // checksSnapshot merges the check statistics of every distinct stats
 // source across the shards (shards sharing one extender share one
 // source). ok is false when no shard keeps statistics.
@@ -305,6 +329,10 @@ func (s *Server) checksSnapshot() (core.StatsSnapshot, bool) {
 		out.DeviceRetries += snap.DeviceRetries
 		out.BreakerTrips += snap.BreakerTrips
 		out.HostOnly += snap.HostOnly
+		out.PrefilterPass += snap.PrefilterPass
+		out.PrefilterReject += snap.PrefilterReject
+		out.PrefilterRescued += snap.PrefilterRescued
+		out.PrefilterFalsePass += snap.PrefilterFalsePass
 	}
 	return out, true
 }
@@ -594,7 +622,12 @@ func (s *Server) mapWorker(sh *shard) func([]mapJob) {
 			}
 			k0 := time.Now()
 			rec, al := m.Map(j.name, j.seq, j.qual)
-			j.tr.Span(obs.KindKernel, k0, time.Since(k0), obs.TierUnknown, 1)
+			kDur := time.Since(k0)
+			j.tr.Span(obs.KindKernel, k0, kDur, obs.TierUnknown, 1)
+			if al.PrefilterPass+al.PrefilterReject > 0 {
+				j.tr.Span(obs.KindPrefilter, k0.Add(kDur), 0,
+					int64(al.PrefilterPass), int64(al.PrefilterReject))
+			}
 			j.sh.settleDone()
 			j.out.deliver(j.i, MapResult{
 				Name:   j.name,
