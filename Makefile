@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos obs-smoke bench bench-extend bench-regression serve-bench
+.PHONY: check vet build test race chaos obs-smoke index-smoke bench bench-extend bench-regression serve-bench
 
 check: vet build test race
 
@@ -16,10 +16,11 @@ test:
 # The concurrent subsystems get a dedicated race pass: the FPGA driver,
 # the aligner pipeline (including mixed filter-on/off mapping), the
 # pre-alignment filter tier, the shared (atomic) check statistics, the
-# packed kernels' telemetry counters, and the micro-batching alignment
-# service (including the shape-binned collector) with its daemon.
+# packed kernels' telemetry counters, the generation-swapping reference
+# index store, and the micro-batching alignment service (including the
+# shape-binned collector) with its daemon.
 race:
-	$(GO) test -race ./internal/align/... ./internal/faults/... ./internal/driver/... ./internal/bwamem/... ./internal/prefilter/... ./internal/core/... ./internal/server/... ./cmd/seedex-serve/...
+	$(GO) test -race ./internal/align/... ./internal/faults/... ./internal/driver/... ./internal/bwamem/... ./internal/prefilter/... ./internal/core/... ./internal/refstore/... ./internal/server/... ./cmd/seedex-serve/...
 
 # Fault-injection equivalence drill: the chaos and integrity tests under
 # the race detector. Pin the fault draws with CHAOS_SEED (default: the
@@ -29,14 +30,21 @@ chaos:
 	SEEDEX_CHAOS_SEED=$(CHAOS_SEED) SEEDEX_CHAOS_SNAPSHOT=$(CHAOS_SNAPSHOT) \
 		$(GO) test -race ./internal/faults/...
 	SEEDEX_CHAOS_SEED=$(CHAOS_SEED) SEEDEX_CHAOS_SNAPSHOT=$(CHAOS_SNAPSHOT) \
-		$(GO) test -race -run 'Chaos|Integrity|Corrupted|Adversarial|Wire|Sanity|Validate' \
-		./internal/driver/... ./internal/server/... ./internal/core/... ./internal/bwamem/...
+		$(GO) test -race -run 'Chaos|Integrity|Corrupted|Adversarial|Wire|Sanity|Validate|Corruption|Rollback' \
+		./internal/driver/... ./internal/server/... ./internal/core/... ./internal/bwamem/... ./internal/refstore/... ./internal/fmindex/...
 
 # Observability smoke: boot seedex-serve with tracing and pprof enabled,
 # drive traffic, then assert the Prometheus scrape and both trace export
 # formats are well-formed. Artifacts land in obs-smoke/ (override OUT).
 obs-smoke:
 	bash scripts/obs_smoke.sh
+
+# Index lifecycle smoke: build a container with seedex-index, serve it
+# through seedex-serve -index-store, hot-reload under live mapping
+# traffic, then prove a corrupt publish rolls back to the serving
+# generation. Artifacts land in index-smoke/ (override OUT).
+index-smoke:
+	bash scripts/index_smoke.sh
 
 # Full benchmark pass: every testing.B entry, then a refresh of the
 # extension perf trajectory (BENCH_extend.json).

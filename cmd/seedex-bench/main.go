@@ -56,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	servePolicy := fs.String("serve-policy", "least-loaded", "routing policy for the sharded -fig serve configurations")
 	prefilter := fs.Bool("prefilter", false, "for -fig serve: also benchmark the /v1/map path with the pre-alignment filter tier on vs off (equivalence-checked; recorded under 'prefilter' in the run entry)")
 	prefilterTh := fs.Float64("prefilter-threshold", 0, "prefilter edit threshold as a fraction of read length for -prefilter (0 = default)")
+	indexBench := fs.Bool("index-bench", false, "for -fig serve: also benchmark the reference index lifecycle — container build/publish/load/warmup time and mmap-served /v1/map throughput under a hot-reload storm (recorded under 'index' in the run entry)")
 	chaos := fs.Float64("chaos", 0, "for -fig serve: serve through the simulated FPGA device with every fault class injecting at this rate (measures the throughput cost of fault tolerance)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -264,6 +265,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintln(stdout, mrep)
 			rep.Prefilter = &mrep
+		}
+		if *indexBench {
+			section("Reference index lifecycle: build/publish/load/warmup and mmap-served /v1/map")
+			fmt.Fprintf(stderr, "building %d bp reference container and mapping workload (seed %d)...\n", *refLen, *seed)
+			irep, err := bench.IndexServeBench(bench.IndexBenchConfig{
+				RefLen:      *refLen,
+				Concurrency: concs,
+				Duration:    *serveDur,
+				Seed:        *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, irep)
+			rep.Index = &irep
 		}
 		// BENCH_serve.json is an append-only history like BENCH_extend.json:
 		// each invocation adds one labeled run (a legacy single-report file

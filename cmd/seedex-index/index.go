@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"seedex/internal/bwamem"
+	"seedex/internal/fastx"
+	"seedex/internal/genome"
+	"seedex/internal/refstore"
+)
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: seedex-index build|verify|info ... (run a subcommand with -h for its flags)")
+	}
+	switch cmd := args[0]; cmd {
+	case "build":
+		return runBuild(args[1:], stdout, stderr)
+	case "verify":
+		return runVerify(args[1:], stdout)
+	case "info":
+		return runInfo(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want build, verify, or info)", cmd)
+	}
+}
+
+func runBuild(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("seedex-index build", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	refPath := fs.String("ref", "", "reference FASTA to index (required)")
+	out := fs.String("out", "", "container file to publish (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *refPath == "" || *out == "" {
+		return fmt.Errorf("build needs both -ref and -out")
+	}
+
+	rf, err := os.Open(*refPath)
+	if err != nil {
+		return err
+	}
+	recs, err := fastx.ReadFasta(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no sequences in %s", *refPath)
+	}
+	contigs := make([]bwamem.Contig, len(recs))
+	for i, r := range recs {
+		contigs[i] = bwamem.Contig{Name: r.Name, Seq: genome.Encode(string(r.Seq))}
+	}
+	ref, ix, err := bwamem.BuildIndex(contigs)
+	if err != nil {
+		return err
+	}
+	info, err := refstore.WriteFile(*out, ref, ix)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "seedex-index: published %s (%d contigs, %d text bytes, %d file bytes)\n",
+		*out, info.Contigs, info.TextBytes, info.FileBytes)
+	return nil
+}
+
+func runVerify(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("seedex-index verify", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify takes exactly one container path")
+	}
+	path := fs.Arg(0)
+	info, err := refstore.Verify(path)
+	if err != nil {
+		return fmt.Errorf("%s failed verification: %w", path, err)
+	}
+	fmt.Fprintf(stdout, "seedex-index: %s ok (%d contigs, %d file bytes, text crc %08x, sa crc %08x)\n",
+		path, info.Contigs, info.FileBytes, info.TextCRC, info.SACRC)
+	return nil
+}
+
+func runInfo(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("seedex-index info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info takes exactly one container path")
+	}
+	info, err := refstore.Verify(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(info)
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seedex/internal/refstore"
+)
+
+func writeFasta(t *testing.T, seed int64, length int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString(">chr1 test contig\n")
+	for i := 0; i < length; i++ {
+		sb.WriteByte("ACGT"[rng.Intn(4)])
+		if (i+1)%70 == 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteByte('\n')
+	path := filepath.Join(t.TempDir(), "ref.fa")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildVerifyInfo(t *testing.T) {
+	fasta := writeFasta(t, 5, 2000)
+	out := filepath.Join(t.TempDir(), "ref.rix")
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"build", "-ref", fasta, "-out", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("build: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "published") || !strings.Contains(stdout.String(), "1 contigs") {
+		t.Errorf("build output: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	if err := run([]string{"verify", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "ok") {
+		t.Errorf("verify output: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	if err := run([]string{"info", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	var info refstore.Info
+	if err := json.Unmarshal(stdout.Bytes(), &info); err != nil {
+		t.Fatalf("info output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if info.Contigs != 1 || info.TextBytes == 0 {
+		t.Errorf("info = %+v", info)
+	}
+
+	// The published file is actually loadable by the serving store.
+	st, err := refstore.Open(out, refstore.Options{NoWarmup: true})
+	if err != nil {
+		t.Fatalf("store cannot open built index: %v", err)
+	}
+	st.Close()
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	fasta := writeFasta(t, 6, 1500)
+	out := filepath.Join(t.TempDir(), "ref.rix")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"build", "-ref", fasta, "-out", out}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(out+".bad", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", out + ".bad"}, &stdout, &stderr); err == nil {
+		t.Fatal("corrupt container verified")
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown subcommand: %v", err)
+	}
+	if err := run([]string{"build"}, &stdout, &stderr); err == nil {
+		t.Fatal("build without flags accepted")
+	}
+	if err := run([]string{"build", "-ref", "/nonexistent.fa", "-out", "/tmp/x.rix"}, &stdout, &stderr); err == nil {
+		t.Fatal("missing FASTA accepted")
+	}
+	if err := run([]string{"verify"}, &stdout, &stderr); err == nil {
+		t.Fatal("verify without a path accepted")
+	}
+	if err := run([]string{"info", "/nonexistent.rix"}, &stdout, &stderr); err == nil {
+		t.Fatal("info on a missing file accepted")
+	}
+}

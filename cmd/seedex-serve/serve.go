@@ -21,8 +21,10 @@ import (
 	"seedex/internal/driver"
 	"seedex/internal/fastx"
 	"seedex/internal/faults"
+	"seedex/internal/fmindex"
 	"seedex/internal/genome"
 	"seedex/internal/obs"
+	"seedex/internal/refstore"
 	"seedex/internal/server"
 )
 
@@ -43,6 +45,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	workers := fs.Int("workers", 0, "batch workers (0 = GOMAXPROCS)")
 	refPath := fs.String("ref", "", "reference FASTA; enables the /v1/map endpoint")
 	indexPath := fs.String("index", "", "index file for -ref: loaded if it exists, otherwise built and saved")
+	indexStore := fs.String("index-store", "", "serve /v1/map from this checksummed container index (built by seedex-index): memory-mapped read-only, hot-reloadable via SIGHUP or POST /admin/reload, with rollback on a bad file")
 	prefilter := fs.Bool("prefilter", false, "screen chains with the bit-parallel pre-alignment filter before extension (mappings stay bit-identical; needs -ref)")
 	prefilterTh := fs.Float64("prefilter-threshold", 0, "prefilter edit threshold as a fraction of read length (0 = default)")
 	maxJobs := fs.Int("max-jobs", 4096, "maximum jobs or reads per request")
@@ -115,6 +118,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 
 	var aligner *bwamem.Aligner
 	if *refPath != "" {
+		if *indexStore != "" {
+			return fmt.Errorf("-ref and -index-store are mutually exclusive: the store container carries the reference")
+		}
 		a, err := loadAligner(*refPath, *indexPath, ext, stderr)
 		if err != nil {
 			return err
@@ -125,8 +131,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 			a.Stats = core.NewStats()
 		}
 		aligner = a
-	} else if *prefilter {
-		return fmt.Errorf("-prefilter needs the mapping pipeline; set -ref")
+	} else if *prefilter && *indexStore == "" {
+		return fmt.Errorf("-prefilter needs the mapping pipeline; set -ref or -index-store")
 	}
 
 	tracer := obs.New(obs.Config{SampleEvery: *traceSample, SlowK: *traceSlow})
@@ -134,6 +140,26 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		// Device-level spans (batch attempts, retry backoffs, host reruns)
 		// record under the batch key, always retained when tracing is on.
 		eng.Device().Trace = tracer
+	}
+
+	// The generation store opens after the tracer so reload spans record
+	// from the first swap. The initial open is strict: a bad container at
+	// startup is an operator error and refuses to serve.
+	var store *refstore.Store
+	var mapStats *core.Stats
+	if *indexStore != "" {
+		st, err := refstore.Open(*indexStore, refstore.Options{
+			Trace: tracer,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(stderr, "seedex-serve: "+format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("opening index store: %w", err)
+		}
+		store = st
+		defer store.Close()
+		mapStats = core.NewStats()
 	}
 
 	flushIv := *flush
@@ -158,6 +184,19 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 	if *shards > 1 {
 		scfg.NewExtender = func(i int) align.Extender { return exts[i] }
+	}
+	if store != nil {
+		opts := bwamem.Options{Prefilter: *prefilter, PrefilterThreshold: *prefilterTh}
+		scfg.RefStore = store
+		scfg.MapOpts = opts
+		scfg.MapStats = mapStats
+		scfg.NewAligner = func(r *bwamem.Reference, ix *fmindex.Index) *bwamem.Aligner {
+			a := bwamem.NewWithIndex(r, ix, ext)
+			a.Opts.Prefilter = opts.Prefilter
+			a.Opts.PrefilterThreshold = opts.PrefilterThreshold
+			a.Stats = mapStats
+			return a
+		}
 	}
 	s := server.New(scfg)
 
@@ -193,6 +232,22 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 
+	if store != nil {
+		// SIGHUP is the operator's reload trigger (the HTTP twin is POST
+		// /admin/reload). A failed reload logs and rolls back; the serving
+		// generation is never disturbed.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if _, err := store.Reload(); err != nil {
+					fmt.Fprintf(stderr, "seedex-serve: SIGHUP reload failed (still serving the previous generation): %v\n", err)
+				}
+			}
+		}()
+	}
+
 	fmt.Fprintf(stderr, "seedex-serve: listening on %s (extender=%s band=%d batch=%d flush=%s queue=%d)\n",
 		ln.Addr(), *extName, *band, *maxBatch, *flush, *queueCap)
 	if *shards > 1 {
@@ -206,6 +261,14 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	if len(engines) > 0 {
 		fmt.Fprintf(stderr, "seedex-serve: chaos enabled (rate=%g seed=%d): device-backed engine with fault injection\n",
 			*chaos, *chaosSeed)
+	}
+	if store != nil {
+		st := store.Status()
+		fmt.Fprintf(stderr, "seedex-serve: /v1/map serving from index store %s (generation %d, %d contigs, mmap %d bytes, load %.1fms, warmup %.1fms; hot reload via SIGHUP or POST /admin/reload)\n",
+			st.Path, st.Generation, st.Contigs, st.MappedBytes, st.LoadMs, st.WarmupMs)
+		if *prefilter {
+			fmt.Fprintln(stderr, "seedex-serve: prefilter tier on over the index store (mappings bit-identical to filter-off)")
+		}
 	}
 	if aligner != nil {
 		fmt.Fprintf(stderr, "seedex-serve: /v1/map enabled (%d contigs)\n", len(aligner.Contigs.Names))
@@ -261,6 +324,11 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 			aligner.Opts.Prefilter, psn.PrefilterPass, psn.PrefilterReject, psn.PrefilterRescued, psn.PrefilterFalsePass)
 	} else if aligner != nil {
 		fmt.Fprintln(stderr, "seedex-serve: prefilter summary: enabled=false")
+	}
+	if store != nil {
+		st := store.Status()
+		fmt.Fprintf(stderr, "seedex-serve: index store summary: generation=%d reloads=%d failures=%d rollbacks=%d degraded=%v\n",
+			st.Generation, st.Reloads, st.ReloadFailures, st.Rollbacks, st.DegradedReload)
 	}
 	for i, eng := range engines {
 		if len(engines) > 1 {

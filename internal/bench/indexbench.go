@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+	"seedex/internal/fmindex"
+	"seedex/internal/genome"
+	"seedex/internal/readsim"
+	"seedex/internal/refstore"
+	"seedex/internal/server"
+)
+
+// IndexBenchConfig shapes the reference-index lifecycle benchmark:
+// container build and publish time, store open (load + warmup) time,
+// mmap-served /v1/map throughput at increasing concurrency, and a burst
+// of hot reloads fired into the measured window to price generation
+// swaps under load.
+type IndexBenchConfig struct {
+	// RefLen is the simulated reference length (default 60 000).
+	RefLen int
+	// Band is the one-sided band of the served extender (default 21).
+	Band int
+	// Reads is the number of distinct served read templates (default 64).
+	Reads int
+	// ReadsPerRequest is the client request size (default 8).
+	ReadsPerRequest int
+	// Concurrency lists the client counts to sweep (default 8, 32).
+	Concurrency []int
+	// Duration is the measurement window per point (default 1s).
+	Duration time.Duration
+	// Reloads is how many POST /admin/reload swaps fire during the
+	// highest-concurrency point (default 3).
+	Reloads int
+	// Seed pins the workload RNG.
+	Seed int64
+}
+
+func (c IndexBenchConfig) withDefaults() IndexBenchConfig {
+	if c.RefLen <= 0 {
+		c.RefLen = 60_000
+	}
+	if c.Band <= 0 {
+		c.Band = 21
+	}
+	if c.Reads <= 0 {
+		c.Reads = 64
+	}
+	if c.ReadsPerRequest <= 0 {
+		c.ReadsPerRequest = 8
+	}
+	if len(c.Concurrency) == 0 {
+		c.Concurrency = []int{8, 32}
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Reloads <= 0 {
+		c.Reloads = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// IndexServeReport is the index-store section of the BENCH_serve.json
+// run entry: how long the container takes to build, publish, map, and
+// warm, what /v1/map sustains when served from the read-only mapping,
+// and what a reload storm inside the measured window does to throughput
+// (generation swaps must cost requests nothing — the old generation
+// drains while the new one loads).
+type IndexServeReport struct {
+	RefLen    int   `json:"ref_len"`
+	ReadLen   int   `json:"read_len"`
+	Band      int   `json:"band"`
+	FileBytes int64 `json:"file_bytes"`
+	Contigs   int   `json:"contigs"`
+	// Build covers BuildIndex (suffix array + FM-index construction);
+	// Publish the container encode + fsync + rename; Load the store's
+	// open-and-validate of the mapped file; Warmup the page-touch pass.
+	BuildMs   float64 `json:"build_ms"`
+	PublishMs float64 `json:"publish_ms"`
+	LoadMs    float64 `json:"load_ms"`
+	WarmupMs  float64 `json:"warmup_ms"`
+	MmapBytes int64   `json:"mmap_bytes"`
+	// ZeroCopy reports whether the suffix array was served straight from
+	// the mapping (8-byte-aligned section) rather than copied to heap.
+	ZeroCopy        bool       `json:"zero_copy"`
+	ReadsPerRequest int        `json:"reads_per_request"`
+	DurationMs      float64    `json:"duration_ms_per_point"`
+	Points          []MapPoint `json:"points"`
+	// Reload storm results: swaps fired during the highest-concurrency
+	// point, and the store counters after.
+	ReloadsFired   int64 `json:"reloads_fired"`
+	Reloads        int64 `json:"reloads"`
+	ReloadFailures int64 `json:"reload_failures"`
+	Rollbacks      int64 `json:"rollbacks"`
+	// Equivalence sweep: every template read aligned by the mmap-decoded
+	// index and a freshly built in-heap index; Mismatches must be zero.
+	EquivReads      int `json:"equivalence_reads"`
+	EquivMismatches int `json:"equivalence_mismatches"`
+}
+
+// String renders a human-readable summary table.
+func (r IndexServeReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "index store: %d file bytes, %d contigs, build %.1fms, publish %.1fms, load %.1fms, warmup %.1fms, zero-copy=%v\n",
+		r.FileBytes, r.Contigs, r.BuildMs, r.PublishMs, r.LoadMs, r.WarmupMs, r.ZeroCopy)
+	fmt.Fprintf(&b, "%-12s %5s %12s %12s %10s %10s\n",
+		"config", "conc", "reads/s", "requests", "p50(us)", "p99(us)")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %5d %12.0f %12d %10.0f %10.0f\n",
+			p.Config, p.Concurrency, p.ReadsPerSec, p.Requests, p.P50Us, p.P99Us)
+	}
+	fmt.Fprintf(&b, "reload storm: %d fired in-window, store counted reloads=%d failures=%d rollbacks=%d\n",
+		r.ReloadsFired, r.Reloads, r.ReloadFailures, r.Rollbacks)
+	fmt.Fprintf(&b, "equivalence: %d reads mmap vs heap, %d mismatches\n", r.EquivReads, r.EquivMismatches)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// IndexServeBench measures the crash-safe index lifecycle end to end:
+// build + publish a container, open it through the generation store,
+// prove the mmap-decoded index maps bit-identically to a heap-built
+// one, then load-test /v1/map served from the mapping — with a hot
+// reload storm fired into the highest-concurrency window. A non-zero
+// equivalence mismatch count is an error.
+func IndexServeBench(cfg IndexBenchConfig) (IndexServeReport, error) {
+	cfg = cfg.withDefaults()
+	rep := IndexServeReport{
+		RefLen:          cfg.RefLen,
+		ReadLen:         mapReadLen,
+		Band:            cfg.Band,
+		ReadsPerRequest: cfg.ReadsPerRequest,
+		DurationMs:      float64(cfg.Duration.Nanoseconds()) / 1e6,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	refSeq := genome.Simulate(genome.SimConfig{Length: cfg.RefLen}, rng)
+	rcfg := readsim.DefaultConfig(cfg.Reads)
+	rcfg.ReadLen = mapReadLen
+	rcfg.ErrRate = 0.012
+	reads := readsim.Simulate(refSeq, rcfg, rng)
+
+	t0 := time.Now()
+	ref, ix, err := bwamem.BuildIndex([]bwamem.Contig{{Name: "chrIX", Seq: refSeq}})
+	if err != nil {
+		return rep, err
+	}
+	rep.BuildMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+
+	dir, err := os.MkdirTemp("", "seedex-indexbench")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ref.rix")
+	t0 = time.Now()
+	info, err := refstore.WriteFile(path, ref, ix)
+	if err != nil {
+		return rep, err
+	}
+	rep.PublishMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	rep.FileBytes = info.FileBytes
+	rep.Contigs = info.Contigs
+
+	store, err := refstore.Open(path, refstore.Options{})
+	if err != nil {
+		return rep, err
+	}
+	defer store.Close()
+	st := store.Status()
+	rep.LoadMs, rep.WarmupMs, rep.MmapBytes = st.LoadMs, st.WarmupMs, st.MappedBytes
+
+	newAligner := func(r *bwamem.Reference, x *fmindex.Index) *bwamem.Aligner {
+		se := core.New(cfg.Band)
+		se.Config.Mode = core.ModePaper
+		return bwamem.NewWithIndex(r, x, se)
+	}
+
+	// Equivalence: the generation decoded from the mapping must align
+	// every template exactly as the heap-built index does.
+	g := store.Acquire()
+	if g == nil {
+		return rep, fmt.Errorf("bench: store has no live generation")
+	}
+	rep.ZeroCopy = g.Info().ZeroCopy
+	heapAl, mmapAl := newAligner(ref, ix), newAligner(g.Ref(), g.Index())
+	rep.EquivReads = len(reads)
+	for _, r := range reads {
+		if !sameMapAlignment(heapAl.AlignRead(r.Seq), mmapAl.AlignRead(r.Seq)) {
+			rep.EquivMismatches++
+		}
+	}
+	g.Release()
+	if rep.EquivMismatches > 0 {
+		return rep, fmt.Errorf("bench: mmap-served index diverged: %d of %d reads map differently than the heap-built index",
+			rep.EquivMismatches, rep.EquivReads)
+	}
+
+	s := server.New(server.Config{
+		Extender:   core.New(cfg.Band),
+		RefStore:   store,
+		NewAligner: newAligner,
+	})
+	defer s.Close()
+	bodies := mapBodies(reads, cfg.ReadsPerRequest)
+	for i, conc := range cfg.Concurrency {
+		var during func(string)
+		if i == len(cfg.Concurrency)-1 {
+			// Reload storm inside the measured window: swaps spaced across
+			// the duration, each one remapping the file and draining the
+			// old generation under live traffic.
+			during = func(base string) {
+				gap := cfg.Duration / time.Duration(cfg.Reloads+1)
+				for k := 0; k < cfg.Reloads; k++ {
+					time.Sleep(gap)
+					resp, err := http.Post(base+"/admin/reload", "application/json", nil)
+					if err != nil {
+						continue
+					}
+					drainBody(resp)
+					rep.ReloadsFired++
+				}
+			}
+		}
+		p := measureMapPoint(s, bodies, conc, cfg.ReadsPerRequest, cfg.Duration, during)
+		p.Config = "mmap-store"
+		rep.Points = append(rep.Points, p)
+	}
+	st = store.Status()
+	rep.Reloads, rep.ReloadFailures, rep.Rollbacks = st.Reloads, st.ReloadFailures, st.Rollbacks
+	return rep, nil
+}

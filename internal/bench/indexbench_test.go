@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestIndexServeBench runs a miniature index-lifecycle benchmark: the
+// mmap-vs-heap equivalence sweep must be clean, the server must serve
+// traffic from the mapping, and the in-window reload storm must land as
+// clean generation swaps (no failures, no rollbacks — the published
+// file is never corrupted here).
+func TestIndexServeBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	rep, err := IndexServeBench(IndexBenchConfig{
+		RefLen:      20_000,
+		Reads:       24,
+		Concurrency: []int{4},
+		Duration:    300 * time.Millisecond,
+		Reloads:     2,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EquivMismatches != 0 {
+		t.Fatalf("mmap vs heap mismatches: %d of %d", rep.EquivMismatches, rep.EquivReads)
+	}
+	if rep.FileBytes <= 0 || rep.MmapBytes != rep.FileBytes {
+		t.Fatalf("mapping does not cover the file: mmap=%d file=%d", rep.MmapBytes, rep.FileBytes)
+	}
+	if !rep.ZeroCopy {
+		t.Fatal("suffix array was not served zero-copy from the mapping")
+	}
+	if rep.BuildMs <= 0 || rep.PublishMs <= 0 || rep.LoadMs <= 0 {
+		t.Fatalf("lifecycle timings missing: %+v", rep)
+	}
+	if len(rep.Points) != 1 || rep.Points[0].ReadsPerSec <= 0 {
+		t.Fatalf("mmap-store point served nothing: %+v", rep.Points)
+	}
+	if rep.ReloadsFired == 0 || rep.Reloads != rep.ReloadsFired {
+		t.Fatalf("reload storm did not land: fired=%d counted=%d", rep.ReloadsFired, rep.Reloads)
+	}
+	if rep.ReloadFailures != 0 || rep.Rollbacks != 0 {
+		t.Fatalf("clean reloads failed: failures=%d rollbacks=%d", rep.ReloadFailures, rep.Rollbacks)
+	}
+	t.Logf("%s", rep)
+}

@@ -330,11 +330,21 @@ func mapBodies(reads []readsim.Read, perReq int) [][]byte {
 }
 
 // runMapPoint measures one (aligner, concurrency) cell: a fresh server
-// over the shared aligner, closed-loop clients for the duration. The
-// first third of the window is warmup — connections, caches, and the
-// batcher settle before any request counts toward the measurement.
+// over the shared aligner, closed-loop clients for the duration.
 func runMapPoint(al *bwamem.Aligner, bodies [][]byte, conc, perReq int, dur time.Duration) MapPoint {
 	s := server.New(server.Config{Extender: al.Extender, Aligner: al})
+	defer s.Close()
+	return measureMapPoint(s, bodies, conc, perReq, dur, nil)
+}
+
+// measureMapPoint drives one concurrency point against a caller-owned
+// server (the caller closes it). The first third of the window is
+// warmup — connections, caches, and the batcher settle before any
+// request counts toward the measurement. When during is non-nil it runs
+// in its own goroutine once measurement starts, given the server's base
+// URL — the hook the index-store bench uses to fire hot reloads into
+// the measured window.
+func measureMapPoint(s *server.Server, bodies [][]byte, conc, perReq int, dur time.Duration, during func(base string)) MapPoint {
 	ts := httptest.NewServer(s.Handler())
 	tr := &http.Transport{MaxIdleConns: 2 * conc, MaxIdleConnsPerHost: 2 * conc}
 	client := &http.Client{Transport: tr}
@@ -369,12 +379,20 @@ func runMapPoint(al *bwamem.Aligner, bodies [][]byte, conc, perReq int, dur time
 	time.Sleep(dur / 3)
 	start := time.Now()
 	measuring.Store(true)
+	var duringWG sync.WaitGroup
+	if during != nil {
+		duringWG.Add(1)
+		go func() {
+			defer duringWG.Done()
+			during(ts.URL)
+		}()
+	}
 	time.Sleep(dur)
 	stop.Store(true)
 	wg.Wait()
+	duringWG.Wait()
 	elapsed := time.Since(start)
 	ts.Close()
-	s.Close()
 
 	var all []time.Duration
 	for _, l := range lats {

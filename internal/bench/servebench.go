@@ -192,6 +192,11 @@ type ServeBenchReport struct {
 	// Prefilter carries the pre-alignment filter tier's /v1/map
 	// benchmark when the run swept it (seedex-bench -fig serve -prefilter).
 	Prefilter *PrefilterServeReport `json:"prefilter,omitempty"`
+	// Index carries the reference-index lifecycle benchmark when the run
+	// swept it (seedex-bench -fig serve -index-bench): container
+	// build/publish/load/warmup time and mmap-served /v1/map throughput
+	// under a hot-reload storm.
+	Index *IndexServeReport `json:"index,omitempty"`
 }
 
 // JSON renders the report for BENCH_serve.json.

@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Index-lifecycle fault classes. Where Injector models an untrusted
+// accelerator (corruption in the DMA transport), IndexInjector models an
+// untrusted filesystem under the reference index store: files truncate
+// mid-write, bits rot, headers get clobbered by concurrent writers, and
+// the file a reload was pointed at vanishes before the open. Every draw
+// is a pure hash of (seed, attempt, class), so a chaos reload storm
+// replays bit-identically from its seed.
+
+// IndexClass identifies one injectable index-file fault class.
+type IndexClass int
+
+const (
+	// IndexTruncate cuts the index file short (a torn write that dodged
+	// atomic publication, or a filesystem that lost the tail).
+	IndexTruncate IndexClass = iota
+	// IndexBitFlip flips one bit somewhere in the file body.
+	IndexBitFlip
+	// IndexHeaderMismatch clobbers a byte inside the header region, so
+	// magic/version/section-length validation must catch it.
+	IndexHeaderMismatch
+	// IndexUnlink makes the file vanish between the reload trigger and
+	// the open.
+	IndexUnlink
+
+	numIndexClasses
+)
+
+// String names the class for counters and logs.
+func (c IndexClass) String() string {
+	switch c {
+	case IndexTruncate:
+		return "truncate"
+	case IndexBitFlip:
+		return "bit-flip"
+	case IndexHeaderMismatch:
+		return "header-mismatch"
+	case IndexUnlink:
+		return "unlink"
+	}
+	return "unknown"
+}
+
+// IndexConfig sets per-class rates for reload-time index corruption.
+// Each rate is the per-reload-attempt probability of that class firing;
+// at most one class applies per attempt (drawn in declaration order).
+type IndexConfig struct {
+	// Seed keys every decision; the same seed replays the same chaos.
+	Seed int64
+	// Per-attempt rates in [0, 1].
+	Truncate float64
+	BitFlip  float64
+	Header   float64
+	Unlink   float64
+}
+
+// UniformIndex enables every index fault class at the same rate — the
+// standard preset behind the reload chaos drills.
+func UniformIndex(seed int64, rate float64) IndexConfig {
+	return IndexConfig{Seed: seed, Truncate: rate, BitFlip: rate, Header: rate, Unlink: rate}
+}
+
+// IndexPlan is the fault drawn for one reload attempt. The zero plan
+// injects nothing. Frac positions the damage within the file as a
+// fraction of its length, so one plan applies to any file size.
+type IndexPlan struct {
+	Class IndexClass
+	Hit   bool
+	// Frac in [0, 1): truncation point, flipped-bit position, or the
+	// header byte offset scale, depending on Class.
+	Frac float64
+	// Bit selects the bit within the damaged byte for IndexBitFlip.
+	Bit uint
+}
+
+// Empty reports whether the plan injects nothing.
+func (p IndexPlan) Empty() bool { return !p.Hit }
+
+// IndexInjector draws deterministic index-file fault decisions. Rates
+// are atomics so drills can silence the chaos while the store is live.
+type IndexInjector struct {
+	seed     int64
+	rates    [numIndexClasses]atomic.Uint64 // float64 bits
+	injected [numIndexClasses]atomic.Int64
+}
+
+// NewIndexInjector builds an injector for cfg. A zero cfg yields a
+// valid, permanently-silent injector.
+func NewIndexInjector(cfg IndexConfig) *IndexInjector {
+	in := &IndexInjector{seed: cfg.Seed}
+	in.SetRate(IndexTruncate, cfg.Truncate)
+	in.SetRate(IndexBitFlip, cfg.BitFlip)
+	in.SetRate(IndexHeaderMismatch, cfg.Header)
+	in.SetRate(IndexUnlink, cfg.Unlink)
+	return in
+}
+
+// SetRate updates one class's rate (clamped to [0, 1]) while live.
+func (in *IndexInjector) SetRate(c IndexClass, rate float64) {
+	if c < 0 || c >= numIndexClasses {
+		return
+	}
+	if rate < 0 {
+		rate = 0
+	} else if rate > 1 {
+		rate = 1
+	}
+	in.rates[c].Store(math.Float64bits(rate))
+}
+
+// Rate reads one class's current rate.
+func (in *IndexInjector) Rate(c IndexClass) float64 {
+	if c < 0 || c >= numIndexClasses {
+		return 0
+	}
+	return math.Float64frombits(in.rates[c].Load())
+}
+
+// Enabled reports whether any class currently has a non-zero rate.
+func (in *IndexInjector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	for c := IndexClass(0); c < numIndexClasses; c++ {
+		if in.Rate(c) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ReloadPlan draws the fault for one reload attempt: the first class
+// whose Bernoulli draw hits wins (declaration order), so per-class
+// rates stay independent of each other's outcomes only through the
+// ordering — replay needs nothing beyond (seed, attempt).
+func (in *IndexInjector) ReloadPlan(attempt int64) IndexPlan {
+	if in == nil || !in.Enabled() {
+		return IndexPlan{}
+	}
+	for c := IndexClass(0); c < numIndexClasses; c++ {
+		rate := in.Rate(c)
+		if rate <= 0 {
+			continue
+		}
+		h := in.draw(c, uint64(attempt), 0)
+		if float64(h>>11)/(1<<53) >= rate {
+			continue
+		}
+		in.injected[c].Add(1)
+		pos := in.draw(c, uint64(attempt), 1)
+		return IndexPlan{
+			Class: c,
+			Hit:   true,
+			Frac:  float64(pos>>11) / (1 << 53),
+			Bit:   uint(pos % 8),
+		}
+	}
+	return IndexPlan{}
+}
+
+// draw hashes the decision tuple into 64 uniform bits, mirroring the
+// device injector's construction (distinct domain constant).
+func (in *IndexInjector) draw(c IndexClass, attempt, salt uint64) uint64 {
+	h := splitmix64(uint64(in.seed) ^ 0x1dec5_1dec5_1dec5)
+	h = splitmix64(h ^ uint64(c)<<3)
+	h = splitmix64(h ^ attempt<<17)
+	h = splitmix64(h ^ salt<<51)
+	return h
+}
+
+// IndexCounters snapshots the injected index-fault counts per class.
+type IndexCounters struct {
+	Truncate int64 `json:"truncate"`
+	BitFlip  int64 `json:"bit_flip"`
+	Header   int64 `json:"header_mismatch"`
+	Unlink   int64 `json:"unlink"`
+}
+
+// Total sums the per-class counts.
+func (c IndexCounters) Total() int64 {
+	return c.Truncate + c.BitFlip + c.Header + c.Unlink
+}
+
+// Counters snapshots the injected index-fault counts.
+func (in *IndexInjector) Counters() IndexCounters {
+	if in == nil {
+		return IndexCounters{}
+	}
+	return IndexCounters{
+		Truncate: in.injected[IndexTruncate].Load(),
+		BitFlip:  in.injected[IndexBitFlip].Load(),
+		Header:   in.injected[IndexHeaderMismatch].Load(),
+		Unlink:   in.injected[IndexUnlink].Load(),
+	}
+}

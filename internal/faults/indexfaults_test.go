@@ -1,0 +1,91 @@
+package faults
+
+import "testing"
+
+// TestIndexInjectorReplay pins the determinism contract: the same
+// (seed, attempt) tuple draws the same plan, different seeds decorrelate.
+func TestIndexInjectorReplay(t *testing.T) {
+	a := NewIndexInjector(UniformIndex(42, 0.3))
+	b := NewIndexInjector(UniformIndex(42, 0.3))
+	other := NewIndexInjector(UniformIndex(43, 0.3))
+	same, diff := 0, 0
+	for att := int64(0); att < 200; att++ {
+		pa, pb := a.ReloadPlan(att), b.ReloadPlan(att)
+		if pa != pb {
+			t.Fatalf("attempt %d: same seed drew different plans: %+v vs %+v", att, pa, pb)
+		}
+		if pa == other.ReloadPlan(att) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds drew identical chaos throughout")
+	}
+	if a.Counters() != b.Counters() {
+		t.Fatalf("replayed counters diverged: %+v vs %+v", a.Counters(), b.Counters())
+	}
+}
+
+func TestIndexInjectorRates(t *testing.T) {
+	silent := NewIndexInjector(IndexConfig{Seed: 1})
+	if silent.Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	for att := int64(0); att < 100; att++ {
+		if !silent.ReloadPlan(att).Empty() {
+			t.Fatal("silent injector drew a fault")
+		}
+	}
+	var nilInj *IndexInjector
+	if nilInj.Enabled() || !nilInj.ReloadPlan(1).Empty() || nilInj.Counters().Total() != 0 {
+		t.Fatal("nil injector is not inert")
+	}
+
+	always := NewIndexInjector(IndexConfig{Seed: 1, Truncate: 1})
+	for att := int64(0); att < 50; att++ {
+		p := always.ReloadPlan(att)
+		if p.Empty() || p.Class != IndexTruncate {
+			t.Fatalf("rate-1 truncate drew %+v", p)
+		}
+		if p.Frac < 0 || p.Frac >= 1 {
+			t.Fatalf("Frac out of range: %v", p.Frac)
+		}
+	}
+	if got := always.Counters(); got.Truncate != 50 || got.Total() != 50 {
+		t.Fatalf("counters: %+v", got)
+	}
+
+	// All classes on: each class fires at least once over enough draws.
+	uni := NewIndexInjector(UniformIndex(7, 0.5))
+	for att := int64(0); att < 400; att++ {
+		uni.ReloadPlan(att)
+	}
+	c := uni.Counters()
+	if c.Truncate == 0 || c.BitFlip == 0 || c.Header == 0 || c.Unlink == 0 {
+		t.Fatalf("a class never fired: %+v", c)
+	}
+
+	// Live rate change silences the chaos.
+	uni.SetRate(IndexTruncate, 0)
+	uni.SetRate(IndexBitFlip, 0)
+	uni.SetRate(IndexHeaderMismatch, 0)
+	uni.SetRate(IndexUnlink, 0)
+	if uni.Enabled() {
+		t.Fatal("still enabled after zeroing rates")
+	}
+}
+
+func TestIndexClassNames(t *testing.T) {
+	want := map[IndexClass]string{
+		IndexTruncate: "truncate", IndexBitFlip: "bit-flip",
+		IndexHeaderMismatch: "header-mismatch", IndexUnlink: "unlink",
+		IndexClass(99): "unknown",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Fatalf("%d named %q, want %q", c, c.String(), name)
+		}
+	}
+}

@@ -107,6 +107,10 @@ func (ix *Index) Len() int { return len(ix.text) }
 // Text returns the indexed text (shared, do not modify).
 func (ix *Index) Text() []byte { return ix.text }
 
+// SA returns the suffix array (shared, do not modify). Together with
+// Text it is the persisted half of the index; everything else derives.
+func (ix *Index) SA() []int32 { return ix.sa }
+
 // occAt returns Occ(b, i): occurrences of b in bwt[0:i].
 func (ix *Index) occAt(b byte, i int32) int32 {
 	cp := int(i) / occRate

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -11,44 +12,91 @@ import (
 // expensive parts); BWT, counts and occurrence checkpoints are
 // reconstructed in O(n) on load. Production aligners ship prebuilt
 // indexes exactly this way (BWA's .bwt/.sa files).
+//
+// Format v2 frames both sections with CRC32-Castagnoli checksums and a
+// self-checksummed header, so a truncated or bit-flipped index file is
+// rejected on load instead of silently corrupting every downstream
+// mapping. v1 streams (magic, version, length, raw sections) remain
+// readable; ReadIndex auto-detects the version.
 
 const (
 	indexMagic   = uint32(0x5345_4458) // "SEDX"
-	indexVersion = uint32(1)
+	indexVersion = uint32(2)
+	legacyV1     = uint32(1)
+
+	// v2Header is the byte length of the v2 header: magic, version,
+	// text length, text CRC, SA CRC, header CRC.
+	v2Header = 4 + 4 + 8 + 4 + 4 + 4
 )
 
-// WriteTo serializes the index.
+// maxIndexLen bounds the declared text length; anything larger is a
+// corrupt or hostile header, not a genome.
+const maxIndexLen = 1 << 33
+
+// castagnoli is the CRC32-C table shared by every checksummed section.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum is the section checksum the index format uses (CRC32-C),
+// exposed so container formats layered above the index (refstore) frame
+// their sections with the same function.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// ChecksumUpdate extends a running Checksum with more bytes, so callers
+// can frame a section they stream in chunks.
+func ChecksumUpdate(crc uint32, b []byte) uint32 { return crc32.Update(crc, castagnoli, b) }
+
+// WriteTo serializes the index in format v2.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
+	hdr := make([]byte, v2Header)
+	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], indexVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(ix.text)))
+	binary.LittleEndian.PutUint32(hdr[16:], Checksum(ix.text))
+	saBytes := int32Bytes(ix.sa)
+	binary.LittleEndian.PutUint32(hdr[20:], Checksum(saBytes))
+	binary.LittleEndian.PutUint32(hdr[24:], Checksum(hdr[:24]))
 	var n int64
-	put := func(v any) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
+	for _, sec := range [][]byte{hdr, ix.text, saBytes} {
+		m, err := w.Write(sec)
+		n += int64(m)
+		if err != nil {
+			return n, err
 		}
-		n += int64(binary.Size(v))
-		return nil
 	}
-	if err := put(indexMagic); err != nil {
-		return n, err
+	return n, nil
+}
+
+// int32Bytes renders a suffix array as little-endian bytes (the on-disk
+// layout of both format versions).
+func int32Bytes(sa []int32) []byte {
+	out := make([]byte, 4*len(sa))
+	for i, v := range sa {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
 	}
-	if err := put(indexVersion); err != nil {
-		return n, err
+	return out
+}
+
+// readBounded reads exactly n bytes in bounded chunks, so a lying
+// header length cannot force an allocation larger than the bytes
+// actually present in the stream (plus one chunk): the buffer only
+// grows as real bytes arrive.
+func readBounded(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		m := min(n-uint64(len(buf)), chunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
 	}
-	if err := put(uint64(len(ix.text))); err != nil {
-		return n, err
-	}
-	if _, err := bw.Write(ix.text); err != nil {
-		return n, err
-	}
-	n += int64(len(ix.text))
-	if err := put(ix.sa); err != nil {
-		return n, err
-	}
-	return n, bw.Flush()
+	return buf, nil
 }
 
 // ReadIndex deserializes an index written by WriteTo, reconstructing the
-// derived structures.
+// derived structures. Both format versions load: v2 verifies the header
+// and section checksums; legacy v1 streams carry none to verify.
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	var magic, version uint32
@@ -61,29 +109,88 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != indexVersion {
-		return nil, fmt.Errorf("fmindex: unsupported index version %d", version)
+	switch version {
+	case legacyV1:
+		return readIndexV1(br)
+	case indexVersion:
+		return readIndexV2(br)
 	}
+	return nil, fmt.Errorf("fmindex: unsupported index version %d", version)
+}
+
+// readIndexV1 reads the unframed legacy stream (length, text, sa).
+func readIndexV1(br *bufio.Reader) (*Index, error) {
 	var n uint64
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
-	const maxIndexLen = 1 << 33
 	if n > maxIndexLen {
 		return nil, fmt.Errorf("fmindex: implausible text length %d", n)
 	}
-	text := make([]byte, n)
-	if _, err := io.ReadFull(br, text); err != nil {
-		return nil, err
+	text, err := readBounded(br, n)
+	if err != nil {
+		return nil, fmt.Errorf("fmindex: reading text: %w", err)
 	}
-	sa := make([]int32, n)
-	if err := binary.Read(br, binary.LittleEndian, sa); err != nil {
-		return nil, err
+	saBytes, err := readBounded(br, 4*n)
+	if err != nil {
+		return nil, fmt.Errorf("fmindex: reading suffix array: %w", err)
 	}
-	for i, p := range sa {
-		if p < 0 || uint64(p) >= n {
-			return nil, fmt.Errorf("fmindex: corrupt suffix array at %d", i)
-		}
+	return rebuildFromBytes(text, saBytes)
+}
+
+// readIndexV2 reads the checksummed stream: the header validates itself
+// first, then each section validates against its declared checksum.
+func readIndexV2(br *bufio.Reader) (*Index, error) {
+	rest := make([]byte, v2Header-8)
+	if _, err := io.ReadFull(br, rest); err != nil {
+		return nil, fmt.Errorf("fmindex: reading v2 header: %w", err)
+	}
+	hdr := make([]byte, 0, v2Header)
+	hdr = binary.LittleEndian.AppendUint32(hdr, indexMagic)
+	hdr = binary.LittleEndian.AppendUint32(hdr, indexVersion)
+	hdr = append(hdr, rest...)
+	if got, want := Checksum(hdr[:24]), binary.LittleEndian.Uint32(hdr[24:]); got != want {
+		return nil, fmt.Errorf("fmindex: header checksum mismatch (got %#x, want %#x)", got, want)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n > maxIndexLen {
+		return nil, fmt.Errorf("fmindex: implausible text length %d", n)
+	}
+	text, err := readBounded(br, n)
+	if err != nil {
+		return nil, fmt.Errorf("fmindex: reading text: %w", err)
+	}
+	if got, want := Checksum(text), binary.LittleEndian.Uint32(hdr[16:]); got != want {
+		return nil, fmt.Errorf("fmindex: text checksum mismatch (got %#x, want %#x)", got, want)
+	}
+	saBytes, err := readBounded(br, 4*n)
+	if err != nil {
+		return nil, fmt.Errorf("fmindex: reading suffix array: %w", err)
+	}
+	if got, want := Checksum(saBytes), binary.LittleEndian.Uint32(hdr[20:]); got != want {
+		return nil, fmt.Errorf("fmindex: suffix-array checksum mismatch (got %#x, want %#x)", got, want)
+	}
+	return rebuildFromBytes(text, saBytes)
+}
+
+// rebuildFromBytes decodes the on-disk suffix array and rebuilds.
+func rebuildFromBytes(text, saBytes []byte) (*Index, error) {
+	sa := make([]int32, len(saBytes)/4)
+	for i := range sa {
+		sa[i] = int32(binary.LittleEndian.Uint32(saBytes[4*i:]))
+	}
+	return rebuild(text, sa)
+}
+
+// FromParts assembles an index over caller-provided text and suffix
+// array storage — typically slices aliasing a read-only memory-mapped
+// index file, so every shard and worker shares one physical copy of the
+// big sections. Both slices are validated like a deserialized stream
+// and must not be modified afterwards; the derived search structures
+// (BWT, occurrence checkpoints) are rebuilt on the heap.
+func FromParts(text []byte, sa []int32) (*Index, error) {
+	if len(sa) != len(text) {
+		return nil, fmt.Errorf("fmindex: suffix array length %d != text length %d", len(sa), len(text))
 	}
 	return rebuild(text, sa)
 }
@@ -93,6 +200,12 @@ func rebuild(text []byte, sa []int32) (*Index, error) {
 	for i, c := range text {
 		if c > Separator {
 			return nil, fmt.Errorf("fmindex: unsanitized base %d at %d", c, i)
+		}
+	}
+	n := uint64(len(text))
+	for i, p := range sa {
+		if p < 0 || uint64(p) >= n {
+			return nil, fmt.Errorf("fmindex: corrupt suffix array at %d", i)
 		}
 	}
 	ix := &Index{text: text, sa: sa}

@@ -1,0 +1,53 @@
+package fmindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadIndex feeds untrusted bytes to the index loader. The loader
+// must never panic, and a hostile header length must never force an
+// allocation materially larger than the input itself (readBounded grows
+// only as real bytes arrive) — so the fuzzer also asserts that inputs
+// well under the declared section sizes still fail fast.
+func FuzzReadIndex(f *testing.F) {
+	ix, err := New(randSeq(rand.New(rand.NewSource(9)), 300))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if _, err := ix.WriteTo(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(writeV1(ix))
+	f.Add([]byte{})
+	f.Add([]byte("SEDX"))
+	// A v2 header whose declared length dwarfs the stream: 8 GB of text
+	// announced, zero bytes present.
+	hdr := make([]byte, v2Header)
+	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], indexVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], maxIndexLen)
+	binary.LittleEndian.PutUint32(hdr[24:], Checksum(hdr[:24]))
+	f.Add(hdr)
+	// The v1 equivalent (no checksums guard the lie).
+	v1lie := make([]byte, 16)
+	binary.LittleEndian.PutUint32(v1lie[0:], indexMagic)
+	binary.LittleEndian.PutUint32(v1lie[4:], 1)
+	binary.LittleEndian.PutUint64(v1lie[8:], maxIndexLen)
+	f.Add(v1lie)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted indexes must be internally consistent enough to query.
+		if ix.Len() > len(data) {
+			t.Fatalf("accepted index of length %d from %d input bytes", ix.Len(), len(data))
+		}
+		ix.Count([]byte{0, 1, 2, 3})
+	})
+}

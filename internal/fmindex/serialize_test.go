@@ -2,6 +2,7 @@ package fmindex
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 )
@@ -82,5 +83,99 @@ func TestReadIndexRejectsCorruptSA(t *testing.T) {
 	raw[len(raw)-2] = 0x7f // clobber a suffix-array entry
 	if _, err := ReadIndex(bytes.NewReader(raw)); err == nil {
 		t.Fatal("corrupt suffix array accepted")
+	}
+}
+
+// writeV1 renders the legacy unframed stream for an index, so the
+// auto-detect path is exercised against bytes v1 writers produced.
+func writeV1(ix *Index) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, legacyV1Magic())
+	binary.Write(&buf, binary.LittleEndian, uint32(1))
+	binary.Write(&buf, binary.LittleEndian, uint64(len(ix.text)))
+	buf.Write(ix.text)
+	binary.Write(&buf, binary.LittleEndian, ix.sa)
+	return buf.Bytes()
+}
+
+func legacyV1Magic() uint32 { return indexMagic }
+
+func TestReadIndexLegacyV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	text := randSeq(rng, 700)
+	ix, err := New(append([]byte(nil), text...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(bytes.NewReader(writeV1(ix)))
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	for probe := 0; probe < 20; probe++ {
+		beg := rng.Intn(len(text) - 8)
+		p := text[beg : beg+1+rng.Intn(7)]
+		if ix.Count(p) != back.Count(p) {
+			t.Fatal("Count differs after v1 round trip")
+		}
+	}
+}
+
+// TestReadIndexRejectsCorruption flips one bit at every interesting
+// offset class of a v2 stream and demands rejection: the header
+// self-check catches header damage, the section checksums catch payload
+// damage, and truncation fails the bounded section reads.
+func TestReadIndexRejectsCorruption(t *testing.T) {
+	ix, err := New(randSeq(rand.New(rand.NewSource(4)), 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	if _, err := ReadIndex(bytes.NewReader(pristine)); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+	offsets := []int{8, 16, 20, 24, v2Header + 5, v2Header + 400 + 9, len(pristine) - 1}
+	for _, off := range offsets {
+		raw := append([]byte(nil), pristine...)
+		raw[off] ^= 0x10
+		if _, err := ReadIndex(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", off)
+		}
+	}
+	for _, cut := range []int{v2Header - 1, v2Header + 10, len(pristine) - 3} {
+		if _, err := ReadIndex(bytes.NewReader(pristine[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestFromParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	text := randSeq(rng, 600)
+	ix, err := New(append([]byte(nil), text...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromParts(ix.Text(), ix.SA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 20; probe++ {
+		beg := rng.Intn(len(text) - 8)
+		p := text[beg : beg+1+rng.Intn(7)]
+		if ix.Count(p) != back.Count(p) {
+			t.Fatal("Count differs for FromParts index")
+		}
+	}
+	if _, err := FromParts(text[:10], ix.SA()); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	badSA := append([]int32(nil), ix.SA()...)
+	badSA[7] = int32(len(text)) + 3
+	if _, err := FromParts(ix.Text(), badSA); err == nil {
+		t.Fatal("out-of-range suffix array entry accepted")
 	}
 }

@@ -40,6 +40,8 @@ func argNames(k Kind) (string, string) {
 		return "attempt", ""
 	case KindPrefilter:
 		return "pass", "reject"
+	case KindIndexReload:
+		return "generation", "ok"
 	}
 	return "v1", "v2"
 }
@@ -52,7 +54,8 @@ func argValue(k Kind, which int, v int64) string {
 		return `"` + TierName(v) + `"`
 	case (k == KindCheck || k == KindRerun) && which == 1:
 		return `"` + core.Outcome(v).String() + `"`
-	case k == KindCheck && which == 2, k == KindFlush && which == 2:
+	case k == KindCheck && which == 2, k == KindFlush && which == 2,
+		k == KindIndexReload && which == 2:
 		if v != 0 {
 			return "true"
 		}

@@ -59,12 +59,15 @@ const (
 	// KindPrefilter is an instant span carrying one read's pre-alignment
 	// filter activity (v1 = chains passed, v2 = chains rejected).
 	KindPrefilter
+	// KindIndexReload covers one reference-index reload attempt, from
+	// trigger to publish or rollback (v1 = generation, v2 = ok).
+	KindIndexReload
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"request", "queue_wait", "batch_flush", "kernel", "check", "host_rerun",
-	"device", "retry_backoff", "prefilter",
+	"device", "retry_backoff", "prefilter", "index_reload",
 }
 
 // String names the stage for exports.

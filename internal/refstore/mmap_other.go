@@ -1,0 +1,18 @@
+//go:build !unix
+
+package refstore
+
+import (
+	"errors"
+	"os"
+)
+
+// Non-unix fallback: no mmap, so the store reads the file into memory
+// instead (same validation, one private copy per generation).
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("refstore: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

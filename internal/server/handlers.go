@@ -17,6 +17,7 @@ import (
 	"seedex/internal/faults"
 	"seedex/internal/genome"
 	"seedex/internal/obs"
+	"seedex/internal/refstore"
 )
 
 // ExtendJob is one extension problem in the request JSON: align query
@@ -99,6 +100,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/map", s.handleMap)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/slow", s.handleTracesSlow)
 }
@@ -506,6 +508,7 @@ type metricsBody struct {
 	Checks    *checksBody       `json:"checks,omitempty"`
 	Faults    *faults.Health    `json:"faults,omitempty"`
 	MapQueue  *queueBody        `json:"map_queue,omitempty"`
+	Index     *refstore.Status  `json:"index,omitempty"`
 	Cluster   *clusterBody      `json:"cluster,omitempty"`
 	Shards    []ShardSnapshot   `json:"shards,omitempty"`
 	Trace     *obs.Stats        `json:"trace,omitempty"`
@@ -601,6 +604,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		depth, capacity := s.mapQueue()
 		body.MapQueue = &queueBody{Depth: depth, Cap: capacity}
 	}
+	if s.cfg.RefStore != nil {
+		st := s.cfg.RefStore.Status()
+		body.Index = &st
+	}
 	if s.trace != nil {
 		ts := s.trace.TraceStats()
 		body.Trace = &ts
@@ -647,6 +654,33 @@ func (s *Server) writeTraceExport(w http.ResponseWriter, r *http.Request, spans 
 	obs.WriteChromeTrace(w, epochWall, spans)
 }
 
+// reloadBody is the POST /admin/reload reply.
+type reloadBody struct {
+	OK         bool   `json:"ok"`
+	Generation uint64 `json:"generation"` // serving generation after the attempt
+	Error      string `json:"error,omitempty"`
+}
+
+// handleReload triggers a hot reload of the reference index store (the
+// HTTP twin of SIGHUP). The call is synchronous and bounded by the
+// store's retry budget: 200 with the new generation on success, 500
+// with the rollback error when every attempt failed — in which case
+// the previous generation is still serving and /healthz reports the
+// degraded-reload state.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	_, ridStr := requestID(w, r)
+	if s.cfg.RefStore == nil {
+		s.writeError(w, http.StatusNotFound, ridStr, "no reference index store: server started without -index-store")
+		return
+	}
+	gen, err := s.cfg.RefStore.Reload()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, reloadBody{OK: false, Generation: gen, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadBody{OK: true, Generation: gen})
+}
+
 // handleHealthz reports the cluster's load-balancer view: "draining"
 // answers 503 (admission is closed on every shard — nothing can serve;
 // take the instance out of rotation), while "degraded" answers 200 (one
@@ -683,12 +717,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			body["prefilter"] = "off"
 		}
 	}
-	if degraded > 0 {
-		body["status"] = "degraded"
-		if len(s.shards) == 1 {
-			body["breaker"] = breakers[0]
+	// Index lifecycle: a degraded-reload store (last reload rolled back)
+	// still serves exact results from the previous generation, so like
+	// breaker degradation it answers 200 — the LB must not evict it, but
+	// operators see the state and the rollback counters.
+	indexDegraded := false
+	if s.cfg.RefStore != nil {
+		st := s.cfg.RefStore.Status()
+		body["index_generation"] = strconv.FormatUint(st.Generation, 10)
+		body["index_reloads"] = strconv.FormatInt(st.Reloads, 10)
+		body["index_reload_failures"] = strconv.FormatInt(st.ReloadFailures, 10)
+		body["index_rollbacks"] = strconv.FormatInt(st.Rollbacks, 10)
+		if st.DegradedReload {
+			body["index_state"] = "degraded-reload"
+			indexDegraded = true
 		} else {
-			body["breakers"] = strings.Join(breakers, ",")
+			body["index_state"] = "ok"
+		}
+	}
+	if degraded > 0 || indexDegraded {
+		body["status"] = "degraded"
+		if degraded > 0 {
+			if len(s.shards) == 1 {
+				body["breaker"] = breakers[0]
+			} else {
+				body["breakers"] = strings.Join(breakers, ",")
+			}
 		}
 		writeJSON(w, http.StatusOK, body)
 		return

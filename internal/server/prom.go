@@ -183,6 +183,19 @@ func (s *Server) collectProm(p *obs.Prom) {
 		p.Gauge("seedex_kernel_cells_per_second", "Mean DP cell throughput since start.", float64(kt.Cells)/uptime)
 	}
 
+	// Reference index lifecycle (the generation store behind /v1/map).
+	if s.cfg.RefStore != nil {
+		st := s.cfg.RefStore.Status()
+		p.Gauge("seedex_index_generation", "Serving generation of the reference index store.", float64(st.Generation))
+		p.Counter("seedex_index_reloads_total", "Index hot reloads that published a new generation.", float64(st.Reloads))
+		p.Counter("seedex_index_reload_failures_total", "Index load attempts rejected (corrupt, truncated, vanished).", float64(st.ReloadFailures))
+		p.Counter("seedex_index_rollbacks_total", "Reload triggers that exhausted retries and kept the old generation.", float64(st.Rollbacks))
+		p.Gauge("seedex_index_degraded_reload", "1 while the last reload rolled back (still serving the previous generation).", boolGauge(st.DegradedReload))
+		p.Gauge("seedex_index_mmap_bytes", "Bytes of the serving generation's read-only mapping (0 on the copy-load path).", float64(st.MappedBytes))
+		p.Gauge("seedex_index_warmup_seconds", "Page-touch warmup time of the serving generation.", st.WarmupMs/1e3)
+		p.Gauge("seedex_index_load_seconds", "Validate-and-assemble time of the serving generation.", st.LoadMs/1e3)
+	}
+
 	// Tracer health.
 	if s.trace != nil {
 		ts := s.trace.TraceStats()
@@ -193,4 +206,11 @@ func (s *Server) collectProm(p *obs.Prom) {
 	}
 
 	p.Gauge("seedex_uptime_seconds", "Seconds since the server started.", uptime)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

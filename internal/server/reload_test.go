@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seedex/internal/bwamem"
+	"seedex/internal/core"
+	"seedex/internal/faults"
+	"seedex/internal/fmindex"
+	"seedex/internal/genome"
+	"seedex/internal/readsim"
+	"seedex/internal/refstore"
+)
+
+// refStoreFixture publishes a simulated reference as a container file
+// and returns the store path plus the expected SAM for a set of reads.
+type refStoreFixture struct {
+	path     string
+	req      MapRequest
+	wantSam  []string
+	refBytes []byte
+}
+
+func newRefStoreFixture(t *testing.T, seed int64) *refStoreFixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	refSeq := genome.Simulate(genome.SimConfig{Length: 30_000}, rng)
+	reads := readsim.Simulate(refSeq, readsim.DefaultConfig(24), rng)
+
+	ref, ix, err := bwamem.BuildIndex([]bwamem.Contig{{Name: "chrT", Seq: refSeq}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ref.rix")
+	if _, err := refstore.WriteFile(path, ref, ix); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected mappings from a plain fixed-aligner pipeline over the
+	// same index: the store-served results must be bit-identical.
+	a := bwamem.NewWithIndex(ref, ix, core.New(20))
+	fx := &refStoreFixture{path: path}
+	pr := make([]bwamem.Read, len(reads))
+	for i, r := range reads {
+		pr[i] = bwamem.Read{Name: r.ID, Seq: r.Seq, Qual: r.Qual}
+		fx.req.Reads = append(fx.req.Reads, MapRead{Name: r.ID, Seq: genome.Decode(r.Seq), Qual: string(r.Qual)})
+	}
+	want, _ := a.Run(pr, 0)
+	for _, rec := range want {
+		fx.wantSam = append(fx.wantSam, rec.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.refBytes = data
+	return fx
+}
+
+// newStoreServer builds a server mapping from the generation store.
+func newStoreServer(t *testing.T, store *refstore.Store, cfg Config) (*Server, string) {
+	t.Helper()
+	stats := &core.Stats{}
+	cfg.RefStore = store
+	cfg.MapStats = stats
+	cfg.NewAligner = func(ref *bwamem.Reference, ix *fmindex.Index) *bwamem.Aligner {
+		a := bwamem.NewWithIndex(ref, ix, core.New(20))
+		a.Stats = stats
+		return a
+	}
+	s, ts := newTestServer(t, cfg)
+	return s, ts.URL
+}
+
+// checkMap posts the fixture reads and requires status 200 with SAM
+// records bit-identical to the fixed-pipeline expectation. It never
+// calls into testing.T, so client goroutines can use it directly.
+func (fx *refStoreFixture) checkMap(t *testing.T, url string) error {
+	data, err := json.Marshal(fx.req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url+"/v1/map", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out MapResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	if len(out.Results) != len(fx.wantSam) {
+		return fmt.Errorf("%d results for %d reads", len(out.Results), len(fx.wantSam))
+	}
+	for i, r := range out.Results {
+		if r.Sam != fx.wantSam[i] {
+			return fmt.Errorf("read %d diverged:\n  served: %s\n  want:   %s", i, r.Sam, fx.wantSam[i])
+		}
+	}
+	return nil
+}
+
+func healthzBody(t *testing.T, url string) (int, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestMapServesFromRefStore pins the baseline: /v1/map served from an
+// mmap-backed generation store returns exactly the records the fixed
+// aligner pipeline produces, and the health and metrics surfaces report
+// the index lifecycle.
+func TestMapServesFromRefStore(t *testing.T) {
+	fx := newRefStoreFixture(t, 21)
+	store, err := refstore.Open(fx.path, refstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	_, url := newStoreServer(t, store, Config{})
+
+	if err := fx.checkMap(t, url); err != nil {
+		t.Fatal(err)
+	}
+	code, body := healthzBody(t, url)
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz %d %v", code, body)
+	}
+	if body["index_generation"] != "1" || body["index_state"] != "ok" {
+		t.Fatalf("healthz index fields: %v", body)
+	}
+}
+
+// TestAdminReloadHotSwap proves a reload through POST /admin/reload
+// swaps generations with mappings bit-identical before, during and
+// after, while traffic keeps flowing.
+func TestAdminReloadHotSwap(t *testing.T) {
+	fx := newRefStoreFixture(t, 22)
+	store, err := refstore.Open(fx.path, refstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	_, url := newStoreServer(t, store, Config{
+		MapBatch: BatcherConfig{MaxBatch: 8, FlushInterval: time.Millisecond, Workers: 2},
+	})
+
+	var stop atomic.Bool
+	var fails atomic.Int64
+	var oks atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := fx.checkMap(t, url); err != nil {
+					fails.Add(1)
+					t.Errorf("map under reload: %v", err)
+					return
+				}
+				oks.Add(1)
+			}
+		}()
+	}
+
+	for i := 0; i < 5; i++ {
+		resp := postJSON(t, url+"/admin/reload", struct{}{})
+		var body reloadBody
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !body.OK {
+			t.Fatalf("reload %d: status %d body %+v", i, resp.StatusCode, body)
+		}
+		if body.Generation != uint64(i+2) {
+			t.Fatalf("reload %d produced generation %d", i, body.Generation)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if fails.Load() != 0 || oks.Load() == 0 {
+		t.Fatalf("%d failed, %d ok map requests during reloads", fails.Load(), oks.Load())
+	}
+	if st := store.Status(); st.Reloads != 5 || st.DegradedReload {
+		t.Fatalf("store status after reloads: %+v", st)
+	}
+}
+
+// TestReloadRollbackDegradedHealthz is the rollback path over HTTP: a
+// corrupt published file makes /admin/reload answer 500, /healthz turns
+// degraded (still 200 — the old generation serves exact results), and
+// mapping traffic is unaffected; republishing the good bytes recovers.
+func TestReloadRollbackDegradedHealthz(t *testing.T) {
+	fx := newRefStoreFixture(t, 23)
+	store, err := refstore.Open(fx.path, refstore.Options{MaxAttempts: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	_, url := newStoreServer(t, store, Config{})
+
+	// Publish garbage over the index (write-aside + rename, as a broken
+	// publisher would).
+	bad := append([]byte{}, fx.refBytes[:len(fx.refBytes)/4]...)
+	tmp := fx.path + ".next"
+	if err := os.WriteFile(tmp, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, fx.path); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, url+"/admin/reload", struct{}{})
+	var body reloadBody
+	json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || body.OK || body.Error == "" {
+		t.Fatalf("reload of corrupt index: status %d body %+v", resp.StatusCode, body)
+	}
+	if body.Generation != 1 {
+		t.Fatalf("rollback reports generation %d, want 1", body.Generation)
+	}
+
+	code, hz := healthzBody(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("degraded healthz answered %d, want 200", code)
+	}
+	if hz["status"] != "degraded" || hz["index_state"] != "degraded-reload" {
+		t.Fatalf("healthz after rollback: %v", hz)
+	}
+	if hz["index_rollbacks"] != "1" || hz["index_reload_failures"] != "2" {
+		t.Fatalf("healthz counters after rollback: %v", hz)
+	}
+	// The old generation still serves exact mappings.
+	if err := fx.checkMap(t, url); err != nil {
+		t.Fatalf("map after rollback: %v", err)
+	}
+
+	// Republish the good bytes: reload recovers, healthz clears.
+	if err := os.WriteFile(tmp, fx.refBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, fx.path); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, url+"/admin/reload", struct{}{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovery reload: status %d", resp.StatusCode)
+	}
+	if _, hz := healthzBody(t, url); hz["status"] != "ok" || hz["index_state"] != "ok" {
+		t.Fatalf("healthz after recovery: %v", hz)
+	}
+	if err := fx.checkMap(t, url); err != nil {
+		t.Fatalf("map after recovery: %v", err)
+	}
+}
+
+// TestReloadWithoutStore pins the 404 when no store is configured.
+func TestReloadWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/admin/reload", struct{}{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPrometheusIndexFamilies checks the index lifecycle's whole
+// reporting surface: seedex_index_* families in the strict Prometheus
+// round-trip, the index section of the /metrics JSON body, and the
+// generation fields in /healthz — before and after a reload.
+func TestPrometheusIndexFamilies(t *testing.T) {
+	fx := newRefStoreFixture(t, 24)
+	store, err := refstore.Open(fx.path, refstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	_, url := newStoreServer(t, store, Config{})
+	if err := fx.checkMap(t, url); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := scrapeProm(t, url)
+	for fam, typ := range map[string]string{
+		"seedex_index_generation":            "gauge",
+		"seedex_index_reloads_total":         "counter",
+		"seedex_index_reload_failures_total": "counter",
+		"seedex_index_rollbacks_total":       "counter",
+		"seedex_index_degraded_reload":       "gauge",
+		"seedex_index_mmap_bytes":            "gauge",
+		"seedex_index_warmup_seconds":        "gauge",
+		"seedex_index_load_seconds":          "gauge",
+	} {
+		if got := sc.types[fam]; got != typ {
+			t.Errorf("family %s has type %q, want %q", fam, got, typ)
+		}
+	}
+	if sc.samples["seedex_index_generation"] != 1 {
+		t.Errorf("seedex_index_generation = %v, want 1", sc.samples["seedex_index_generation"])
+	}
+	if sc.samples["seedex_index_mmap_bytes"] <= 0 {
+		t.Errorf("seedex_index_mmap_bytes = %v, want > 0 on the mmap path", sc.samples["seedex_index_mmap_bytes"])
+	}
+
+	if _, err := store.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	sc = scrapeProm(t, url)
+	if sc.samples["seedex_index_generation"] != 2 || sc.samples["seedex_index_reloads_total"] != 1 {
+		t.Errorf("post-reload scrape: generation=%v reloads=%v",
+			sc.samples["seedex_index_generation"], sc.samples["seedex_index_reloads_total"])
+	}
+
+	var met struct {
+		Index *refstore.Status `json:"index"`
+	}
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&met); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if met.Index == nil || met.Index.Generation != 2 || met.Index.MappedBytes <= 0 {
+		t.Fatalf("metrics index section: %+v", met.Index)
+	}
+}
+
+// TestMapReloadChaosStorm is the acceptance drill: a reload storm with
+// every index fault class injecting, mapping clients running the whole
+// time. Invariants: zero failed /v1/map requests, every response
+// bit-identical to the fixed pipeline, every failed reload rolled back
+// (reloads + rollbacks = triggers), and the fault sequence replays from
+// its seed.
+func TestMapReloadChaosStorm(t *testing.T) {
+	seed := containmentSeed(t)
+	fx := newRefStoreFixture(t, seed)
+	inj := faults.NewIndexInjector(faults.UniformIndex(seed, 0.4))
+	store, err := refstore.Open(fx.path, refstore.Options{
+		MaxAttempts:  2,
+		RetryBackoff: 200 * time.Microsecond,
+		Chaos:        inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	_, url := newStoreServer(t, store, Config{
+		MapBatch: BatcherConfig{MaxBatch: 8, FlushInterval: time.Millisecond, Workers: 2},
+	})
+
+	var stop atomic.Bool
+	var fails, oks atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := fx.checkMap(t, url); err != nil {
+					fails.Add(1)
+					t.Errorf("map during chaos storm: %v", err)
+					return
+				}
+				oks.Add(1)
+			}
+		}()
+	}
+
+	const storms = 25
+	failedReloads := 0
+	for i := 0; i < storms; i++ {
+		resp := postJSON(t, url+"/admin/reload", struct{}{})
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusInternalServerError:
+			failedReloads++
+		default:
+			t.Fatalf("reload %d: unexpected status %d", i, resp.StatusCode)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if fails.Load() != 0 {
+		t.Fatalf("%d /v1/map requests failed during the storm (%d ok)", fails.Load(), oks.Load())
+	}
+	if oks.Load() == 0 {
+		t.Fatal("no mapping traffic ran during the storm")
+	}
+	st := store.Status()
+	if st.Reloads+st.Rollbacks != storms {
+		t.Fatalf("reloads %d + rollbacks %d != %d triggers", st.Reloads, st.Rollbacks, storms)
+	}
+	if int(st.Rollbacks) != failedReloads {
+		t.Fatalf("%d HTTP reload failures but %d rollbacks", failedReloads, st.Rollbacks)
+	}
+	if st.ChaosInjected.Total() == 0 {
+		t.Fatal("chaos injector never fired at rate 0.4")
+	}
+	// Whatever the storm left serving still answers bit-identically.
+	if err := fx.checkMap(t, url); err != nil {
+		t.Fatalf("map after storm: %v", err)
+	}
+	// Replay: the injected-fault sequence is a pure function of the seed
+	// and attempt count, so a rerun with SEEDEX_CHAOS_SEED reproduces it.
+	inj2 := faults.NewIndexInjector(faults.UniformIndex(seed, 0.4))
+	attempts := int64(0)
+	for inj2.Counters() != st.ChaosInjected {
+		attempts++
+		if attempts > 10_000 {
+			t.Fatal("storm chaos could not be replayed from its seed")
+		}
+		inj2.ReloadPlan(attempts)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"seedex/internal/bwamem"
 	"seedex/internal/core"
 	"seedex/internal/faults"
+	"seedex/internal/fmindex"
 	"seedex/internal/obs"
+	"seedex/internal/refstore"
 )
 
 // Config assembles a Server.
@@ -23,6 +25,26 @@ type Config struct {
 	Extender align.Extender
 	// Aligner, when non-nil, enables /v1/map (full read mapping).
 	Aligner *bwamem.Aligner
+	// RefStore, when non-nil, serves /v1/map from the crash-safe
+	// generation store instead of a fixed Aligner: map workers follow
+	// the store's current generation (mmap-backed, hot-reloadable via
+	// POST /admin/reload or the store's own triggers), rebuilding their
+	// mapping session when a reload publishes a new generation.
+	// In-flight batches drain on the generation they acquired.
+	RefStore *refstore.Store
+	// NewAligner builds the mapping aligner over one generation's
+	// reference and index (the embedder wires the extender, options and
+	// shared stats sink). Required when RefStore is set.
+	NewAligner func(ref *bwamem.Reference, ix *fmindex.Index) *bwamem.Aligner
+	// MapOpts echoes the aligner options NewAligner applies, so the
+	// health and metrics surfaces can report the mapping configuration
+	// without a fixed aligner instance to inspect. Ignored when Aligner
+	// is set.
+	MapOpts bwamem.Options
+	// MapStats, when non-nil, is the shared check-statistics sink the
+	// RefStore aligners record into (so prefilter counters survive
+	// generation swaps). Ignored when Aligner is set.
+	MapStats *core.Stats
 	// Shards splits the service into that many independent shard units —
 	// each its own micro-batcher, worker pool, extender (see NewExtender)
 	// and, for engine-backed extenders, circuit breaker — behind the
@@ -128,6 +150,9 @@ func New(cfg Config) *Server {
 	// final values through s.cfg before the pools start.
 	cfg.Batch = cfg.Batch.withDefaults()
 	cfg.MapBatch = cfg.MapBatch.withDefaults()
+	if cfg.RefStore != nil && cfg.NewAligner == nil {
+		panic("server: Config.RefStore requires Config.NewAligner")
+	}
 	s := &Server{cfg: cfg, met: &Metrics{}, trace: cfg.Trace, reg: obs.NewRegistry(), mux: http.NewServeMux(), started: time.Now()}
 	if s.cfg.Health == nil && cfg.NewExtender == nil {
 		if h, ok := cfg.Extender.(interface{ Health() faults.Health }); ok {
@@ -140,7 +165,7 @@ func New(cfg Config) *Server {
 	var mapGroup *stealGroup[mapJob]
 	if cfg.Shards > 1 {
 		extGroup = &stealGroup[extJob]{}
-		if cfg.Aligner != nil {
+		if cfg.Aligner != nil || cfg.RefStore != nil {
 			mapGroup = &stealGroup[mapJob]{}
 		}
 	}
@@ -182,7 +207,7 @@ func New(cfg Config) *Server {
 		} else {
 			sh.ext = newShardBatcher(cfg.Batch, s.met, sh.sm, extGroup, i, extWork)
 		}
-		if cfg.Aligner != nil {
+		if cfg.Aligner != nil || cfg.RefStore != nil {
 			sh.maps = newShardBatcher(cfg.MapBatch, s.met, sh.sm, mapGroup, i, func() func([]mapJob) { return s.mapWorker(sh) })
 		}
 		s.shards = append(s.shards, sh)
@@ -206,6 +231,10 @@ func New(cfg Config) *Server {
 	if cfg.Aligner != nil && cfg.Aligner.Stats != nil && !seenStats[cfg.Aligner.Stats] {
 		seenStats[cfg.Aligner.Stats] = true
 		s.stats = append(s.stats, cfg.Aligner.Stats)
+	}
+	if cfg.Aligner == nil && cfg.MapStats != nil && !seenStats[cfg.MapStats] {
+		seenStats[cfg.MapStats] = true
+		s.stats = append(s.stats, cfg.MapStats)
 	}
 	rt, err := newRouter(s.shards, cfg.RoutePolicy)
 	if err != nil {
@@ -287,13 +316,23 @@ func (s *Server) mapQueue() (depth, capacity int) {
 }
 
 // mapEnabled reports whether the mapping pipeline exists (Config.Aligner
-// was set).
-func (s *Server) mapEnabled() bool { return s.cfg.Aligner != nil }
+// or Config.RefStore was set).
+func (s *Server) mapEnabled() bool { return s.cfg.Aligner != nil || s.cfg.RefStore != nil }
+
+// mapOpts returns the mapping options the pipeline runs under: the
+// fixed aligner's when one is set, the configured echo for the
+// generation-store path.
+func (s *Server) mapOpts() bwamem.Options {
+	if s.cfg.Aligner != nil {
+		return s.cfg.Aligner.Opts
+	}
+	return s.cfg.MapOpts
+}
 
 // prefilterOn reports whether the mapping pipeline screens chains with
 // the pre-alignment filter tier.
 func (s *Server) prefilterOn() bool {
-	return s.cfg.Aligner != nil && s.cfg.Aligner.Opts.Prefilter
+	return s.mapEnabled() && s.mapOpts().Prefilter
 }
 
 // prefilterThreshold returns the active edit-threshold fraction (0 when
@@ -302,7 +341,7 @@ func (s *Server) prefilterThreshold() float64 {
 	if !s.prefilterOn() {
 		return 0
 	}
-	if th := s.cfg.Aligner.Opts.PrefilterThreshold; th > 0 {
+	if th := s.mapOpts().PrefilterThreshold; th > 0 {
 		return th
 	}
 	return bwamem.DefaultPrefilterThreshold
@@ -605,10 +644,39 @@ func extendJobsVia(ext align.Extender, jobs []align.Job, dst []align.ExtendResul
 // reentrant bwamem.Mapper session applied to each read of the batch (the
 // extensions inside each read still run through the extender's packed
 // batch path).
+// With a RefStore configured, the worker follows the generation store:
+// each batch acquires a refcounted handle on the current generation
+// (held for the batch, so a concurrent reload cannot unmap the memory
+// the batch is reading) and rebuilds its mapper session only when the
+// generation actually changed. Old generations drain batch-by-batch —
+// a reload storm never stalls or fails a single read.
 func (s *Server) mapWorker(sh *shard) func([]mapJob) {
-	m := s.cfg.Aligner.NewMapper()
+	var m *bwamem.Mapper
+	store := s.cfg.RefStore
+	if store == nil {
+		m = s.cfg.Aligner.NewMapper()
+	}
+	var genID uint64
 	return func(batch []mapJob) {
 		now := time.Now()
+		if store != nil {
+			g := store.Acquire()
+			if g == nil {
+				// The store closed under us (shutdown): resolve the batch
+				// as expired so every pending completes.
+				for _, j := range batch {
+					s.met.Expired.Add(1)
+					j.sh.settleExpired()
+					j.out.expire(j.i, j.name)
+				}
+				return
+			}
+			defer g.Release()
+			if m == nil || g.ID() != genID {
+				m = s.cfg.NewAligner(g.Ref(), g.Index()).NewMapper()
+				genID = g.ID()
+			}
+		}
 		for _, j := range batch {
 			wait := now.Sub(j.enq)
 			s.met.QueueWait.observe(wait.Nanoseconds())
