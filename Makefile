@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos obs-smoke index-smoke bench bench-extend bench-regression serve-bench
+# Build identity, stamped into the binaries at link time and surfaced as
+# the seedex_build_info Prometheus gauge, the /metrics "build" section,
+# every structured log line, and each flight dump's meta.json.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS := -X main.version=$(VERSION) -X main.commit=$(COMMIT)
+
+.PHONY: check vet build test race chaos obs-smoke flight-smoke index-smoke bench bench-extend bench-regression serve-bench bin
 
 check: vet build test race
 
@@ -9,6 +16,11 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# Stamped binaries under bin/: the daemons report $(VERSION)/$(COMMIT)
+# instead of dev/unknown.
+bin:
+	$(GO) build -ldflags '$(LDFLAGS)' -o bin/ ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -38,6 +50,13 @@ chaos:
 # formats are well-formed. Artifacts land in obs-smoke/ (override OUT).
 obs-smoke:
 	bash scripts/obs_smoke.sh
+
+# Flight-recorder smoke: boot seedex-serve under chaos fault injection
+# with the recorder armed, trip the breaker, then assert the automatic
+# breaker-trip dump (with fault-carrying journeys) and a SIGQUIT dump
+# both land. Artifacts land in flight-smoke/ (override OUT).
+flight-smoke:
+	bash scripts/flight_smoke.sh
 
 # Index lifecycle smoke: build a container with seedex-index, serve it
 # through seedex-serve -index-store, hot-reload under live mapping

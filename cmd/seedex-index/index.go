@@ -10,6 +10,7 @@ import (
 	"seedex/internal/bwamem"
 	"seedex/internal/fastx"
 	"seedex/internal/genome"
+	"seedex/internal/obs"
 	"seedex/internal/refstore"
 )
 
@@ -65,8 +66,9 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "seedex-index: published %s (%d contigs, %d text bytes, %d file bytes)\n",
-		*out, info.Contigs, info.TextBytes, info.FileBytes)
+	obs.NewLogger(stdout, "seedex-index").Info(
+		fmt.Sprintf("published %s (%d contigs, %d text bytes, %d file bytes)",
+			*out, info.Contigs, info.TextBytes, info.FileBytes))
 	return nil
 }
 
@@ -83,8 +85,9 @@ func runVerify(args []string, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("%s failed verification: %w", path, err)
 	}
-	fmt.Fprintf(stdout, "seedex-index: %s ok (%d contigs, %d file bytes, text crc %08x, sa crc %08x)\n",
-		path, info.Contigs, info.FileBytes, info.TextCRC, info.SACRC)
+	obs.NewLogger(stdout, "seedex-index").Info(
+		fmt.Sprintf("%s ok (%d contigs, %d file bytes, text crc %08x, sa crc %08x)",
+			path, info.Contigs, info.FileBytes, info.TextCRC, info.SACRC))
 	return nil
 }
 

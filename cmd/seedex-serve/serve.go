@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -26,6 +27,18 @@ import (
 	"seedex/internal/obs"
 	"seedex/internal/refstore"
 	"seedex/internal/server"
+)
+
+// Build identity, stamped at link time:
+//
+//	go build -ldflags "-X main.version=v1.2.3 -X main.commit=$(git rev-parse --short HEAD)"
+//
+// Plain builds report dev/unknown. The values surface as the
+// seedex_build_info gauge, the /metrics "build" section, every log
+// line's source binary, and each flight dump's meta.json.
+var (
+	version string
+	commit  string
 )
 
 // run is the testable daemon body; main wires it to os streams. When
@@ -54,12 +67,25 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
 	shards := fs.Int("shards", 1, "serving shards: each gets its own extension engine, micro-batcher and worker pool behind the routing tier (1 = the unsharded pipeline)")
 	routePolicy := fs.String("route-policy", "least-loaded", "routing policy for -shards > 1: least-loaded | occupancy | hash")
-	traceSample := fs.Int("trace-sample", 0, "record pipeline spans for 1 in N requests and export them at /debug/traces (0 disables tracing)")
+	traceSample := fs.Int("trace-sample", 0, "record pipeline spans for 1 in N requests and export them at /debug/traces (0 disables head sampling)")
 	traceSlow := fs.Int("trace-slow", 64, "always retain the K slowest requests at /debug/traces/slow, regardless of sampling")
+	traceTail := fs.Bool("trace-tail", false, "tail-based retention: every request records its journey, and completions that breached the latency budget, failed, or crossed a steal/reroute/rescue/reload/fault keep the full trace at /debug/journeys")
+	traceTailBudget := fs.Duration("trace-tail-budget", 100*time.Millisecond, "latency budget for the tail-retention verdict (and the default SLO latency objective)")
+	traceTailKeep := fs.Int("trace-tail-keep", 256, "retained journeys in the tail ring (oldest evicted first)")
+	sloLatency := fs.Duration("slo-latency", 0, "latency threshold of the extend-latency SLO objective (0 = the tail budget)")
+	sloInterval := fs.Duration("slo-interval", 10*time.Second, "SLO burn-rate sampling cadence (<0 disables the background sampler)")
+	flightDir := fs.String("flight-dir", "", "write crash/degradation flight-recorder tarballs here (SIGQUIT, breaker trips, reload rollbacks, SLO fast burn; empty disables the recorder)")
+	flightMinIv := fs.Duration("flight-min-interval", 30*time.Second, "debounce between automatic flight dumps (SIGQUIT bypasses it)")
+	flightPoll := fs.Duration("flight-poll", 2*time.Second, "degradation watcher cadence: how often breaker trips, reload rollbacks and the SLO fast-burn flag are checked for an automatic dump")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof profiling handlers on this separate address (empty disables them)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// One JSON object per stderr line from here on; flag errors above keep
+	// the flag package's plain-text usage output.
+	logger := obs.NewLogger(stderr, "seedex-serve")
+	build := obs.BuildInfo{Version: version, Commit: commit}.WithDefaults()
 
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
@@ -121,7 +147,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		if *indexStore != "" {
 			return fmt.Errorf("-ref and -index-store are mutually exclusive: the store container carries the reference")
 		}
-		a, err := loadAligner(*refPath, *indexPath, ext, stderr)
+		a, err := loadAligner(*refPath, *indexPath, ext, logger)
 		if err != nil {
 			return err
 		}
@@ -135,7 +161,15 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		return fmt.Errorf("-prefilter needs the mapping pipeline; set -ref or -index-store")
 	}
 
-	tracer := obs.New(obs.Config{SampleEvery: *traceSample, SlowK: *traceSlow})
+	tracer := obs.New(obs.Config{
+		SampleEvery: *traceSample,
+		SlowK:       *traceSlow,
+		Tail: obs.TailConfig{
+			Enabled: *traceTail,
+			Budget:  *traceTailBudget,
+			Keep:    *traceTailKeep,
+		},
+	})
 	for _, eng := range engines {
 		// Device-level spans (batch attempts, retry backoffs, host reruns)
 		// record under the batch key, always retained when tracing is on.
@@ -151,7 +185,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		st, err := refstore.Open(*indexStore, refstore.Options{
 			Trace: tracer,
 			Logf: func(format string, a ...any) {
-				fmt.Fprintf(stderr, "seedex-serve: "+format+"\n", a...)
+				logger.Info(fmt.Sprintf(format, a...))
 			},
 		})
 		if err != nil {
@@ -181,6 +215,10 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		},
 		MaxJobsPerRequest: *maxJobs,
 		Trace:             tracer,
+		Build:             build,
+		SLO:               server.SLOConfig{LatencyBudget: *sloLatency, Interval: *sloInterval},
+		Flight:            obs.FlightConfig{Dir: *flightDir, MinInterval: *flightMinIv},
+		FlightPoll:        *flightPoll,
 	}
 	if *shards > 1 {
 		scfg.NewExtender = func(i int) align.Extender { return exts[i] }
@@ -225,12 +263,29 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		}
 		debugServer = &http.Server{Handler: dmux}
 		go debugServer.Serve(dln)
-		fmt.Fprintf(stderr, "seedex-serve: pprof profiling on http://%s/debug/pprof/\n", dln.Addr())
+		logger.Info(fmt.Sprintf("pprof profiling on http://%s/debug/pprof/", dln.Addr()))
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
+
+	// SIGQUIT is the operator's flight-recorder trigger: dump the
+	// tail-retained journeys, metrics, SLO state and runtime profiles to
+	// a tarball (bypassing the automatic-dump debounce) and keep serving.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			path, err := s.FlightDumpForce("sigquit")
+			if err != nil {
+				logger.Error("flight dump failed", "reason", "sigquit", "err", err.Error())
+				continue
+			}
+			logger.Info("flight dump written", "reason", "sigquit", "path", path)
+		}
+	}()
 
 	if store != nil {
 		// SIGHUP is the operator's reload trigger (the HTTP twin is POST
@@ -242,42 +297,53 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		go func() {
 			for range hup {
 				if _, err := store.Reload(); err != nil {
-					fmt.Fprintf(stderr, "seedex-serve: SIGHUP reload failed (still serving the previous generation): %v\n", err)
+					logger.Error("SIGHUP reload failed (still serving the previous generation)", "err", err.Error())
 				}
 			}
 		}()
 	}
 
-	fmt.Fprintf(stderr, "seedex-serve: listening on %s (extender=%s band=%d batch=%d flush=%s queue=%d)\n",
-		ln.Addr(), *extName, *band, *maxBatch, *flush, *queueCap)
+	logger.Info(fmt.Sprintf("listening on %s", ln.Addr()),
+		"version", build.Version, "commit", build.Commit, "go", build.GoVersion(),
+		"extender", *extName, "band", *band, "batch", *maxBatch,
+		"flush", flush.String(), "queue", *queueCap)
 	if *shards > 1 {
-		fmt.Fprintf(stderr, "seedex-serve: %d shards behind the %s routing policy (per-shard engines, breakers and queues)\n",
-			*shards, *routePolicy)
+		logger.Info(fmt.Sprintf("%d shards behind the %s routing policy (per-shard engines, breakers and queues)",
+			*shards, *routePolicy))
 	}
-	if tracer != nil {
-		fmt.Fprintf(stderr, "seedex-serve: tracing 1/%d requests (exports at /debug/traces, slowest %d at /debug/traces/slow)\n",
-			*traceSample, *traceSlow)
+	if tracer != nil && *traceSample > 0 {
+		logger.Info(fmt.Sprintf("tracing 1/%d requests (exports at /debug/traces, slowest %d at /debug/traces/slow)",
+			*traceSample, *traceSlow))
+	}
+	if tracer.TailEnabled() {
+		logger.Info("tail retention on: breached/failed/eventful journeys kept at /debug/journeys",
+			"budget", traceTailBudget.String(), "keep", *traceTailKeep)
+	}
+	if s.FlightRecorder() != nil {
+		logger.Info("flight recorder armed (SIGQUIT, breaker trips, reload rollbacks, SLO fast burn)",
+			"dir", *flightDir, "min_interval", flightMinIv.String())
 	}
 	if len(engines) > 0 {
-		fmt.Fprintf(stderr, "seedex-serve: chaos enabled (rate=%g seed=%d): device-backed engine with fault injection\n",
-			*chaos, *chaosSeed)
+		logger.Info(fmt.Sprintf("chaos enabled (rate=%g seed=%d): device-backed engine with fault injection",
+			*chaos, *chaosSeed))
 	}
 	if store != nil {
 		st := store.Status()
-		fmt.Fprintf(stderr, "seedex-serve: /v1/map serving from index store %s (generation %d, %d contigs, mmap %d bytes, load %.1fms, warmup %.1fms; hot reload via SIGHUP or POST /admin/reload)\n",
-			st.Path, st.Generation, st.Contigs, st.MappedBytes, st.LoadMs, st.WarmupMs)
+		logger.Info(fmt.Sprintf("/v1/map serving from index store %s (hot reload via SIGHUP or POST /admin/reload)", st.Path),
+			"generation", st.Generation, "contigs", st.Contigs, "mmap_bytes", st.MappedBytes,
+			"load_ms", st.LoadMs, "warmup_ms", st.WarmupMs)
 		if *prefilter {
-			fmt.Fprintln(stderr, "seedex-serve: prefilter tier on over the index store (mappings bit-identical to filter-off)")
+			logger.Info("prefilter tier on over the index store (mappings bit-identical to filter-off)")
 		}
 	}
 	if aligner != nil {
-		fmt.Fprintf(stderr, "seedex-serve: /v1/map enabled (%d contigs)\n", len(aligner.Contigs.Names))
+		logger.Info(fmt.Sprintf("/v1/map enabled (%d contigs)", len(aligner.Contigs.Names)))
 		if aligner.Opts.Prefilter {
 			th := aligner.Opts.PrefilterThreshold
 			if th <= 0 {
 				th = bwamem.DefaultPrefilterThreshold
 			}
-			fmt.Fprintf(stderr, "seedex-serve: prefilter tier on (threshold=%g of read length; mappings bit-identical to filter-off)\n", th)
+			logger.Info(fmt.Sprintf("prefilter tier on (threshold=%g of read length; mappings bit-identical to filter-off)", th))
 		}
 	}
 	if ready != nil {
@@ -291,12 +357,12 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	case <-sig:
 	}
 
-	fmt.Fprintln(stderr, "seedex-serve: draining (in-flight work completes, new work gets 503)...")
+	logger.Info("draining (in-flight work completes, new work gets 503)...")
 	s.StartDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		fmt.Fprintf(stderr, "seedex-serve: drain budget exceeded, closing: %v\n", err)
+		logger.Error("drain budget exceeded, closing", "err", err.Error())
 		hs.Close()
 	}
 	if debugServer != nil {
@@ -304,47 +370,52 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 	s.Close()
 	snap := s.Metrics().Snapshot(0, 0)
-	fmt.Fprintf(stderr, "seedex-serve: served %d requests, %d jobs in %d batches (mean occupancy %.1f)\n",
-		snap.Requests, snap.Completed, snap.Batches, snap.MeanOccupancy)
+	logger.Info(fmt.Sprintf("served %d requests, %d jobs in %d batches (mean occupancy %.1f)",
+		snap.Requests, snap.Completed, snap.Batches, snap.MeanOccupancy))
 	if *shards > 1 {
 		for _, sh := range s.ShardSnapshots() {
-			fmt.Fprintf(stderr, "seedex-serve: shard %d: %d jobs in %d batches, routed=%d rerouted=%d stolen-from-peers=%d\n",
-				sh.ID, sh.Completed, sh.Batches, sh.Routed, sh.Rerouted, sh.Steals)
+			logger.Info(fmt.Sprintf("shard %d: %d jobs in %d batches, routed=%d rerouted=%d stolen-from-peers=%d",
+				sh.ID, sh.Completed, sh.Batches, sh.Routed, sh.Rerouted, sh.Steals))
 		}
 	}
 	for i, se := range ses {
 		if len(ses) > 1 {
-			fmt.Fprintf(stderr, "seedex-serve: shard %d: ", i)
+			logger.Info(fmt.Sprintf("shard %d: %v", i, se.Stats))
+		} else {
+			logger.Info(fmt.Sprint(se.Stats))
 		}
-		fmt.Fprintln(stderr, se.Stats)
 	}
 	if aligner != nil && aligner.Stats != nil {
 		psn := aligner.Stats.Snapshot()
-		fmt.Fprintf(stderr, "seedex-serve: prefilter summary: enabled=%v pass=%d reject=%d rescued=%d false-pass=%d\n",
-			aligner.Opts.Prefilter, psn.PrefilterPass, psn.PrefilterReject, psn.PrefilterRescued, psn.PrefilterFalsePass)
+		logger.Info(fmt.Sprintf("prefilter summary: enabled=%v pass=%d reject=%d rescued=%d false-pass=%d",
+			aligner.Opts.Prefilter, psn.PrefilterPass, psn.PrefilterReject, psn.PrefilterRescued, psn.PrefilterFalsePass))
 	} else if aligner != nil {
-		fmt.Fprintln(stderr, "seedex-serve: prefilter summary: enabled=false")
+		logger.Info("prefilter summary: enabled=false")
 	}
 	if store != nil {
 		st := store.Status()
-		fmt.Fprintf(stderr, "seedex-serve: index store summary: generation=%d reloads=%d failures=%d rollbacks=%d degraded=%v\n",
-			st.Generation, st.Reloads, st.ReloadFailures, st.Rollbacks, st.DegradedReload)
+		logger.Info(fmt.Sprintf("index store summary: generation=%d reloads=%d failures=%d rollbacks=%d degraded=%v",
+			st.Generation, st.Reloads, st.ReloadFailures, st.Rollbacks, st.DegradedReload))
+	}
+	if fr := s.FlightRecorder(); fr != nil && fr.Dumps() > 0 {
+		logger.Info(fmt.Sprintf("flight recorder summary: %d dumps, last %s", fr.Dumps(), fr.LastPath()))
 	}
 	for i, eng := range engines {
+		prefix := ""
 		if len(engines) > 1 {
-			fmt.Fprintf(stderr, "seedex-serve: shard %d:\n", i)
+			prefix = fmt.Sprintf("shard %d: ", i)
 		}
-		fmt.Fprintln(stderr, eng.Device().Stats)
+		logger.Info(prefix + fmt.Sprint(eng.Device().Stats))
 		h := eng.Health()
-		fmt.Fprintf(stderr, "seedex-serve: chaos summary: breaker=%s injected=%d detected=%d retries=%d trips=%d host-only=%d\n",
-			h.Breaker, h.Injected.Total(), h.Detected, h.Retries, h.Trips, h.HostOnly)
+		logger.Info(fmt.Sprintf("%schaos summary: breaker=%s injected=%d detected=%d retries=%d trips=%d host-only=%d",
+			prefix, h.Breaker, h.Injected.Total(), h.Detected, h.Retries, h.Trips, h.HostOnly))
 	}
 	return nil
 }
 
 // loadAligner assembles the mapping pipeline behind /v1/map, loading or
 // building the index the same way seedex-align does.
-func loadAligner(refPath, indexPath string, ext align.Extender, stderr io.Writer) (*bwamem.Aligner, error) {
+func loadAligner(refPath, indexPath string, ext align.Extender, logger *slog.Logger) (*bwamem.Aligner, error) {
 	rf, err := os.Open(refPath)
 	if err != nil {
 		return nil, err
@@ -368,7 +439,7 @@ func loadAligner(refPath, indexPath string, ext align.Extender, stderr io.Writer
 			if lerr != nil {
 				return nil, fmt.Errorf("loading %s: %w", indexPath, lerr)
 			}
-			fmt.Fprintf(stderr, "seedex-serve: loaded index %s (%d contigs)\n", indexPath, len(ref.Names))
+			logger.Info(fmt.Sprintf("loaded index %s (%d contigs)", indexPath, len(ref.Names)))
 			return bwamem.NewWithIndex(ref, ix, ext), nil
 		}
 		ref, ix, berr := bwamem.BuildIndex(contigs)
@@ -386,7 +457,7 @@ func loadAligner(refPath, indexPath string, ext align.Extender, stderr io.Writer
 		if cerr := f.Close(); cerr != nil {
 			return nil, cerr
 		}
-		fmt.Fprintf(stderr, "seedex-serve: built and saved index %s\n", indexPath)
+		logger.Info(fmt.Sprintf("built and saved index %s", indexPath))
 		return bwamem.NewWithIndex(ref, ix, ext), nil
 	}
 	return bwamem.NewMulti(contigs, ext)

@@ -59,10 +59,13 @@ type ServeBenchConfig struct {
 	// TraceSample enables the trace-overhead mode: a third configuration
 	// ("batched-traced") reruns the batched settings with span tracing at
 	// this head-sampling rate (1 in N requests; default 100, i.e. 1%),
-	// so the report quantifies what tracing costs in served jobs/s.
-	// Negative disables the third configuration. Chaos runs skip it
-	// regardless: they measure the cost of fault tolerance, and fault
-	// draws would confound the tracing-overhead comparison.
+	// so the report quantifies what tracing costs in served jobs/s. A
+	// fourth configuration ("batched-tail") reruns them with tail-based
+	// retention checking out a journey for every request, quantifying the
+	// tail-sampling overhead the same way. Negative disables both extra
+	// configurations. Chaos runs skip them regardless: they measure the
+	// cost of fault tolerance, and fault draws would confound the
+	// overhead comparisons.
 	TraceSample int
 	// Shards lists shard counts to sweep as extra "sharded-N"
 	// configurations: the batched settings behind the routing tier, each
@@ -111,7 +114,7 @@ func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
 
 // ServePoint is one (configuration, concurrency) measurement.
 type ServePoint struct {
-	Config      string  `json:"config"` // "batched", "unbatched" or "batched-traced"
+	Config      string  `json:"config"` // "batched", "unbatched", "batched-traced", "batched-tail" or "sharded-N"
 	Concurrency int     `json:"concurrency"`
 	Requests    int64   `json:"requests"`
 	Jobs        int64   `json:"jobs"`
@@ -189,6 +192,12 @@ type ServeBenchReport struct {
 	// highest measured concurrency: (batched - batched-traced) / batched,
 	// as a percentage. Present only when the traced configuration ran.
 	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
+	// TailOverheadPct is the jobs/s cost of tail-based retention (every
+	// request checks out a journey buffer; the verdict decides what
+	// survives) at the highest measured concurrency, against the same
+	// untraced "batched" baseline. Present only when the tail
+	// configuration ran.
+	TailOverheadPct float64 `json:"tail_overhead_pct,omitempty"`
 	// Prefilter carries the pre-alignment filter tier's /v1/map
 	// benchmark when the run swept it (seedex-bench -fig serve -prefilter).
 	Prefilter *PrefilterServeReport `json:"prefilter,omitempty"`
@@ -228,6 +237,7 @@ func (r ServeBenchReport) String() string {
 	}
 	if r.TraceSample > 0 {
 		fmt.Fprintf(&b, "tracing 1/%d overhead at high concurrency: %.1f%% jobs/s\n", r.TraceSample, r.TraceOverheadPct)
+		fmt.Fprintf(&b, "tail sampling overhead at high concurrency: %.1f%% jobs/s\n", r.TailOverheadPct)
 	}
 	return strings.TrimRight(b.String(), "\n")
 }
@@ -341,6 +351,7 @@ func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
 		name   string
 		batch  server.BatcherConfig
 		sample int
+		tail   bool
 		shards int
 	}
 	batched := server.BatcherConfig{MaxBatch: cfg.MaxBatch, FlushInterval: cfg.Flush}
@@ -350,6 +361,7 @@ func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
 	}
 	if cfg.TraceSample > 0 {
 		configs = append(configs, serveConfig{name: "batched-traced", batch: batched, sample: cfg.TraceSample, shards: 1})
+		configs = append(configs, serveConfig{name: "batched-tail", batch: batched, tail: true, shards: 1})
 	}
 	for _, n := range cfg.Shards {
 		if n > 1 {
@@ -364,7 +376,7 @@ func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
 	for _, c := range configs {
 		byConfig[c.name] = map[int]ServePoint{}
 		for _, conc := range cfg.Concurrency {
-			p := runServePoint(cfg, c.batch, bodies, conc, c.sample, c.shards)
+			p := runServePoint(cfg, c.batch, bodies, conc, c.sample, c.tail, c.shards)
 			p.Config = c.name
 			rep.Points = append(rep.Points, p)
 			byConfig[c.name][conc] = p
@@ -380,6 +392,9 @@ func ServeBench(w *Workload, cfg ServeBenchConfig) ServeBenchReport {
 		if base > 0 {
 			if t, ok := byConfig["batched-traced"][conc]; ok {
 				rep.TraceOverheadPct = 100 * (base - t.JobsPerSec) / base
+			}
+			if t, ok := byConfig["batched-tail"][conc]; ok {
+				rep.TailOverheadPct = 100 * (base - t.JobsPerSec) / base
 			}
 		}
 		// Shard scaling curve: "batched" is the curve's 1-shard point.
@@ -432,7 +447,7 @@ func serveBodies(probs []Problem, jobsPerReq int) [][]byte {
 // runServePoint measures one (batch config, concurrency, shard count)
 // cell: a fresh server, closed-loop clients for the duration, then the
 // server's own batch-shape metrics.
-func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]byte, conc, sample, shards int) ServePoint {
+func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]byte, conc, sample int, tail bool, shards int) ServePoint {
 	jobsPerReq, dur := cfg.JobsPerRequest, cfg.Duration
 	var health func() faults.Health
 	// Each shard gets its own extender (its own engine, breaker and
@@ -465,7 +480,7 @@ func runServePoint(cfg ServeBenchConfig, bcfg server.BatcherConfig, bodies [][]b
 			health = eng.Health
 		}
 	}
-	tracer := obs.New(obs.Config{SampleEvery: sample})
+	tracer := obs.New(obs.Config{SampleEvery: sample, Tail: obs.TailConfig{Enabled: tail}})
 	scfg.Trace = tracer
 	s := server.New(scfg)
 	ts := httptest.NewServer(s.Handler())

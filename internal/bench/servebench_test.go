@@ -22,13 +22,16 @@ func TestServeBenchTraced(t *testing.T) {
 	if rep.TraceSample != 1 {
 		t.Fatalf("trace sample not reflected: %d", rep.TraceSample)
 	}
-	if len(rep.Points) != 3 {
-		t.Fatalf("points: %d, want batched+unbatched+batched-traced", len(rep.Points))
+	if len(rep.Points) != 4 {
+		t.Fatalf("points: %d, want batched+unbatched+batched-traced+batched-tail", len(rep.Points))
 	}
-	var traced *ServePoint
+	var traced, tailed *ServePoint
 	for i := range rep.Points {
-		if rep.Points[i].Config == "batched-traced" {
+		switch rep.Points[i].Config {
+		case "batched-traced":
 			traced = &rep.Points[i]
+		case "batched-tail":
+			tailed = &rep.Points[i]
 		}
 	}
 	if traced == nil || traced.Jobs == 0 {
@@ -40,11 +43,24 @@ func TestServeBenchTraced(t *testing.T) {
 	if rep.TraceOverheadPct == 0 {
 		t.Fatal("trace overhead not computed")
 	}
+	if tailed == nil || tailed.Jobs == 0 {
+		t.Fatalf("no tail point with work: %+v", tailed)
+	}
+	if tailed.Trace == nil || !tailed.Trace.TailEnabled || tailed.Trace.TailStarted == 0 {
+		t.Fatalf("tail point missing tail counters: %+v", tailed.Trace)
+	}
+	if rep.TailOverheadPct == 0 {
+		t.Fatal("tail overhead not computed")
+	}
 	if !strings.Contains(rep.String(), "tracing 1/1 overhead") {
 		t.Fatalf("summary missing tracing line:\n%s", rep)
 	}
-	if data, err := rep.JSON(); err != nil || !strings.Contains(string(data), `"trace_overhead_pct"`) {
-		t.Fatalf("JSON missing trace overhead (err=%v)", err)
+	if !strings.Contains(rep.String(), "tail sampling overhead") {
+		t.Fatalf("summary missing tail overhead line:\n%s", rep)
+	}
+	if data, err := rep.JSON(); err != nil || !strings.Contains(string(data), `"trace_overhead_pct"`) ||
+		!strings.Contains(string(data), `"tail_overhead_pct"`) {
+		t.Fatalf("JSON missing overhead fields (err=%v)", err)
 	}
 }
 

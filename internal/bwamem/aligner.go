@@ -230,6 +230,9 @@ type Alignment struct {
 	PrefilterPass    int
 	PrefilterReject  int
 	PrefilterRescued int
+	// RescueRounds counts the rescue fixpoint iterations that extended at
+	// least one previously-rejected chain (0 = no rescue loop entered).
+	RescueRounds int
 }
 
 type candidate struct {
@@ -267,6 +270,7 @@ func (a *Aligner) AlignRead(read []byte) Alignment {
 	al.PrefilterPass = tally.pass
 	al.PrefilterReject = tally.reject
 	al.PrefilterRescued = tally.rescued
+	al.RescueRounds = tally.rounds
 	tally.record(a.Stats)
 	return al
 }
@@ -274,6 +278,7 @@ func (a *Aligner) AlignRead(read []byte) Alignment {
 // filterTally accumulates one read's prefilter activity.
 type filterTally struct {
 	pass, reject, rescued, falsePass int
+	rounds                           int // rescue fixpoint iterations that rescued chains
 }
 
 // countFalsePasses counts the passed candidates that contributed nothing
@@ -426,6 +431,7 @@ func (a *Aligner) candidatesFiltered(read []byte, allowFilter bool) ([]candidate
 			break
 		}
 		tally.rescued += len(rescue)
+		tally.rounds++
 		var rcands []candidate
 		if isBatch {
 			rwork := make([]chainWork, len(rescue))

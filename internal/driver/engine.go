@@ -59,11 +59,19 @@ var (
 )
 
 type engineSession struct {
-	dev  *Device
-	s    *session
-	reqs []Request
-	out  []Response
+	dev     *Device
+	s       *session
+	reqs    []Request
+	out     []Response
+	lastKey int64
 }
+
+// LastBatchKey reports the device batch key of the most recent
+// ExtendBatchInto call on this session. The serving tier duck-types this
+// to stitch its kernel spans to the device-layer trace (the key resolves
+// to a trace id via obs.BatchTraceID). Sessions are per-goroutine, so
+// the read is race-free.
+func (es *engineSession) LastBatchKey() int64 { return es.lastKey }
 
 func (es *engineSession) Extend(query, target []byte, h0 int) align.ExtendResult {
 	var one [1]align.ExtendResult
@@ -111,6 +119,7 @@ func (es *engineSession) ExtendBatchInto(reqs []Request, dst []Response) []Respo
 		return dst
 	}
 	key := es.dev.seq.Add(1)
+	es.lastKey = key
 	es.s.process(context.Background(), key, reqs, dst)
 	return dst
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 
@@ -42,6 +43,10 @@ func argNames(k Kind) (string, string) {
 		return "pass", "reject"
 	case KindIndexReload:
 		return "generation", "ok"
+	case KindSteal:
+		return "victim", "thief"
+	case KindRescue:
+		return "rescued", "rounds"
 	}
 	return "v1", "v2"
 }
@@ -74,6 +79,21 @@ func writeArgs(w *bufio.Writer, s SpanData) {
 	if n2 != "" {
 		fmt.Fprintf(w, `,%q:%s`, n2, argValue(s.Kind, 2, s.V2))
 	}
+	if s.Link != 0 {
+		fmt.Fprintf(w, `,"link":%d`, s.Link)
+	}
+}
+
+// MarshalJSON renders a span with its kind name and export arg names, so
+// journey documents read like the NDJSON export.
+func (s SpanData) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	bw := bufio.NewWriter(&b)
+	fmt.Fprintf(bw, "{\"span\":%q,\"start_ns\":%d,\"dur_ns\":%d,", s.Kind.String(), s.Start, s.Dur)
+	writeArgs(bw, s)
+	bw.WriteString("}")
+	bw.Flush()
+	return b.Bytes(), nil
 }
 
 // WriteChromeTrace renders spans as a Chrome trace_event JSON document.

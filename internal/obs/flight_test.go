@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func readTarball(t *testing.T, path string) map[string]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening tarball: %v", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("gzip: %v", err)
+	}
+	tr := tar.NewReader(gz)
+	out := map[string]string{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tar: %v", err)
+		}
+		b, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatalf("tar entry %s: %v", hdr.Name, err)
+		}
+		out[hdr.Name] = string(b)
+	}
+	return out
+}
+
+// TestFlightDumpContents: a dump tarball carries every source plus the
+// runtime profiles, atomically published under a reason-stamped name.
+func TestFlightDumpContents(t *testing.T) {
+	dir := t.TempDir()
+	fr := NewFlightRecorder(FlightConfig{Dir: dir})
+	path, err := fr.Force("breaker trip!", []FlightSource{
+		{Name: "meta.json", Write: func(w io.Writer) error {
+			_, err := fmt.Fprint(w, `{"reason":"breaker-trip"}`)
+			return err
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Force: %v", err)
+	}
+	base := filepath.Base(path)
+	if !strings.HasPrefix(base, "flight-") || !strings.HasSuffix(base, "-breaker-trip-.tar.gz") {
+		t.Fatalf("tarball name %q: want flight-<ts>-breaker-trip-.tar.gz (sanitized reason)", base)
+	}
+	files := readTarball(t, path)
+	if files["meta.json"] != `{"reason":"breaker-trip"}` {
+		t.Fatalf("meta.json = %q", files["meta.json"])
+	}
+	if !strings.Contains(files["goroutines.txt"], "goroutine") {
+		t.Fatal("goroutines.txt missing or empty")
+	}
+	if len(files["heap.pprof"]) == 0 {
+		t.Fatal("heap.pprof missing or empty")
+	}
+	if fr.Dumps() != 1 || fr.LastPath() != path {
+		t.Fatalf("Dumps=%d LastPath=%q", fr.Dumps(), fr.LastPath())
+	}
+	// No temp file residue.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".flight-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestFlightDebounce: automatic dumps inside MinInterval are throttled;
+// Force bypasses.
+func TestFlightDebounce(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Dir: t.TempDir(), MinInterval: time.Hour})
+	if _, err := fr.Dump("first", nil); err != nil {
+		t.Fatalf("first dump: %v", err)
+	}
+	if _, err := fr.Dump("second", nil); !errors.Is(err, ErrFlightThrottled) {
+		t.Fatalf("second dump err = %v, want ErrFlightThrottled", err)
+	}
+	if _, err := fr.Force("sigquit", nil); err != nil {
+		t.Fatalf("forced dump inside debounce: %v", err)
+	}
+	if fr.Dumps() != 2 {
+		t.Fatalf("Dumps = %d, want 2", fr.Dumps())
+	}
+}
+
+// TestFlightSourceErrorDegrades: one failing source must not lose the
+// dump — its error text lands in the tarball in the file's place and
+// every other source survives.
+func TestFlightSourceErrorDegrades(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Dir: t.TempDir()})
+	path, err := fr.Force("partial", []FlightSource{
+		{Name: "bad.json", Write: func(io.Writer) error { return errors.New("boom") }},
+		{Name: "good.txt", Write: func(w io.Writer) error { _, e := fmt.Fprint(w, "ok"); return e }},
+	})
+	if err != nil {
+		t.Fatalf("dump with one bad source failed outright: %v", err)
+	}
+	files := readTarball(t, path)
+	if files["good.txt"] != "ok" {
+		t.Fatalf("good.txt = %q", files["good.txt"])
+	}
+	if !strings.Contains(files["bad.json.error.txt"], "boom") {
+		t.Fatalf("bad.json.error.txt = %q, want the source error", files["bad.json.error.txt"])
+	}
+	if _, dup := files["bad.json"]; dup {
+		t.Fatal("failing source also wrote its plain entry")
+	}
+}
+
+// TestFlightDisabled: nil recorder everywhere.
+func TestFlightDisabled(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{})
+	if fr != nil {
+		t.Fatal("empty Dir built a recorder")
+	}
+	if fr.Enabled() || fr.Dumps() != 0 || fr.LastPath() != "" {
+		t.Fatal("nil recorder accessors not zero")
+	}
+	if _, err := fr.Dump("x", nil); err != nil {
+		t.Fatalf("nil Dump err = %v", err)
+	}
+}

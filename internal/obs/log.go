@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"runtime"
+)
+
+// Structured logging and build identity for the command binaries. The
+// servers log one JSON object per line via log/slog; request- and
+// trace-scoped lines carry request_id / trace_id fields so a log line,
+// a /debug/traces timeline, and a retained journey correlate on the
+// same id.
+
+// BuildInfo identifies the running binary, stamped from -ldflags in the
+// command mains (version/commit default to dev/unknown in plain builds).
+type BuildInfo struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit"`
+}
+
+func (b BuildInfo) WithDefaults() BuildInfo {
+	if b.Version == "" {
+		b.Version = "dev"
+	}
+	if b.Commit == "" {
+		b.Commit = "unknown"
+	}
+	return b
+}
+
+// GoVersion reports the toolchain that built the binary.
+func (BuildInfo) GoVersion() string { return runtime.Version() }
+
+// NewLogger builds the JSON logger the command binaries share: one
+// object per line with a component field, millisecond wall timestamps.
+func NewLogger(w io.Writer, component string) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	return slog.New(h).With("component", component)
+}
+
+// TraceAttr renders a trace id as a correlation attribute.
+func TraceAttr(id uint64) slog.Attr { return slog.String("trace_id", FormatID(id)) }
+
+// RequestAttr renders a request id as a correlation attribute.
+func RequestAttr(id string) slog.Attr { return slog.String("request_id", id) }

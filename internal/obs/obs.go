@@ -62,12 +62,18 @@ const (
 	// KindIndexReload covers one reference-index reload attempt, from
 	// trigger to publish or rollback (v1 = generation, v2 = ok).
 	KindIndexReload
+	// KindSteal is an instant span marking that a job's batch was stolen
+	// and executed on a thief shard (v1 = victim shard, v2 = thief shard).
+	KindSteal
+	// KindRescue is an instant span carrying one read's prefilter rescue
+	// fixpoint activity (v1 = chains rescued, v2 = rescue rounds).
+	KindRescue
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"request", "queue_wait", "batch_flush", "kernel", "check", "host_rerun",
-	"device", "retry_backoff", "prefilter", "index_reload",
+	"device", "retry_backoff", "prefilter", "index_reload", "steal", "rescue",
 }
 
 // String names the stage for exports.
@@ -123,6 +129,11 @@ type Config struct {
 	// SlowMin is the minimum duration for a request to compete for the
 	// slow ring (default 0: every request competes).
 	SlowMin time.Duration
+	// Tail configures tail-based retention: every request records its
+	// spans into a reusable per-request journey buffer and a verdict at
+	// completion decides whether the full journey is kept. Independent of
+	// head sampling; see TailConfig.
+	Tail TailConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -147,11 +158,12 @@ func (c Config) withDefaults() Config {
 type slot struct {
 	seq   atomic.Uint64
 	trace atomic.Uint64
-	start atomic.Int64 // ns since tracer epoch
-	dur   atomic.Int64 // ns
+	start atomic.Int64  // ns since tracer epoch
+	dur   atomic.Int64  // ns
 	meta  atomic.Uint64 // kind
 	v1    atomic.Int64
 	v2    atomic.Int64
+	link  atomic.Int64 // cross-layer stitch id (see SpanData.Link)
 }
 
 // ring is one lock-free span ring: pos claims slots, slots wrap.
@@ -174,13 +186,15 @@ type Tracer struct {
 	spans   atomic.Int64  // spans recorded
 
 	slow slowRing
+	tail *tailState // nil when tail retention is disabled
 }
 
-// New builds a Tracer, or returns nil (tracing disabled) when
-// cfg.SampleEvery is not positive. All Tracer and Ref methods are
+// New builds a Tracer, or returns nil (tracing disabled) when neither
+// head sampling (cfg.SampleEvery > 0) nor tail retention
+// (cfg.Tail.Enabled) is requested. All Tracer and Ref methods are
 // nil-safe, so the returned value can be threaded unconditionally.
 func New(cfg Config) *Tracer {
-	if cfg.SampleEvery <= 0 {
+	if cfg.SampleEvery <= 0 && !cfg.Tail.Enabled {
 		return nil
 	}
 	cfg = cfg.withDefaults()
@@ -195,6 +209,9 @@ func New(cfg Config) *Tracer {
 		t.shards[i].slots = make([]slot, cfg.RingSpans)
 	}
 	t.slow.init(cfg.SlowK, cfg.SlowMin)
+	if cfg.Tail.Enabled {
+		t.tail = newTailState(cfg.Tail)
+	}
 	return t
 }
 
@@ -210,32 +227,50 @@ func (t *Tracer) SampleEvery() int {
 }
 
 // Ref is one request's trace handle: a Tracer plus the request's trace
-// id. The zero Ref (not sampled, or tracing disabled) makes every method
-// a nil-check no-op, so Refs are carried by value through job structs
-// unconditionally.
+// id, a head-sampling decision (ring), and an optional tail journey
+// buffer (j). The zero Ref (not sampled, or tracing disabled) makes
+// every method a nil-check no-op, so Refs are carried by value through
+// job structs unconditionally.
 type Ref struct {
-	t  *Tracer
-	id uint64
+	t    *Tracer
+	j    *journey // tail journey buffer (nil when tail is off / not started)
+	id   uint64
+	ring bool // head-sampled: spans also land in the shared rings
 }
 
-// Sampled reports whether spans recorded through this Ref are retained.
-func (r Ref) Sampled() bool { return r.t != nil }
+// Sampled reports whether spans recorded through this Ref are retained
+// anywhere (shared rings, tail journey, or both).
+func (r Ref) Sampled() bool { return r.t != nil && (r.ring || r.j != nil) }
 
 // TraceID returns the trace id (0 when not sampled).
 func (r Ref) TraceID() uint64 { return r.id }
 
-// Sample makes the head-based sampling decision for one request: the
-// returned Ref records spans for one request in SampleEvery. On a nil
-// tracer it returns the zero Ref.
+// Sample makes the per-request sampling decision: head sampling picks
+// one request in SampleEvery for the shared rings, and when tail
+// retention is enabled every request additionally records into a
+// reusable journey buffer (verdict at RequestDone). On a nil tracer it
+// returns the zero Ref.
 func (t *Tracer) Sample(id uint64) Ref {
 	if t == nil {
 		return Ref{}
 	}
-	if n := t.next.Add(1); t.cfg.SampleEvery > 1 && n%uint64(t.cfg.SampleEvery) != 0 {
+	ring := t.cfg.SampleEvery > 0
+	if ring {
+		if n := t.next.Add(1); t.cfg.SampleEvery > 1 && n%uint64(t.cfg.SampleEvery) != 0 {
+			ring = false
+		}
+	}
+	var j *journey
+	if t.tail != nil {
+		j = t.tail.checkout(id)
+	}
+	if !ring && j == nil {
 		return Ref{}
 	}
-	t.sampled.Add(1)
-	return Ref{t: t, id: id}
+	if ring {
+		t.sampled.Add(1)
+	}
+	return Ref{t: t, j: j, id: id, ring: ring}
 }
 
 // Batch returns an always-recording Ref for batch- or device-scoped spans
@@ -245,15 +280,39 @@ func (t *Tracer) Batch(key int64) Ref {
 	if t == nil {
 		return Ref{}
 	}
-	return Ref{t: t, id: mix64(uint64(key) ^ 0xba7c4ba7c4)}
+	return Ref{t: t, id: BatchTraceID(key), ring: true}
+}
+
+// BatchTraceID maps a batch key to the trace id Batch records under, so
+// request-level views can stitch in the device-layer spans linked from a
+// kernel span (SpanData.Link carries the batch key).
+func BatchTraceID(key int64) uint64 {
+	return mix64(uint64(key) ^ 0xba7c4ba7c4)
 }
 
 // Span records one completed span: stage kind, start time, duration, and
 // two kind-specific values (see the Kind docs and the export arg names).
 // Zero-allocation; safe from any goroutine.
 func (r Ref) Span(k Kind, start time.Time, dur time.Duration, v1, v2 int64) {
+	r.SpanLink(k, start, dur, v1, v2, 0)
+}
+
+// SpanLink is Span with a cross-layer stitch id: the link names the
+// adjacent layer's unit of work (device batch key on kernel spans, index
+// generation on map kernel spans; see SpanData.Link). Zero-allocation.
+func (r Ref) SpanLink(k Kind, start time.Time, dur time.Duration, v1, v2, link int64) {
 	t := r.t
 	if t == nil {
+		return
+	}
+	if r.j != nil {
+		r.j.record(t, SpanData{
+			Trace: r.id, Kind: k,
+			Start: int64(start.Sub(t.epoch)), Dur: int64(dur),
+			V1: v1, V2: v2, Link: link,
+		})
+	}
+	if !r.ring {
 		return
 	}
 	sh := &t.shards[mix64(r.id)&t.shardMask]
@@ -265,14 +324,36 @@ func (r Ref) Span(k Kind, start time.Time, dur time.Duration, v1, v2 int64) {
 	s.meta.Store(uint64(k))
 	s.v1.Store(v1)
 	s.v2.Store(v2)
+	s.link.Store(link)
 	s.seq.Add(1) // even: stable
 	t.spans.Add(1)
 }
 
+// Mark flags a tail-retention event on the request's journey (no-op for
+// refs without a journey buffer). Zero-allocation; safe from any
+// goroutine.
+func (r Ref) Mark(e Event) {
+	if r.j != nil {
+		r.j.mark(e)
+	}
+}
+
+// Detach marks the journey as having in-flight writers at request
+// completion (e.g. a deadline exceeded with jobs still queued): the
+// buffer is still verdicted and retained, but is left to the garbage
+// collector instead of being recycled, so straggler span writes can
+// never corrupt a reused buffer.
+func (r Ref) Detach() {
+	if r.j != nil {
+		r.j.detached.Store(true)
+	}
+}
+
 // RequestDone closes one request: the root span is recorded when the
-// request was sampled, and the request always competes for the slow ring
-// (top-K by duration), sampled or not. v1 is the request's job count, v2
-// its HTTP status.
+// request was sampled, the request always competes for the slow ring
+// (top-K by duration), and when tail retention is on the journey verdict
+// runs (keep the full journey, or recycle the buffer). v1 is the
+// request's job count, v2 its HTTP status.
 func (t *Tracer) RequestDone(ref Ref, id uint64, start time.Time, dur time.Duration, v1, v2 int64) {
 	if t == nil {
 		return
@@ -283,14 +364,22 @@ func (t *Tracer) RequestDone(ref Ref, id uint64, start time.Time, dur time.Durat
 		Start: int64(start.Sub(t.epoch)), Dur: int64(dur),
 		V1: v1, V2: v2,
 	})
+	if ref.j != nil {
+		t.tail.finish(ref.j, start.Sub(t.epoch), dur, v1, v2)
+	}
 }
 
 // Stats is the tracer's own health snapshot for /metrics.
 type Stats struct {
-	SampleEvery  int   `json:"sample_every"`
-	SampledTotal int64 `json:"sampled_requests"`
-	SpansTotal   int64 `json:"spans_recorded"`
-	SlowRetained int   `json:"slow_retained"`
+	SampleEvery   int   `json:"sample_every"`
+	SampledTotal  int64 `json:"sampled_requests"`
+	SpansTotal    int64 `json:"spans_recorded"`
+	SlowRetained  int   `json:"slow_retained"`
+	TailEnabled   bool  `json:"tail_enabled,omitempty"`
+	TailStarted   int64 `json:"tail_started,omitempty"`
+	TailKept      int64 `json:"tail_retained_total,omitempty"`
+	TailRetained  int   `json:"tail_retained,omitempty"`
+	TailSpanDrops int64 `json:"tail_span_drops,omitempty"`
 }
 
 // TraceStats snapshots the tracer's own counters (zero when disabled).
@@ -298,15 +387,26 @@ func (t *Tracer) TraceStats() Stats {
 	if t == nil {
 		return Stats{}
 	}
-	return Stats{
+	st := Stats{
 		SampleEvery:  t.cfg.SampleEvery,
 		SampledTotal: t.sampled.Load(),
 		SpansTotal:   t.spans.Load(),
 		SlowRetained: t.slow.len(),
 	}
+	if t.tail != nil {
+		st.TailEnabled = true
+		st.TailStarted = t.tail.started.Load()
+		st.TailKept = t.tail.kept.Load()
+		st.TailRetained = t.tail.retainedLen()
+		st.TailSpanDrops = t.tail.spanDrops.Load()
+	}
+	return st
 }
 
-// SpanData is one exported span.
+// SpanData is one exported span. Link, when nonzero, stitches the span
+// to the adjacent layer's unit of work: the device batch key on extend
+// kernel spans (resolve with BatchTraceID), the index generation on map
+// kernel spans.
 type SpanData struct {
 	Trace uint64
 	Kind  Kind
@@ -315,6 +415,7 @@ type SpanData struct {
 	Dur   int64 // ns
 	V1    int64
 	V2    int64
+	Link  int64
 }
 
 // Snapshot copies every stable span out of the rings, oldest first.
@@ -381,6 +482,7 @@ func readSlot(s *slot) (SpanData, bool) {
 			Kind:  Kind(s.meta.Load()),
 			V1:    s.v1.Load(),
 			V2:    s.v2.Load(),
+			Link:  s.link.Load(),
 		}
 		if s.seq.Load() == s1 {
 			return sd, true

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func tailTracer(cfg TailConfig) *Tracer {
+	cfg.Enabled = true
+	return New(Config{Tail: cfg})
+}
+
+// TestTailVerdictLatency keeps a journey only when the request breached
+// its budget.
+func TestTailVerdictLatency(t *testing.T) {
+	tr := tailTracer(TailConfig{Budget: 10 * time.Millisecond})
+	base := time.Now()
+
+	// Fast and clean: recycled, not kept.
+	ref := tr.Sample(1)
+	if !ref.Sampled() {
+		t.Fatal("tail-enabled tracer did not sample")
+	}
+	ref.Span(KindQueueWait, base, time.Millisecond, 1, 0)
+	tr.RequestDone(ref, 1, base, 5*time.Millisecond, 1, 200)
+	if got := len(tr.Journeys()); got != 0 {
+		t.Fatalf("fast clean request retained: %d journeys", got)
+	}
+
+	// Slow: kept with the latency-budget verdict.
+	ref = tr.Sample(2)
+	ref.Span(KindQueueWait, base, time.Millisecond, 1, 0)
+	tr.RequestDone(ref, 2, base, 50*time.Millisecond, 1, 200)
+	js := tr.Journeys()
+	if len(js) != 1 {
+		t.Fatalf("slow request journeys = %d, want 1", len(js))
+	}
+	j := js[0]
+	if j.Trace != 2 || j.Status != 200 {
+		t.Fatalf("kept journey = %+v", j)
+	}
+	if len(j.Verdict) != 1 || j.Verdict[0] != "latency-budget" {
+		t.Fatalf("verdict = %v, want [latency-budget]", j.Verdict)
+	}
+	// Root request span + queue wait span both present.
+	if len(j.Spans) != 2 {
+		t.Fatalf("journey spans = %d, want 2 (queue_wait + request)", len(j.Spans))
+	}
+}
+
+// TestTailVerdictStatus keeps journeys for failure statuses only.
+func TestTailVerdictStatus(t *testing.T) {
+	tr := tailTracer(TailConfig{Budget: time.Hour})
+	base := time.Now()
+	cases := []struct {
+		status int64
+		keep   bool
+	}{
+		{200, false}, {400, false}, {413, true}, {429, true},
+		{500, true}, {503, true}, {504, true},
+	}
+	var want int
+	for i, c := range cases {
+		ref := tr.Sample(uint64(100 + i))
+		tr.RequestDone(ref, uint64(100+i), base, time.Millisecond, 1, c.status)
+		if c.keep {
+			want++
+		}
+	}
+	if got := len(tr.Journeys()); got != want {
+		t.Fatalf("retained %d journeys, want %d", got, want)
+	}
+	for _, j := range tr.Journeys() {
+		if len(j.Verdict) != 1 || j.Verdict[0] != "status" {
+			t.Fatalf("verdict = %v for status %d, want [status]", j.Verdict, j.Status)
+		}
+	}
+}
+
+// TestTailVerdictEvents keeps any journey with a marked lifecycle event
+// and names the events in the kept record.
+func TestTailVerdictEvents(t *testing.T) {
+	tr := tailTracer(TailConfig{Budget: time.Hour})
+	base := time.Now()
+	ref := tr.Sample(7)
+	ref.Mark(EvSteal)
+	ref.Mark(EvReloadOverlap)
+	ref.Mark(EvSteal) // idempotent
+	tr.RequestDone(ref, 7, base, time.Millisecond, 1, 200)
+	js := tr.Journeys()
+	if len(js) != 1 {
+		t.Fatalf("journeys = %d, want 1", len(js))
+	}
+	j := js[0]
+	if len(j.Verdict) != 1 || j.Verdict[0] != "event" {
+		t.Fatalf("verdict = %v, want [event]", j.Verdict)
+	}
+	if len(j.Events) != 2 || j.Events[0] != "steal" || j.Events[1] != "reload-overlap" {
+		t.Fatalf("events = %v, want [steal reload-overlap]", j.Events)
+	}
+}
+
+// TestEventNames covers the bit-set expansion.
+func TestEventNames(t *testing.T) {
+	if names := Event(0).Names(); names != nil {
+		t.Fatalf("zero event names = %v, want nil", names)
+	}
+	all := EvSteal | EvReroute | EvRescue | EvReloadOverlap | EvFault
+	names := all.Names()
+	want := []string{"steal", "reroute", "rescue", "reload-overlap", "fault"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestTailSpanOverflow drops spans beyond MaxSpans and counts the drops
+// instead of growing or corrupting the buffer.
+func TestTailSpanOverflow(t *testing.T) {
+	tr := tailTracer(TailConfig{Budget: time.Nanosecond, MaxSpans: 4})
+	base := time.Now()
+	ref := tr.Sample(9)
+	for i := 0; i < 10; i++ {
+		ref.Span(KindQueueWait, base, time.Millisecond, int64(i), 0)
+	}
+	tr.RequestDone(ref, 9, base, time.Second, 1, 200)
+	js := tr.Journeys()
+	if len(js) != 1 {
+		t.Fatalf("journeys = %d, want 1", len(js))
+	}
+	// 4 slots: 3 queue waits survive alongside nothing else (the root
+	// request span claimed a slot too late — all 4 were taken), or the
+	// first 4 queue waits; either way exactly MaxSpans retained.
+	if len(js[0].Spans) != 4 {
+		t.Fatalf("retained spans = %d, want 4 (MaxSpans)", len(js[0].Spans))
+	}
+	st := tr.TraceStats()
+	if st.TailSpanDrops != 7 { // 10 queue waits + 1 request span - 4 slots
+		t.Fatalf("span drops = %d, want 7", st.TailSpanDrops)
+	}
+}
+
+// TestTailRingEviction bounds the kept ring at Keep journeys.
+func TestTailRingEviction(t *testing.T) {
+	tr := tailTracer(TailConfig{Budget: time.Nanosecond, Keep: 3})
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		id := uint64(1000 + i)
+		ref := tr.Sample(id)
+		tr.RequestDone(ref, id, base.Add(time.Duration(i)*time.Millisecond), time.Second, 1, 200)
+	}
+	js := tr.Journeys()
+	if len(js) != 3 {
+		t.Fatalf("retained = %d, want 3", len(js))
+	}
+	// Newest first, and only the newest three survive.
+	for i, j := range js {
+		if want := uint64(1000 + 9 - i); j.Trace != want {
+			t.Fatalf("journeys[%d].Trace = %d, want %d", i, j.Trace, want)
+		}
+	}
+	if st := tr.TraceStats(); st.TailKept != 10 || st.TailRetained != 3 {
+		t.Fatalf("stats kept=%d retained=%d, want 10/3", st.TailKept, st.TailRetained)
+	}
+}
+
+// TestTailDetachedNotRecycled: a detached journey is still verdicted and
+// kept, but its buffer never returns to the pool (a fresh checkout gets
+// a different buffer).
+func TestTailDetachedNotRecycled(t *testing.T) {
+	tr := tailTracer(TailConfig{Budget: time.Nanosecond})
+	base := time.Now()
+	ref := tr.Sample(11)
+	leaked := ref.j
+	ref.Detach()
+	tr.RequestDone(ref, 11, base, time.Second, 1, 504)
+	if len(tr.Journeys()) != 1 {
+		t.Fatal("detached journey was not retained")
+	}
+	// The pool must not hand the detached buffer back.
+	for i := 0; i < 8; i++ {
+		next := tr.Sample(uint64(20 + i))
+		if next.j == leaked {
+			t.Fatal("detached journey buffer was recycled")
+		}
+	}
+	// A straggler write on the detached buffer must not appear anywhere.
+	leaked.record(tr, SpanData{Trace: 11, Kind: KindKernel})
+}
+
+// TestTailJourneyLookup finds one retained journey by trace id.
+func TestTailJourneyLookup(t *testing.T) {
+	tr := tailTracer(TailConfig{Budget: time.Nanosecond})
+	base := time.Now()
+	for i := 0; i < 3; i++ {
+		id := uint64(50 + i)
+		ref := tr.Sample(id)
+		tr.RequestDone(ref, id, base, time.Second, 1, 200)
+	}
+	jd, ok := tr.Journey(51)
+	if !ok || jd.Trace != 51 {
+		t.Fatalf("Journey(51) = %+v, %v", jd, ok)
+	}
+	if _, ok := tr.Journey(999); ok {
+		t.Fatal("Journey(999) found a journey that was never retained")
+	}
+}
+
+// TestTailWithHeadSampling: head-sampled spans land in both the shared
+// rings and the journey; unsampled requests still get a journey.
+func TestTailWithHeadSampling(t *testing.T) {
+	tr := New(Config{SampleEvery: 2, Tail: TailConfig{Enabled: true, Budget: time.Nanosecond}})
+	base := time.Now()
+	for i := 0; i < 4; i++ {
+		id := uint64(70 + i)
+		ref := tr.Sample(id)
+		if !ref.Sampled() {
+			t.Fatalf("request %d not sampled with tail on", i)
+		}
+		ref.Span(KindQueueWait, base, time.Millisecond, 1, 0)
+		tr.RequestDone(ref, id, base, time.Second, 1, 200)
+	}
+	if got := len(tr.Journeys()); got != 4 {
+		t.Fatalf("journeys = %d, want 4 (every request)", got)
+	}
+	if st := tr.TraceStats(); st.SampledTotal != 2 {
+		t.Fatalf("head-sampled = %d, want 2 (1 in 2)", st.SampledTotal)
+	}
+}
+
+// TestBatchTraceIDStitch: a kernel span's positive link resolves to the
+// trace id the device layer records under.
+func TestBatchTraceIDStitch(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	base := time.Now()
+	key := int64(42)
+	bref := tr.Batch(key)
+	bref.Span(KindDevice, base, time.Millisecond, 1, 0)
+	dev := tr.TraceSpans(BatchTraceID(key))
+	if len(dev) != 1 || dev[0].Kind != KindDevice {
+		t.Fatalf("device spans under BatchTraceID = %+v", dev)
+	}
+	if BatchTraceID(2) == BatchTraceID(3) {
+		t.Fatal("distinct batch keys map to one trace id")
+	}
+}
+
+// TestAttributeSumsToTotal: the stage decomposition is exact.
+func TestAttributeSumsToTotal(t *testing.T) {
+	// Root request [0, 1000]; queue [0,300]; flush [100,400] (queue wins
+	// 100-300, batch-wait 300-400); kernel [400,700]; check at 700
+	// (instant, no width); rerun [700,900]; admission residue 900-1000.
+	spans := []SpanData{
+		{Kind: KindRequest, Start: 0, Dur: 1000},
+		{Kind: KindQueueWait, Start: 0, Dur: 300},
+		{Kind: KindFlush, Start: 100, Dur: 300},
+		{Kind: KindKernel, Start: 400, Dur: 300},
+		{Kind: KindCheck, Start: 700, Dur: 0},
+		{Kind: KindRerun, Start: 700, Dur: 200},
+	}
+	a := Attribute(spans)
+	if a.TotalNs != 1000 {
+		t.Fatalf("TotalNs = %d, want 1000", a.TotalNs)
+	}
+	sum := a.AdmissionNs + a.QueueNs + a.BatchWaitNs + a.KernelNs + a.CheckNs + a.RerunNs
+	if sum != a.TotalNs {
+		t.Fatalf("stage sum %d != total %d", sum, a.TotalNs)
+	}
+	if a.QueueNs != 300 {
+		t.Fatalf("QueueNs = %d, want 300 (queue outranks flush)", a.QueueNs)
+	}
+	if a.BatchWaitNs != 100 {
+		t.Fatalf("BatchWaitNs = %d, want 100", a.BatchWaitNs)
+	}
+	if a.KernelNs != 300 {
+		t.Fatalf("KernelNs = %d, want 300", a.KernelNs)
+	}
+	if a.RerunNs != 200 {
+		t.Fatalf("RerunNs = %d, want 200", a.RerunNs)
+	}
+	if a.AdmissionNs != 100 {
+		t.Fatalf("AdmissionNs = %d, want 100 (residue)", a.AdmissionNs)
+	}
+	fracSum := a.AdmissionFrac + a.QueueFrac + a.BatchWaitFrac + a.KernelFrac + a.CheckFrac + a.RerunFrac
+	if fracSum < 0.999 || fracSum > 1.001 {
+		t.Fatalf("fraction sum = %g, want 1", fracSum)
+	}
+}
+
+// TestAttributeClampsToRoot: spans outside the root interval (device
+// spans stitched from a different wall window) are clamped, never
+// inflating the total.
+func TestAttributeClampsToRoot(t *testing.T) {
+	spans := []SpanData{
+		{Kind: KindRequest, Start: 100, Dur: 100},
+		{Kind: KindKernel, Start: 0, Dur: 1000}, // envelopes the root
+	}
+	a := Attribute(spans)
+	if a.TotalNs != 100 || a.KernelNs != 100 || a.AdmissionNs != 0 {
+		t.Fatalf("clamped attribution = %+v", a)
+	}
+}
+
+// TestAttributeEmptyAndDegenerate handles the zero cases.
+func TestAttributeEmptyAndDegenerate(t *testing.T) {
+	if a := Attribute(nil); a.TotalNs != 0 {
+		t.Fatalf("nil spans attribution = %+v", a)
+	}
+	// Instant-only spans: zero-width root.
+	a := Attribute([]SpanData{{Kind: KindCheck, Start: 5, Dur: 0}})
+	if a.TotalNs != 0 {
+		t.Fatalf("degenerate attribution = %+v", a)
+	}
+}

@@ -133,6 +133,7 @@ type Store struct {
 	failures  atomic.Int64 // failed load attempts
 	rollbacks atomic.Int64 // reload triggers that exhausted retries
 	degraded  atomic.Bool  // last reload trigger rolled back
+	reloading atomic.Bool  // a Reload trigger is in flight right now
 
 	lastErrMu sync.Mutex
 	lastErr   string
@@ -185,6 +186,10 @@ func Open(path string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// Reloading reports whether a Reload trigger is in flight right now,
+// so serving-tier workers can flag requests that overlap a reload.
+func (s *Store) Reloading() bool { return s.reloading.Load() }
+
 // Acquire returns a refcounted handle on the current generation. The
 // double-check loop closes the race against a concurrent swap: a
 // handle is only returned if the generation was still current after
@@ -213,6 +218,8 @@ func (s *Store) Reload() (uint64, error) {
 	if s.closed.Load() {
 		return 0, fmt.Errorf("refstore: store closed")
 	}
+	s.reloading.Store(true)
+	defer s.reloading.Store(false)
 
 	backoff := s.opts.RetryBackoff
 	var lastErr error

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"io"
@@ -103,6 +105,19 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/slow", s.handleTracesSlow)
+	s.mux.HandleFunc("GET /debug/journeys", s.handleJourneys)
+	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
+}
+
+// countFailure tallies the statuses the availability SLO counts as
+// failed serving (client errors like 400/413 are the caller's fault and
+// don't burn the availability budget; 413 still tail-retains).
+func (s *Server) countFailure(status int) {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		s.met.Failed.Add(1)
+	}
 }
 
 // requestID resolves the request's id (client-supplied or minted) and
@@ -207,6 +222,7 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 	tr := s.trace.Sample(rid)
 	status, njobs := http.StatusOK, 0
 	defer func() {
+		s.countFailure(status)
 		s.trace.RequestDone(tr, rid, start, time.Since(start), int64(njobs), int64(status))
 	}()
 	if s.draining.Load() {
@@ -282,6 +298,9 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case <-ctx.Done():
+		// Jobs are still in flight: workers may yet write spans, so the
+		// journey buffer must not be recycled for another request.
+		tr.Detach()
 		status = http.StatusGatewayTimeout
 		s.writeError(w, status, ridStr, "deadline exceeded with jobs in flight")
 		return
@@ -326,6 +345,10 @@ func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 	const streamWindow = 256
 	window := make(chan *pending, streamWindow)
 	errs := make(chan error, 1)
+	// orphaned: the reader returned with a submitted job it never handed
+	// to the drain loop (context cancelled mid-stream). Set before the
+	// deferred close(window), so the drain loop observes it after range.
+	var orphaned atomic.Bool
 	go func() {
 		defer close(window)
 		dec := json.NewDecoder(r.Body)
@@ -373,6 +396,7 @@ func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 			case <-ctx.Done():
 				// Still deliver the pending so the job completion has a
 				// home; the writer is gone.
+				orphaned.Store(true)
 				return
 			}
 		}
@@ -382,20 +406,28 @@ func (s *Server) handleExtendStream(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-p.done:
 		case <-ctx.Done():
+			// Undrained stream jobs may still record spans: keep the
+			// journey buffer out of the reuse pool.
+			tr.Detach()
 			return
 		}
 		if p.expired.Load() > 0 {
 			// The job expired in queue: the stream context is gone, and the
 			// placeholder result must not be written as real scores.
+			tr.Detach()
 			return
 		}
 		if err := enc.Encode(wireResult(p.resp[0])); err != nil {
+			tr.Detach()
 			return
 		}
 		lines++
 		if len(window) == 0 {
 			out.Flush()
 		}
+	}
+	if orphaned.Load() {
+		tr.Detach()
 	}
 	select {
 	case err := <-errs:
@@ -412,6 +444,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	tr := s.trace.Sample(rid)
 	status, nreads := http.StatusOK, 0
 	defer func() {
+		s.countFailure(status)
 		s.trace.RequestDone(tr, rid, start, time.Since(start), int64(nreads), int64(status))
 	}()
 	if !s.mapEnabled() {
@@ -492,6 +525,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case <-ctx.Done():
+		tr.Detach()
 		status = http.StatusGatewayTimeout
 		s.writeError(w, status, ridStr, "deadline exceeded with reads in flight")
 		return
@@ -505,6 +539,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 type metricsBody struct {
 	MetricsSnapshot
 	UptimeSec float64           `json:"uptime_sec"`
+	Build     obs.BuildInfo     `json:"build"`
 	Checks    *checksBody       `json:"checks,omitempty"`
 	Faults    *faults.Health    `json:"faults,omitempty"`
 	MapQueue  *queueBody        `json:"map_queue,omitempty"`
@@ -558,10 +593,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.reg.WriteText(w)
 		return
 	}
+	writeJSON(w, http.StatusOK, s.buildMetricsBody())
+}
+
+// buildMetricsBody assembles the /metrics JSON document (shared with the
+// flight recorder's metrics.json).
+func (s *Server) buildMetricsBody() metricsBody {
 	extDepth, extCap := s.extQueue()
 	body := metricsBody{
 		MetricsSnapshot: s.met.Snapshot(extDepth, extCap),
 		UptimeSec:       time.Since(s.started).Seconds(),
+		Build:           s.cfg.Build,
 		Shards:          s.ShardSnapshots(),
 		Config: metricsConfigEcho{
 			MaxBatch:    s.cfg.Batch.MaxBatch,
@@ -612,12 +654,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ts := s.trace.TraceStats()
 		body.Trace = &ts
 	}
-	writeJSON(w, http.StatusOK, body)
+	return body
 }
 
 // handleTraces exports the span rings: Chrome trace_event JSON by default
 // (load into chrome://tracing or Perfetto), NDJSON with ?format=ndjson,
-// optionally filtered to one request with ?trace=<request id>.
+// optionally filtered to one request with ?trace=<request id>. A single
+// trace view is stitched: the head-sampled ring spans merge with the
+// tail-retained journey (when kept) and with the device-layer spans
+// linked from its kernel spans, so the timeline follows the request
+// through router pick, batcher, steal, kernel tier and checker/rerun
+// coherently. ?trace=<id>&format=journey returns a JSON document with
+// the per-stage budget attribution (fractions of total).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if s.trace == nil {
 		s.writeError(w, http.StatusNotFound, "", "tracing disabled: restart with a positive trace sample rate")
@@ -627,10 +675,103 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if tid := r.URL.Query().Get("trace"); tid != "" {
 		id, _ := obs.RequestID(tid)
 		spans = s.trace.TraceSpans(id)
+		jd, kept := s.trace.Journey(id)
+		if kept {
+			spans = mergeSpans(spans, jd.Spans)
+		}
+		spans = s.stitchLinked(spans)
+		if r.URL.Query().Get("format") == "journey" {
+			doc := struct {
+				Trace       string          `json:"trace"`
+				Events      []string        `json:"events,omitempty"`
+				Verdict     []string        `json:"verdict,omitempty"`
+				Attribution obs.Attribution `json:"attribution"`
+				Spans       []obs.SpanData  `json:"spans"`
+			}{Trace: obs.FormatID(id), Attribution: obs.Attribute(spans), Spans: spans}
+			if kept {
+				doc.Events, doc.Verdict = jd.Events, jd.Verdict
+			}
+			writeJSON(w, http.StatusOK, doc)
+			return
+		}
 	} else {
 		spans = s.trace.Snapshot()
 	}
 	s.writeTraceExport(w, r, spans)
+}
+
+// mergeSpans unions two span sets, dropping duplicates (a head-sampled
+// request records the same span into the ring and its journey buffer).
+func mergeSpans(a, b []obs.SpanData) []obs.SpanData {
+	type key struct {
+		k          obs.Kind
+		start, dur int64
+		v1, v2     int64
+	}
+	seen := make(map[key]bool, len(a))
+	out := a
+	for _, sd := range a {
+		seen[key{sd.Kind, sd.Start, sd.Dur, sd.V1, sd.V2}] = true
+	}
+	for _, sd := range b {
+		k := key{sd.Kind, sd.Start, sd.Dur, sd.V1, sd.V2}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, sd)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// stitchLinked pulls in the device-layer spans each kernel span links to
+// (positive links are device batch keys; negative links name index
+// generations and have no separate trace to fetch).
+func (s *Server) stitchLinked(spans []obs.SpanData) []obs.SpanData {
+	seen := map[int64]bool{}
+	out := spans
+	for _, sd := range spans {
+		if sd.Kind != obs.KindKernel || sd.Link <= 0 || seen[sd.Link] {
+			continue
+		}
+		seen[sd.Link] = true
+		out = append(out, s.trace.TraceSpans(obs.BatchTraceID(sd.Link))...)
+	}
+	if len(out) > len(spans) {
+		sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	}
+	return out
+}
+
+// handleJourneys lists the tail-retained request journeys (newest
+// first), or one journey with ?trace=<id>.
+func (s *Server) handleJourneys(w http.ResponseWriter, r *http.Request) {
+	if !s.trace.TailEnabled() {
+		s.writeError(w, http.StatusNotFound, "", "tail retention disabled: restart with -trace-tail")
+		return
+	}
+	if tid := r.URL.Query().Get("trace"); tid != "" {
+		id, _ := obs.RequestID(tid)
+		jd, ok := s.trace.Journey(id)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "", "no retained journey for trace %s", tid)
+			return
+		}
+		writeJSON(w, http.StatusOK, jd)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Retained int               `json:"retained"`
+		Journeys []obs.JourneyData `json:"journeys"`
+	}{Retained: s.trace.TraceStats().TailRetained, Journeys: s.trace.Journeys()})
+}
+
+// handleSLO reports the burn-rate engine's full state. A tick runs
+// first, so the reply reflects the counters as of this scrape even when
+// the background sampler is off (tests, short-lived processes).
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	s.slo.Tick()
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
 }
 
 // handleTracesSlow exports the always-retained top-K slowest request
@@ -734,6 +875,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		} else {
 			body["index_state"] = "ok"
 		}
+	}
+	// The SLO burn-rate engine rides along as a note, not a status flip:
+	// burning error budget is an alerting concern, and the endpoints are
+	// still serving — the LB keeps the instance in rotation.
+	if s.slo.Snapshot().Degraded {
+		body["slo"] = "degraded-slo"
+	} else {
+		body["slo"] = "ok"
 	}
 	if degraded > 0 || indexDegraded {
 		body["status"] = "degraded"

@@ -82,31 +82,43 @@ func (q Quantiles) Scaled(scale float64) Quantiles {
 // Quantile estimates the q-quantile (0 < q <= 1) by interpolating within
 // the power-of-two bucket holding the q-th observation. The estimate is
 // exact to within a factor of two — ample for p50/p99 service latencies.
+//
+// Edge contracts: an empty histogram reports 0 for every quantile;
+// bucket 0 holds only exact zeros (clamped negatives included) and
+// reports 0 rather than interpolating into (0, 1]; and a snapshot torn
+// between counts and n (the fields are read non-atomically under live
+// traffic, so rank can exceed the summed counts) clamps to the upper
+// bound of the last non-empty bucket instead of returning the raw Sum —
+// a value on a different axis entirely.
 func (s histSnapshot) Quantile(q float64) float64 {
 	if s.N == 0 {
 		return 0
 	}
 	rank := q * float64(s.N)
 	var seen float64
+	last := 0.0
 	for i, c := range s.Counts {
 		if c == 0 {
 			continue
 		}
+		lo, hi := bucketBounds(i)
+		last = hi
 		if seen+float64(c) >= rank {
-			lo := 0.0
-			if i > 0 {
-				lo = float64(int64(1) << (i - 1))
-			}
-			hi := float64(int64(1)<<i - 1)
-			if i == 0 {
-				hi = 1
-			}
 			frac := (rank - seen) / float64(c)
 			return lo + frac*(hi-lo)
 		}
 		seen += float64(c)
 	}
-	return float64(s.Sum) // unreachable with consistent counters
+	return last
+}
+
+// bucketBounds returns bucket i's value bounds: bucket 0 is exactly
+// {0}, bucket i>0 covers [2^(i-1), 2^i - 1].
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return float64(int64(1) << (i - 1)), float64(int64(1)<<i - 1)
 }
 
 // Buckets returns the non-empty buckets as [lower, upper] value bounds
@@ -144,6 +156,7 @@ type Metrics struct {
 	Expired   atomic.Int64 // jobs whose deadline passed before compute
 	Requests  atomic.Int64 // HTTP requests served on the job endpoints
 	BadInput  atomic.Int64 // requests refused with 400
+	Failed    atomic.Int64 // requests answered 429/500/503/504 (SLO availability)
 	Completed atomic.Int64 // jobs fully computed
 
 	// Dispatch.
@@ -162,6 +175,7 @@ type MetricsSnapshot struct {
 	Expired   int64 `json:"jobs_expired"`
 	Requests  int64 `json:"requests"`
 	BadInput  int64 `json:"requests_bad_input"`
+	Failed    int64 `json:"requests_failed"`
 	Completed int64 `json:"jobs_completed"`
 
 	Batches        int64         `json:"batches"`
@@ -195,6 +209,7 @@ func (m *Metrics) Snapshot(queueDepth, queueCap int) MetricsSnapshot {
 		Expired:   m.Expired.Load(),
 		Requests:  m.Requests.Load(),
 		BadInput:  m.BadInput.Load(),
+		Failed:    m.Failed.Load(),
 		Completed: m.Completed.Load(),
 
 		Batches:        m.Batches.Load(),

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Edge-of-domain regression tests for the power-of-two histogram
+// quantile estimator (satellite c): empty histograms, the exact-zero
+// bucket, single-bucket interpolation, monotonicity, torn snapshots,
+// and the Prometheus quantile gauges on a fresh server.
+
+// TestQuantileEmptyHistogram: no observations report 0 everywhere, not
+// NaN or the last bucket bound.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h hist
+	s := h.snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty histogram Mean = %g, want 0", s.Mean())
+	}
+}
+
+// TestQuantileExactZeroBucket: bucket 0 holds only exact zeros (clamped
+// negatives included) and must never interpolate into (0, 1].
+func TestQuantileExactZeroBucket(t *testing.T) {
+	var h hist
+	for i := 0; i < 10; i++ {
+		h.observe(0)
+	}
+	h.observe(-5) // clamps into bucket 0
+	s := h.snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("all-zero histogram Quantile(%g) = %g, want exactly 0", q, got)
+		}
+	}
+}
+
+// TestQuantileSingleBucket: with every observation in one bucket, the
+// estimates stay inside that bucket's bounds and interpolation spreads
+// them rather than collapsing to one value.
+func TestQuantileSingleBucket(t *testing.T) {
+	var h hist
+	for i := 0; i < 100; i++ {
+		h.observe(700) // bits.Len64(700) = 10: bucket [512, 1023]
+	}
+	s := h.snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := s.Quantile(q)
+		if got < 512 || got > 1023 {
+			t.Errorf("single-bucket Quantile(%g) = %g, escapes bucket [512, 1023]", q, got)
+		}
+	}
+	if lo, hi := s.Quantile(0.01), s.Quantile(0.99); lo >= hi {
+		t.Errorf("interpolation flat within the bucket: p1=%g p99=%g", lo, hi)
+	}
+}
+
+// TestQuantileMonotone: p50 <= p90 <= p99 over a mixed distribution.
+func TestQuantileMonotone(t *testing.T) {
+	var h hist
+	for _, v := range []int64{1, 3, 8, 17, 90, 90, 400, 1500, 1500, 64000} {
+		for i := 0; i < 7; i++ {
+			h.observe(v)
+		}
+	}
+	s := h.snapshot()
+	p50, p90, p99 := s.Quantile(0.5), s.Quantile(0.9), s.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%g p90=%g p99=%g", p50, p90, p99)
+	}
+	if p99 > 131071 { // top observation 64000 lives in bucket [65536-1 hi = 131071]
+		t.Errorf("p99=%g beyond the top bucket bound", p99)
+	}
+}
+
+// TestQuantileTornSnapshot: counts and n are read non-atomically under
+// live traffic, so the rank can exceed the summed counts. The estimator
+// must clamp to the last non-empty bucket's upper bound, not fall
+// through to 0 or some other axis.
+func TestQuantileTornSnapshot(t *testing.T) {
+	s := histSnapshot{N: 100, Sum: 12345}
+	s.Counts[3] = 4 // bucket 3 covers [4, 7]
+	if got := s.Quantile(0.99); got != 7 {
+		t.Errorf("torn snapshot Quantile(0.99) = %g, want 7 (last bucket hi)", got)
+	}
+	if got := s.Quantile(0.5); got != 7 {
+		t.Errorf("torn snapshot Quantile(0.5) = %g, want 7", got)
+	}
+}
+
+// TestQuantileGaugesOnFreshServer: the *_quantile_seconds gauge families
+// are present (and zero) on a scrape before any traffic, so dashboards
+// never see a family flicker into existence.
+func TestQuantileGaugesOnFreshServer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sc := scrapeProm(t, ts.URL)
+	for _, fam := range []string{
+		"seedex_request_latency_quantile_seconds",
+		"seedex_queue_wait_quantile_seconds",
+		"seedex_batch_occupancy_quantile",
+	} {
+		for _, q := range []string{"0.5", "0.9", "0.99"} {
+			key := fmt.Sprintf(`%s{quantile="%s"}`, fam, q)
+			v, ok := sc.samples[key]
+			if !ok {
+				t.Errorf("fresh scrape missing %s", key)
+				continue
+			}
+			if v != 0 {
+				t.Errorf("%s = %g on a fresh server, want 0", key, v)
+			}
+		}
+	}
+}

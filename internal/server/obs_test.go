@@ -581,8 +581,10 @@ func TestPrometheusShardedFamilies(t *testing.T) {
 
 // TestExtWorkerZeroAlloc pins the serving hot path: one warmed-up worker
 // processing a full batch performs zero allocations per batch — with
-// tracing disabled AND with every job sampled (span recording is atomic
-// stores into preallocated rings).
+// tracing disabled, with every job head-sampled, with tail sampling
+// checking out a journey per request, and with both modes combined
+// (span recording is atomic stores into preallocated rings and
+// journey buffers).
 func TestExtWorkerZeroAlloc(t *testing.T) {
 	for _, tc := range []struct {
 		name   string
@@ -590,6 +592,8 @@ func TestExtWorkerZeroAlloc(t *testing.T) {
 	}{
 		{"tracing-off", nil},
 		{"tracing-sampled", obs.New(obs.Config{SampleEvery: 1})},
+		{"tracing-tail", obs.New(obs.Config{Tail: obs.TailConfig{Enabled: true}})},
+		{"tracing-head-tail", obs.New(obs.Config{SampleEvery: 1, Tail: obs.TailConfig{Enabled: true}})},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			s := New(Config{
@@ -637,6 +641,8 @@ func BenchmarkExtWorker(b *testing.B) {
 	}{
 		{"tracing-off", nil},
 		{"tracing-sampled", obs.New(obs.Config{SampleEvery: 1})},
+		{"tracing-tail", obs.New(obs.Config{Tail: obs.TailConfig{Enabled: true}})},
+		{"tracing-head-tail", obs.New(obs.Config{SampleEvery: 1, Tail: obs.TailConfig{Enabled: true}})},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			s := New(Config{

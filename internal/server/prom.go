@@ -20,6 +20,7 @@ func (s *Server) collectProm(p *obs.Prom) {
 	// Admission and completion counters.
 	p.Counter("seedex_requests_total", "HTTP requests served on the job endpoints.", float64(m.Requests.Load()))
 	p.Counter("seedex_requests_bad_input_total", "Requests refused with 400.", float64(m.BadInput.Load()))
+	p.Counter("seedex_requests_failed_total", "Requests answered 429/500/503/504 (burns the availability budget).", float64(m.Failed.Load()))
 	p.Counter("seedex_jobs_accepted_total", "Jobs admitted to the batching queue.", float64(m.Accepted.Load()))
 	p.Counter("seedex_jobs_rejected_total", "Jobs refused with 429 (queue full).", float64(m.Rejected.Load()))
 	p.Counter("seedex_jobs_rejected_draining_total", "Jobs refused with 503 (draining).", float64(m.Draining.Load()))
@@ -203,9 +204,29 @@ func (s *Server) collectProm(p *obs.Prom) {
 		p.Counter("seedex_trace_sampled_requests_total", "Requests selected by head sampling.", float64(ts.SampledTotal))
 		p.Counter("seedex_trace_spans_total", "Spans recorded into the rings.", float64(ts.SpansTotal))
 		p.Gauge("seedex_trace_slow_retained", "Requests retained in the slow-trace ring.", float64(ts.SlowRetained))
+		if ts.TailEnabled {
+			p.Counter("seedex_trace_tail_started_total", "Requests that recorded into a tail journey buffer.", float64(ts.TailStarted))
+			p.Counter("seedex_trace_tail_retained_total", "Journeys the tail verdict kept.", float64(ts.TailKept))
+			p.Gauge("seedex_trace_tail_retained", "Journeys currently in the retention ring.", float64(ts.TailRetained))
+			p.Counter("seedex_trace_tail_span_drops_total", "Spans dropped by full journey buffers.", float64(ts.TailSpanDrops))
+		}
 	}
 
-	p.Gauge("seedex_uptime_seconds", "Seconds since the server started.", uptime)
+	// SLO burn-rate engine (seedex_slo_* families).
+	s.slo.Collect(p)
+
+	// Flight recorder.
+	if s.flight != nil {
+		p.Counter("seedex_flight_dumps_total", "Flight-recorder tarballs written.", float64(s.flight.Dumps()))
+	}
+
+	// Build identity and process lifetime. seedex_build_info follows the
+	// _info convention: constant 1, identity in the labels.
+	b := s.cfg.Build
+	p.Gauge("seedex_build_info", "Build identity (constant 1; version/commit/go in labels).", 1,
+		"version", b.Version, "commit", b.Commit, "go", b.GoVersion())
+	p.Gauge("seedex_process_uptime_seconds", "Seconds since the server started.", uptime)
+	p.Gauge("seedex_uptime_seconds", "Seconds since the server started (legacy alias of seedex_process_uptime_seconds).", uptime)
 }
 
 func boolGauge(b bool) float64 {

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"seedex/internal/obs"
 )
 
 // ShardLoad is the routing-relevant view of one shard at decision time:
@@ -261,6 +263,7 @@ func (r *router) submitExt(sh *shard, job extJob) error {
 		case aerr == nil:
 			alt.admit()
 			alt.sm.rerouted.Add(1)
+			job.tr.Mark(obs.EvReroute)
 			return nil
 		case errors.Is(aerr, ErrQueueFull):
 			alt.sm.rejected.Add(1)
@@ -289,6 +292,7 @@ func (r *router) submitMap(sh *shard, job mapJob) error {
 		case aerr == nil:
 			alt.admit()
 			alt.sm.rerouted.Add(1)
+			job.tr.Mark(obs.EvReroute)
 			return nil
 		case errors.Is(aerr, ErrQueueFull):
 			alt.sm.rejected.Add(1)

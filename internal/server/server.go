@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -90,8 +91,24 @@ type Config struct {
 	// Trace, when non-nil, records pipeline spans (admission, queue wait,
 	// batch flush, kernel tier, check outcome, host rerun) for sampled
 	// requests and exports them at /debug/traces. A nil tracer costs the
-	// job endpoints one pointer compare per instrumentation site.
+	// job endpoints one pointer compare per instrumentation site. Tail
+	// retention (obs.Config.Tail) additionally keeps the full journey of
+	// every request that breaches its budget, fails, or crosses a steal,
+	// reroute, rescue, reload overlap or fault.
 	Trace *obs.Tracer
+	// Build identifies the binary for seedex_build_info (stamped from
+	// -ldflags in cmd/seedex-serve; defaults dev/unknown).
+	Build obs.BuildInfo
+	// SLO tunes the burn-rate engine's declared objectives; the zero
+	// value enables it with defaults (see SLOConfig).
+	SLO SLOConfig
+	// Flight configures the flight recorder; an empty Dir disables it.
+	// With a recorder configured the server also starts a watcher that
+	// dumps automatically on breaker trips, reload rollbacks and
+	// fast-burn SLO alerts.
+	Flight obs.FlightConfig
+	// FlightPoll is the watcher's trigger-polling cadence (default 2s).
+	FlightPoll time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +155,12 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	started  time.Time
+
+	slo        *obs.SLO
+	flight     *obs.FlightRecorder
+	flightStop chan struct{}
+	flightDone chan struct{}
+	closeOnce  sync.Once
 }
 
 // New builds the shard pool, the routing tier and the HTTP mux. The
@@ -241,6 +264,13 @@ func New(cfg Config) *Server {
 		panic(err)
 	}
 	s.router = rt
+	s.cfg.Build = s.cfg.Build.WithDefaults()
+	s.slo = s.newSLO()
+	s.slo.Start()
+	s.flight = obs.NewFlightRecorder(cfg.Flight)
+	if s.flight != nil {
+		s.startFlightWatcher()
+	}
 	s.reg.Register(s.collectProm)
 	s.routes()
 	return s
@@ -266,6 +296,13 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // HTTP server has stopped accepting requests.
 func (s *Server) Close() {
 	s.StartDrain()
+	s.closeOnce.Do(func() {
+		s.slo.Close()
+		if s.flightStop != nil {
+			close(s.flightStop)
+			<-s.flightDone
+		}
+	})
 	// Closing shard by shard is safe under work stealing: a peer still
 	// draining may steal from a closing shard (helping it finish), and a
 	// closing shard's workers finish any stolen batch before exiting on
@@ -510,6 +547,10 @@ func (s *Server) extWorker(sh *shard) func([]extJob) {
 	}
 	chk, _ := ext.(*core.Checker)
 	br, _ := ext.(batchResponder)
+	// Device-backed sessions expose the batch key of their last device
+	// round-trip; kernel spans carry it as a link so a request timeline
+	// stitches to the device-layer trace (obs.BatchTraceID).
+	keyer, _ := ext.(interface{ LastBatchKey() int64 })
 	max := s.cfg.Batch.MaxBatch
 	live := make([]extJob, 0, max)
 	reqs := make([]core.Request, 0, max)
@@ -550,6 +591,15 @@ func (s *Server) extWorker(sh *shard) func([]extJob) {
 		fDur := now.Sub(fStart)
 		for _, j := range live {
 			j.tr.Span(obs.KindFlush, fStart, fDur, int64(len(batch)), sized)
+		}
+		// A batch whose jobs were admitted by another shard arrived here by
+		// work stealing: flag the event and record where the batch really
+		// ran (v1 = victim shard, v2 = thief shard).
+		if live[0].sh.id != sh.id {
+			for _, j := range live {
+				j.tr.Mark(obs.EvSteal)
+				j.tr.Span(obs.KindSteal, now, 0, int64(j.sh.id), int64(sh.id))
+			}
 		}
 		switch {
 		case chk != nil:
@@ -593,15 +643,25 @@ func (s *Server) extWorker(sh *shard) func([]extJob) {
 			resp = br.ExtendBatchInto(reqs, resp[:0])
 			kDur := time.Since(k0)
 			kEnd := k0.Add(kDur)
+			var bkey int64
+			if keyer != nil {
+				bkey = keyer.LastBatchKey()
+			}
 			for k, j := range live {
 				r := resp[k]
 				if j.tr.Sampled() {
-					j.tr.Span(obs.KindKernel, k0, kDur, obs.TierUnknown, int64(len(live)))
+					j.tr.SpanLink(obs.KindKernel, k0, kDur, obs.TierUnknown, int64(len(live)), bkey)
 					pass := int64(0)
 					if !r.Rerun {
 						pass = 1
 					}
 					j.tr.Span(obs.KindCheck, kEnd, 0, int64(r.Outcome), pass)
+				}
+				// A rerun without a proven outcome means the driver contained
+				// a fault, exhausted retries, or served host-only behind an
+				// open breaker: tail-flag the journey.
+				if r.Rerun && r.Outcome == core.OutcomeUnknown {
+					j.tr.Mark(obs.EvFault)
 				}
 				j.sh.settleDone()
 				j.out.deliver(j.req.Tag, r)
@@ -659,6 +719,7 @@ func (s *Server) mapWorker(sh *shard) func([]mapJob) {
 	var genID uint64
 	return func(batch []mapJob) {
 		now := time.Now()
+		reloadOverlap := false
 		if store != nil {
 			g := store.Acquire()
 			if g == nil {
@@ -672,12 +733,26 @@ func (s *Server) mapWorker(sh *shard) func([]mapJob) {
 				return
 			}
 			defer g.Release()
+			// A reload in flight right now, or a generation swap observed
+			// since this worker's last batch, tail-flags the batch's
+			// requests as overlapping an index reload.
+			reloadOverlap = store.Reloading()
 			if m == nil || g.ID() != genID {
+				reloadOverlap = reloadOverlap || m != nil
 				m = s.cfg.NewAligner(g.Ref(), g.Index()).NewMapper()
 				genID = g.ID()
 			}
 		}
+		if len(batch) > 0 && batch[0].sh.id != sh.id {
+			for _, j := range batch {
+				j.tr.Mark(obs.EvSteal)
+				j.tr.Span(obs.KindSteal, now, 0, int64(j.sh.id), int64(sh.id))
+			}
+		}
 		for _, j := range batch {
+			if reloadOverlap {
+				j.tr.Mark(obs.EvReloadOverlap)
+			}
 			wait := now.Sub(j.enq)
 			s.met.QueueWait.observe(wait.Nanoseconds())
 			j.sh.sm.queueWait.observe(wait.Nanoseconds())
@@ -691,10 +766,19 @@ func (s *Server) mapWorker(sh *shard) func([]mapJob) {
 			k0 := time.Now()
 			rec, al := m.Map(j.name, j.seq, j.qual)
 			kDur := time.Since(k0)
-			j.tr.Span(obs.KindKernel, k0, kDur, obs.TierUnknown, 1)
+			// The map kernel span links the index generation it computed
+			// against (negated, so generation links can never collide with
+			// the positive device batch keys the stitcher resolves), and one
+			// timeline shows a request straddling a swap.
+			j.tr.SpanLink(obs.KindKernel, k0, kDur, obs.TierUnknown, 1, -int64(genID))
 			if al.PrefilterPass+al.PrefilterReject > 0 {
 				j.tr.Span(obs.KindPrefilter, k0.Add(kDur), 0,
 					int64(al.PrefilterPass), int64(al.PrefilterReject))
+			}
+			if al.RescueRounds > 0 {
+				j.tr.Mark(obs.EvRescue)
+				j.tr.Span(obs.KindRescue, k0.Add(kDur), 0,
+					int64(al.PrefilterRescued), int64(al.RescueRounds))
 			}
 			j.sh.settleDone()
 			j.out.deliver(j.i, MapResult{

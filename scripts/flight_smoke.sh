@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Flight-recorder smoke test: start seedex-serve with chaos fault
+# injection, tail retention and the flight recorder armed, drive traffic
+# until the device breaker trips, then assert the degradation watcher
+# wrote an automatic breaker-trip flight tarball — and that a SIGQUIT
+# dump lands too. Artifacts (server log, tarballs, manifests) land in
+# OUT (default flight-smoke/) for CI upload.
+set -euo pipefail
+
+OUT="${OUT:-flight-smoke}"
+ADDR="${ADDR:-127.0.0.1:18846}"
+mkdir -p "$OUT"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+echo "== building seedex-serve =="
+go build -o "$OUT/seedex-serve" ./cmd/seedex-serve
+
+echo "== starting server on $ADDR (chaos 0.9, flight recorder armed) =="
+# A 1s debounce plus a 0.5s watcher poll makes the automatic dump land
+# promptly after the breaker trips.
+"$OUT/seedex-serve" -addr "$ADDR" -chaos 0.9 -chaos-seed 7 \
+  -trace-tail -trace-tail-budget 1us \
+  -flight-dir "$OUT/flight" -flight-min-interval 1s -flight-poll 500ms \
+  -max-batch 16 -flush 1ms \
+  >"$OUT/serve.log" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died during startup:" >&2
+    cat "$OUT/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== driving traffic until the breaker trips =="
+BODY='{"jobs":[
+  {"query":"ACGTACGTACGTACGTACGTACGTACGTACGT","target":"ACGTACGTACGTACGTACGTACGTACGTACGT","h0":20},
+  {"query":"ACGTACGTACGTTCGTACGTACGAACGTACGT","target":"ACGTACGTACGTACGTACGTACGTACGTACGT","h0":20}
+]}'
+TRIPPED=0
+for i in $(seq 1 200); do
+  curl -sS -X POST "http://$ADDR/v1/extend" \
+    -H 'Content-Type: application/json' -d "$BODY" >/dev/null || true
+  if curl -fsS "http://$ADDR/metrics" | grep -q '"breaker_trips": *[1-9]'; then
+    TRIPPED=1
+    break
+  fi
+done
+[ "$TRIPPED" = 1 ] || fail "breaker never tripped under chaos rate 0.9"
+
+echo "== waiting for the automatic breaker-trip dump =="
+AUTO=""
+for i in $(seq 1 100); do
+  AUTO="$(ls "$OUT"/flight/flight-*-breaker-trip.tar.gz 2>/dev/null | head -1 || true)"
+  [ -n "$AUTO" ] && break
+  sleep 0.1
+done
+[ -n "$AUTO" ] || fail "breaker trip produced no automatic flight tarball"
+tar -tzf "$AUTO" >"$OUT/auto-manifest.txt"
+for entry in meta.json metrics.json slo.json journeys.json goroutines.txt heap.pprof; do
+  grep -qx "$entry" "$OUT/auto-manifest.txt" || fail "automatic dump missing $entry"
+done
+# The retained journeys in the dump carry the contained faults.
+tar -xmzf "$AUTO" -C "$OUT" journeys.json
+python3 - "$OUT/journeys.json" <<'EOF'
+import json, sys
+journeys = json.load(open(sys.argv[1]))
+if not journeys:
+    raise SystemExit("FAIL: breaker-trip dump retained no journeys")
+if not any("fault" in (j.get("events") or []) for j in journeys):
+    raise SystemExit("FAIL: no retained journey carries the fault event")
+EOF
+
+echo "== SIGQUIT dump (bypasses the debounce) =="
+kill -QUIT "$SERVER_PID"
+FORCED=""
+for i in $(seq 1 50); do
+  FORCED="$(ls "$OUT"/flight/flight-*-sigquit.tar.gz 2>/dev/null | head -1 || true)"
+  [ -n "$FORCED" ] && break
+  sleep 0.1
+done
+[ -n "$FORCED" ] || fail "SIGQUIT inside the debounce window produced no tarball"
+curl -fsS "http://$ADDR/healthz" >/dev/null || fail "server not serving after dumps"
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+echo "OK: flight-recorder smoke passed; artifacts in $OUT/"

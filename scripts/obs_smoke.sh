@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Observability smoke test: start seedex-serve with tracing on, drive a
-# little traffic, then assert the Prometheus exposition and both trace
-# export formats are live and well-formed. Artifacts (metrics scrape,
-# Chrome trace, NDJSON spans, slow ring) land in OUT (default
-# obs-smoke/) for CI upload.
+# Observability smoke test: start seedex-serve with head tracing, tail
+# retention, the SLO engine and the flight recorder on, drive a little
+# traffic, then assert the Prometheus exposition, both trace export
+# formats, the journey/SLO endpoints and a SIGQUIT flight dump are live
+# and well-formed. Artifacts (metrics scrape, Chrome trace, NDJSON
+# spans, slow ring, SLO state, journeys, flight tarball) land in OUT
+# (default obs-smoke/) for CI upload.
 set -euo pipefail
 
 OUT="${OUT:-obs-smoke}"
@@ -12,10 +14,17 @@ DEBUG_ADDR="${DEBUG_ADDR:-127.0.0.1:18845}"
 mkdir -p "$OUT"
 
 echo "== building seedex-serve =="
-go build -o "$OUT/seedex-serve" ./cmd/seedex-serve
+VERSION="$(git describe --tags --always --dirty 2>/dev/null || echo smoke)"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+go build -ldflags "-X main.version=$VERSION -X main.commit=$COMMIT" \
+  -o "$OUT/seedex-serve" ./cmd/seedex-serve
 
-echo "== starting server on $ADDR (tracing 1/1, pprof on $DEBUG_ADDR) =="
+echo "== starting server on $ADDR (tracing 1/1 + tail retention, pprof on $DEBUG_ADDR) =="
+# The 1µs tail budget makes every request breach it, so the smoke can
+# assert tail retention without manufacturing failures.
 "$OUT/seedex-serve" -addr "$ADDR" -trace-sample 1 -trace-slow 16 \
+  -trace-tail -trace-tail-budget 1us -slo-latency 100ms \
+  -flight-dir "$OUT/flight" \
   -debug-addr "$DEBUG_ADDR" -max-batch 16 -flush 1ms \
   >"$OUT/serve.log" 2>&1 &
 SERVER_PID=$!
@@ -50,6 +59,8 @@ curl -fsS "http://$ADDR/metrics" >"$OUT/metrics.json"
 curl -fsS "http://$ADDR/debug/traces" >"$OUT/traces-chrome.json"
 curl -fsS "http://$ADDR/debug/traces?format=ndjson" >"$OUT/traces.ndjson"
 curl -fsS "http://$ADDR/debug/traces/slow?format=ndjson" >"$OUT/traces-slow.ndjson"
+curl -fsS "http://$ADDR/debug/journeys" >"$OUT/journeys.json"
+curl -fsS "http://$ADDR/debug/slo" >"$OUT/slo.json"
 curl -fsS "http://$DEBUG_ADDR/debug/pprof/" >"$OUT/pprof-index.html"
 
 echo "== asserting =="
@@ -61,9 +72,13 @@ for family in \
   seedex_requests_total seedex_jobs_completed_total \
   seedex_request_latency_seconds_bucket \
   seedex_request_latency_quantile_seconds \
-  seedex_check_outcome_total seedex_trace_spans_total; do
+  seedex_check_outcome_total seedex_trace_spans_total \
+  seedex_trace_tail_retained seedex_slo_target seedex_slo_burn_rate \
+  seedex_build_info seedex_process_uptime_seconds; do
   grep -q "^$family" "$OUT/metrics.prom" || fail "$family missing from Prometheus scrape"
 done
+grep -q "^seedex_build_info{.*version=\"$VERSION\"" "$OUT/metrics.prom" \
+  || fail "seedex_build_info not carrying the ldflags-stamped version $VERSION"
 grep -q '^# TYPE seedex_request_latency_seconds histogram' "$OUT/metrics.prom" \
   || fail "latency histogram TYPE line missing"
 
@@ -84,6 +99,46 @@ if missing:
 EOF
 [ -s "$OUT/traces-slow.ndjson" ] || fail "slow-trace ring is empty"
 grep -q 'pprof' "$OUT/pprof-index.html" || fail "pprof index not served on debug address"
+
+# Tail retention kept full journeys (the 1µs budget guarantees every
+# request breached it) and the SLO engine reports all three objectives.
+python3 - "$OUT/journeys.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+if doc["retained"] < 1:
+    raise SystemExit("FAIL: tail sampling retained no journeys")
+j = doc["journeys"][0]
+for field in ("trace", "verdict", "spans"):
+    if not j.get(field):
+        raise SystemExit(f"FAIL: retained journey missing {field}: {j}")
+EOF
+python3 - "$OUT/slo.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+names = {o["name"] for o in doc["objectives"]}
+need = {"extend-latency-p99", "availability", "rescue-rate"}
+if not need <= names:
+    raise SystemExit(f"FAIL: /debug/slo objectives {sorted(names)}, want {sorted(need)}")
+windows = {w["window"] for o in doc["objectives"] for w in o["windows"]}
+if not {"5m", "1h", "30m", "6h"} <= windows:
+    raise SystemExit(f"FAIL: /debug/slo burn windows incomplete: {sorted(windows)}")
+EOF
+
+echo "== SIGQUIT flight dump =="
+kill -QUIT "$SERVER_PID"
+FLIGHT=""
+for i in $(seq 1 50); do
+  FLIGHT="$(ls "$OUT"/flight/flight-*-sigquit.tar.gz 2>/dev/null | head -1 || true)"
+  [ -n "$FLIGHT" ] && break
+  sleep 0.1
+done
+[ -n "$FLIGHT" ] || fail "SIGQUIT produced no flight tarball in $OUT/flight/"
+tar -tzf "$FLIGHT" >"$OUT/flight-manifest.txt"
+for entry in meta.json metrics.json slo.json journeys.json traces.ndjson goroutines.txt heap.pprof; do
+  grep -qx "$entry" "$OUT/flight-manifest.txt" || fail "flight tarball missing $entry"
+done
+# The dump is an observer: the server must still be serving afterwards.
+curl -fsS "http://$ADDR/healthz" >/dev/null || fail "server not serving after SIGQUIT dump"
 
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
